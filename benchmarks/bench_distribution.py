@@ -1,0 +1,87 @@
+"""Classifier distribution and redundancy removal (extra experiments,
+Section 9 related work).
+
+* Distribution: priority inversions of a naive whole-classifier split vs
+  the order-independence-aware split (always zero), per workload style.
+* Redundancy: how many provably-dead rules the [20]-style cleanup finds in
+  the generated workloads, and how it shifts the order-independent
+  fraction.
+"""
+
+import pytest
+
+from repro.analysis.mrc import greedy_independent_set
+from repro.analysis.redundancy import remove_redundant
+from repro.bench.harness import bench_rules, cached_suite, format_table
+from repro.saxpac.distribution import PathDistribution, priority_inversions
+
+
+@pytest.fixture(scope="module")
+def suite_small():
+    return cached_suite(rules=min(bench_rules(), 1000))
+
+
+def test_distribution_inversions(benchmark, suite_small, save_result):
+    def run():
+        rows = []
+        for name in ("acl1", "fw1", "ipc1", "cisco1"):
+            classifier = suite_small[name]
+            n = len(classifier.body)
+            cap = n  # three switches, each able to hold the whole D part
+            dist = PathDistribution(classifier, [cap, cap, cap])
+            naive = [[], [], []]
+            for pos, idx in enumerate(reversed(range(n))):
+                naive[pos % 3].append(idx)
+            rows.append(
+                [
+                    name,
+                    n,
+                    priority_inversions(classifier, naive),
+                    priority_inversions(classifier, dist.assignments),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "distribution_inversions",
+        format_table(
+            ["name", "rules", "naive split inversions", "OI-aware split"],
+            rows,
+            title="Distribution - priority inversions across a 3-switch path",
+        ),
+    )
+    for row in rows:
+        assert row[3] == 0
+
+
+def test_redundancy_removal(benchmark, suite_small, save_result):
+    def run():
+        rows = []
+        for name in ("acl1", "fw1", "ipc1", "cisco1"):
+            classifier = suite_small[name]
+            cleaned, removed = remove_redundant(classifier)
+            before = greedy_independent_set(classifier).size
+            after = greedy_independent_set(cleaned).size
+            rows.append(
+                [
+                    name,
+                    len(classifier.body),
+                    len(removed),
+                    len(cleaned.body),
+                    f"{before / len(classifier.body):.3f}",
+                    f"{after / max(1, len(cleaned.body)):.3f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "redundancy_removal",
+        format_table(
+            ["name", "rules", "removed", "left", "OI frac before",
+             "OI frac after"],
+            rows,
+            title="Redundancy removal - provably-dead rules per workload",
+        ),
+    )

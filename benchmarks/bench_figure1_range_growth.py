@@ -1,0 +1,36 @@
+"""Figure 1 — average TCAM space as a function of the number of added
+synthetic 16-bit range fields (0, 2, 4, 6), four series: regular and
+Theorem 1 representations under binary and SRGE encodings, over the
+ClassBench and cisco panels.
+
+Expected shape (paper): regular encodings grow by a multiplicative factor
+per added range field (exponential overall); the Theorem 1 scheme's growth
+is "significantly deterred" because added fields never enter the
+order-independent lookup.
+"""
+
+from repro.bench.experiments import render_figure1, run_figure1
+from repro.bench.plotting import plot_figure1
+
+FIELD_COUNTS = (0, 2, 4, 6)
+
+
+def test_figure1_range_growth(benchmark, suite, save_result):
+    points = benchmark.pedantic(
+        run_figure1, args=(suite, FIELD_COUNTS), rounds=1, iterations=1
+    )
+    save_result(
+        "figure1_range_growth",
+        render_figure1(points) + "\n\n" + plot_figure1(points),
+    )
+    by_panel = {}
+    for p in points:
+        by_panel.setdefault(p.panel, []).append(p)
+    for panel_points in by_panel.values():
+        panel_points.sort(key=lambda p: p.extra_fields)
+        for earlier, later in zip(panel_points, panel_points[1:]):
+            # Regular space grows with every added range field pair...
+            assert later.regular_binary_kb > earlier.regular_binary_kb
+        # ...and the final-ratio gap demonstrates Theorem 1's deterrence.
+        final = panel_points[-1]
+        assert final.theorem1_binary_kb < final.regular_binary_kb

@@ -1,0 +1,36 @@
+"""Figure 6 — classifier width as a function of virtual-field width
+(1, 2, 4, 8, 16, 32 bits), comparing the original width, MinDNF-style
+reduction, and FSM over virtual fields.
+
+Expected shape (paper): FSM width grows with coarser virtual fields and
+sits far below both the original width and the (nearly flat, barely
+reduced) MinDNF width; at bit-level resolution a few tens of bits suffice
+for 120-bit classifiers.
+"""
+
+from repro.bench.experiments import render_figure6, run_figure6
+from repro.bench.plotting import plot_figure6
+
+FIELD_WIDTHS = (1, 2, 4, 8, 16, 32)
+
+
+def test_figure6_resolution(benchmark, suite, save_result):
+    points = benchmark.pedantic(
+        run_figure6,
+        args=(suite, FIELD_WIDTHS),
+        kwargs={"rule_cap": 400},
+        rounds=1,
+        iterations=1,
+    )
+    save_result(
+        "figure6_resolution",
+        render_figure6(points) + "\n\n" + plot_figure6(points),
+    )
+    by_panel = {}
+    for p in points:
+        by_panel.setdefault(p.panel, []).append(p)
+    for panel_points in by_panel.values():
+        panel_points.sort(key=lambda p: p.virtual_field_width)
+        widths = [p.fsm_width for p in panel_points]
+        assert widths == sorted(widths)  # finer resolution never wider
+        assert widths[0] < panel_points[0].original_width / 2

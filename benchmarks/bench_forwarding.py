@@ -1,0 +1,113 @@
+"""Forwarding tables: the Section 4.4 one-field case and the IPv6
+conjecture (extra experiment).
+
+The paper closes Section 4.4 with two claims about forwarding tables:
+(1) the representation can drop below trie-entropy bounds by storing only
+distinguishing bits of an order-independent prefix set; (2) IPv6 should do
+even better because wider keys offer more order-independent rules on fewer
+bits.  This bench measures both on generated v4/v6 tables: exact (EDF)
+maximal order-independent fractions, bit-level FSM width of the
+order-independent set, and the XBW-l size versus the bit-subset size.
+"""
+
+import pytest
+
+from repro.analysis.mrc import edf_single_field
+from repro.bench.harness import format_table
+from repro.boolean.width import virtual_field_fsm, words_from_classifier
+from repro.workloads.forwarding import generate_forwarding_table
+
+SIZES = (500, 1500)
+
+
+def _analyze(version: int, size: int, seed: int):
+    table = generate_forwarding_table(size, seed=seed, version=version)
+    width = table.schema.total_width
+    independent = edf_single_field(table, 0)
+    indices = independent.rule_indices[:400]  # cap the quadratic step
+    words = words_from_classifier(table, indices)
+    fsm = virtual_field_fsm(words, width, 1)
+    return {
+        "version": f"IPv{version}",
+        "rules": len(table.body),
+        "oi": independent.size,
+        "oi_frac": independent.size / len(table.body),
+        "key_bits": width,
+        "fsm_bits": fsm.reduced_width,
+    }
+
+
+def test_forwarding_v4_vs_v6(benchmark, save_result):
+    def run():
+        rows = []
+        for version in (4, 6):
+            for size in SIZES:
+                rows.append(_analyze(version, size, seed=2014 + size))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "forwarding_v4_v6",
+        format_table(
+            ["family", "prefixes", "max OI (EDF)", "OI frac", "key bits",
+             "distinguishing bits"],
+            [
+                [r["version"], r["rules"], r["oi"], f"{r['oi_frac']:.3f}",
+                 r["key_bits"], r["fsm_bits"]]
+                for r in rows
+            ],
+            title="Forwarding tables - order-independence and bit-level FSM",
+        ),
+    )
+    v4 = [r for r in rows if r["version"] == "IPv4"]
+    v6 = [r for r in rows if r["version"] == "IPv6"]
+    for a, b in zip(v4, v6):
+        # The Section 4.4 conjecture: IPv6 at least as order-independent,
+        # using a tiny fraction of the 128-bit key.
+        assert b["oi_frac"] >= a["oi_frac"] - 0.05
+        assert b["fsm_bits"] < b["key_bits"] / 3
+
+
+def test_forwarding_xbw_comparison(benchmark, save_result):
+    """Bit-subset representation vs the XBW-l size model on the
+    order-independent part of a v4 table (host routes only, where the
+    trie model applies directly)."""
+    from repro.boolean.trie_compression import (
+        BinaryTrie,
+        bit_subset_size_bits,
+        distinguishing_bits,
+        xbw_size_bits,
+    )
+    import random
+
+    rng = random.Random(77)
+    action_bits = 4  # 16 next-hops
+
+    def run():
+        rows = []
+        for count in (64, 256):
+            values = rng.sample(range(1 << 24), count)
+            trie = BinaryTrie.from_values(values, 24)
+            xbw = xbw_size_bits(trie, action_bits)
+            bits = distinguishing_bits(values, 24, exact_limit=0)
+            subset = bit_subset_size_bits(
+                values, 24, action_bits, bits=bits
+            )
+            rows.append(
+                [count, trie.num_nodes, xbw, len(bits), subset,
+                 f"{xbw / subset:.1f}x"]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "forwarding_xbw",
+        format_table(
+            ["routes", "trie nodes", "XBW-l bits", "distinct bits",
+             "subset bits", "XBW/subset"],
+            rows,
+            title="Host routes - XBW-l vs order-independent bit subset",
+        ),
+    )
+    for row in rows:
+        assert row[4] < row[2]  # the bit-subset representation wins

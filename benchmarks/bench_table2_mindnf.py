@@ -1,0 +1,18 @@
+"""Table 2 — MinDNF heuristics (resolution + subsumption) applied to the
+order-independent subsets, vs the FSM width.
+
+Expected shape (paper): prefix expansion multiplies the rule count; MinDNF
+barely reduces the rule count and leaves the lookup width essentially
+unchanged (~88-112 of 120 bits), while FSM's false-positive-check trick
+reduces width much further.
+"""
+
+from repro.bench.experiments import render_table2, run_table2
+
+
+def test_table2_mindnf(benchmark, suite, save_result):
+    rows = benchmark.pedantic(run_table2, args=(suite,), rounds=1, iterations=1)
+    save_result("table2_mindnf", render_table2(rows))
+    for row in rows:
+        assert row.mindnf_binary_terms <= row.binary_terms
+        assert row.fsm_width <= row.mindnf_binary_red_width

@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures.
+
+Benchmarks default to REPRO_BENCH_RULES (2000) rules per ClassBench-style
+classifier; raise it for closer-to-paper scale.  Every rendered table is
+printed and also written to ``results/<name>.txt`` so a benchmark run
+leaves the full reproduction record on disk.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import bench_rules, cached_suite
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The 17-classifier benchmark suite (module-cached)."""
+    return cached_suite(rules=bench_rules())
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist a rendered table under results/ and echo it."""
+
+    def _save(name: str, text: str) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print()
+        print(text)
+
+    return _save

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Expressive classification: add range fields for free (Theorem 1).
+
+The paper's motivating scenario: services increasingly want to classify on
+*ranges* — dates, packet lengths, VLAN ranges — but every extra range field
+multiplies TCAM cost.  This example takes an ACL, adds two expressive
+range fields (packet length and a time-of-day window), and compares:
+
+* the regular TCAM cost of the extended classifier (binary and SRGE), vs
+* the SAX-PAC cost, where the order-independent 90+% of rules ignore the
+  new fields during lookup and verify them in the false-positive check.
+
+Run:  python examples/expressive_acl.py
+"""
+
+import random
+
+from repro import (
+    BinaryRangeEncoder,
+    SaxPacEngine,
+    SrgeRangeEncoder,
+    generate_classifier,
+)
+from repro.analysis import fsm, greedy_independent_set
+from repro.core import FieldSpec, Interval
+from repro.tcam import classifier_entry_count
+
+
+def add_expressive_fields(classifier, seed):
+    """Append a 16-bit packet-length range and a 16-bit time window
+    (minutes since midnight) to every rule."""
+    rng = random.Random(seed)
+    specs = [
+        FieldSpec("pkt_len", 16),
+        FieldSpec("time_of_day", 16),
+    ]
+    lengths = [(0, 1500), (64, 1500), (0, 128), (1200, 1500), (0, 65535)]
+    windows = [(480, 1080), (0, 479), (1081, 1439), (0, 65535), (540, 1020)]
+    extra = []
+    for _rule in classifier.body:
+        extra.append(
+            [
+                Interval(*rng.choice(lengths)),
+                Interval(*rng.choice(windows)),
+            ]
+        )
+    return classifier.extend(specs, extra)
+
+
+def kb(entries, width):
+    return entries * width / 1024.0
+
+
+def main():
+    base = generate_classifier("acl", 1500, seed=99)
+    extended = add_expressive_fields(base, seed=100)
+    print(f"ACL: {len(base.body)} rules, {base.schema.total_width} bits; "
+          f"extended to {extended.schema.total_width} bits with "
+          f"pkt_len + time_of_day ranges")
+
+    binary, srge = BinaryRangeEncoder(), SrgeRangeEncoder()
+    width = extended.schema.total_width
+    for encoder in (binary, srge):
+        entries = classifier_entry_count(extended, encoder)
+        print(f"  regular TCAM ({encoder.name:6}): {entries:>9} entries "
+              f"= {kb(entries, width):>12.1f} Kb")
+
+    # SAX-PAC / Theorem 1: pick the order-independent part on the BASE
+    # fields; the new range fields then never enter the lookup at all and
+    # only appear in the single false-positive check.
+    independent = greedy_independent_set(base)
+    fraction = independent.size / len(extended.body)
+    sub = base.subset(independent.rule_indices)
+    reduction = fsm(sub)
+    print(f"\norder-independent: {independent.size} rules "
+          f"({fraction:.1%}); FSM lookup fields {reduction.kept_fields} "
+          f"({reduction.lookup_width} bits)")
+    for encoder in (binary, srge):
+        i_entries = classifier_entry_count(
+            extended, encoder,
+            fields=reduction.kept_fields,
+            rule_indices=independent.rule_indices,
+        )
+        d_entries = classifier_entry_count(
+            extended, encoder,
+            rule_indices=independent.complement(len(extended.body)),
+        )
+        total = kb(i_entries, reduction.lookup_width) + kb(d_entries, width)
+        print(f"  SAX-PAC     ({encoder.name:6}): {i_entries:>9} reduced + "
+              f"{d_entries} full entries = {total:>12.1f} Kb")
+
+    # And the engine actually classifies correctly on the wider header.
+    engine = SaxPacEngine(extended)
+    rng = random.Random(7)
+    for header in extended.sample_headers(500, rng):
+        assert engine.match(header).index == extended.match(header).index
+    print("\nSAX-PAC engine verified on 500 sampled 152-bit headers.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Forwarding tables as one-field classifiers (Section 4.4).
+
+Builds IPv4 and IPv6 forwarding tables, shows that longest-prefix-match is
+just first-match after sorting by prefix length, extracts the *exact*
+maximal order-independent prefix set with EDF, and measures how few bits
+distinguish it — the paper's closing conjecture that wider (IPv6) keys
+make order-independence cheaper, not more expensive.
+
+Run:  python examples/forwarding_tables.py
+"""
+
+import random
+
+from repro.analysis import edf_single_field
+from repro.boolean import virtual_field_fsm, words_from_classifier
+from repro.workloads import generate_forwarding_table, longest_prefix_match
+
+
+def analyze(version):
+    table = generate_forwarding_table(
+        800, seed=4242, version=version, aggregation=0.35
+    )
+    width = table.schema.total_width
+    print(f"IPv{version}: {len(table.body)} prefixes, {width}-bit key")
+
+    # LPM == first-match (the generator sorts longest-prefix-first).
+    rng = random.Random(version)
+    for header in table.sample_headers(400, rng):
+        reference = longest_prefix_match(table, header[0])
+        winner = table.match(header)
+        if reference is None:
+            assert winner.rule is table.catch_all
+        else:
+            assert winner.rule == reference
+    print("  LPM == first-match verified on 400 addresses")
+
+    independent = edf_single_field(table, 0)
+    fraction = independent.size / len(table.body)
+    print(f"  maximal order-independent set (EDF, exact): "
+          f"{independent.size} ({fraction:.1%})")
+
+    words = words_from_classifier(table, independent.rule_indices[:400])
+    reduction = virtual_field_fsm(words, width, 1)
+    print(f"  distinguishing bits for the independent set: "
+          f"{reduction.reduced_width} of {width}")
+    return fraction, reduction.reduced_width, width
+
+
+def main():
+    v4 = analyze(4)
+    print()
+    v6 = analyze(6)
+    print()
+    print("Section 4.4's conjecture:")
+    print(f"  order-independent fraction: IPv4 {v4[0]:.1%} vs "
+          f"IPv6 {v6[0]:.1%}")
+    print(f"  bits needed per lookup:     IPv4 {v4[1]}/{v4[2]} vs "
+          f"IPv6 {v6[1]}/{v6[2]}")
+    print("  -> the 128-bit keys need barely more distinguishing bits "
+          "than the 32-bit ones.")
+
+
+if __name__ == "__main__":
+    main()

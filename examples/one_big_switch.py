@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Distributing one big classifier over a switch path (Section 9).
+
+Order-independent rules never need priority coordination: at most one of
+them matches any packet, so they can be scattered over the path's spare
+capacity freely.  This example splits a 600-rule policy over three small
+switches, shows the placement, measures how a *naive* split would have
+misbehaved (priority inversions), and verifies path semantics packet by
+packet.
+
+Run:  python examples/one_big_switch.py
+"""
+
+import random
+
+from repro import generate_classifier
+from repro.saxpac import PathDistribution, priority_inversions
+
+
+def main():
+    policy = generate_classifier("ipc", 600, seed=2718)
+    capacities = [260, 220, 220]
+    dist = PathDistribution(policy, capacities)
+
+    print(f"policy: {len(policy.body)} rules over "
+          f"{len(capacities)} switches {capacities}")
+    for i, load in enumerate(dist.loads()):
+        print(f"  switch {i}: {load.independent_rules:>4} independent + "
+              f"{load.dependent_rules:>3} dependent rules "
+              f"({load.utilization:.0%} of {load.capacity})")
+
+    # What a naive, priority-oblivious split would cost: reverse
+    # round-robin of the whole rule list.
+    naive = [[], [], []]
+    for pos, idx in enumerate(reversed(range(len(policy.body)))):
+        naive[pos % 3].append(idx)
+    print(f"\npriority inversions (intersecting pairs split with the "
+          f"higher-priority rule later on the path):")
+    print(f"  naive whole-classifier split: "
+          f"{priority_inversions(policy, naive)}")
+    print(f"  order-independence-aware split: "
+          f"{priority_inversions(policy, dist.assignments)} "
+          f"(zero by construction: I rules never intersect, and the "
+          f"D part sits last)")
+
+    rng = random.Random(1)
+    for header in policy.sample_headers(1000, rng):
+        assert dist.match(header).index == policy.match(header).index
+    print("\npath semantics verified against the monolithic classifier "
+          "on 1000 headers.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in offline
+environments whose setuptools lacks PEP 660 wheel support (legacy editable
+installs need a setup.py).
+"""
+
+from setuptools import setup
+
+setup()

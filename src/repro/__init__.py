@@ -1,0 +1,103 @@
+"""SAX-PAC — Scalable And eXpressive PAcket Classification.
+
+A from-scratch reproduction of Kogan et al., SIGCOMM 2014: hybrid
+software/TCAM packet classification built on order-independence.
+
+The stable public API is re-exported here; subpackages hold the full
+surface:
+
+* :mod:`repro.core` — fields, intervals, rules, classifiers, packets;
+* :mod:`repro.analysis` — order-independence, FSM, MRC, MGR, lower bounds;
+* :mod:`repro.tcam` — ternary entries, binary/SRGE range encodings,
+  simulator, space accounting;
+* :mod:`repro.boolean` — ternary words, DNF, MinDNF, width/virtual fields;
+* :mod:`repro.lookup` — interval maps, segment trees, the multi-group
+  software engine;
+* :mod:`repro.saxpac` — the hybrid engine, profiles, cache, dynamic
+  updates;
+* :mod:`repro.workloads` — ClassBench parsing, synthetic generators,
+  traces;
+* :mod:`repro.bench` — the experiment harness regenerating every table
+  and figure.
+"""
+
+from .analysis import (
+    FSMResult,
+    MGRResult,
+    MRCResult,
+    fsm,
+    greedy_independent_set,
+    group_statistics,
+    is_order_independent,
+    l_mgr,
+    l_mrc,
+)
+from .core import (
+    Classifier,
+    FieldSchema,
+    FieldSpec,
+    Interval,
+    Rule,
+    classbench_schema,
+    make_rule,
+    uniform_schema,
+)
+from .saxpac import (
+    ClassificationCache,
+    DynamicSaxPac,
+    EngineConfig,
+    SaxPacEngine,
+    profile_classifier,
+)
+from .tcam import (
+    BinaryRangeEncoder,
+    SrgeRangeEncoder,
+    Tcam,
+    build_tcam,
+    classifier_space,
+)
+from .workloads import (
+    add_random_range_fields,
+    benchmark_suite,
+    generate_classifier,
+    generate_trace,
+    parse_classbench,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BinaryRangeEncoder",
+    "ClassificationCache",
+    "Classifier",
+    "DynamicSaxPac",
+    "EngineConfig",
+    "FSMResult",
+    "FieldSchema",
+    "FieldSpec",
+    "Interval",
+    "MGRResult",
+    "MRCResult",
+    "Rule",
+    "SaxPacEngine",
+    "SrgeRangeEncoder",
+    "Tcam",
+    "add_random_range_fields",
+    "benchmark_suite",
+    "build_tcam",
+    "classbench_schema",
+    "classifier_space",
+    "fsm",
+    "generate_classifier",
+    "generate_trace",
+    "greedy_independent_set",
+    "group_statistics",
+    "is_order_independent",
+    "l_mgr",
+    "l_mrc",
+    "make_rule",
+    "parse_classbench",
+    "profile_classifier",
+    "uniform_schema",
+    "__version__",
+]

@@ -1,0 +1,153 @@
+"""Exact small-instance solvers for the grouping problems.
+
+The MGR/MRC family is NP-complete (Section 6.1), so production code uses
+the greedy heuristics of :mod:`repro.analysis.mgr`.  For *small* instances
+exact answers are computable by branch and bound, and the test suite uses
+them to certify greedy quality: the heuristic can never beat the optimum,
+and on the paper's Theorem 6 constructions it must meet it.
+
+:func:`exact_min_groups` solves l-MGR exactly (minimum number of groups,
+each order-independent on at most l fields) for classifiers up to ~15
+rules; :func:`exact_max_coverage` solves (β,l)-MRC exactly (maximum rules
+placed into at most β groups).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..core.classifier import Classifier
+
+__all__ = ["exact_min_groups", "exact_max_coverage"]
+
+_LIMIT = 16
+
+
+def _feasible_subsets(
+    classifier: Classifier, l: int
+) -> List[Tuple[int, ...]]:
+    size = min(l, classifier.num_fields)
+    return list(itertools.combinations(range(classifier.num_fields), size))
+
+
+def _compatible(
+    classifier: Classifier,
+    member_sets: Sequence[Set[Tuple[int, ...]]],
+    group_members: Sequence[List[int]],
+    group: int,
+    rule: int,
+) -> Optional[Set[Tuple[int, ...]]]:
+    """Surviving feasible subsets if ``rule`` joins ``group``."""
+    body = classifier.body
+    surviving = set()
+    for subset in member_sets[group]:
+        if all(
+            not body[rule].intersects_on(body[m], subset)
+            for m in group_members[group]
+        ):
+            surviving.add(subset)
+    return surviving or None
+
+
+def exact_min_groups(
+    classifier: Classifier, l: int, limit: int = _LIMIT
+) -> int:
+    """Minimum number of groups covering *all* body rules (exact l-MGR).
+
+    Branch and bound with first-new-group symmetry breaking; guarded by
+    ``limit`` on the rule count.
+    """
+    body = classifier.body
+    n = len(body)
+    if n > limit:
+        raise ValueError(f"exact solver limited to {limit} rules, got {n}")
+    if n == 0:
+        return 0
+    subsets = _feasible_subsets(classifier, l)
+    best = n  # one group per rule always works
+
+    def search(
+        index: int,
+        group_members: List[List[int]],
+        member_sets: List[Set[Tuple[int, ...]]],
+    ) -> None:
+        nonlocal best
+        if len(group_members) >= best:
+            return
+        if index == n:
+            best = min(best, len(group_members))
+            return
+        for g in range(len(group_members)):
+            surviving = _compatible(
+                classifier, member_sets, group_members, g, index
+            )
+            if surviving is None:
+                continue
+            saved = member_sets[g]
+            group_members[g].append(index)
+            member_sets[g] = surviving
+            search(index + 1, group_members, member_sets)
+            group_members[g].pop()
+            member_sets[g] = saved
+        # Open one new group (all further new groups are symmetric).
+        group_members.append([index])
+        member_sets.append(set(subsets))
+        search(index + 1, group_members, member_sets)
+        group_members.pop()
+        member_sets.pop()
+
+    search(0, [], [])
+    return best
+
+
+def exact_max_coverage(
+    classifier: Classifier, beta: int, l: int, limit: int = _LIMIT
+) -> int:
+    """Maximum rules placeable into at most ``beta`` groups (exact
+    (β,l)-MRC)."""
+    body = classifier.body
+    n = len(body)
+    if n > limit:
+        raise ValueError(f"exact solver limited to {limit} rules, got {n}")
+    if n == 0 or beta < 1:
+        return 0
+    subsets = _feasible_subsets(classifier, l)
+    best = 0
+
+    def search(
+        index: int,
+        placed: int,
+        group_members: List[List[int]],
+        member_sets: List[Set[Tuple[int, ...]]],
+    ) -> None:
+        nonlocal best
+        remaining = n - index
+        if placed + remaining <= best:
+            return  # cannot beat the incumbent
+        if index == n:
+            best = max(best, placed)
+            return
+        for g in range(len(group_members)):
+            surviving = _compatible(
+                classifier, member_sets, group_members, g, index
+            )
+            if surviving is None:
+                continue
+            saved = member_sets[g]
+            group_members[g].append(index)
+            member_sets[g] = surviving
+            search(index + 1, placed + 1, group_members, member_sets)
+            group_members[g].pop()
+            member_sets[g] = saved
+        if len(group_members) < beta:
+            group_members.append([index])
+            member_sets.append(set(subsets))
+            search(index + 1, placed + 1, group_members, member_sets)
+            group_members.pop()
+            member_sets.pop()
+        # Or leave the rule out (send it to D).
+        search(index + 1, placed, group_members, member_sets)
+
+    search(0, 0, [], [])
+    return best

@@ -1,0 +1,168 @@
+"""FSM — Fields Subset Minimization (Problem 1).
+
+Given an order-independent classifier K, find a maximal set of fields M to
+remove such that K^-M stays order-independent; among maximal sets prefer the
+one with the largest removed width, minimizing the lookup word width
+(Theorem 2 then guarantees a semantically equivalent representation with a
+single false-positive check).
+
+Two solvers:
+
+* :func:`fsm_exact` — the paper's FSMBinSearch (Algorithm 2, Theorem 4):
+  binary search on the number of removed fields, feasibility tested by
+  enumerating subsets; O(k * 2^(k-1) * N^2), practical for the 5-6 field
+  classifiers the paper targets.
+* :func:`fsm_greedy` — the SetCover reduction (Theorem 5, approximation
+  factor 2 ln N + 1): cover all rule pairs with separating fields; practical
+  for high field counts, e.g. the bit-resolution experiments of Section 4.4.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.classifier import Classifier
+from .order_independence import (
+    is_order_independent,
+    pair_separation_bitsets,
+)
+
+__all__ = ["FSMResult", "fsm_exact", "fsm_greedy", "fsm"]
+
+
+@dataclass(frozen=True)
+class FSMResult:
+    """Outcome of a fields-subset minimization."""
+
+    kept_fields: Tuple[int, ...]
+    removed_fields: Tuple[int, ...]
+    lookup_width: int
+    method: str
+
+    @property
+    def num_kept(self) -> int:
+        """Number of lookup fields after the reduction."""
+        return len(self.kept_fields)
+
+
+def _result(
+    classifier: Classifier, kept: Sequence[int], method: str
+) -> FSMResult:
+    kept_t = tuple(sorted(kept))
+    removed = tuple(
+        f for f in range(classifier.num_fields) if f not in set(kept_t)
+    )
+    return FSMResult(
+        kept_fields=kept_t,
+        removed_fields=removed,
+        lookup_width=classifier.schema.subset_width(kept_t),
+        method=method,
+    )
+
+
+def _removable(classifier: Classifier, removed: Sequence[int]) -> bool:
+    kept = [f for f in range(classifier.num_fields) if f not in set(removed)]
+    if not kept:
+        return False
+    return is_order_independent(classifier, kept)
+
+
+def fsm_exact(classifier: Classifier) -> FSMResult:
+    """FSMBinSearch: exact FSM by binary search on the removal size.
+
+    Feasibility is monotone — any subset of a removable set is removable —
+    so binary search on |M| is sound.  Among the removable sets of maximal
+    size, the one with the largest removed width is returned (the paper's
+    tie-break: minimize the lookup word width).
+
+    Raises ValueError if the classifier is not order-independent (FSM is
+    only defined for order-independent classifiers).
+    """
+    k = classifier.num_fields
+    if not is_order_independent(classifier):
+        raise ValueError("FSM requires an order-independent classifier")
+    widths = classifier.schema.widths
+
+    def feasible_sets(m: int) -> List[Tuple[int, ...]]:
+        return [
+            subset
+            for subset in itertools.combinations(range(k), m)
+            if _removable(classifier, subset)
+        ]
+
+    lo, hi = 0, k - 1
+    best_sets: List[Tuple[int, ...]] = [()]
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        found = feasible_sets(mid)
+        if found:
+            lo = mid
+            best_sets = found
+        else:
+            hi = mid - 1
+    if lo == 0:
+        return _result(classifier, range(k), "exact")
+    if not best_sets or len(best_sets[0]) != lo:
+        best_sets = feasible_sets(lo)
+    removed = max(best_sets, key=lambda s: sum(widths[f] for f in s))
+    kept = [f for f in range(k) if f not in set(removed)]
+    return _result(classifier, kept, "exact")
+
+
+def fsm_greedy(classifier: Classifier) -> FSMResult:
+    """Greedy FSM via the SetCover reduction of Theorem 5.
+
+    The universe is the set of rule pairs; field f covers the pairs it
+    separates.  Each greedy step picks the field covering the most uncovered
+    pairs, breaking ties toward narrower fields (to shrink the lookup word).
+
+    Raises ValueError if some rule pair is separated by no field (i.e. the
+    classifier is order-dependent).
+    """
+    universe, bitsets = pair_separation_bitsets(classifier)
+    num_pairs = universe.num_pairs
+    widths = classifier.schema.widths
+    if num_pairs == 0:
+        # 0 or 1 body rules: a single (narrowest) field suffices.
+        kept = [int(np.argmin(widths))]
+        return _result(classifier, kept, "greedy")
+    nbytes = (num_pairs + 7) // 8
+    pad = nbytes * 8 - num_pairs
+    mask = np.full(nbytes, 0xFF, dtype=np.uint8)
+    if pad:
+        mask[-1] = (0xFF << pad) & 0xFF
+    sets = [b & mask for b in bitsets]
+    covered = np.zeros(nbytes, dtype=np.uint8)
+    remaining = set(range(classifier.num_fields))
+    chosen: List[int] = []
+    covered_count = 0
+    while covered_count < num_pairs:
+        best, best_gain, best_width = -1, 0, 0
+        for f in remaining:
+            gain = int(np.unpackbits(sets[f] & ~covered).sum())
+            if gain > best_gain or (
+                gain == best_gain and gain > 0 and widths[f] < best_width
+            ):
+                best, best_gain, best_width = f, gain, widths[f]
+        if best < 0:
+            raise ValueError(
+                "FSM requires an order-independent classifier "
+                "(some rule pair is separated by no field)"
+            )
+        chosen.append(best)
+        covered |= sets[best]
+        covered_count = int(np.unpackbits(covered).sum())
+        remaining.discard(best)
+    return _result(classifier, chosen, "greedy")
+
+
+def fsm(classifier: Classifier, exact_field_limit: int = 10) -> FSMResult:
+    """Dispatching solver: exact for small field counts (the 2^k subset
+    enumeration is cheap), greedy beyond ``exact_field_limit`` fields."""
+    if classifier.num_fields <= exact_field_limit:
+        return fsm_exact(classifier)
+    return fsm_greedy(classifier)

@@ -1,0 +1,99 @@
+"""Theorem 6: classifier families certifying lower bounds on the number of
+groups in multi-group representations.
+
+These constructions are adversarial inputs: order-independent classifiers
+that *cannot* be split into few groups when each group may use only l
+fields.  They are used by the test suite to certify that the bounds hold
+against our grouping heuristics (any correct algorithm must open at least
+the stated number of groups) and by the ablation benchmarks as stress
+inputs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List
+
+from ..core.classifier import Classifier
+from ..core.fields import uniform_schema
+from ..core.intervals import Interval
+from ..core.rule import Rule
+
+__all__ = [
+    "pairs_classifier",
+    "quadruples_classifier",
+    "hypercube_classifier",
+    "min_groups_single_field",
+    "min_groups_two_fields",
+    "min_groups_hypercube",
+]
+
+
+def _width_for(n: int) -> int:
+    """Bits needed to store values up to n inclusive."""
+    return max(1, (n + 1).bit_length())
+
+
+def pairs_classifier(n: int) -> Classifier:
+    """Theorem 6(1): n(n-1) rules on two fields spanning all pairs
+    ([i,i],[j,j]) with i != j.
+
+    Order-independent (distinct pairs differ somewhere), but any group
+    that is order-independent on a single field holds at most n rules, so
+    at least n-1 single-field groups are required.
+    """
+    if n < 2:
+        raise ValueError("n must be at least 2")
+    schema = uniform_schema(2, _width_for(n))
+    rules: List[Rule] = [
+        Rule((Interval(i, i), Interval(j, j)))
+        for i, j in itertools.permutations(range(1, n + 1), 2)
+    ]
+    return Classifier(schema, rules)
+
+
+def quadruples_classifier(n: int) -> Classifier:
+    """Theorem 6(2): n(n-1)(n-2)(n-3) rules on four fields spanning all
+    quadruples of distinct exact values; any group order-independent on two
+    fields holds at most n(n-1) rules, forcing >= (n-2)(n-3) groups."""
+    if n < 4:
+        raise ValueError("n must be at least 4")
+    schema = uniform_schema(4, _width_for(n))
+    rules = [
+        Rule(tuple(Interval(v, v) for v in combo))
+        for combo in itertools.permutations(range(1, n + 1), 4)
+    ]
+    return Classifier(schema, rules)
+
+
+def hypercube_classifier(k: int) -> Classifier:
+    """Theorem 6(3): 2^k rules on k fields; each field is [1,1] or [2,2].
+
+    Any group order-independent on l fields holds at most 2^l rules, so at
+    least 2^(k-l) groups are required.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    schema = uniform_schema(k, 2)
+    rules = [
+        Rule(tuple(Interval(v, v) for v in combo))
+        for combo in itertools.product((1, 2), repeat=k)
+    ]
+    return Classifier(schema, rules)
+
+
+def min_groups_single_field(n: int) -> int:
+    """Lower bound on single-field groups for :func:`pairs_classifier`."""
+    return n - 1
+
+
+def min_groups_two_fields(n: int) -> int:
+    """Lower bound on two-field groups for :func:`quadruples_classifier`."""
+    return (n - 2) * (n - 3)
+
+
+def min_groups_hypercube(k: int, l: int) -> int:
+    """Lower bound on l-field groups for :func:`hypercube_classifier`."""
+    if l >= k:
+        return 1
+    return 1 << (k - l)

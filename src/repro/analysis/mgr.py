@@ -1,0 +1,295 @@
+"""MGR and (β,l)-MRC — multi-group representations (Problems 2, 4, 5).
+
+A multi-group representation assigns rules to groups such that each group is
+order-independent on its own subset of at most ``l`` fields (Theorem 3 makes
+it semantically equivalent: one lookup per group, one false-positive check
+per group, priority merge).  With ``l <= 2`` every group admits a linear
+memory / logarithmic-time software lookup.
+
+The heuristic follows Section 6.2.2: scan rules (priority order by default),
+place each rule into the first group that can still keep a feasible field
+subset after the addition, opening a new group when none accepts — capped at
+β groups for (β,l)-MRC, in which case the overflow goes to the
+order-dependent part D.
+
+Problem 5 ((β,l)-MRCC) post-processes the split so that a match in I
+preempts the D lookup: no rule of I may intersect a *higher-priority* rule
+of D.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core.classifier import Classifier
+
+__all__ = [
+    "Group",
+    "MGRResult",
+    "l_mgr",
+    "beta_l_mrc",
+    "enforce_cache_property",
+    "group_statistics",
+    "GroupStatistics",
+]
+
+
+@dataclass
+class _OpenGroup:
+    """Mutable group state during the greedy scan."""
+
+    members: List[int]
+    feasible: Set[Tuple[int, ...]]
+    lo: List[np.ndarray]
+    hi: List[np.ndarray]
+
+
+@dataclass(frozen=True)
+class Group:
+    """A finished group: rule indices plus the field subset on which they
+    are order-independent."""
+
+    rule_indices: Tuple[int, ...]
+    fields: Tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of rules in the group."""
+        return len(self.rule_indices)
+
+
+@dataclass(frozen=True)
+class MGRResult:
+    """A multi-group assignment.  ``ungrouped`` is the spill-over to the
+    order-dependent part D (non-empty only when β capped the group count)."""
+
+    groups: Tuple[Group, ...]
+    ungrouped: Tuple[int, ...]
+    l: int
+
+    @property
+    def num_groups(self) -> int:
+        """Number of groups in the assignment."""
+        return len(self.groups)
+
+    @property
+    def covered(self) -> int:
+        """Total rules across all groups."""
+        return sum(g.size for g in self.groups)
+
+    def grouped_indices(self) -> Tuple[int, ...]:
+        """Sorted body-rule indices placed in some group."""
+        out: List[int] = []
+        for g in self.groups:
+            out.extend(g.rule_indices)
+        return tuple(sorted(out))
+
+
+def _candidate_subsets(num_fields: int, l: int) -> List[Tuple[int, ...]]:
+    size = min(l, num_fields)
+    return list(itertools.combinations(range(num_fields), size))
+
+
+def _disjoint_bits(
+    group: _OpenGroup, lo: np.ndarray, hi: np.ndarray
+) -> np.ndarray:
+    """(members, k) booleans: member m is disjoint from the candidate in
+    field f."""
+    glo = np.asarray(group.lo)
+    ghi = np.asarray(group.hi)
+    return (ghi < lo[None, :]) | (hi[None, :] < glo)
+
+
+def _try_place(
+    group: _OpenGroup, lo: np.ndarray, hi: np.ndarray
+) -> Optional[Set[Tuple[int, ...]]]:
+    """Return the surviving feasible subsets if the candidate joins
+    ``group``, or None if no subset survives."""
+    disjoint = _disjoint_bits(group, lo, hi)
+    surviving = {
+        subset
+        for subset in group.feasible
+        if bool(disjoint[:, list(subset)].any(axis=1).all())
+    }
+    return surviving or None
+
+
+def l_mgr(
+    classifier: Classifier,
+    l: int,
+    beta: Optional[int] = None,
+    order: Optional[Sequence[int]] = None,
+    rule_subset: Optional[Sequence[int]] = None,
+) -> MGRResult:
+    """Greedy multi-group assignment (Problem 2; Problem 4 when ``beta`` is
+    given).
+
+    Parameters
+    ----------
+    l:
+        Maximum number of lookup fields per group.
+    beta:
+        Maximum number of groups; rules that fit no group once the cap is
+        hit land in ``ungrouped`` (the D part).  ``None`` means unlimited
+        (pure l-MGR: cover *all* rules).
+    order:
+        Scan order over body-rule indices; defaults to priority order.
+    rule_subset:
+        Restrict the scan to these body-rule indices (e.g. a k-MRC result,
+        as in the right half of Table 3).
+    """
+    if l < 1:
+        raise ValueError("l must be at least 1")
+    if beta is not None and beta < 1:
+        raise ValueError("beta must be at least 1")
+    lows, highs = classifier.bounds_arrays()
+    n = lows.shape[0]
+    if rule_subset is not None:
+        scan_source: Sequence[int] = list(rule_subset)
+    else:
+        scan_source = range(n)
+    scan = list(order) if order is not None else list(scan_source)
+    subsets = _candidate_subsets(classifier.num_fields, l)
+    open_groups: List[_OpenGroup] = []
+    ungrouped: List[int] = []
+    for idx in scan:
+        lo = lows[idx]
+        hi = highs[idx]
+        placed = False
+        for group in open_groups:
+            surviving = _try_place(group, lo, hi)
+            if surviving is not None:
+                group.feasible = surviving
+                group.members.append(idx)
+                group.lo.append(lo)
+                group.hi.append(hi)
+                placed = True
+                break
+        if placed:
+            continue
+        if beta is None or len(open_groups) < beta:
+            open_groups.append(
+                _OpenGroup(
+                    members=[idx],
+                    feasible=set(subsets),
+                    lo=[lo],
+                    hi=[hi],
+                )
+            )
+        else:
+            ungrouped.append(idx)
+    widths = classifier.schema.widths
+    finished = tuple(
+        Group(
+            rule_indices=tuple(g.members),
+            fields=min(
+                g.feasible, key=lambda s: (sum(widths[f] for f in s), s)
+            ),
+        )
+        for g in open_groups
+    )
+    return MGRResult(groups=finished, ungrouped=tuple(ungrouped), l=l)
+
+
+def beta_l_mrc(
+    classifier: Classifier,
+    beta: int,
+    l: int,
+    order: Optional[Sequence[int]] = None,
+) -> MGRResult:
+    """(β,l)-MRC (Problem 4): maximize rules assigned to at most β groups,
+    each order-independent on at most l fields.  Greedy, per Section
+    6.2.2."""
+    return l_mgr(classifier, l=l, beta=beta, order=order)
+
+
+def enforce_cache_property(
+    classifier: Classifier, result: MGRResult
+) -> MGRResult:
+    """(β,l)-MRCC (Problem 5): demote rules of I that intersect a
+    higher-priority rule of D, so that an I match makes the D lookup
+    unnecessary (Section 4.3).
+
+    Demotion is processed in priority order; each demoted rule joins D and
+    can trigger further demotions of lower-priority I rules.
+    """
+    lows, highs = classifier.bounds_arrays()
+    d_indices: List[int] = sorted(result.ungrouped)
+    d_lo = [lows[i] for i in d_indices]
+    d_hi = [highs[i] for i in d_indices]
+    d_prio = list(d_indices)
+    demoted: Set[int] = set()
+    for idx in sorted(result.grouped_indices()):
+        if not d_prio:
+            keep = True
+        else:
+            dlo = np.asarray(d_lo)
+            dhi = np.asarray(d_hi)
+            prio = np.asarray(d_prio)
+            higher = prio < idx  # lower index = higher priority
+            if higher.any():
+                intersect = (
+                    (dlo[higher] <= highs[idx][None, :])
+                    & (lows[idx][None, :] <= dhi[higher])
+                ).all(axis=1)
+                keep = not bool(intersect.any())
+            else:
+                keep = True
+        if not keep:
+            demoted.add(idx)
+            d_lo.append(lows[idx])
+            d_hi.append(highs[idx])
+            d_prio.append(idx)
+    if not demoted:
+        return result
+    new_groups = []
+    for g in result.groups:
+        kept = tuple(i for i in g.rule_indices if i not in demoted)
+        if kept:
+            new_groups.append(Group(kept, g.fields))
+    new_ungrouped = tuple(sorted(set(result.ungrouped) | demoted))
+    return MGRResult(tuple(new_groups), new_ungrouped, result.l)
+
+
+@dataclass(frozen=True)
+class GroupStatistics:
+    """The Table 3 statistics for one MGR run."""
+
+    num_groups: int
+    covered_rules: int
+    groups_for_95: int
+    groups_for_99: int
+    groups_le_2: int
+    groups_le_5: int
+
+
+def group_statistics(result: MGRResult) -> GroupStatistics:
+    """Compute the Table 3 columns: total groups, groups needed to cover
+    95% / 99% of the grouped rules (largest groups first), and the counts
+    of small groups (size <= 2 and <= 5)."""
+    sizes = sorted((g.size for g in result.groups), reverse=True)
+    total = sum(sizes)
+
+    def groups_for(fraction: float) -> int:
+        if total == 0:
+            return 0
+        need = fraction * total
+        acc = 0
+        for count, size in enumerate(sizes, start=1):
+            acc += size
+            if acc >= need:
+                return count
+        return len(sizes)
+
+    return GroupStatistics(
+        num_groups=len(sizes),
+        covered_rules=total,
+        groups_for_95=groups_for(0.95),
+        groups_for_99=groups_for(0.99),
+        groups_le_2=sum(1 for s in sizes if s <= 2),
+        groups_le_5=sum(1 for s in sizes if s <= 5),
+    )

@@ -1,0 +1,191 @@
+"""MRC — Maximum Rules Coverage (Problems 3 and 4, Section 6.2.2).
+
+Find a large subset of rules that is order-independent on (a subset of) the
+fields.  Exact solutions are maximum-independent-set instances and thus
+intractable in general; the paper (and this module) uses:
+
+* a **greedy maximal independent set** in priority order — scan rules from
+  highest priority, accept a rule iff it is disjoint from every rule already
+  accepted (on the chosen fields).  This is the paper's workhorse for
+  "maximal order-independent subset on all k fields" (Table 1, Table 3);
+* the **EDF exact algorithm** for the single-field case (Section 4.4):
+  finding a maximum set of pairwise-disjoint intervals is interval
+  scheduling, solved optimally by earliest-deadline-first in O(N log N);
+* **l-MRC** via the l-MSC field-selection heuristic (Problem 7): greedily
+  pick the l fields separating the most rule pairs, then run the greedy
+  independent set on those fields;
+* a **brute-force exact solver** for tiny instances, used by tests to
+  certify greedy quality.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.classifier import Classifier
+from .order_independence import pair_separation_bitsets
+from .setcover import greedy_max_coverage_bits
+
+__all__ = [
+    "MRCResult",
+    "greedy_independent_set",
+    "edf_single_field",
+    "l_mrc",
+    "exact_independent_set_small",
+]
+
+
+@dataclass(frozen=True)
+class MRCResult:
+    """An order-independent subset of body-rule indices, and the fields on
+    which independence holds."""
+
+    rule_indices: Tuple[int, ...]
+    fields: Tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of selected rules."""
+        return len(self.rule_indices)
+
+    def complement(self, num_body_rules: int) -> Tuple[int, ...]:
+        """Indices of the body rules left out (the order-dependent part D)."""
+        taken = set(self.rule_indices)
+        return tuple(i for i in range(num_body_rules) if i not in taken)
+
+
+def _fields_or_all(classifier: Classifier, fields: Optional[Sequence[int]]) -> List[int]:
+    if fields is None:
+        return list(range(classifier.num_fields))
+    out = sorted(set(fields))
+    if not out:
+        raise ValueError("field subset must be non-empty")
+    return out
+
+
+def greedy_independent_set(
+    classifier: Classifier,
+    fields: Optional[Sequence[int]] = None,
+    order: Optional[Sequence[int]] = None,
+) -> MRCResult:
+    """Greedy maximal order-independent subset on ``fields``.
+
+    Rules are scanned in ``order`` (default: priority order, matching the
+    paper's construction, which keeps the highest-priority rules in I so
+    that an I-match can preempt D).  A rule is accepted iff it does not
+    intersect any previously accepted rule on every chosen field.
+    """
+    chosen_fields = _fields_or_all(classifier, fields)
+    lows, highs = classifier.bounds_arrays()
+    n = lows.shape[0]
+    scan = list(order) if order is not None else list(range(n))
+    lo_sel = lows[:, chosen_fields]
+    hi_sel = highs[:, chosen_fields]
+    acc_lo = np.empty((n, len(chosen_fields)), dtype=np.int64)
+    acc_hi = np.empty((n, len(chosen_fields)), dtype=np.int64)
+    count = 0
+    accepted: List[int] = []
+    for idx in scan:
+        lo = lo_sel[idx]
+        hi = hi_sel[idx]
+        if count:
+            conflict = np.ones(count, dtype=bool)
+            for f in range(len(chosen_fields)):
+                np.logical_and(
+                    conflict,
+                    (acc_lo[:count, f] <= hi[f]) & (lo[f] <= acc_hi[:count, f]),
+                    out=conflict,
+                )
+                if not conflict.any():
+                    break
+            if conflict.any():
+                continue
+        acc_lo[count] = lo
+        acc_hi[count] = hi
+        count += 1
+        accepted.append(idx)
+    return MRCResult(tuple(sorted(accepted)), tuple(chosen_fields))
+
+
+def edf_single_field(classifier: Classifier, field: int) -> MRCResult:
+    """Exact 1-MRC: maximum set of rules with pairwise-disjoint intervals in
+    one field, by earliest-deadline-first interval scheduling.
+
+    Optimal for cardinality (unlike the greedy priority scan).  Note the
+    selected set maximizes *size*, not priority coverage.
+    """
+    lows, highs = classifier.bounds_arrays()
+    order = np.argsort(highs[:, field], kind="stable")
+    chosen: List[int] = []
+    frontier = -1
+    for idx in order:
+        lo = int(lows[idx, field])
+        hi = int(highs[idx, field])
+        if lo > frontier:
+            chosen.append(int(idx))
+            frontier = hi
+    return MRCResult(tuple(sorted(chosen)), (field,))
+
+
+def l_mrc(
+    classifier: Classifier,
+    l: int,
+    order: Optional[Sequence[int]] = None,
+) -> MRCResult:
+    """Heuristic l-MRC (Problem 3): choose at most ``l`` fields by greedy
+    maximum pair coverage (Problem 7), then extract a greedy independent set
+    on those fields.
+
+    As the paper notes (Section 6.2.2), covering the most pairs does not
+    always maximize the independent set — this is a heuristic, evaluated in
+    Table 3.
+    """
+    if l < 1:
+        raise ValueError("l must be at least 1")
+    if l >= classifier.num_fields:
+        return greedy_independent_set(classifier, order=order)
+    universe, bitsets = pair_separation_bitsets(classifier)
+    chosen_fields, _ = greedy_max_coverage_bits(
+        universe.num_pairs, bitsets, budget=l
+    )
+    if not chosen_fields:
+        chosen_fields = [0]
+    return greedy_independent_set(classifier, chosen_fields, order=order)
+
+
+def exact_independent_set_small(
+    classifier: Classifier,
+    fields: Optional[Sequence[int]] = None,
+    limit: int = 22,
+) -> MRCResult:
+    """Exact maximum order-independent subset by subset enumeration.
+
+    Exponential in N — guarded by ``limit``; exists to certify greedy
+    results in tests.
+    """
+    chosen_fields = _fields_or_all(classifier, fields)
+    body = classifier.body
+    n = len(body)
+    if n > limit:
+        raise ValueError(f"exact solver limited to {limit} rules, got {n}")
+    best: Tuple[int, ...] = ()
+    for size in range(n, len(best), -1):
+        for combo in itertools.combinations(range(n), size):
+            ok = True
+            for a in range(len(combo) - 1):
+                for b in range(a + 1, len(combo)):
+                    if body[combo[a]].intersects_on(body[combo[b]], chosen_fields):
+                        ok = False
+                        break
+                if not ok:
+                    break
+            if ok:
+                best = combo
+                break
+        if best and len(best) == size:
+            break
+    return MRCResult(best, tuple(chosen_fields))

@@ -1,0 +1,265 @@
+"""Order-independence checks (paper, Sections 2-3 and Algorithm 1).
+
+A classifier is order-independent iff every pair of its body rules is
+disjoint in at least one field.  The naive check is Algorithm 1 in the paper
+— O(N^2 * k) pairwise interval comparisons.  This module provides both that
+reference implementation and numpy-vectorized versions that make the
+analysis of multi-thousand-rule classifiers practical in pure Python.
+
+Conventions: all functions operate on the classifier *body* (the catch-all
+is excluded by definition of the model); ``subset`` arguments are iterables
+of field indices and default to all fields.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.classifier import Classifier
+from ..core.rule import Rule
+
+__all__ = [
+    "is_order_independent",
+    "is_order_independent_pairwise",
+    "rules_order_independent",
+    "find_dependent_pair",
+    "conflict_matrix",
+    "separating_fields_matrix",
+    "pair_separation_bitsets",
+    "PairUniverse",
+]
+
+#: Row-block size for chunked N x N matrix computations.  256 rows over a
+#: 50k-rule classifier keeps each block under ~13 MB of booleans.
+_BLOCK = 256
+
+
+def _resolve_subset(classifier: Classifier, subset: Optional[Sequence[int]]) -> List[int]:
+    if subset is None:
+        return list(range(classifier.num_fields))
+    fields = sorted(set(subset))
+    if not fields:
+        raise ValueError("field subset must be non-empty")
+    if fields[0] < 0 or fields[-1] >= classifier.num_fields:
+        raise ValueError(
+            f"field subset {fields} outside [0, {classifier.num_fields})"
+        )
+    return fields
+
+
+# ---------------------------------------------------------------------------
+# Reference (Algorithm 1) implementation
+# ---------------------------------------------------------------------------
+
+def is_order_independent_pairwise(
+    classifier: Classifier, subset: Optional[Sequence[int]] = None
+) -> bool:
+    """Algorithm 1 verbatim: O(N^2 k) pairwise loop.
+
+    Kept as the obviously-correct reference; tests cross-check the
+    vectorized path against it.
+    """
+    fields = _resolve_subset(classifier, subset)
+    body = classifier.body
+    for i in range(len(body) - 1):
+        for j in range(i + 1, len(body)):
+            if body[i].intersects_on(body[j], fields):
+                return False
+    return True
+
+
+def rules_order_independent(
+    rules: Sequence[Rule], subset: Optional[Sequence[int]] = None
+) -> bool:
+    """Pairwise check over a bare rule list (no catch-all handling)."""
+    if not rules:
+        return True
+    fields = list(subset) if subset is not None else list(range(rules[0].num_fields))
+    for i in range(len(rules) - 1):
+        for j in range(i + 1, len(rules)):
+            if rules[i].intersects_on(rules[j], fields):
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Vectorized implementation
+# ---------------------------------------------------------------------------
+
+def _conflict_block(
+    lows: np.ndarray,
+    highs: np.ndarray,
+    row_start: int,
+    row_end: int,
+    fields: Sequence[int],
+) -> np.ndarray:
+    """Boolean matrix ``C[a, j]`` for rows ``row_start..row_end``: True if
+    rule ``row_start + a`` intersects rule ``j`` on every field in
+    ``fields``."""
+    conflict: Optional[np.ndarray] = None
+    for f in fields:
+        lo_r = lows[row_start:row_end, f, None]
+        hi_r = highs[row_start:row_end, f, None]
+        lo_c = lows[None, :, f]
+        hi_c = highs[None, :, f]
+        overlap = (lo_r <= hi_c) & (lo_c <= hi_r)
+        conflict = overlap if conflict is None else (conflict & overlap)
+        if conflict is not None and not conflict.any():
+            break
+    assert conflict is not None
+    return conflict
+
+
+def is_order_independent(
+    classifier: Classifier, subset: Optional[Sequence[int]] = None
+) -> bool:
+    """Vectorized order-independence check on a field subset.
+
+    Equivalent to Algorithm 1 but runs in row blocks of numpy comparisons,
+    with early exit on the first intersecting pair.
+    """
+    fields = _resolve_subset(classifier, subset)
+    lows, highs = classifier.bounds_arrays()
+    n = lows.shape[0]
+    for start in range(0, n, _BLOCK):
+        end = min(start + _BLOCK, n)
+        conflict = _conflict_block(lows, highs, start, end, fields)
+        # Only pairs i < j count; mask out the diagonal and lower triangle.
+        for a in range(end - start):
+            if conflict[a, start + a + 1 :].any():
+                return False
+    return True
+
+
+def find_dependent_pair(
+    classifier: Classifier, subset: Optional[Sequence[int]] = None
+) -> Optional[Tuple[int, int]]:
+    """Return the first (lowest-index) intersecting body-rule pair
+    ``(i, j)``, i < j, or None if the classifier is order-independent on
+    ``subset``."""
+    fields = _resolve_subset(classifier, subset)
+    lows, highs = classifier.bounds_arrays()
+    n = lows.shape[0]
+    for start in range(0, n, _BLOCK):
+        end = min(start + _BLOCK, n)
+        conflict = _conflict_block(lows, highs, start, end, fields)
+        for a in range(end - start):
+            i = start + a
+            row = conflict[a, i + 1 :]
+            if row.any():
+                j = i + 1 + int(np.argmax(row))
+                return i, j
+    return None
+
+
+def conflict_matrix(
+    classifier: Classifier, subset: Optional[Sequence[int]] = None
+) -> np.ndarray:
+    """Full ``(N, N)`` boolean intersection matrix on a field subset, with a
+    False diagonal.  Quadratic memory — intended for classifiers up to a few
+    thousand rules (tests, small experiments)."""
+    fields = _resolve_subset(classifier, subset)
+    lows, highs = classifier.bounds_arrays()
+    n = lows.shape[0]
+    out = np.zeros((n, n), dtype=bool)
+    for start in range(0, n, _BLOCK):
+        end = min(start + _BLOCK, n)
+        out[start:end] = _conflict_block(lows, highs, start, end, fields)
+    np.fill_diagonal(out, False)
+    return out
+
+
+def separating_fields_matrix(classifier: Classifier) -> np.ndarray:
+    """``(N, N)`` uint64 matrix of field bitmasks: bit ``f`` of entry
+    ``(i, j)`` is set iff field ``f`` separates rules i and j.
+
+    Supports up to 64 fields, which covers every realistic schema and the
+    bit-resolution experiments up to 64 virtual fields.
+    """
+    if classifier.num_fields > 64:
+        raise ValueError("separating_fields_matrix supports at most 64 fields")
+    lows, highs = classifier.bounds_arrays()
+    n = lows.shape[0]
+    out = np.zeros((n, n), dtype=np.uint64)
+    for f in range(classifier.num_fields):
+        lo = lows[:, f]
+        hi = highs[:, f]
+        disjoint = (hi[:, None] < lo[None, :]) | (hi[None, :] < lo[:, None])
+        out |= disjoint.astype(np.uint64) << np.uint64(f)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Pair universe for the SetCover reduction (Theorem 5)
+# ---------------------------------------------------------------------------
+
+class PairUniverse:
+    """The universe U = {(i, j) | i < j} of body-rule pairs, flattened.
+
+    Used by the FSM greedy (Theorem 5): each field covers the set of pairs
+    it separates.  Pairs are indexed ``idx(i, j) = i*N - i*(i+1)/2 + (j-i-1)``
+    over the upper triangle.
+    """
+
+    def __init__(self, num_rules: int) -> None:
+        self.num_rules = num_rules
+        self.num_pairs = num_rules * (num_rules - 1) // 2
+
+    def index(self, i: int, j: int) -> int:
+        """Flattened upper-triangle index of the pair (i, j), i < j."""
+        if not 0 <= i < j < self.num_rules:
+            raise ValueError(f"not an upper-triangle pair: ({i}, {j})")
+        return i * self.num_rules - i * (i + 1) // 2 + (j - i - 1)
+
+    def pair(self, index: int) -> Tuple[int, int]:
+        """Inverse of :meth:`index` (linear scan over i; fine for debug)."""
+        if not 0 <= index < self.num_pairs:
+            raise ValueError(f"pair index {index} out of range")
+        i = 0
+        offset = index
+        row = self.num_rules - 1
+        while offset >= row:
+            offset -= row
+            row -= 1
+            i += 1
+        return i, i + 1 + offset
+
+
+def pair_separation_bitsets(classifier: Classifier) -> Tuple[PairUniverse, List[np.ndarray]]:
+    """For each field f, the packed bitset (np.uint8 array) of rule pairs
+    that f separates — the sets S_l of Theorem 5.
+
+    Memory: N*(N-1)/16 bytes per field (~78 MB total for 50k rules and 6
+    fields is too much; intended for N up to ~20k).
+    """
+    lows, highs = classifier.bounds_arrays()
+    n = lows.shape[0]
+    universe = PairUniverse(n)
+    bitsets: List[np.ndarray] = []
+    for f in range(classifier.num_fields):
+        lo = lows[:, f]
+        hi = highs[:, f]
+        rows: List[np.ndarray] = []
+        for i in range(n - 1):
+            # disjoint(i, j) for j > i
+            rows.append((hi[i] < lo[i + 1 :]) | (hi[i + 1 :] < lo[i]))
+        flat = (
+            np.concatenate(rows)
+            if rows
+            else np.zeros(0, dtype=bool)
+        )
+        assert flat.shape[0] == universe.num_pairs
+        bitsets.append(np.packbits(flat))
+    return universe, bitsets
+
+
+def popcount(packed: np.ndarray) -> int:
+    """Number of set bits in a packed uint8 bitset."""
+    return int(np.unpackbits(packed).sum())
+
+
+def coverage_gain(candidate: np.ndarray, covered: np.ndarray) -> int:
+    """How many new bits ``candidate`` adds on top of ``covered``."""
+    return int(np.unpackbits(candidate & ~covered).sum())

@@ -1,0 +1,144 @@
+"""Redundancy removal — semantics-preserving rule elimination.
+
+Classifiers accumulate rules that can never fire; removing them before any
+optimization shrinks every downstream representation for free (the paper's
+related work cites all-match redundancy removal [20]).  We implement the
+two classical, exactly-checkable cases:
+
+* **upward redundancy (shadowing)** — a rule completely covered by the
+  union of higher-priority rules never matches anything.  We check the
+  (very common) single-cover special case exactly — some one higher-
+  priority rule covers it — plus a union-cover check along each field when
+  the other fields are equal;
+* **downward redundancy** — a rule whose matches would anyway fall through
+  to a lower-priority rule *with the same action*, with no different-action
+  rule in between that overlaps it, can be deleted.
+
+Both checks are conservative (they only delete provably-dead rules), so the
+cleaned classifier is semantically equivalent — asserted by tests against
+the linear scan.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from ..core.classifier import Classifier
+from ..core.intervals import Interval, merge_intervals
+from ..core.rule import Rule
+
+__all__ = [
+    "shadowed_rules",
+    "downward_redundant_rules",
+    "remove_redundant",
+]
+
+
+def _covers(covering: Rule, covered: Rule) -> bool:
+    """True if ``covering`` matches a superset of ``covered``'s headers."""
+    return all(
+        a.covers(b)
+        for a, b in zip(covering.intervals, covered.intervals)
+    )
+
+
+def _union_covers_on_field(
+    rule: Rule, earlier: Sequence[Rule], field: int
+) -> bool:
+    """True if rules identical to ``rule`` outside ``field`` jointly cover
+    its interval in ``field`` — the 'sliced union' cover case."""
+    slices: List[Interval] = []
+    for other in earlier:
+        if all(
+            other.intervals[f].covers(rule.intervals[f])
+            for f in range(rule.num_fields)
+            if f != field
+        ):
+            slices.append(other.intervals[field])
+    if not slices:
+        return False
+    target = rule.intervals[field]
+    for merged in merge_intervals(slices):
+        if merged.covers(target):
+            return True
+    return False
+
+
+def shadowed_rules(classifier: Classifier) -> Tuple[int, ...]:
+    """Body-rule indices provably shadowed by higher-priority rules."""
+    body = classifier.body
+    dead: List[int] = []
+    for j in range(1, len(body)):
+        rule = body[j]
+        earlier = [body[i] for i in range(j) if i not in set(dead)]
+        if any(_covers(other, rule) for other in earlier):
+            dead.append(j)
+            continue
+        if any(
+            _union_covers_on_field(rule, earlier, f)
+            for f in range(rule.num_fields)
+        ):
+            dead.append(j)
+    return tuple(dead)
+
+
+def downward_redundant_rules(classifier: Classifier) -> Tuple[int, ...]:
+    """Body rules whose removal provably changes nothing: everything they
+    match would fall through to a *same-action* rule, with no overlapping
+    different-action rule in between."""
+    rules = classifier.rules  # body + catch-all
+    dead: List[int] = []
+    removed: Set[int] = set()
+    # Scan bottom-up so chains of redundant rules collapse fully.
+    for j in range(len(rules) - 2, -1, -1):
+        rule = rules[j]
+        redundant = False
+        for k in range(j + 1, len(rules)):
+            if k in removed:
+                continue
+            later = rules[k]
+            if not rule.intersects(later):
+                continue
+            if _covers(later, rule):
+                redundant = later.action == rule.action
+            break  # first overlapping live rule below decides
+        if redundant:
+            dead.append(j)
+            removed.add(j)
+    return tuple(sorted(dead))
+
+
+def remove_redundant(classifier: Classifier) -> Tuple[Classifier, Tuple[int, ...]]:
+    """Strip both redundancy kinds; returns (cleaned classifier, removed
+    body indices).  Iterates to a fixpoint — removing one rule can expose
+    another."""
+    removed_total: List[int] = []
+    current = classifier
+    index_map = list(range(len(classifier.body)))
+
+    def apply(dead: Set[int]) -> None:
+        nonlocal current, index_map
+        removed_total.extend(index_map[i] for i in sorted(dead))
+        keep = [i for i in range(len(current.body)) if i not in dead]
+        index_map = [index_map[i] for i in keep]
+        current = current.subset(keep)
+
+    while True:
+        # The two eliminations must be applied *sequentially*: a shadowed
+        # rule may be the very fall-through that justifies a downward
+        # removal (and vice versa), so removing one batch invalidates the
+        # other's justification — removing both at once can delete a whole
+        # covering chain.
+        shadowed = set(shadowed_rules(current))
+        if shadowed:
+            apply(shadowed)
+        downward = {
+            i
+            for i in downward_redundant_rules(current)
+            if i < len(current.body)
+        }
+        if downward:
+            apply(downward)
+        if not shadowed and not downward:
+            break
+    return current, tuple(sorted(removed_total))

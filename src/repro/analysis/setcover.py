@@ -1,0 +1,151 @@
+"""Greedy set cover and maximum coverage (Algorithm 3, Problem 7).
+
+Two interchangeable backends:
+
+* a plain-Python backend over ``frozenset`` collections — readable, used for
+  small instances and tests;
+* a numpy backend over packed uint8 bitsets — used by FSM / l-MSC on rule
+  pair universes, where the universe has N*(N-1)/2 elements.
+
+The greedy algorithm achieves the classical ln(|U|)+1 approximation for set
+cover (Theorem 5 uses this to bound FSM) and 1 - 1/e for maximum coverage
+(Problem 7, used as the l-MRC field-selection heuristic).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+__all__ = [
+    "greedy_set_cover",
+    "greedy_max_coverage",
+    "greedy_set_cover_bits",
+    "greedy_max_coverage_bits",
+]
+
+
+def greedy_set_cover(
+    universe: Set[int], sets: Sequence[Set[int]]
+) -> Optional[List[int]]:
+    """Algorithm 3 (GreedySetCover): repeatedly pick the set covering the
+    most uncovered elements.
+
+    Returns indices into ``sets``, or None if the universe is not coverable
+    by the union of all sets.
+    """
+    uncovered = set(universe)
+    remaining = set(range(len(sets)))
+    chosen: List[int] = []
+    while uncovered:
+        best, best_gain = -1, 0
+        for i in remaining:
+            gain = len(sets[i] & uncovered)
+            if gain > best_gain:
+                best, best_gain = i, gain
+        if best < 0:
+            return None
+        chosen.append(best)
+        uncovered -= sets[best]
+        remaining.discard(best)
+    return chosen
+
+
+def greedy_max_coverage(
+    universe: Set[int], sets: Sequence[Set[int]], budget: int
+) -> Tuple[List[int], Set[int]]:
+    """Problem 7 (l-MSC): pick at most ``budget`` sets greedily, maximizing
+    coverage.  Returns (chosen indices, covered elements)."""
+    uncovered = set(universe)
+    remaining = set(range(len(sets)))
+    chosen: List[int] = []
+    covered: Set[int] = set()
+    while uncovered and remaining and len(chosen) < budget:
+        best, best_gain = -1, 0
+        for i in remaining:
+            gain = len(sets[i] & uncovered)
+            if gain > best_gain:
+                best, best_gain = i, gain
+        if best < 0:
+            break  # nothing adds coverage
+        chosen.append(best)
+        covered |= sets[best] & universe
+        uncovered -= sets[best]
+        remaining.discard(best)
+    return chosen, covered
+
+
+# ---------------------------------------------------------------------------
+# Packed-bitset backend
+# ---------------------------------------------------------------------------
+
+def _gain(candidate: np.ndarray, covered: np.ndarray) -> int:
+    return int(np.unpackbits(candidate & ~covered).sum())
+
+
+def greedy_set_cover_bits(
+    num_elements: int, bitsets: Sequence[np.ndarray]
+) -> Optional[List[int]]:
+    """Greedy set cover where each set is a packed uint8 bitset over a
+    universe of ``num_elements`` bits.
+
+    Returns chosen set indices, or None if the universe is uncoverable.
+    """
+    if num_elements == 0:
+        return []
+    nbytes = (num_elements + 7) // 8
+    covered = np.zeros(nbytes, dtype=np.uint8)
+    # Mask off the padding bits of the last byte so popcounts stay exact.
+    full = np.full(nbytes, 0xFF, dtype=np.uint8)
+    pad = nbytes * 8 - num_elements
+    if pad:
+        full[-1] = (0xFF << pad) & 0xFF
+    remaining = set(range(len(bitsets)))
+    chosen: List[int] = []
+    target = int(np.unpackbits(full).sum())
+    covered_count = 0
+    while covered_count < target:
+        best, best_gain = -1, 0
+        for i in remaining:
+            gain = _gain(bitsets[i] & full, covered)
+            if gain > best_gain:
+                best, best_gain = i, gain
+        if best < 0:
+            return None
+        chosen.append(best)
+        covered |= bitsets[best] & full
+        covered_count += best_gain
+        remaining.discard(best)
+    return chosen
+
+
+def greedy_max_coverage_bits(
+    num_elements: int, bitsets: Sequence[np.ndarray], budget: int
+) -> Tuple[List[int], np.ndarray]:
+    """Budgeted greedy maximum coverage over packed bitsets.
+
+    Returns (chosen indices, covered packed bitset).
+    """
+    nbytes = (num_elements + 7) // 8
+    covered = np.zeros(nbytes, dtype=np.uint8)
+    full = np.full(nbytes, 0xFF, dtype=np.uint8)
+    pad = nbytes * 8 - num_elements
+    if pad:
+        full[-1] = (0xFF << pad) & 0xFF
+    if nbytes == 0:
+        return [], covered
+    remaining = set(range(len(bitsets)))
+    chosen: List[int] = []
+    while remaining and len(chosen) < budget:
+        best, best_gain = -1, 0
+        for i in remaining:
+            gain = _gain(bitsets[i] & full, covered)
+            if gain > best_gain:
+                best, best_gain = i, gain
+        if best < 0:
+            break
+        chosen.append(best)
+        covered |= bitsets[best] & full
+        remaining.discard(best)
+    return chosen, covered

@@ -1,0 +1,116 @@
+"""Structural statistics of classifiers.
+
+The quantities SAX-PAC's effectiveness hinges on (Section 3): how often
+each field separates rule pairs, how wildcard-heavy each field is, and how
+specific the rules are.  Exposed through ``python -m repro analyze
+--stats`` and used by tests to validate that generated workloads look like
+the filter sets they imitate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.classifier import Classifier
+from ..core.intervals import prefix_for_interval
+
+__all__ = ["FieldStatistics", "ClassifierStatistics", "classifier_statistics"]
+
+
+@dataclass(frozen=True)
+class FieldStatistics:
+    """Per-field structure summary."""
+
+    name: str
+    width: int
+    wildcard_fraction: float
+    exact_fraction: float
+    prefix_fraction: float
+    distinct_intervals: int
+    separation_fraction: float  # rule pairs this field separates
+
+    @property
+    def range_fraction(self) -> float:
+        """Intervals that are neither wildcards nor single prefixes —
+        the TCAM-expensive ones."""
+        return max(0.0, 1.0 - self.prefix_fraction)
+
+
+@dataclass(frozen=True)
+class ClassifierStatistics:
+    """Whole-classifier summary plus per-field details."""
+
+    num_rules: int
+    total_width: int
+    fields: Tuple[FieldStatistics, ...]
+    mean_specificity_bits: float
+    prefix_length_histogram: Dict[str, Dict[int, int]]
+
+    def most_separating_fields(self, count: int = 2) -> List[str]:
+        """Field names ranked by pair-separation power."""
+        ordered = sorted(
+            self.fields, key=lambda f: -f.separation_fraction
+        )
+        return [f.name for f in ordered[:count]]
+
+
+def _pair_separation_fractions(classifier: Classifier) -> List[float]:
+    n = len(classifier.body)
+    total_pairs = n * (n - 1) // 2
+    if total_pairs == 0:
+        return [0.0] * classifier.num_fields
+    from .sweep import estimate_overlap_counts
+
+    overlaps = estimate_overlap_counts(classifier)
+    return [(total_pairs - o) / total_pairs for o in overlaps]
+
+
+def classifier_statistics(classifier: Classifier) -> ClassifierStatistics:
+    """Compute the structural profile of a classifier's body rules."""
+    body = classifier.body
+    n = len(body)
+    schema = classifier.schema
+    separations = _pair_separation_fractions(classifier)
+    fields: List[FieldStatistics] = []
+    histograms: Dict[str, Dict[int, int]] = {}
+    specificity_total = 0.0
+    for f, spec in enumerate(schema):
+        wildcards = 0
+        exacts = 0
+        prefixes = 0
+        distinct = set()
+        histogram: Dict[int, int] = {}
+        for rule in body:
+            interval = rule.intervals[f]
+            distinct.add(interval)
+            if interval.is_full(spec.width):
+                wildcards += 1
+            if interval.is_exact():
+                exacts += 1
+            as_prefix = prefix_for_interval(interval, spec.width)
+            if as_prefix is not None:
+                prefixes += 1
+                length = as_prefix[1]
+                histogram[length] = histogram.get(length, 0) + 1
+            # Specificity: cared bits ~ width - log2(size).
+            specificity_total += spec.width - (interval.size.bit_length() - 1)
+        histograms[spec.name] = histogram
+        fields.append(
+            FieldStatistics(
+                name=spec.name,
+                width=spec.width,
+                wildcard_fraction=wildcards / n if n else 0.0,
+                exact_fraction=exacts / n if n else 0.0,
+                prefix_fraction=prefixes / n if n else 0.0,
+                distinct_intervals=len(distinct),
+                separation_fraction=separations[f],
+            )
+        )
+    return ClassifierStatistics(
+        num_rules=n,
+        total_width=schema.total_width,
+        fields=tuple(fields),
+        mean_specificity_bits=specificity_total / n if n else 0.0,
+        prefix_length_histogram=histograms,
+    )

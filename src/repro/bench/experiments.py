@@ -1,0 +1,547 @@
+"""Experiment drivers — one function per table/figure of the paper.
+
+Each driver returns structured rows plus a ``render_*`` companion that
+prints the same layout as the paper's table, so benchmark output can be
+eyeballed against the original.  Accounting conventions (documented in
+EXPERIMENTS.md):
+
+* **I** is the greedy maximal order-independent subset on all fields,
+  scanned in priority order; **D** is the remainder.
+* "By Theorem 2" space = I encoded only on its FSM field subset, plus D
+  encoded at full width (D still needs a conventional representation).
+* "By Theorem 1" space for the extended classifier K+m = the same reduced
+  I (the added fields are skipped per Theorem 1), plus D at the extended
+  full width.
+* Space is entries x width / 1024, in Kb, as in Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from ..analysis.fsm import FSMResult, fsm
+from ..analysis.mgr import GroupStatistics, group_statistics, l_mgr
+from ..analysis.mrc import greedy_independent_set
+from ..boolean.dnf import dnf_from_classifier, minimize_terms
+from ..boolean.width import (
+    pure_width,
+    same_value_reduced_width,
+    virtual_field_fsm,
+    words_from_classifier,
+)
+from ..core.classifier import Classifier
+from ..tcam.encoding import BinaryRangeEncoder, RangeEncoder, SrgeRangeEncoder
+from ..tcam.cost import classifier_entry_count
+from .harness import format_kb, format_table
+
+__all__ = [
+    "Table1Row",
+    "run_table1",
+    "render_table1",
+    "Figure1Point",
+    "run_figure1",
+    "render_figure1",
+    "Table2Row",
+    "run_table2",
+    "render_table2",
+    "Table3Row",
+    "run_table3",
+    "render_table3",
+    "Figure6Point",
+    "run_figure6",
+    "render_figure6",
+]
+
+_BINARY = BinaryRangeEncoder()
+_SRGE = SrgeRangeEncoder()
+
+
+def _space_kb(entries: int, width: int) -> float:
+    return entries * width / 1024.0
+
+
+@dataclass(frozen=True)
+class _Decomposition:
+    """I/D split shared by several experiments."""
+
+    independent: Tuple[int, ...]
+    dependent: Tuple[int, ...]
+    fsm_result: FSMResult
+
+    @property
+    def kept_fields(self) -> Tuple[int, ...]:
+        """The FSM-selected lookup fields."""
+        return self.fsm_result.kept_fields
+
+
+def _decompose(classifier: Classifier) -> _Decomposition:
+    independent = greedy_independent_set(classifier)
+    dependent = independent.complement(len(classifier.body))
+    sub = classifier.subset(independent.rule_indices)
+    fsm_result = fsm(sub)
+    return _Decomposition(independent.rule_indices, dependent, fsm_result)
+
+
+def _hybrid_space(
+    classifier: Classifier,
+    decomposition: _Decomposition,
+    encoder: RangeEncoder,
+    reduced_fields: Sequence[int],
+) -> float:
+    """Theorem 1/2 accounting: I on the reduced fields, D at full width."""
+    i_entries = classifier_entry_count(
+        classifier,
+        encoder,
+        fields=reduced_fields,
+        rule_indices=decomposition.independent,
+    )
+    space = _space_kb(i_entries, classifier.schema.subset_width(reduced_fields))
+    if decomposition.dependent:
+        d_entries = classifier_entry_count(
+            classifier, encoder, rule_indices=decomposition.dependent
+        )
+        space += _space_kb(d_entries, classifier.schema.total_width)
+    return space
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One classifier's Table 1 measurements."""
+    name: str
+    rules: int
+    independent_rules: int
+    orig_width: int
+    orig_binary_kb: float
+    orig_srge_kb: float
+    red_width: int
+    red_binary_kb: float
+    red_srge_kb: float
+    ext_width: int
+    ext_binary_kb: float
+    ext_srge_kb: float
+    ext_red_width: int
+    ext_red_binary_kb: float
+    ext_red_srge_kb: float
+
+
+def table1_row(
+    name: str,
+    classifier: Classifier,
+    extended: Classifier,
+    decomposition: Optional[_Decomposition] = None,
+) -> Table1Row:
+    """One Table 1 row: original and (+2 range fields) extended spaces,
+    standard vs Theorem 1/2-reduced, both encodings."""
+    decomposition = decomposition or _decompose(classifier)
+    kept = decomposition.kept_fields
+    width = classifier.schema.total_width
+    ext_width = extended.schema.total_width
+    return Table1Row(
+        name=name,
+        rules=len(classifier.body),
+        independent_rules=len(decomposition.independent),
+        orig_width=width,
+        orig_binary_kb=_space_kb(
+            classifier_entry_count(classifier, _BINARY), width
+        ),
+        orig_srge_kb=_space_kb(
+            classifier_entry_count(classifier, _SRGE), width
+        ),
+        red_width=decomposition.fsm_result.lookup_width,
+        red_binary_kb=_hybrid_space(classifier, decomposition, _BINARY, kept),
+        red_srge_kb=_hybrid_space(classifier, decomposition, _SRGE, kept),
+        ext_width=ext_width,
+        ext_binary_kb=_space_kb(
+            classifier_entry_count(extended, _BINARY), ext_width
+        ),
+        ext_srge_kb=_space_kb(
+            classifier_entry_count(extended, _SRGE), ext_width
+        ),
+        # Theorem 1: the added fields never enter the I lookup, so the
+        # reduced width is unchanged; D pays the extended width.
+        ext_red_width=decomposition.fsm_result.lookup_width,
+        ext_red_binary_kb=_hybrid_space(extended, decomposition, _BINARY, kept),
+        ext_red_srge_kb=_hybrid_space(extended, decomposition, _SRGE, kept),
+    )
+
+
+def run_table1(
+    suite: Mapping[str, Classifier], seed: int = 99
+) -> List[Table1Row]:
+    """Compute Table 1 rows for every classifier in the suite."""
+    from ..workloads.generator import add_random_range_fields
+
+    rows = []
+    for i, (name, classifier) in enumerate(suite.items()):
+        extended = add_random_range_fields(classifier, 2, seed + i)
+        rows.append(table1_row(name, classifier, extended))
+    return rows
+
+
+def render_table1(rows: Sequence[Table1Row]) -> str:
+    """Text rendering in the paper's column layout."""
+    headers = [
+        "name", "rules", "OI", "W", "bin Kb", "srge Kb",
+        "W(T2)", "bin Kb", "srge Kb",
+        "W+2", "bin Kb", "srge Kb",
+        "W(T1)", "bin Kb", "srge Kb",
+    ]
+    body = [
+        [
+            r.name, r.rules, r.independent_rules,
+            r.orig_width, format_kb(r.orig_binary_kb), format_kb(r.orig_srge_kb),
+            r.red_width, format_kb(r.red_binary_kb), format_kb(r.red_srge_kb),
+            r.ext_width, format_kb(r.ext_binary_kb), format_kb(r.ext_srge_kb),
+            r.ext_red_width, format_kb(r.ext_red_binary_kb),
+            format_kb(r.ext_red_srge_kb),
+        ]
+        for r in rows
+    ]
+    return format_table(
+        headers,
+        body,
+        title=(
+            "Table 1 - TCAM space: original | Theorem 2 reduced | "
+            "+2 x 16-bit ranges | Theorem 1 reduced"
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 1
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Figure1Point:
+    """One (panel, added-fields) data point of Figure 1."""
+    panel: str
+    extra_fields: int
+    regular_binary_kb: float
+    regular_srge_kb: float
+    theorem1_binary_kb: float
+    theorem1_srge_kb: float
+
+
+def run_figure1(
+    suite: Mapping[str, Classifier],
+    field_counts: Sequence[int] = (0, 2, 4, 6),
+    seed: int = 77,
+) -> List[Figure1Point]:
+    """Average TCAM space as a function of added 16-bit range fields, for
+    the ClassBench and cisco panels."""
+    from ..workloads.generator import add_random_range_fields
+
+    panels = {
+        "classbench": [n for n in suite if not n.startswith("cisco")],
+        "cisco": [n for n in suite if n.startswith("cisco")],
+    }
+    decomps = {name: _decompose(suite[name]) for name in suite}
+    points: List[Figure1Point] = []
+    for panel, names in panels.items():
+        if not names:
+            continue
+        for m in field_counts:
+            regular_b: List[float] = []
+            regular_s: List[float] = []
+            reduced_b: List[float] = []
+            reduced_s: List[float] = []
+            for i, name in enumerate(names):
+                classifier = suite[name]
+                extended = (
+                    add_random_range_fields(classifier, m, seed + m * 31 + i)
+                    if m
+                    else classifier
+                )
+                width = extended.schema.total_width
+                regular_b.append(_space_kb(
+                    classifier_entry_count(extended, _BINARY), width
+                ))
+                regular_s.append(_space_kb(
+                    classifier_entry_count(extended, _SRGE), width
+                ))
+                decomposition = decomps[name]
+                kept = decomposition.kept_fields
+                reduced_b.append(
+                    _hybrid_space(extended, decomposition, _BINARY, kept)
+                )
+                reduced_s.append(
+                    _hybrid_space(extended, decomposition, _SRGE, kept)
+                )
+            points.append(
+                Figure1Point(
+                    panel=panel,
+                    extra_fields=m,
+                    regular_binary_kb=mean(regular_b),
+                    regular_srge_kb=mean(regular_s),
+                    theorem1_binary_kb=mean(reduced_b),
+                    theorem1_srge_kb=mean(reduced_s),
+                )
+            )
+    return points
+
+
+def render_figure1(points: Sequence[Figure1Point]) -> str:
+    """Text rendering of the Figure 1 series."""
+    headers = ["panel", "+fields", "regular bin", "regular srge",
+               "T1 bin", "T1 srge", "regular/T1 (bin)"]
+    body = []
+    for p in points:
+        ratio = (
+            p.regular_binary_kb / p.theorem1_binary_kb
+            if p.theorem1_binary_kb
+            else float("inf")
+        )
+        body.append([
+            p.panel, p.extra_fields,
+            format_kb(p.regular_binary_kb), format_kb(p.regular_srge_kb),
+            format_kb(p.theorem1_binary_kb), format_kb(p.theorem1_srge_kb),
+            f"{ratio:.1f}x",
+        ])
+    return format_table(
+        headers, body,
+        title="Figure 1 - average TCAM space (Kb) vs added 16-bit range fields",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 2
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One classifier's Table 2 measurements."""
+    name: str
+    rules: int
+    independent_rules: int
+    binary_terms: int
+    srge_terms: int
+    width: int
+    mindnf_binary_terms: int
+    mindnf_binary_width: int
+    mindnf_binary_red_width: int
+    mindnf_srge_terms: int
+    mindnf_srge_width: int
+    mindnf_srge_red_width: int
+    fsm_width: int
+
+
+def table2_row(
+    name: str,
+    classifier: Classifier,
+    decomposition: Optional[_Decomposition] = None,
+    subsumption_limit: int = 4000,
+) -> Table2Row:
+    """MinDNF heuristics on the order-independent subset vs FSM width."""
+    decomposition = decomposition or _decompose(classifier)
+    indices = decomposition.independent
+    binary = dnf_from_classifier(classifier, _BINARY, indices)
+    srge = dnf_from_classifier(classifier, _SRGE, indices)
+    min_binary = minimize_terms(binary.terms, subsumption_limit)
+    min_srge = minimize_terms(srge.terms, subsumption_limit)
+    width = classifier.schema.total_width
+    return Table2Row(
+        name=name,
+        rules=len(classifier.body),
+        independent_rules=len(indices),
+        binary_terms=len(binary),
+        srge_terms=len(srge),
+        width=width,
+        mindnf_binary_terms=len(min_binary),
+        mindnf_binary_width=pure_width(min_binary, width),
+        mindnf_binary_red_width=same_value_reduced_width(min_binary, width),
+        mindnf_srge_terms=len(min_srge),
+        mindnf_srge_width=pure_width(min_srge, width),
+        mindnf_srge_red_width=same_value_reduced_width(min_srge, width),
+        fsm_width=decomposition.fsm_result.lookup_width,
+    )
+
+
+def run_table2(suite: Mapping[str, Classifier]) -> List[Table2Row]:
+    """Compute Table 2 rows for every classifier in the suite."""
+    return [table2_row(name, classifier) for name, classifier in suite.items()]
+
+
+def render_table2(rows: Sequence[Table2Row]) -> str:
+    """Text rendering in the paper's column layout."""
+    headers = ["name", "rules", "OI", "bin terms", "srge terms", "W",
+               "minDNF bin", "W", "redW", "minDNF srge", "W", "redW",
+               "FSM W"]
+    body = [
+        [
+            r.name, r.rules, r.independent_rules, r.binary_terms,
+            r.srge_terms, r.width, r.mindnf_binary_terms,
+            r.mindnf_binary_width, r.mindnf_binary_red_width,
+            r.mindnf_srge_terms, r.mindnf_srge_width,
+            r.mindnf_srge_red_width, r.fsm_width,
+        ]
+        for r in rows
+    ]
+    return format_table(
+        headers, body,
+        title="Table 2 - MinDNF reduction on order-independent subsets vs FSM",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 3
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One classifier's Table 3 measurements."""
+    name: str
+    rules: int
+    kmrc_size: int
+    fsm_fields: Tuple[int, ...]
+    mrc01_size: int
+    mgr1: GroupStatistics
+    mgr2: GroupStatistics
+    mgr1_on_kmrc: GroupStatistics
+    mgr2_on_kmrc: GroupStatistics
+
+
+def table3_row(name: str, classifier: Classifier) -> Table3Row:
+    """Compute one classifier's MRC/MGR statistics."""
+    independent = greedy_independent_set(classifier)
+    sub = classifier.subset(independent.rule_indices)
+    fsm_result = fsm(sub)
+    mrc01 = greedy_independent_set(classifier, fields=(0, 1))
+    mgr1 = l_mgr(classifier, l=1)
+    mgr2 = l_mgr(classifier, l=2)
+    mgr1_k = l_mgr(classifier, l=1, rule_subset=independent.rule_indices)
+    mgr2_k = l_mgr(classifier, l=2, rule_subset=independent.rule_indices)
+    return Table3Row(
+        name=name,
+        rules=len(classifier.body),
+        kmrc_size=independent.size,
+        fsm_fields=fsm_result.kept_fields,
+        mrc01_size=mrc01.size,
+        mgr1=group_statistics(mgr1),
+        mgr2=group_statistics(mgr2),
+        mgr1_on_kmrc=group_statistics(mgr1_k),
+        mgr2_on_kmrc=group_statistics(mgr2_k),
+    )
+
+
+def run_table3(suite: Mapping[str, Classifier]) -> List[Table3Row]:
+    """Compute Table 3 rows for every classifier in the suite."""
+    return [table3_row(name, classifier) for name, classifier in suite.items()]
+
+
+def _stats_cells(stats: GroupStatistics) -> List[object]:
+    return [stats.num_groups, stats.groups_for_95, stats.groups_for_99,
+            stats.groups_le_2, stats.groups_le_5]
+
+
+def render_table3(rows: Sequence[Table3Row]) -> str:
+    """Text rendering in the paper's column layout."""
+    headers = [
+        "name", "rules", "k-MRC", "FSM", "MRC{0,1}",
+        "1g", "95%", "99%", "<=2", "<=5",
+        "2g", "95%", "99%", "<=2", "<=5",
+        "1g|I", "95%", "99%", "<=2", "<=5",
+        "2g|I", "95%", "99%", "<=2", "<=5",
+    ]
+    body = []
+    for r in rows:
+        cells: List[object] = [
+            r.name, r.rules, r.kmrc_size,
+            ",".join(map(str, r.fsm_fields)), r.mrc01_size,
+        ]
+        for stats in (r.mgr1, r.mgr2, r.mgr1_on_kmrc, r.mgr2_on_kmrc):
+            cells.extend(_stats_cells(stats))
+        body.append(cells)
+    return format_table(
+        headers, body,
+        title=(
+            "Table 3 - MRC/MGR: max OI subset, FSM fields, group counts "
+            "(whole classifier and on the k-MRC result)"
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 6
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Figure6Point:
+    """One (panel, virtual-field-width) data point of Figure 6."""
+    panel: str
+    virtual_field_width: int
+    original_width: float
+    mindnf_width: float
+    fsm_width: float
+
+
+def run_figure6(
+    suite: Mapping[str, Classifier],
+    field_widths: Sequence[int] = (1, 2, 4, 8, 16, 32),
+    rule_cap: int = 400,
+) -> List[Figure6Point]:
+    """Average classifier width vs virtual field width.
+
+    Rules are flattened to ternary words (ranges widened to enclosing
+    prefixes — see DESIGN.md); ``rule_cap`` bounds the quadratic pair
+    analysis per classifier.
+    """
+    panels = {
+        "classbench": [n for n in suite if not n.startswith("cisco")],
+        "cisco": [n for n in suite if n.startswith("cisco")],
+    }
+    prepared = {}
+    for name, classifier in suite.items():
+        independent = greedy_independent_set(classifier)
+        indices = independent.rule_indices[:rule_cap]
+        words = words_from_classifier(classifier, indices)
+        minimized = minimize_terms(words, subsumption_limit=2000)
+        width = classifier.schema.total_width
+        prepared[name] = (
+            words,
+            width,
+            same_value_reduced_width(minimized, width),
+        )
+    points: List[Figure6Point] = []
+    for panel, names in panels.items():
+        if not names:
+            continue
+        for w in field_widths:
+            fsm_widths = []
+            for name in names:
+                words, width, _mindnf = prepared[name]
+                result = virtual_field_fsm(words, width, w)
+                fsm_widths.append(result.reduced_width)
+            points.append(
+                Figure6Point(
+                    panel=panel,
+                    virtual_field_width=w,
+                    original_width=mean(
+                        prepared[n][1] for n in names
+                    ),
+                    mindnf_width=mean(prepared[n][2] for n in names),
+                    fsm_width=mean(fsm_widths),
+                )
+            )
+    return points
+
+
+def render_figure6(points: Sequence[Figure6Point]) -> str:
+    """Text rendering of the Figure 6 series."""
+    headers = ["panel", "vfield bits", "original W", "MinDNF W", "FSM W"]
+    body = [
+        [
+            p.panel, p.virtual_field_width, f"{p.original_width:.0f}",
+            f"{p.mindnf_width:.1f}", f"{p.fsm_width:.1f}",
+        ]
+        for p in points
+    ]
+    return format_table(
+        headers, body,
+        title="Figure 6 - classifier width vs virtual field width",
+    )

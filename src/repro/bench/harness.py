@@ -1,0 +1,107 @@
+"""Shared experiment harness: suite caching and table rendering.
+
+The ``benchmarks/`` scripts are thin pytest-benchmark wrappers around the
+drivers in :mod:`repro.bench.experiments`; everything they share — the
+deterministic benchmark suite, text-table formatting, environment-variable
+scaling — lives here.
+
+Scaling: the paper's ClassBench sets hold ~50k rules; the pure-Python
+analysis pipeline is quadratic in N, so benchmarks default to
+``REPRO_BENCH_RULES`` (default 2000) rules per ClassBench-style classifier.
+Set the environment variable higher for closer-to-paper sizes.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import List, Mapping, Optional, Sequence
+
+from ..core.classifier import Classifier
+from ..workloads.generator import BENCHMARK_NAMES, benchmark_suite
+
+__all__ = [
+    "bench_rules",
+    "cached_suite",
+    "classbench_names",
+    "cisco_names",
+    "format_table",
+    "format_kb",
+]
+
+#: Default ClassBench-style classifier size for experiments.
+_DEFAULT_RULES = 2000
+
+#: Deterministic seed shared by every experiment.
+SUITE_SEED = 2014
+
+
+def bench_rules() -> int:
+    """Benchmark classifier size, overridable via REPRO_BENCH_RULES."""
+    value = os.environ.get("REPRO_BENCH_RULES", "")
+    try:
+        parsed = int(value)
+    except ValueError:
+        return _DEFAULT_RULES
+    return parsed if parsed > 0 else _DEFAULT_RULES
+
+
+@lru_cache(maxsize=4)
+def _suite_cached(rules: int, seed: int) -> Mapping[str, Classifier]:
+    return benchmark_suite(classbench_rules=rules, seed=seed)
+
+
+def cached_suite(
+    rules: Optional[int] = None, seed: int = SUITE_SEED
+) -> Mapping[str, Classifier]:
+    """The 17-classifier benchmark suite, generated once per size/seed."""
+    return _suite_cached(rules if rules is not None else bench_rules(), seed)
+
+
+def classbench_names() -> List[str]:
+    """The 12 ClassBench-style classifier names."""
+    return [n for n in BENCHMARK_NAMES if not n.startswith("cisco")]
+
+
+def cisco_names() -> List[str]:
+    """The 5 cisco-style classifier names."""
+    return [n for n in BENCHMARK_NAMES if n.startswith("cisco")]
+
+
+def format_kb(kilobits: float) -> str:
+    """Compact rendering of a space figure in Kb."""
+    if kilobits >= 10000:
+        return f"{kilobits:,.0f}"
+    if kilobits >= 100:
+        return f"{kilobits:.0f}"
+    if kilobits >= 1:
+        return f"{kilobits:.1f}"
+    return f"{kilobits:.2f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width text table (right-aligned numbers, left-aligned first
+    column), the output format of every benchmark."""
+    rendered = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i]))
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in rendered)
+    return "\n".join(lines)

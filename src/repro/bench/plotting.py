@@ -1,0 +1,146 @@
+"""ASCII line charts for the figure experiments.
+
+Benchmark runs happen in terminals; these helpers render Figure 1 / 6-style
+series as fixed-width text charts (optionally log-scale on y) so the shape
+comparison against the paper needs no plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ascii_chart", "plot_figure1", "plot_figure6"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    log_y: bool = False,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series on a shared text canvas.
+
+    X positions are spread evenly over the *union* of x values (the figure
+    experiments use small categorical x grids); Y is linear or log10.
+    """
+    if not series or all(not pts for pts in series.values()):
+        return title or "(empty chart)"
+    xs = sorted({x for pts in series.values() for x, _y in pts})
+    ys = [y for pts in series.values() for _x, y in pts]
+    if log_y:
+        floor = min(y for y in ys if y > 0) if any(y > 0 for y in ys) else 1.0
+        transform = lambda y: math.log10(max(y, floor))  # noqa: E731
+    else:
+        transform = lambda y: y  # noqa: E731
+    lo = min(transform(y) for y in ys)
+    hi = max(transform(y) for y in ys)
+    span = (hi - lo) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    x_pos = {
+        x: round(i * (width - 1) / max(1, len(xs) - 1))
+        for i, x in enumerate(xs)
+    }
+
+    def y_row(y: float) -> int:
+        frac = (transform(y) - lo) / span
+        return (height - 1) - round(frac * (height - 1))
+
+    legend: List[str] = []
+    for s_index, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[s_index % len(_MARKERS)]
+        legend.append(f"{marker} {name}")
+        ordered = sorted(pts)
+        # Draw straight segments between consecutive points.
+        for (x0, y0), (x1, y1) in zip(ordered, ordered[1:]):
+            c0, r0 = x_pos[x0], y_row(y0)
+            c1, r1 = x_pos[x1], y_row(y1)
+            steps = max(abs(c1 - c0), abs(r1 - r0), 1)
+            for step in range(steps + 1):
+                col = round(c0 + (c1 - c0) * step / steps)
+                row = round(r0 + (r1 - r0) * step / steps)
+                if canvas[row][col] == " ":
+                    canvas[row][col] = "."
+        for x, y in ordered:
+            canvas[y_row(y)][x_pos[x]] = marker
+
+    def y_tick(row: int) -> str:
+        frac = (height - 1 - row) / (height - 1)
+        value = lo + frac * span
+        if log_y:
+            value = 10 ** value
+        if value >= 1000:
+            return f"{value:9.3g}"
+        return f"{value:9.2f}"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row in range(height):
+        label = y_tick(row) if row % max(1, height // 6) == 0 else " " * 9
+        lines.append(f"{label} |{''.join(canvas[row])}")
+    axis = " " * 9 + " +" + "-" * width
+    lines.append(axis)
+    tick_line = [" "] * (width + 11)
+    for x in xs:
+        col = 11 + x_pos[x]
+        text = str(x)
+        for i, ch in enumerate(text):
+            if col + i < len(tick_line):
+                tick_line[col + i] = ch
+    lines.append("".join(tick_line))
+    if y_label:
+        lines.append(f"(y: {y_label}{', log scale' if log_y else ''})")
+    lines.append("legend: " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def plot_figure1(points) -> str:
+    """Figure 1 as two stacked ASCII panels (ClassBench, cisco)."""
+    panels: Dict[str, list] = {}
+    for p in points:
+        panels.setdefault(p.panel, []).append(p)
+    charts = []
+    for panel, pts in panels.items():
+        series = {
+            "regular binary": [(p.extra_fields, p.regular_binary_kb) for p in pts],
+            "regular srge": [(p.extra_fields, p.regular_srge_kb) for p in pts],
+            "T1 binary": [(p.extra_fields, p.theorem1_binary_kb) for p in pts],
+            "T1 srge": [(p.extra_fields, p.theorem1_srge_kb) for p in pts],
+        }
+        charts.append(
+            ascii_chart(
+                series,
+                log_y=True,
+                title=f"Figure 1 ({panel}) - space vs added 16-bit ranges",
+                y_label="Kb",
+            )
+        )
+    return "\n\n".join(charts)
+
+
+def plot_figure6(points) -> str:
+    """Figure 6 as two stacked ASCII panels."""
+    panels: Dict[str, list] = {}
+    for p in points:
+        panels.setdefault(p.panel, []).append(p)
+    charts = []
+    for panel, pts in panels.items():
+        series = {
+            "original": [(p.virtual_field_width, p.original_width) for p in pts],
+            "MinDNF": [(p.virtual_field_width, p.mindnf_width) for p in pts],
+            "FSM": [(p.virtual_field_width, p.fsm_width) for p in pts],
+        }
+        charts.append(
+            ascii_chart(
+                series,
+                title=f"Figure 6 ({panel}) - width vs virtual field width",
+                y_label="bits",
+            )
+        )
+    return "\n\n".join(charts)

@@ -1,0 +1,49 @@
+"""Boolean view of classifiers: ternary words, DNF, MinDNF, width."""
+
+from .dnf import (
+    Dnf,
+    dnf_from_classifier,
+    minimize_terms,
+    remove_subsumed,
+    resolve_terms,
+)
+from .mindnf import mindnf_greedy, minterms_of, prime_implicants
+from .ternary import TernaryWord, word_from_entry, word_from_pattern
+from .trie_compression import (
+    BinaryTrie,
+    bit_subset_size_bits,
+    distinguishing_bits,
+    xbw_size_bits,
+)
+from .width import (
+    VirtualFsmResult,
+    enclosing_prefix_word,
+    pure_width,
+    same_value_reduced_width,
+    virtual_field_fsm,
+    words_from_classifier,
+)
+
+__all__ = [
+    "BinaryTrie",
+    "Dnf",
+    "TernaryWord",
+    "VirtualFsmResult",
+    "bit_subset_size_bits",
+    "distinguishing_bits",
+    "xbw_size_bits",
+    "dnf_from_classifier",
+    "enclosing_prefix_word",
+    "mindnf_greedy",
+    "minimize_terms",
+    "minterms_of",
+    "prime_implicants",
+    "pure_width",
+    "remove_subsumed",
+    "resolve_terms",
+    "same_value_reduced_width",
+    "virtual_field_fsm",
+    "word_from_entry",
+    "word_from_pattern",
+    "words_from_classifier",
+]

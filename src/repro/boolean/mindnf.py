@@ -1,0 +1,98 @@
+"""MinDNF (Problem 6) for truth-table-sized functions.
+
+The decision version of MinDNF is Sigma^P_2-complete; for functions given
+explicitly by truth tables, the Greedy SetCover algorithm over prime
+implicants is O(log T)-approximate [1].  This module implements exactly
+that pipeline — Quine-McCluskey prime implicant generation followed by
+Algorithm 3 — for the small widths where a truth table is constructible
+(tests and the worked Examples 7-9 of the paper).
+
+Large classifiers cannot be truth-tabled (they look up hundreds of bits);
+for them use the heuristic :func:`repro.boolean.dnf.minimize_terms`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .ternary import TernaryWord
+
+__all__ = ["prime_implicants", "mindnf_greedy", "minterms_of"]
+
+#: Truth tables beyond this width are refused (2^20 minterm scans).
+_MAX_WIDTH = 20
+
+
+def minterms_of(terms: Sequence[TernaryWord], width: int) -> Set[int]:
+    """All keys matched by a DNF — the ON-set of the function."""
+    if width > _MAX_WIDTH:
+        raise ValueError(f"truth table too large: width {width} > {_MAX_WIDTH}")
+    on: Set[int] = set()
+    for term in terms:
+        free_bits = [b for b in range(width) if not (term.care >> b) & 1]
+        base = term.value
+        for assignment in range(1 << len(free_bits)):
+            key = base
+            for i, bit in enumerate(free_bits):
+                if (assignment >> i) & 1:
+                    key |= 1 << bit
+            on.add(key)
+    return on
+
+
+def prime_implicants(minterms: Set[int], width: int) -> List[TernaryWord]:
+    """Quine-McCluskey: all prime implicants of the function whose ON-set is
+    ``minterms``."""
+    if width > _MAX_WIDTH:
+        raise ValueError(f"width {width} > {_MAX_WIDTH}")
+    full_care = (1 << width) - 1
+    current: Set[Tuple[int, int]] = {(m, full_care) for m in minterms}
+    primes: Set[Tuple[int, int]] = set()
+    while current:
+        merged_from: Set[Tuple[int, int]] = set()
+        next_level: Set[Tuple[int, int]] = set()
+        by_care: Dict[int, List[int]] = {}
+        for value, care in current:
+            by_care.setdefault(care, []).append(value)
+        for care, values in by_care.items():
+            value_set = set(values)
+            for value in values:
+                bit = care
+                while bit:
+                    low = bit & -bit
+                    bit ^= low
+                    partner = value ^ low
+                    if partner in value_set and value < partner:
+                        new_care = care & ~low
+                        next_level.add((value & new_care, new_care))
+                        merged_from.add((value, care))
+                        merged_from.add((partner, care))
+        primes |= current - merged_from
+        current = next_level
+    return [TernaryWord(v, c, width) for v, c in sorted(primes)]
+
+
+def _coverage(implicant: TernaryWord, minterms: Set[int], width: int) -> Set[int]:
+    return {m for m in minterms if implicant.matches(m)}
+
+
+def mindnf_greedy(minterms: Set[int], width: int) -> List[TernaryWord]:
+    """Greedy MinDNF: cover the ON-set with prime implicants, largest
+    uncovered gain first (Algorithm 3 applied as in [1])."""
+    if not minterms:
+        return []
+    implicants = prime_implicants(minterms, width)
+    uncovered = set(minterms)
+    chosen: List[TernaryWord] = []
+    coverage = [(imp, _coverage(imp, minterms, width)) for imp in implicants]
+    while uncovered:
+        best_i, best_gain = -1, 0
+        for i, (imp, covered) in enumerate(coverage):
+            gain = len(covered & uncovered)
+            if gain > best_gain:
+                best_i, best_gain = i, gain
+        assert best_i >= 0, "prime implicants must cover the ON-set"
+        imp, covered = coverage.pop(best_i)
+        chosen.append(imp)
+        uncovered -= covered
+    return chosen

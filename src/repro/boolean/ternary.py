@@ -1,0 +1,134 @@
+"""Ternary words for the Boolean view of classifiers (Section 5).
+
+When every field is a prefix, a rule concatenates into one ternary string
+over {0, 1, *}; an order-independent rule set becomes a DNF formula (one
+conjunction per rule).  This module provides the ternary word type and the
+pairwise predicates the DNF minimization heuristics need.
+
+Representation: ``value`` and ``care`` integers; bit ``width-1`` is the most
+significant.  A position with ``care`` bit 0 is a ``*``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..tcam.entry import TernaryEntry
+
+__all__ = ["TernaryWord", "word_from_pattern", "word_from_entry"]
+
+
+@dataclass(frozen=True)
+class TernaryWord:
+    """An immutable ternary string, normalized so un-cared value bits are
+    zero (equal words compare equal)."""
+
+    value: int
+    care: int
+    width: int
+
+    def __post_init__(self) -> None:
+        limit = 1 << self.width
+        if not 0 <= self.care < limit:
+            raise ValueError(f"care {self.care:#x} does not fit in {self.width} bits")
+        if not 0 <= self.value < limit:
+            raise ValueError(f"value {self.value:#x} does not fit in {self.width} bits")
+        object.__setattr__(self, "value", self.value & self.care)
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    def matches(self, key: int) -> bool:
+        """True if ``key`` agrees on every cared position."""
+        return (key & self.care) == self.value
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.pattern())
+
+    @property
+    def num_literals(self) -> int:
+        """Number of cared positions — the size of the conjunction."""
+        return bin(self.care).count("1")
+
+    @property
+    def num_matches(self) -> int:
+        """Number of keys the word matches: 2^(#wildcards)."""
+        return 1 << (self.width - self.num_literals)
+
+    # ------------------------------------------------------------------
+    # Pairwise predicates
+    # ------------------------------------------------------------------
+    def intersects(self, other: "TernaryWord") -> bool:
+        """True if some key matches both words (agree on common cares)."""
+        common = self.care & other.care
+        return (self.value ^ other.value) & common == 0
+
+    def covers(self, other: "TernaryWord") -> bool:
+        """True if every key matched by ``other`` is matched by ``self``
+        (subsumption: self's literals are a subset of other's)."""
+        if self.care & ~other.care:
+            return False
+        return (self.value ^ other.value) & self.care == 0
+
+    def resolvable_with(self, other: "TernaryWord") -> bool:
+        """True if the two words have identical cares and differ in exactly
+        one cared bit — the classical resolution precondition
+        ``(x & A) | (~x & A) == A``."""
+        if self.care != other.care:
+            return False
+        diff = self.value ^ other.value
+        return diff != 0 and diff & (diff - 1) == 0
+
+    def resolve(self, other: "TernaryWord") -> "TernaryWord":
+        """Merge two resolvable words by dropping the differing bit."""
+        if not self.resolvable_with(other):
+            raise ValueError(f"{self} and {other} are not resolvable")
+        diff = self.value ^ other.value
+        care = self.care & ~diff
+        return TernaryWord(self.value & care, care, self.width)
+
+    # ------------------------------------------------------------------
+    # Rendering / parsing
+    # ------------------------------------------------------------------
+    def pattern(self) -> str:
+        """Render as a {0,1,*} string, MSB first."""
+        chars: List[str] = []
+        for bit in range(self.width - 1, -1, -1):
+            if not (self.care >> bit) & 1:
+                chars.append("*")
+            elif (self.value >> bit) & 1:
+                chars.append("1")
+            else:
+                chars.append("0")
+        return "".join(chars)
+
+    def project(self, mask: int) -> "TernaryWord":
+        """Restrict the word to the positions set in ``mask`` (other
+        positions become ``*``); used by virtual-field analysis."""
+        return TernaryWord(self.value & mask, self.care & mask, self.width)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TernaryWord({self.pattern()})"
+
+
+def word_from_pattern(pattern: str) -> TernaryWord:
+    """Parse a {0,1,*} string (MSB first)."""
+    value = 0
+    care = 0
+    for ch in pattern:
+        value <<= 1
+        care <<= 1
+        if ch == "1":
+            value |= 1
+            care |= 1
+        elif ch == "0":
+            care |= 1
+        elif ch != "*":
+            raise ValueError(f"invalid ternary character {ch!r} in {pattern!r}")
+    return TernaryWord(value, care, len(pattern))
+
+
+def word_from_entry(entry: TernaryEntry) -> TernaryWord:
+    """Convert a TCAM entry into a ternary word (same layout)."""
+    return TernaryWord(entry.value, entry.mask, entry.width)

@@ -1,0 +1,230 @@
+"""Width metrics and virtual-field FSM (Sections 4.4 and 5, Figure 6).
+
+Once rules are flattened into ternary bitstrings, field boundaries become a
+matter of *resolution*: any group of bit positions can serve as a virtual
+field.  Running FSM at bit-level resolution (virtual fields of width 1) can
+shrink the lookup far below what whole-field FSM achieves — Example 6 goes
+from 8 bits to 2.  Figure 6 sweeps the virtual-field width from 1 to 32 and
+compares the resulting classifier width against the original width and
+against MinDNF-style reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.classifier import Classifier
+from ..core.intervals import Interval
+from .ternary import TernaryWord
+
+__all__ = [
+    "pure_width",
+    "same_value_reduced_width",
+    "enclosing_prefix_word",
+    "words_from_classifier",
+    "VirtualFsmResult",
+    "virtual_field_fsm",
+]
+
+
+def pure_width(terms: Sequence[TernaryWord], width: int) -> int:
+    """Number of positions where at least one term cares — dropping purely
+    "don't care" columns (the Table 2 "Width" column)."""
+    any_care = 0
+    for term in terms:
+        any_care |= term.care
+    return bin(any_care & ((1 << width) - 1)).count("1")
+
+
+def same_value_reduced_width(terms: Sequence[TernaryWord], width: int) -> int:
+    """Width after additionally dropping columns where every term cares and
+    agrees on the value (Table 2 "Red. wid." column).
+
+    Such columns never change *which* term matches: a single shared
+    comparison checks them all at once, the Boolean counterpart of the
+    Theorem 2 false-positive check.
+    """
+    if not terms:
+        return 0
+    all_care = (1 << width) - 1
+    any_care = 0
+    for term in terms:
+        all_care &= term.care
+        any_care |= term.care
+    agree = all_care
+    first = terms[0].value
+    for term in terms[1:]:
+        agree &= ~(term.value ^ first)
+        if not agree:
+            break
+    keep = any_care & ~agree
+    return bin(keep & ((1 << width) - 1)).count("1")
+
+
+# ---------------------------------------------------------------------------
+# From range rules to single ternary words
+# ---------------------------------------------------------------------------
+
+def enclosing_prefix_word(interval: Interval, width: int) -> Tuple[int, int]:
+    """(value, care) of the tightest prefix containing ``interval``.
+
+    Widening ranges to their enclosing prefixes is a *sound* relaxation for
+    separability: if the enclosing prefixes of two rules are disjoint in
+    some bits, the original ranges certainly are.  It may miss separations
+    (under-approximation), so virtual-field results are conservative for
+    range-heavy classifiers — documented in DESIGN.md.
+    """
+    if interval.high >= (1 << width):
+        raise ValueError(f"interval {interval} does not fit in {width} bits")
+    diff = interval.low ^ interval.high
+    span = diff.bit_length()  # number of low bits that may vary
+    care = (((1 << width) - 1) >> span) << span
+    return interval.low & care, care
+
+
+def words_from_classifier(
+    classifier: Classifier, rule_indices: Optional[Sequence[int]] = None
+) -> List[TernaryWord]:
+    """One full-width ternary word per selected body rule, fields
+    concatenated MSB-first, ranges widened to enclosing prefixes."""
+    widths = classifier.schema.widths
+    total = classifier.schema.total_width
+    indices = (
+        list(rule_indices)
+        if rule_indices is not None
+        else range(len(classifier.body))
+    )
+    words: List[TernaryWord] = []
+    for idx in indices:
+        value = 0
+        care = 0
+        for iv, w in zip(classifier.rules[idx].intervals, widths):
+            v, c = enclosing_prefix_word(iv, w)
+            value = (value << w) | v
+            care = (care << w) | c
+        words.append(TernaryWord(value, care, total))
+    return words
+
+
+# ---------------------------------------------------------------------------
+# Virtual-field FSM
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class VirtualFsmResult:
+    """Outcome of FSM over virtual fields of a fixed width."""
+
+    field_width: int
+    chosen_fields: Tuple[int, ...]
+    dropped_rules: Tuple[int, ...]
+    total_fields: int
+
+    @property
+    def reduced_width(self) -> int:
+        """Classifier width after the reduction — the Figure 6 y-axis."""
+        return len(self.chosen_fields) * self.field_width
+
+
+def _pack_words(words: Sequence[TernaryWord], width: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Split each word's (value, care) into little-endian uint64 chunks."""
+    chunks = (width + 63) // 64
+    values = np.zeros((len(words), chunks), dtype=np.uint64)
+    cares = np.zeros((len(words), chunks), dtype=np.uint64)
+    mask64 = (1 << 64) - 1
+    for i, word in enumerate(words):
+        v, c = word.value, word.care
+        for j in range(chunks):
+            values[i, j] = (v >> (64 * j)) & mask64
+            cares[i, j] = (c >> (64 * j)) & mask64
+    return values, cares
+
+
+def _field_masks(width: int, field_width: int) -> List[int]:
+    """Bit masks of consecutive virtual fields, MSB-first (field 0 holds
+    the most significant bits, matching how fields concatenate)."""
+    masks: List[int] = []
+    position = width
+    while position > 0:
+        low = max(0, position - field_width)
+        masks.append(((1 << position) - 1) ^ ((1 << low) - 1))
+        position = low
+    return masks
+
+
+def virtual_field_fsm(
+    words: Sequence[TernaryWord],
+    width: int,
+    field_width: int,
+) -> VirtualFsmResult:
+    """Greedy FSM treating every ``field_width``-bit slice as a field.
+
+    Pairs of words not separable by *any* slice (they intersect as ternary
+    strings) cannot be kept together in an order-independent set; such
+    conflicts are resolved by greedily dropping the word involved in the
+    most conflicts, and the dropped indices are reported.
+    """
+    n = len(words)
+    if n == 0:
+        return VirtualFsmResult(field_width, (), (), 0)
+    masks = _field_masks(width, field_width)
+    values, cares = _pack_words(words, width)
+    chunks = values.shape[1]
+
+    # sep[f] is an (n, n) boolean: field f separates the pair.
+    separable = np.zeros((n, n), dtype=bool)
+    per_field: List[np.ndarray] = []
+    mask64 = (1 << 64) - 1
+    for field_mask in masks:
+        sep = np.zeros((n, n), dtype=bool)
+        for j in range(chunks):
+            part = np.uint64((field_mask >> (64 * j)) & mask64)
+            if not part:
+                continue
+            v = values[:, j]
+            c = cares[:, j]
+            diff = (v[:, None] ^ v[None, :]) & c[:, None] & c[None, :] & part
+            sep |= diff != 0
+        per_field.append(sep)
+        separable |= sep
+
+    # Drop words until every remaining pair is separable by some field.
+    alive = np.ones(n, dtype=bool)
+    np.fill_diagonal(separable, True)
+    while True:
+        conflict = ~separable & alive[:, None] & alive[None, :]
+        counts = conflict.sum(axis=1)
+        worst = int(np.argmax(counts))
+        if counts[worst] == 0:
+            break
+        alive[worst] = False
+    dropped = tuple(int(i) for i in np.nonzero(~alive)[0])
+    keep_idx = np.nonzero(alive)[0]
+    m = len(keep_idx)
+    if m <= 1:
+        return VirtualFsmResult(field_width, (0,) if m else (), dropped, len(masks))
+
+    # Greedy set cover over the surviving pair universe.
+    iu = np.triu_indices(m, k=1)
+    rows = keep_idx[iu[0]]
+    cols = keep_idx[iu[1]]
+    num_pairs = len(rows)
+    uncovered = np.ones(num_pairs, dtype=bool)
+    field_pairs = [sep[rows, cols] for sep in per_field]
+    chosen: List[int] = []
+    remaining = set(range(len(masks)))
+    while uncovered.any():
+        best, best_gain = -1, 0
+        for f in remaining:
+            gain = int((field_pairs[f] & uncovered).sum())
+            if gain > best_gain:
+                best, best_gain = f, gain
+        assert best >= 0, "conflict-free pairs must be coverable"
+        chosen.append(best)
+        uncovered &= ~field_pairs[best]
+        remaining.discard(best)
+    return VirtualFsmResult(
+        field_width, tuple(sorted(chosen)), dropped, len(masks)
+    )

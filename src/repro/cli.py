@@ -1,0 +1,333 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+generate     write a synthetic classifier in ClassBench filter format
+analyze      print the Section 7.1 profile of a classifier file
+profile      compute the profile and save classifier+profile as JSON
+classify     build the hybrid engine and classify a generated trace
+experiments  regenerate a paper table/figure (table1|table2|table3|
+             figure1|figure6)
+convert      convert between ClassBench text and the JSON format
+
+Input files ending in ``.json`` are treated as the JSON interchange format;
+anything else is parsed as ClassBench filter text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Tuple
+
+from .analysis import group_statistics
+from .core.classifier import Classifier
+from .saxpac.config import ClassifierProfile, profile_classifier
+from .saxpac.engine import EngineConfig, SaxPacEngine
+from .saxpac.serialization import load_classifier, save_classifier
+from .workloads.classbench import parse_classbench, write_classbench
+from .workloads.generator import STYLES, generate_classifier
+from .workloads.traces import generate_trace
+
+__all__ = ["main", "build_parser"]
+
+
+def _load(path: str) -> Tuple[Classifier, Optional[ClassifierProfile]]:
+    if path.endswith(".json"):
+        return load_classifier(path)
+    return parse_classbench(path), None
+
+
+def _save(classifier: Classifier, path: str, profile=None) -> None:
+    if path.endswith(".json"):
+        save_classifier(classifier, path, profile)
+    else:
+        write_classbench(classifier, path)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI (exposed for docs/tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SAX-PAC packet classification (SIGCOMM 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic classifier")
+    gen.add_argument("--style", choices=sorted(STYLES), default="acl")
+    gen.add_argument("--rules", type=int, default=1000)
+    gen.add_argument("--seed", type=int, default=2014)
+    gen.add_argument("--forwarding", type=int, choices=(4, 6), default=None,
+                     help="generate an IPv4/IPv6 forwarding table instead "
+                          "of a 6-field classifier (JSON output only)")
+    gen.add_argument("--out", required=True,
+                     help=".txt for ClassBench format, .json for JSON")
+
+    ana = sub.add_parser("analyze", help="print a classifier's profile")
+    ana.add_argument("path")
+    ana.add_argument("--betas", type=int, nargs="*", default=[])
+    ana.add_argument("--redundancy", action="store_true",
+                     help="also report provably-dead rules")
+    ana.add_argument("--stats", action="store_true",
+                     help="also print per-field structural statistics")
+
+    prof = sub.add_parser("profile", help="save classifier + profile JSON")
+    prof.add_argument("path")
+    prof.add_argument("--out", required=True)
+    prof.add_argument("--betas", type=int, nargs="*", default=[])
+
+    cls = sub.add_parser("classify", help="run a trace through the engine")
+    cls.add_argument("path")
+    cls.add_argument("--trace", type=int, default=10000)
+    cls.add_argument("--seed", type=int, default=1)
+    cls.add_argument("--max-groups", type=int, default=None)
+    cls.add_argument("--cache", action="store_true",
+                     help="enforce the MRCC cache property")
+
+    exp = sub.add_parser("experiments", help="regenerate a table/figure")
+    exp.add_argument(
+        "which",
+        choices=["table1", "table2", "table3", "figure1", "figure6"],
+    )
+    exp.add_argument("--rules", type=int, default=None,
+                     help="ClassBench-style classifier size")
+
+    conv = sub.add_parser("convert", help="convert between formats")
+    conv.add_argument("src")
+    conv.add_argument("dst")
+
+    flows = sub.add_parser(
+        "export-flows", help="render a classifier as OpenFlow entries"
+    )
+    flows.add_argument("path")
+    flows.add_argument("--out", default=None,
+                       help="output file (default: stdout)")
+
+    rep = sub.add_parser(
+        "report",
+        help="collate benchmark outputs under results/ into one REPORT.md",
+    )
+    rep.add_argument("--results", default="results",
+                     help="directory holding the *.txt benchmark outputs")
+    rep.add_argument("--out", default=None,
+                     help="output path (default: <results>/REPORT.md)")
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    if args.forwarding is not None:
+        from .workloads.forwarding import generate_forwarding_table
+
+        classifier = generate_forwarding_table(
+            args.rules, args.seed, version=args.forwarding
+        )
+        if not args.out.endswith(".json"):
+            print("forwarding tables are single-field; use a .json output",
+                  file=sys.stderr)
+            return 2
+        _save(classifier, args.out)
+        print(f"wrote {len(classifier.body)} IPv{args.forwarding} prefixes "
+              f"to {args.out}")
+        return 0
+    classifier = generate_classifier(args.style, args.rules, args.seed)
+    _save(classifier, args.out)
+    print(f"wrote {len(classifier.body)} {args.style} rules to {args.out}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    classifier, stored = _load(args.path)
+    profile = stored or profile_classifier(
+        classifier, betas=tuple(args.betas)
+    )
+    independent = profile.max_order_independent
+    print(f"{args.path}: {profile.num_rules} rules, "
+          f"{classifier.schema.total_width} bits")
+    print(f"  order-independent: {independent.size} "
+          f"({profile.independent_fraction:.1%})")
+    fsm = profile.fsm_on_independent
+    if fsm is not None:
+        names = [classifier.schema[f].name for f in fsm.kept_fields]
+        print(f"  FSM fields: {names} ({fsm.lookup_width} bits, "
+              f"{fsm.method})")
+    print(f"  2-field groups needed: {profile.min_groups_two_fields}")
+    for beta, assignment in sorted(profile.group_assignments.items()):
+        stats = group_statistics(assignment)
+        print(f"  beta={beta}: {stats.covered_rules} rules in "
+              f"{stats.num_groups} groups, "
+              f"{len(assignment.ungrouped)} spilled to D")
+    if getattr(args, "redundancy", False):
+        from .analysis.redundancy import remove_redundant
+
+        _cleaned, removed = remove_redundant(classifier)
+        print(f"  provably-dead rules: {len(removed)}")
+    if getattr(args, "stats", False):
+        from .analysis.statistics import classifier_statistics
+
+        stats = classifier_statistics(classifier)
+        print(f"  mean specificity: {stats.mean_specificity_bits:.1f} of "
+              f"{stats.total_width} bits")
+        for field in stats.fields:
+            print(f"    {field.name:>10}: wildcard {field.wildcard_fraction:.0%}, "
+                  f"exact {field.exact_fraction:.0%}, "
+                  f"separates {field.separation_fraction:.0%} of pairs")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    classifier, _ = _load(args.path)
+    profile = profile_classifier(classifier, betas=tuple(args.betas))
+    save_classifier(classifier, args.out, profile)
+    print(f"wrote classifier + profile to {args.out}")
+    return 0
+
+
+def _cmd_classify(args) -> int:
+    classifier, _ = _load(args.path)
+    config = EngineConfig(
+        max_groups=args.max_groups, enforce_cache=args.cache
+    )
+    engine = SaxPacEngine(classifier, config)
+    report = engine.report()
+    print(f"engine: {report.software_rules}/{report.total_rules} rules in "
+          f"software ({report.num_groups} groups), "
+          f"{report.tcam_entries} TCAM entries "
+          f"(full TCAM: {report.tcam_entries_full})")
+    trace = generate_trace(classifier, args.trace, seed=args.seed)
+    import time
+
+    t0 = time.perf_counter()
+    for header in trace:
+        engine.match(header)
+    elapsed = time.perf_counter() - t0
+    rate = len(trace) / elapsed if elapsed else float("inf")
+    print(f"classified {len(trace)} packets in {elapsed:.2f}s "
+          f"({rate:,.0f} pkt/s)")
+    stats = engine.software.stats
+    print(f"  group probes: {stats.probes}, candidates: {stats.candidates}, "
+          f"false positives: {stats.false_positives}")
+    if args.cache:
+        print(f"  D lookups skipped: {engine.d_lookups_skipped}")
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from .bench import experiments as drivers
+    from .bench.harness import cached_suite
+
+    suite = cached_suite(rules=args.rules)
+    runners = {
+        "table1": (drivers.run_table1, drivers.render_table1),
+        "table2": (drivers.run_table2, drivers.render_table2),
+        "table3": (drivers.run_table3, drivers.render_table3),
+        "figure1": (drivers.run_figure1, drivers.render_figure1),
+        "figure6": (drivers.run_figure6, drivers.render_figure6),
+    }
+    run, render = runners[args.which]
+    print(render(run(suite)))
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    classifier, profile = _load(args.src)
+    _save(classifier, args.dst, profile)
+    print(f"converted {args.src} -> {args.dst} "
+          f"({len(classifier.body)} rules)")
+    return 0
+
+
+def _cmd_export_flows(args) -> int:
+    from .workloads.openflow import flow_count, to_flow_table
+
+    classifier, _ = _load(args.path)
+    text = to_flow_table(classifier)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {flow_count(classifier)} flows "
+              f"({len(classifier.body)} rules) to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+#: Preferred REPORT.md section order; anything else lands under "Other".
+_REPORT_ORDER = (
+    ("Paper tables and figures",
+     ("table1_space", "figure1_range_growth", "table2_mindnf",
+      "table3_groups", "figure6_resolution")),
+    ("Extra experiments",
+     ("updates_insert", "updates_tcam_moves", "forwarding_v4_v6",
+      "forwarding_xbw", "distribution_inversions", "redundancy_removal")),
+    ("Ablations",
+     ("ablation_mrc_order", "ablation_srge", "ablation_negative",
+      "ablation_probe_structure", "ablation_cascading",
+      "ablation_cache_power", "ablation_sweep", "ablation_fp_budget")),
+)
+
+
+def _cmd_report(args) -> int:
+    import os
+
+    directory = args.results
+    if not os.path.isdir(directory):
+        print(f"no results directory at {directory}; run "
+              "`pytest benchmarks/ --benchmark-only` first",
+              file=sys.stderr)
+        return 2
+    available = {
+        name[:-4]
+        for name in os.listdir(directory)
+        if name.endswith(".txt")
+    }
+    sections: List[str] = ["# SAX-PAC reproduction report", ""]
+    covered = set()
+    for title, names in _REPORT_ORDER:
+        present = [n for n in names if n in available]
+        if not present:
+            continue
+        sections.append(f"## {title}")
+        for name in present:
+            covered.add(name)
+            with open(os.path.join(directory, f"{name}.txt")) as handle:
+                sections.append("```")
+                sections.append(handle.read().rstrip())
+                sections.append("```")
+                sections.append("")
+    leftovers = sorted(available - covered)
+    if leftovers:
+        sections.append("## Other")
+        for name in leftovers:
+            with open(os.path.join(directory, f"{name}.txt")) as handle:
+                sections.append("```")
+                sections.append(handle.read().rstrip())
+                sections.append("```")
+                sections.append("")
+    out_path = args.out or os.path.join(directory, "REPORT.md")
+    with open(out_path, "w") as handle:
+        handle.write("\n".join(sections) + "\n")
+    print(f"wrote {out_path} ({len(available)} result files)")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "report": _cmd_report,
+    "analyze": _cmd_analyze,
+    "profile": _cmd_profile,
+    "classify": _cmd_classify,
+    "experiments": _cmd_experiments,
+    "convert": _cmd_convert,
+    "export-flows": _cmd_export_flows,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Core model: fields, intervals, rules, classifiers, packets, actions."""
+
+from .actions import DENY, PERMIT, TRANSMIT, Action, ActionKind
+from .classifier import Classifier, MatchResult
+from .fields import (
+    FieldKind,
+    FieldSchema,
+    FieldSpec,
+    classbench_schema,
+    ipv4_5tuple_schema,
+    uniform_schema,
+)
+from .intervals import (
+    Interval,
+    full_interval,
+    interval_from_prefix,
+    interval_from_value_mask,
+    merge_intervals,
+    prefix_for_interval,
+    split_into_prefixes,
+)
+from .packet import Header, Packet, format_header, validate_header
+from .rule import Rule, catch_all_rule, make_rule
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "Classifier",
+    "DENY",
+    "FieldKind",
+    "FieldSchema",
+    "FieldSpec",
+    "Header",
+    "Interval",
+    "MatchResult",
+    "PERMIT",
+    "Packet",
+    "Rule",
+    "TRANSMIT",
+    "catch_all_rule",
+    "classbench_schema",
+    "format_header",
+    "full_interval",
+    "interval_from_prefix",
+    "interval_from_value_mask",
+    "ipv4_5tuple_schema",
+    "make_rule",
+    "merge_intervals",
+    "prefix_for_interval",
+    "split_into_prefixes",
+    "uniform_schema",
+    "validate_header",
+]

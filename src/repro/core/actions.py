@@ -1,0 +1,48 @@
+"""Rule actions.
+
+The paper's model attaches an action ``A_j`` to every rule and fixes the
+catch-all action to TRANSMIT.  Classification returns the action of the
+highest-priority matching rule; actions themselves are opaque to every
+algorithm in the library, so we model them as a tiny enum plus an optional
+user payload.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = ["ActionKind", "Action", "TRANSMIT", "DENY", "PERMIT"]
+
+
+class ActionKind(enum.Enum):
+    """Built-in action verbs seen in ACL/QoS classifiers."""
+
+    TRANSMIT = "transmit"
+    PERMIT = "permit"
+    DENY = "deny"
+    MARK = "mark"
+    REDIRECT = "redirect"
+    CUSTOM = "custom"
+
+
+@dataclass(frozen=True)
+class Action:
+    """An action verb plus an optional payload (queue id, next hop, ...)."""
+
+    kind: ActionKind
+    payload: Optional[Any] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.payload is None:
+            return self.kind.value
+        return f"{self.kind.value}({self.payload!r})"
+
+
+#: The catch-all action of the paper's model: transmit unchanged.
+TRANSMIT = Action(ActionKind.TRANSMIT)
+
+#: Conventional ACL actions.
+PERMIT = Action(ActionKind.PERMIT)
+DENY = Action(ActionKind.DENY)

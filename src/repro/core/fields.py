@@ -1,0 +1,180 @@
+"""Field schemas: names, widths and kinds of the classification fields.
+
+A classifier is defined over an ordered tuple of fields (paper, Section 2);
+each field ``i`` is a ``W_i``-bit string matched against a range.  The schema
+is shared by every rule of a classifier and drives TCAM width accounting
+(Table 1 reports 120-bit five-tuple-plus-flags classifiers and 152-bit
+versions extended with two 16-bit range fields).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+__all__ = [
+    "FieldKind",
+    "FieldSpec",
+    "FieldSchema",
+    "ipv4_5tuple_schema",
+    "classbench_schema",
+    "uniform_schema",
+]
+
+
+class FieldKind(enum.Enum):
+    """How a field's values are conventionally expressed.
+
+    The kind is advisory — every field is internally a range — but it guides
+    workload generation and pretty-printing (prefixes print as ``a.b.c.d/len``,
+    ranges as ``lo : hi``).
+    """
+
+    PREFIX = "prefix"
+    RANGE = "range"
+    EXACT = "exact"
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """A single classification field: a name, a bit width and a kind."""
+
+    name: str
+    width: int
+    kind: FieldKind = FieldKind.RANGE
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"field {self.name!r}: width must be positive")
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable value, ``2**width - 1``."""
+        return (1 << self.width) - 1
+
+
+@dataclass(frozen=True)
+class FieldSchema:
+    """An ordered, immutable collection of :class:`FieldSpec`.
+
+    Provides the width arithmetic used throughout the paper's space
+    accounting: the classifier width is the sum of field widths, and
+    Theorem 2 reductions report the width of a *subset* of fields.
+    """
+
+    fields: Tuple[FieldSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.fields:
+            raise ValueError("a schema needs at least one field")
+        names = [f.name for f in self.fields]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate field names in schema: {names}")
+
+    @classmethod
+    def of(cls, fields: Iterable[FieldSpec]) -> "FieldSchema":
+        """Build a schema from any iterable of specs."""
+        return cls(tuple(fields))
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __iter__(self) -> Iterator[FieldSpec]:
+        return iter(self.fields)
+
+    def __getitem__(self, index: int) -> FieldSpec:
+        return self.fields[index]
+
+    def index_of(self, name: str) -> int:
+        """Position of the field called ``name``; raises KeyError if absent."""
+        for i, spec in enumerate(self.fields):
+            if spec.name == name:
+                return i
+        raise KeyError(f"no field named {name!r}")
+
+    @property
+    def names(self) -> List[str]:
+        """Field names, in order."""
+        return [f.name for f in self.fields]
+
+    @property
+    def widths(self) -> List[int]:
+        """Field widths in bits, in order."""
+        return [f.width for f in self.fields]
+
+    @property
+    def total_width(self) -> int:
+        """Classifier width in bits — the concatenation of all fields."""
+        return sum(f.width for f in self.fields)
+
+    def subset_width(self, indices: Sequence[int]) -> int:
+        """Total width of the fields at ``indices`` (FSM lookup width)."""
+        return sum(self.fields[i].width for i in indices)
+
+    # ------------------------------------------------------------------
+    # Derived schemas
+    # ------------------------------------------------------------------
+    def keep(self, indices: Sequence[int]) -> "FieldSchema":
+        """Schema restricted to the fields at ``indices`` (``K(S)``)."""
+        return FieldSchema(tuple(self.fields[i] for i in indices))
+
+    def drop(self, indices: Sequence[int]) -> "FieldSchema":
+        """Schema with the fields at ``indices`` removed (``K^-F``)."""
+        dropped = set(indices)
+        kept = tuple(f for i, f in enumerate(self.fields) if i not in dropped)
+        return FieldSchema(kept)
+
+    def extend(self, extra: Iterable[FieldSpec]) -> "FieldSchema":
+        """Schema with additional fields appended (``K^+F``, Theorem 1)."""
+        return FieldSchema(self.fields + tuple(extra))
+
+
+def ipv4_5tuple_schema() -> FieldSchema:
+    """The classical 104-bit IPv4 five-tuple."""
+    return FieldSchema(
+        (
+            FieldSpec("src_ip", 32, FieldKind.PREFIX),
+            FieldSpec("dst_ip", 32, FieldKind.PREFIX),
+            FieldSpec("src_port", 16, FieldKind.RANGE),
+            FieldSpec("dst_port", 16, FieldKind.RANGE),
+            FieldSpec("protocol", 8, FieldKind.EXACT),
+        )
+    )
+
+
+def classbench_schema() -> FieldSchema:
+    """The 120-bit six-field format of the paper's benchmark classifiers.
+
+    ClassBench rules carry the five-tuple plus a 16-bit TCP-flags field;
+    32 + 32 + 16 + 16 + 8 + 16 = 120 bits, matching the "Width, bits" column
+    of Table 1.
+    """
+    return ipv4_5tuple_schema().extend(
+        (FieldSpec("flags", 16, FieldKind.EXACT),)
+    )
+
+
+def uniform_schema(num_fields: int, width: int, prefix: str = "f") -> FieldSchema:
+    """A schema of ``num_fields`` identical ``width``-bit range fields.
+
+    Handy for the paper's small worked examples (Examples 1-10 use 4- and
+    5-bit fields) and for synthetic stress tests.
+    """
+    return FieldSchema(
+        tuple(
+            FieldSpec(f"{prefix}{i}", width, FieldKind.RANGE)
+            for i in range(num_fields)
+        )
+    )
+
+
+def synthetic_range_fields(count: int, width: int = 16) -> List[FieldSpec]:
+    """Specs for ``count`` synthetic range fields, as added in Table 1 /
+    Figure 1 ("additional random synthetic 16-bit range fields")."""
+    return [
+        FieldSpec(f"range{i}", width, FieldKind.RANGE) for i in range(count)
+    ]

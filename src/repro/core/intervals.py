@@ -1,0 +1,196 @@
+"""Closed integer intervals — the atomic match constraint of a rule field.
+
+The SAX-PAC model (paper, Section 2) represents every field of a rule as a
+range of values ``[low, high]`` on ``width`` bits.  Prefixes are the special
+case where the range is aligned and sized to a power of two; exact values are
+the special case ``low == high``.
+
+This module provides the :class:`Interval` value type plus conversions
+between ranges and prefixes, which the TCAM substrate builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Interval",
+    "full_interval",
+    "interval_from_prefix",
+    "interval_from_value_mask",
+    "prefix_for_interval",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A closed integer interval ``[low, high]``, with ``low <= high``.
+
+    Instances are immutable, hashable and totally ordered (lexicographically
+    by ``(low, high)``), which makes them usable as dict keys and sortable
+    for sweep-line algorithms.
+    """
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ValueError(f"empty interval: low={self.low} > high={self.high}")
+        if self.low < 0:
+            raise ValueError(f"negative interval bound: {self.low}")
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def contains(self, value: int) -> bool:
+        """Return True if ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+    __contains__ = contains
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Return True if the two intervals share at least one value."""
+        return self.low <= other.high and other.low <= self.high
+
+    def disjoint(self, other: "Interval") -> bool:
+        """Return True if the two intervals share no value.
+
+        Two rules are *order-independent* exactly when they are disjoint in
+        at least one field — this predicate is the heart of the whole paper.
+        """
+        return not self.overlaps(other)
+
+    def covers(self, other: "Interval") -> bool:
+        """Return True if ``other`` is fully contained in this interval."""
+        return self.low <= other.low and other.high <= self.high
+
+    def intersection(self, other: "Interval") -> Optional["Interval"]:
+        """Return the overlap of the two intervals, or None if disjoint."""
+        low = max(self.low, other.low)
+        high = min(self.high, other.high)
+        if low > high:
+            return None
+        return Interval(low, high)
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.high - self.low + 1
+
+    @property
+    def size(self) -> int:
+        """Number of integer points covered."""
+        return self.high - self.low + 1
+
+    def is_full(self, width: int) -> bool:
+        """Return True if the interval is the wildcard ``[0, 2**width - 1]``."""
+        return self.low == 0 and self.high == (1 << width) - 1
+
+    def is_exact(self) -> bool:
+        """Return True if the interval matches a single value."""
+        return self.low == self.high
+
+    def is_prefix(self, width: int) -> bool:
+        """Return True if the interval is expressible as one prefix on
+        ``width`` bits (aligned, power-of-two sized)."""
+        return prefix_for_interval(self, width) is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.low}, {self.high}]"
+
+
+def full_interval(width: int) -> Interval:
+    """The wildcard interval covering every ``width``-bit value."""
+    if width <= 0:
+        raise ValueError(f"field width must be positive, got {width}")
+    return Interval(0, (1 << width) - 1)
+
+
+def interval_from_prefix(value: int, prefix_len: int, width: int) -> Interval:
+    """Interval matched by the prefix of ``prefix_len`` leading bits of
+    ``value`` on a ``width``-bit field.
+
+    ``prefix_len == 0`` yields the wildcard; ``prefix_len == width`` an exact
+    match.
+    """
+    if not 0 <= prefix_len <= width:
+        raise ValueError(f"prefix length {prefix_len} outside [0, {width}]")
+    if not 0 <= value < (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    span = width - prefix_len
+    low = (value >> span) << span
+    high = low + (1 << span) - 1
+    return Interval(low, high)
+
+
+def interval_from_value_mask(value: int, mask: int, width: int) -> Interval:
+    """Interval for a *contiguous* (prefix-style) value/mask pair.
+
+    Raises ValueError for non-contiguous masks, which do not describe a
+    single interval.
+    """
+    if mask < 0 or mask >= (1 << width) + (0 if mask < (1 << width) else 1):
+        raise ValueError(f"mask {mask:#x} does not fit in {width} bits")
+    # A prefix mask has all its set bits at the top: mask == ~0 << span.
+    span = width
+    while span > 0 and mask & (1 << (span - 1)):
+        span -= 1
+    expected = ((1 << width) - 1) ^ ((1 << span) - 1)
+    if mask != expected:
+        raise ValueError(f"mask {mask:#x} is not a contiguous prefix mask")
+    prefix_len = width - span
+    return interval_from_prefix(value & mask, prefix_len, width)
+
+
+def prefix_for_interval(interval: Interval, width: int) -> Optional[Tuple[int, int]]:
+    """Return ``(value, prefix_len)`` if ``interval`` is a single prefix on
+    ``width`` bits, else None."""
+    size = interval.size
+    if size & (size - 1):
+        return None  # not a power of two
+    if interval.low % size:
+        return None  # not aligned
+    if interval.high >= (1 << width):
+        return None
+    span = size.bit_length() - 1
+    return interval.low >> span, width - span
+
+
+def split_into_prefixes(interval: Interval, width: int) -> Iterator[Tuple[int, int]]:
+    """Yield the minimal set of prefixes ``(value, prefix_len)`` whose union
+    is exactly ``interval``.
+
+    This is the classical binary range expansion of [36] (Srinivasan et al.);
+    a ``width``-bit range needs at most ``2 * width - 2`` prefixes.  The TCAM
+    cost model (``repro.tcam.encoding``) wraps this into entry counting.
+    """
+    if interval.high >= (1 << width):
+        raise ValueError(f"interval {interval} does not fit in {width} bits")
+    low, high = interval.low, interval.high
+    while low <= high:
+        # Largest aligned block starting at `low` that does not overshoot.
+        span = (low & -low).bit_length() - 1 if low else width
+        while low + (1 << span) - 1 > high:
+            span -= 1
+        yield low >> span, width - span
+        low += 1 << span
+        if low == 0:  # wrapped past the top of the space
+            break
+
+
+def merge_intervals(intervals: List[Interval]) -> List[Interval]:
+    """Merge a list of intervals into a minimal sorted list of disjoint
+    intervals covering the same points."""
+    if not intervals:
+        return []
+    merged: List[Interval] = []
+    for cur in sorted(intervals):
+        if merged and cur.low <= merged[-1].high + 1:
+            last = merged.pop()
+            merged.append(Interval(last.low, max(last.high, cur.high)))
+        else:
+            merged.append(cur)
+    return merged

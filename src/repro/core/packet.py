@@ -1,0 +1,77 @@
+"""Packet headers.
+
+A packet header is simply a tuple of field values conforming to a
+:class:`~repro.core.fields.FieldSchema`.  The library keeps headers as plain
+tuples for speed, but this module provides a validating wrapper, pretty
+printing, and helpers used by trace generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from .fields import FieldKind, FieldSchema
+
+__all__ = ["Header", "validate_header", "format_header"]
+
+
+Header = Tuple[int, ...]
+
+
+def validate_header(header: Sequence[int], schema: FieldSchema) -> Header:
+    """Check that ``header`` fits ``schema`` and return it as a tuple.
+
+    Raises ValueError on arity or range violations.  Hot paths skip this and
+    trust their inputs; use it at API boundaries.
+    """
+    if len(header) != len(schema):
+        raise ValueError(
+            f"header has {len(header)} fields, schema expects {len(schema)}"
+        )
+    for value, spec in zip(header, schema):
+        if not 0 <= value <= spec.max_value:
+            raise ValueError(
+                f"field {spec.name!r}: value {value} outside "
+                f"[0, {spec.max_value}]"
+            )
+    return tuple(header)
+
+
+def _format_ipv4(value: int) -> str:
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def format_header(header: Sequence[int], schema: FieldSchema) -> str:
+    """Human-readable rendering of a header, IPv4-style for 32-bit prefix
+    fields."""
+    parts = []
+    for value, spec in zip(header, schema):
+        if spec.kind is FieldKind.PREFIX and spec.width == 32:
+            parts.append(f"{spec.name}={_format_ipv4(value)}")
+        else:
+            parts.append(f"{spec.name}={value}")
+    return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A validated header bound to its schema.
+
+    Mostly a convenience for examples and debugging; algorithms accept bare
+    tuples.
+    """
+
+    header: Header
+    schema: FieldSchema
+
+    @classmethod
+    def of(cls, header: Sequence[int], schema: FieldSchema) -> "Packet":
+        """Validate and wrap a header."""
+        return cls(validate_header(header, schema), schema)
+
+    def __getitem__(self, index: int) -> int:
+        return self.header[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Packet({format_header(self.header, self.schema)})"

@@ -1,0 +1,137 @@
+"""Classification rules.
+
+A rule (paper, Section 2) is an ordered set of per-field ranges plus an
+action: ``R = (I_1, ..., I_k) -> A``.  A packet header matches the rule if
+every field value lies inside the corresponding range.  Two rules *intersect*
+if their ranges overlap in every field; order-independence of a classifier is
+pairwise non-intersection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Optional, Sequence, Tuple
+
+from .actions import Action, TRANSMIT
+from .fields import FieldSchema
+from .intervals import Interval, full_interval
+
+__all__ = ["Rule", "make_rule", "catch_all_rule"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """An immutable rule: one :class:`Interval` per field plus an action.
+
+    Rules do not carry priority — priority is positional, defined by the
+    enclosing :class:`~repro.core.classifier.Classifier`.  This keeps rules
+    freely shareable between the original classifier, its reduced versions
+    (``R^-m``), and group decompositions.
+    """
+
+    intervals: Tuple[Interval, ...]
+    action: Action = TRANSMIT
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.intervals:
+            raise ValueError("a rule needs at least one field")
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    @property
+    def num_fields(self) -> int:
+        """Number of fields the rule constrains."""
+        return len(self.intervals)
+
+    def matches(self, header: Sequence[int]) -> bool:
+        """Return True if every field of ``header`` lies inside the rule's
+        corresponding range."""
+        if len(header) != len(self.intervals):
+            raise ValueError(
+                f"header has {len(header)} fields, rule has {len(self.intervals)}"
+            )
+        return all(iv.contains(v) for iv, v in zip(self.intervals, header))
+
+    def matches_on(self, header: Sequence[int], indices: Sequence[int]) -> bool:
+        """Match only the fields at ``indices`` (the reduced lookup of
+        Theorem 2); ``header`` is still a full header."""
+        return all(self.intervals[i].contains(header[i]) for i in indices)
+
+    # ------------------------------------------------------------------
+    # Pairwise geometry
+    # ------------------------------------------------------------------
+    def intersects(self, other: "Rule") -> bool:
+        """True if some header matches both rules (overlap in every field)."""
+        return all(a.overlaps(b) for a, b in zip(self.intervals, other.intervals))
+
+    def intersects_on(self, other: "Rule", indices: Sequence[int]) -> bool:
+        """True if the two rules overlap in every field of ``indices``.
+
+        Rules that do *not* intersect on a subset are order-independent when
+        the classifier is restricted to that subset.
+        """
+        return all(
+            self.intervals[i].overlaps(other.intervals[i]) for i in indices
+        )
+
+    def disjoint_fields(self, other: "Rule") -> Tuple[int, ...]:
+        """Indices of fields where the two rules' ranges are disjoint —
+        the *witnesses* of their order-independence."""
+        return tuple(
+            i
+            for i, (a, b) in enumerate(zip(self.intervals, other.intervals))
+            if a.disjoint(b)
+        )
+
+    # ------------------------------------------------------------------
+    # Field surgery (Theorems 1 and 2)
+    # ------------------------------------------------------------------
+    def restrict(self, indices: Sequence[int]) -> "Rule":
+        """The reduced rule ``R^-m`` keeping only the fields at ``indices``."""
+        return replace(
+            self, intervals=tuple(self.intervals[i] for i in indices)
+        )
+
+    def drop_fields(self, indices: Sequence[int]) -> "Rule":
+        """The reduced rule with the fields at ``indices`` removed."""
+        dropped = set(indices)
+        kept = tuple(
+            iv for i, iv in enumerate(self.intervals) if i not in dropped
+        )
+        return replace(self, intervals=kept)
+
+    def extend(self, extra: Iterable[Interval]) -> "Rule":
+        """The expanded rule ``R^+m`` with new constraints appended
+        (Theorem 1)."""
+        return replace(self, intervals=self.intervals + tuple(extra))
+
+    def is_catch_all(self, schema: FieldSchema) -> bool:
+        """True if every field is the full wildcard for ``schema``."""
+        return all(
+            iv.is_full(spec.width) for iv, spec in zip(self.intervals, schema)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = ", ".join(repr(iv) for iv in self.intervals)
+        label = f" {self.name}" if self.name else ""
+        return f"Rule{label}({body} -> {self.action!r})"
+
+
+def make_rule(
+    ranges: Sequence[Tuple[int, int]],
+    action: Action = TRANSMIT,
+    name: Optional[str] = None,
+) -> Rule:
+    """Convenience constructor from ``[(low, high), ...]`` pairs."""
+    return Rule(tuple(Interval(lo, hi) for lo, hi in ranges), action, name)
+
+
+def catch_all_rule(schema: FieldSchema, action: Action = TRANSMIT) -> Rule:
+    """The mandatory last rule ``R_N = (*, ..., *)`` of the model."""
+    return Rule(
+        tuple(full_interval(spec.width) for spec in schema),
+        action,
+        name="catch-all",
+    )

@@ -1,0 +1,201 @@
+"""Fractional cascading for the two-field lookup — O(log N) total.
+
+The plain :class:`~repro.lookup.two_field.TwoFieldIndex` walks the O(log N)
+segment-tree path and performs an independent O(log N) binary search at
+every node — O(log^2 N) overall.  The paper's cited bound ([36]) is
+O(log N); fractional cascading is the classical way to get there: search
+the *root's* augmented catalog once, then follow constant-time bridge
+pointers down the path instead of re-searching.
+
+Construction (bottom-up over the segment-tree heap):
+
+* every node v keeps its own catalog — the second-field interval lows of
+  the rules stored at v (pairwise disjoint by order-independence);
+* the augmented list ``A_v`` merges v's catalog keys with every second
+  element of each child's augmented list, so |A_v| summed over the tree is
+  at most a constant factor of the total catalog size (linear memory);
+* each augmented element stores three bridges: its position in v's own
+  catalog and its positions in the children's augmented lists.
+
+Query(q_a, q_b): locate the leaf for ``q_a``; binary-search ``q_b`` once in
+``A_root``; at each node on the root-to-leaf path, convert the augmented
+position to a catalog position (O(1)), test the single candidate interval,
+and hop to the child's augmented position via the bridge plus a bounded
+local walk (the every-second-element sampling guarantees the bridge is off
+by at most a couple of slots).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Generic, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from ..core.intervals import Interval
+from .segment_tree import SegmentTree
+
+__all__ = ["CascadingTwoFieldIndex"]
+
+T = TypeVar("T")
+
+
+class _Node:
+    """Per-heap-node catalog + augmented list + bridges."""
+
+    __slots__ = (
+        "lows", "highs", "payloads", "aug", "to_catalog", "to_left",
+        "to_right",
+    )
+
+    def __init__(self) -> None:
+        self.lows: List[int] = []
+        self.highs: List[int] = []
+        self.payloads: List[T] = []
+        self.aug: List[int] = []
+        self.to_catalog: List[int] = []
+        self.to_left: List[int] = []
+        self.to_right: List[int] = []
+
+
+def _merge_sorted(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    out: List[int] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        if a[i] <= b[j]:
+            out.append(a[i])
+            i += 1
+        else:
+            out.append(b[j])
+            j += 1
+    out.extend(a[i:])
+    out.extend(b[j:])
+    return out
+
+
+class CascadingTwoFieldIndex(Generic[T]):
+    """Drop-in alternative to TwoFieldIndex with cascaded second-field
+    searches.  Same precondition: the rule set must be order-independent
+    on the two dimensions."""
+
+    def __init__(self, items: Iterable[Tuple[Interval, Interval, T]]) -> None:
+        triples = list(items)
+        tree: SegmentTree[Tuple[Interval, T]] = SegmentTree(
+            a for a, _b, _p in triples
+        )
+        for a, b, payload in triples:
+            tree.insert(a, (b, payload))
+        self._bounds = tree._bounds
+        self._num_leaves = tree._num_leaves
+        self._size = tree._size
+        self._count = len(triples)
+        heap_len = 2 * self._size
+        self._nodes: List[_Node] = [_Node() for _ in range(heap_len)]
+        # Fill catalogs from the segment tree's buckets (sorted by b.low;
+        # disjointness is what makes a single candidate per node valid).
+        for index in range(1, heap_len):
+            bucket = tree._nodes[index] if index < len(tree._nodes) else None
+            if not bucket:
+                continue
+            node = self._nodes[index]
+            for _a, (b, payload) in sorted(
+                bucket, key=lambda item: item[1][0].low
+            ):
+                if node.lows and b.low <= node.highs[-1]:
+                    raise ValueError(
+                        "rule set is not order-independent on the two "
+                        "chosen fields (overlap within a canonical node)"
+                    )
+                node.lows.append(b.low)
+                node.highs.append(b.high)
+                node.payloads.append(payload)
+        # Build augmented lists bottom-up.
+        for index in range(heap_len - 1, 0, -1):
+            node = self._nodes[index]
+            left_i, right_i = 2 * index, 2 * index + 1
+            sampled: List[int] = []
+            if left_i < heap_len:
+                sampled = self._nodes[left_i].aug[::2]
+            if right_i < heap_len:
+                sampled = _merge_sorted(
+                    sampled, self._nodes[right_i].aug[::2]
+                )
+            node.aug = _merge_sorted(node.lows, sampled)
+            node.to_catalog = [
+                bisect.bisect_left(node.lows, key) for key in node.aug
+            ]
+            if left_i < heap_len:
+                left_aug = self._nodes[left_i].aug
+                node.to_left = [
+                    bisect.bisect_left(left_aug, key) for key in node.aug
+                ]
+            if right_i < heap_len:
+                right_aug = self._nodes[right_i].aug
+                node.to_right = [
+                    bisect.bisect_left(right_aug, key) for key in node.aug
+                ]
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def memory_slots(self) -> int:
+        """Augmented + catalog entries — linear in the stored rules."""
+        return sum(len(n.aug) + len(n.lows) for n in self._nodes)
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def _leaf_of(self, value: int) -> Optional[int]:
+        i = bisect.bisect_right(self._bounds, value) - 1
+        if i < 0 or i >= self._num_leaves:
+            return None
+        return i
+
+    def lookup(self, value_a: int, value_b: int) -> Optional[T]:
+        """Payload of the unique matching triple, or None."""
+        leaf = self._leaf_of(value_a)
+        if leaf is None:
+            return None
+        # Root-to-leaf path in the heap.
+        path: List[int] = []
+        node_index = leaf + self._size
+        while node_index >= 1:
+            path.append(node_index)
+            node_index //= 2
+        path.reverse()
+        # One real binary search, at the root; everything below is O(1).
+        query = value_b + 1  # bisect_left with q+1 == bisect_right with q
+        root = self._nodes[path[0]]
+        pos = bisect.bisect_left(root.aug, query)
+        for depth, index in enumerate(path):
+            node = self._nodes[index]
+            # Candidate catalog slot: last interval with low <= value_b.
+            if node.lows:
+                if pos < len(node.aug):
+                    cpos = node.to_catalog[pos]
+                else:
+                    cpos = len(node.lows)
+                # to_catalog maps the aug key, which is >= query-1; fix up
+                # so cpos = bisect_left(lows, query).
+                while cpos > 0 and node.lows[cpos - 1] >= query:
+                    cpos -= 1
+                while cpos < len(node.lows) and node.lows[cpos] < query:
+                    cpos += 1
+                ci = cpos - 1
+                if ci >= 0 and node.highs[ci] >= value_b:
+                    return node.payloads[ci]
+            if depth + 1 == len(path):
+                break
+            child_index = path[depth + 1]
+            bridges = node.to_left if child_index % 2 == 0 else node.to_right
+            child_aug = self._nodes[child_index].aug
+            if pos < len(node.aug):
+                child_pos = bridges[pos]
+            else:
+                child_pos = len(child_aug)
+            # Local fix-up: the sample keeps us within a couple of slots.
+            while child_pos > 0 and child_aug[child_pos - 1] >= query:
+                child_pos -= 1
+            while child_pos < len(child_aug) and child_aug[child_pos] < query:
+                child_pos += 1
+            pos = child_pos
+        return None

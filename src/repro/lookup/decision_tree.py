@@ -1,0 +1,184 @@
+"""HiCuts-style decision tree — the cutting-based software baseline.
+
+The algorithmic family the paper's related work surveys ([11] HiCuts,
+[32] HyperCuts, [39] EffiCuts) partitions the multi-dimensional rule space
+with axis-parallel equal-width cuts until few enough rules remain per leaf
+to scan linearly.  The well-known tradeoff — and the reason the paper takes
+a different route — is *rule replication*: a rule spanning many children is
+stored in all of them, so memory can blow up while lookup stays fast.
+
+This implementation follows the HiCuts heuristics: pick the dimension with
+the most distinct rule projections, cut into ``min(max_cuts, ~2*sqrt(n))``
+equal slices, stop at ``binth`` rules per leaf or at ``max_depth``.  The
+build reports replication statistics so benches can expose the tradeoff.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.classifier import Classifier
+from ..core.intervals import Interval
+
+__all__ = ["DecisionTreeClassifier", "TreeStats"]
+
+
+@dataclass
+class TreeStats:
+    """Build-time structure statistics."""
+
+    nodes: int = 0
+    leaves: int = 0
+    max_depth: int = 0
+    stored_rules: int = 0  # sum of leaf list lengths (replication included)
+
+    def replication_factor(self, num_rules: int) -> float:
+        """Stored rule references per original rule (memory blow-up)."""
+        if num_rules == 0:
+            return 1.0
+        return self.stored_rules / num_rules
+
+
+class _Node:
+    __slots__ = ("dim", "low", "slice_width", "children", "rules")
+
+    def __init__(self) -> None:
+        self.dim: int = -1
+        self.low: int = 0
+        self.slice_width: int = 1
+        self.children: Optional[List["_Node"]] = None
+        self.rules: Optional[List[int]] = None  # leaf payload
+
+
+class DecisionTreeClassifier:
+    """First-match classification via HiCuts-style space cutting."""
+
+    def __init__(
+        self,
+        classifier: Classifier,
+        binth: int = 8,
+        max_cuts: int = 16,
+        max_depth: int = 24,
+    ) -> None:
+        if binth < 1:
+            raise ValueError("binth must be >= 1")
+        if max_cuts < 2:
+            raise ValueError("max_cuts must be >= 2")
+        self.classifier = classifier
+        self.binth = binth
+        self.max_cuts = max_cuts
+        self.max_depth = max_depth
+        self.stats = TreeStats()
+        region = tuple(
+            Interval(0, spec.max_value) for spec in classifier.schema
+        )
+        self._root = self._build(
+            list(range(len(classifier.body))), region, 0
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _distinct_projections(
+        self, rules: Sequence[int], region: Tuple[Interval, ...], dim: int
+    ) -> int:
+        body = self.classifier.body
+        seen = set()
+        for idx in rules:
+            clipped = body[idx].intervals[dim].intersection(region[dim])
+            if clipped is not None:
+                seen.add((clipped.low, clipped.high))
+        return len(seen)
+
+    def _make_leaf(self, rules: List[int], depth: int) -> _Node:
+        node = _Node()
+        node.rules = sorted(rules)
+        self.stats.nodes += 1
+        self.stats.leaves += 1
+        self.stats.stored_rules += len(rules)
+        self.stats.max_depth = max(self.stats.max_depth, depth)
+        return node
+
+    def _build(
+        self,
+        rules: List[int],
+        region: Tuple[Interval, ...],
+        depth: int,
+    ) -> _Node:
+        if len(rules) <= self.binth or depth >= self.max_depth:
+            return self._make_leaf(rules, depth)
+        # HiCuts dimension choice: most distinct projections.
+        num_fields = self.classifier.num_fields
+        scores = [
+            self._distinct_projections(rules, region, d)
+            for d in range(num_fields)
+        ]
+        dim = max(range(num_fields), key=lambda d: scores[d])
+        if scores[dim] <= 1:
+            return self._make_leaf(rules, depth)  # cutting cannot separate
+        span = region[dim].size
+        cuts = min(self.max_cuts, max(2, int(2 * math.sqrt(len(rules)))))
+        cuts = min(cuts, span)
+        if cuts < 2:
+            return self._make_leaf(rules, depth)
+        slice_width = math.ceil(span / cuts)
+        body = self.classifier.body
+        node = _Node()
+        node.dim = dim
+        node.low = region[dim].low
+        node.slice_width = slice_width
+        node.children = []
+        self.stats.nodes += 1
+        self.stats.max_depth = max(self.stats.max_depth, depth)
+        position = region[dim].low
+        while position <= region[dim].high:
+            child_interval = Interval(
+                position, min(position + slice_width - 1, region[dim].high)
+            )
+            child_region = (
+                region[:dim] + (child_interval,) + region[dim + 1 :]
+            )
+            child_rules = [
+                idx
+                for idx in rules
+                if body[idx].intervals[dim].overlaps(child_interval)
+            ]
+            if child_rules == rules:
+                # No separation in this slice: avoid infinite recursion by
+                # leafing out (HiCuts' space-measure fallback).
+                node.children.append(self._make_leaf(child_rules, depth + 1))
+            else:
+                node.children.append(
+                    self._build(child_rules, child_region, depth + 1)
+                )
+            position += slice_width
+        return node
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def match_index(self, header: Sequence[int]) -> Optional[int]:
+        """Highest-priority matching body-rule index, or None."""
+        node = self._root
+        while node.rules is None:
+            slot = (header[node.dim] - node.low) // node.slice_width
+            assert node.children is not None
+            if slot < 0 or slot >= len(node.children):
+                return None  # out of the root region: impossible by schema
+            node = node.children[slot]
+        body = self.classifier.body
+        for idx in node.rules:
+            if body[idx].matches(header):
+                return idx
+        return None
+
+    def match(self, header: Sequence[int]):
+        """Classifier-compatible result (catch-all on miss)."""
+        from ..core.classifier import MatchResult
+
+        index = self.match_index(header)
+        if index is None:
+            index = len(self.classifier.rules) - 1
+        return MatchResult(index, self.classifier.rules[index])

@@ -1,0 +1,209 @@
+"""Multi-group software engine (Theorem 3).
+
+Executes the lookup procedure of Figures 4-5: every group — order-
+independent on at most l of the fields — is probed with the header's values
+on *its own* field subset, returns at most one candidate rule, and the
+candidate is checked on all remaining fields to rule out a false positive
+(Theorem 2).  The highest-priority surviving candidate wins; the catch-all
+backstops everything.
+
+Group probes use the data structure matching the group's field count:
+binary search over disjoint intervals (1 field), the segment-tree two-field
+index (2 fields), or a linear scan fallback (> 2 fields, where the paper
+offers no sub-linear bound either).
+
+The ``shadow`` mechanism implements the Section 7.2 insertion trick
+(Example 10): a freshly inserted rule that would need more fields/groups
+can ride along as an extra false-positive check attached to the rules it
+collides with, bounded by the line-rate budget C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..analysis.mgr import Group
+from ..core.classifier import Classifier, MatchResult
+from ..core.intervals import Interval
+from .cascading import CascadingTwoFieldIndex
+from .interval_map import DisjointIntervalMap
+from .two_field import TwoFieldIndex
+
+__all__ = ["GroupIndex", "LinearGroupIndex", "MultiGroupEngine", "build_group_index"]
+
+
+class GroupIndex:
+    """Interface: probe a group with a header, get at most one candidate
+    body-rule index (pre false-positive check)."""
+
+    fields: Tuple[int, ...]
+
+    def probe(self, header: Sequence[int]) -> Optional[int]:
+        """Candidate rule index matching on the group fields, or None."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class _OneFieldIndex(GroupIndex):
+    def __init__(self, classifier: Classifier, group: Group) -> None:
+        self.fields = group.fields
+        (f,) = group.fields
+        self._field = f
+        self._map: DisjointIntervalMap[int] = DisjointIntervalMap(
+            (classifier.rules[idx].intervals[f], idx)
+            for idx in group.rule_indices
+        )
+
+    def probe(self, header: Sequence[int]) -> Optional[int]:
+        return self._map.lookup(header[self._field])
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+
+class _TwoFieldGroupIndex(GroupIndex):
+    def __init__(
+        self, classifier: Classifier, group: Group, cascading: bool = False
+    ) -> None:
+        self.fields = group.fields
+        a, b = group.fields
+        self._a = a
+        self._b = b
+        structure = CascadingTwoFieldIndex if cascading else TwoFieldIndex
+        self._index = structure(
+            (
+                classifier.rules[idx].intervals[a],
+                classifier.rules[idx].intervals[b],
+                idx,
+            )
+            for idx in group.rule_indices
+        )
+
+    def probe(self, header: Sequence[int]) -> Optional[int]:
+        return self._index.lookup(header[self._a], header[self._b])
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+
+class LinearGroupIndex(GroupIndex):
+    """Fallback for groups keyed on more than two fields: scan members,
+    matching only the group fields.  Order-independence on those fields
+    still guarantees at most one hit."""
+
+    def __init__(self, classifier: Classifier, group: Group) -> None:
+        self.fields = group.fields
+        self._members: List[Tuple[int, Tuple[Interval, ...]]] = [
+            (
+                idx,
+                tuple(classifier.rules[idx].intervals[f] for f in group.fields),
+            )
+            for idx in group.rule_indices
+        ]
+
+    def probe(self, header: Sequence[int]) -> Optional[int]:
+        """Linear scan over members, matching only the group fields."""
+        values = [header[f] for f in self.fields]
+        for idx, intervals in self._members:
+            if all(iv.contains(v) for iv, v in zip(intervals, values)):
+                return idx
+        return None
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+
+def build_group_index(
+    classifier: Classifier, group: Group, cascading: bool = False
+) -> GroupIndex:
+    """Pick the right structure for a group's field count.  ``cascading``
+    selects the fractionally-cascaded two-field variant (O(log N) instead
+    of O(log^2 N) per probe)."""
+    if len(group.fields) == 1:
+        return _OneFieldIndex(classifier, group)
+    if len(group.fields) == 2:
+        return _TwoFieldGroupIndex(classifier, group, cascading)
+    return LinearGroupIndex(classifier, group)
+
+
+@dataclass
+class EngineStats:
+    """Operational counters for experiments."""
+
+    lookups: int = 0
+    probes: int = 0
+    candidates: int = 0
+    false_positives: int = 0
+    shadow_checks: int = 0
+
+
+class MultiGroupEngine:
+    """The software half of SAX-PAC: parallel (simulated) group lookups,
+    false-positive verification, priority merge.
+
+    Matches only rules placed in its groups; returns None for headers whose
+    best match lives elsewhere (the order-dependent part D or the
+    catch-all) so that a hybrid wrapper can merge results.
+    """
+
+    def __init__(
+        self,
+        classifier: Classifier,
+        groups: Iterable[Group],
+        shadow: Optional[Dict[int, Tuple[int, ...]]] = None,
+        cascading: bool = False,
+    ) -> None:
+        self.classifier = classifier
+        self.groups = [
+            build_group_index(classifier, g, cascading) for g in groups
+        ]
+        self.shadow: Dict[int, Tuple[int, ...]] = dict(shadow or {})
+        self.stats = EngineStats()
+
+    @property
+    def num_rules(self) -> int:
+        """Total rules held across all group indexes."""
+        return sum(len(g) for g in self.groups)
+
+    @property
+    def shadow_load(self) -> int:
+        """Worst-case extra false-positive checks on any candidate — must
+        stay within the line-rate budget C (Section 7.2)."""
+        if not self.shadow:
+            return 0
+        return max(len(v) for v in self.shadow.values())
+
+    def lookup(self, header: Sequence[int]) -> Optional[int]:
+        """Best (lowest) matching body-rule index across all groups, after
+        false-positive checks, or None if no group rule truly matches."""
+        self.stats.lookups += 1
+        rules = self.classifier.rules
+        best: Optional[int] = None
+        for group in self.groups:
+            self.stats.probes += 1
+            candidate = group.probe(header)
+            if candidate is None:
+                continue
+            self.stats.candidates += 1
+            if rules[candidate].matches(header):
+                if best is None or candidate < best:
+                    best = candidate
+            else:
+                self.stats.false_positives += 1
+            for extra in self.shadow.get(candidate, ()):
+                self.stats.shadow_checks += 1
+                if rules[extra].matches(header) and (best is None or extra < best):
+                    best = extra
+        return best
+
+    def match(self, header: Sequence[int]) -> MatchResult:
+        """Standalone semantics: group rules else the catch-all.  Only
+        semantically complete when the engine holds *all* body rules (a
+        fully order-independent classifier)."""
+        index = self.lookup(header)
+        if index is None:
+            index = len(self.classifier.rules) - 1
+        return MatchResult(index, self.classifier.rules[index])

@@ -1,0 +1,62 @@
+"""Lookup over pairwise-disjoint intervals — the single-field engine.
+
+A rule group that is order-independent on one field has pairwise-disjoint
+intervals in that field, so a sorted array plus binary search gives
+O(log N) lookup in linear memory.  This is the degenerate (and most common,
+per Table 3) case of the paper's software representation.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Generic, Iterable, List, Optional, Tuple, TypeVar
+
+from ..core.intervals import Interval
+
+__all__ = ["DisjointIntervalMap"]
+
+T = TypeVar("T")
+
+
+class DisjointIntervalMap(Generic[T]):
+    """Immutable map from pairwise-disjoint intervals to payloads.
+
+    Construction is O(N log N); :meth:`lookup` is O(log N).  Overlapping
+    input intervals raise ValueError — overlap would violate the
+    order-independence contract of the caller.
+    """
+
+    def __init__(self, items: Iterable[Tuple[Interval, T]]) -> None:
+        ordered = sorted(items, key=lambda item: item[0].low)
+        self._lows: List[int] = []
+        self._highs: List[int] = []
+        self._payloads: List[T] = []
+        previous_high = -1
+        for interval, payload in ordered:
+            if interval.low <= previous_high:
+                raise ValueError(
+                    f"intervals overlap: {interval} begins at or before "
+                    f"{previous_high}"
+                )
+            self._lows.append(interval.low)
+            self._highs.append(interval.high)
+            self._payloads.append(payload)
+            previous_high = interval.high
+
+    def __len__(self) -> int:
+        return len(self._lows)
+
+    def lookup(self, value: int) -> Optional[T]:
+        """Payload of the interval containing ``value``, or None."""
+        i = bisect.bisect_right(self._lows, value) - 1
+        if i >= 0 and value <= self._highs[i]:
+            return self._payloads[i]
+        return None
+
+    def intervals(self) -> List[Interval]:
+        """The stored intervals in ascending order."""
+        return [Interval(lo, hi) for lo, hi in zip(self._lows, self._highs)]
+
+    def payloads(self) -> List[T]:
+        """The stored payloads, aligned with :meth:`intervals`."""
+        return list(self._payloads)

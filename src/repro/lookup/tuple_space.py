@@ -1,0 +1,116 @@
+"""Tuple Space Search (TSS) — the classic software baseline [35].
+
+Srinivasan, Suri and Varghese's observation: rules using the same
+combination of per-field prefix lengths ("a tuple") can share one exact-
+match hash table — mask each field to its tuple's length and the rule
+becomes a hash key.  Classification probes every tuple and keeps the
+highest-priority hit; the tuple count, not the rule count, bounds lookup
+cost.  The paper cites TSS as a prior reduction attempt without worst-case
+guarantees ([35] in contribution (3)): adversarial classifiers need many
+tuples, and every range field multiplies the entries.
+
+Range fields are handled the standard way — expanded into prefixes, one
+hash entry per prefix combination — so a TSS build exposes exactly the
+range-expansion cost that motivates SAX-PAC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.classifier import Classifier
+from ..core.intervals import split_into_prefixes
+
+__all__ = ["TupleSpaceClassifier"]
+
+
+class TupleSpaceClassifier:
+    """First-match TSS over a classifier's body rules."""
+
+    def __init__(
+        self,
+        classifier: Classifier,
+        rule_indices: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.classifier = classifier
+        widths = classifier.schema.widths
+        self._widths = widths
+        # tuple (plen per field) -> { masked key -> best rule index }
+        self._tables: Dict[Tuple[int, ...], Dict[Tuple[int, ...], int]] = {}
+        self._entries = 0
+        indices = (
+            list(rule_indices)
+            if rule_indices is not None
+            else range(len(classifier.body))
+        )
+        for idx in indices:
+            self._insert(idx)
+
+    def _insert(self, idx: int) -> None:
+        rule = self.classifier.rules[idx]
+        per_field: List[List[Tuple[int, int]]] = [
+            list(split_into_prefixes(iv, w))
+            for iv, w in zip(rule.intervals, self._widths)
+        ]
+
+        def expand(field: int, plens: List[int], values: List[int]) -> None:
+            if field == len(per_field):
+                table = self._tables.setdefault(tuple(plens), {})
+                key = tuple(values)
+                current = table.get(key)
+                if current is None or idx < current:
+                    if current is None:
+                        self._entries += 1
+                    table[key] = idx
+                return
+            for value, plen in per_field[field]:
+                plens.append(plen)
+                values.append(value)
+                expand(field + 1, plens, values)
+                plens.pop()
+                values.pop()
+
+        expand(0, [], [])
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_tuples(self) -> int:
+        """Hash tables probed per lookup — TSS's cost driver."""
+        return len(self._tables)
+
+    @property
+    def num_entries(self) -> int:
+        """Stored hash entries (includes range-expansion replication)."""
+        return self._entries
+
+    def tuple_histogram(self) -> Dict[Tuple[int, ...], int]:
+        """Entries per tuple; useful to see the range-expansion spread."""
+        return {t: len(table) for t, table in self._tables.items()}
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def match_index(self, header: Sequence[int]) -> Optional[int]:
+        """Highest-priority matching body-rule index, or None."""
+        best: Optional[int] = None
+        widths = self._widths
+        for plens, table in self._tables.items():
+            key = tuple(
+                (value >> (width - plen)) if plen < width else value
+                for value, width, plen in zip(header, widths, plens)
+            )
+            found = table.get(key)
+            if found is not None and (best is None or found < best):
+                best = found
+        return best
+
+    def match(self, header: Sequence[int]):
+        """Classifier-compatible result (catch-all on miss)."""
+        from ..core.classifier import MatchResult
+
+        index = self.match_index(header)
+        if index is None:
+            index = len(self.classifier.rules) - 1
+        return MatchResult(index, self.classifier.rules[index])

@@ -1,0 +1,70 @@
+"""Two-field lookup for rule sets order-independent on two fields.
+
+This is the software representation the paper leans on ([36]): if a group
+of rules is order-independent on fields (a, b), then any two rules whose
+first-field intervals overlap must have disjoint second-field intervals.
+A segment tree over the first field therefore stores, at every canonical
+node, rules whose first-field intervals all cover the node's span — i.e.
+pairwise overlapping in the first field — so their second-field intervals
+are pairwise disjoint and support binary search.
+
+Lookup: walk the O(log N) first-field path, binary-search the second field
+at each node — O(log^2 N) worst case with linear memory up to the segment
+tree's log factor (fractional cascading would recover O(log N); the paper
+cites the bound, we implement the simple variant and measure it).
+
+At most one rule of the group can match any header on these two fields;
+the caller still runs the Theorem 2 false-positive check on the remaining
+fields.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterable, Optional, Tuple, TypeVar
+
+from ..core.intervals import Interval
+from .interval_map import DisjointIntervalMap
+from .segment_tree import SegmentTree
+
+__all__ = ["TwoFieldIndex"]
+
+T = TypeVar("T")
+
+
+class TwoFieldIndex(Generic[T]):
+    """Point-location index over (interval_a, interval_b, payload) triples
+    whose rule set is order-independent on the two dimensions."""
+
+    def __init__(self, items: Iterable[Tuple[Interval, Interval, T]]) -> None:
+        triples = list(items)
+        tree: SegmentTree[Tuple[Interval, T]] = SegmentTree(
+            a for a, _b, _p in triples
+        )
+        for a, b, payload in triples:
+            tree.insert(a, (b, payload))
+
+        def freeze_bucket(bucket):
+            try:
+                return DisjointIntervalMap(
+                    (b, payload) for (_a, (b, payload)) in bucket
+                )
+            except ValueError as exc:
+                raise ValueError(
+                    "rule set is not order-independent on the two chosen "
+                    f"fields: {exc}"
+                ) from exc
+
+        self._frozen = tree.freeze(freeze_bucket)
+        self._count = len(triples)
+        self.memory_slots = tree.num_slots
+
+    def __len__(self) -> int:
+        return self._count
+
+    def lookup(self, value_a: int, value_b: int) -> Optional[T]:
+        """Payload of the unique matching triple, or None."""
+        for interval_map in self._frozen.path(value_a):
+            found = interval_map.lookup(value_b)
+            if found is not None:
+                return found
+        return None

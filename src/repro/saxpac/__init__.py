@@ -1,0 +1,37 @@
+"""SAX-PAC: hybrid engine, configuration profiles, cache, dynamic updates."""
+
+from .cache import CacheStats, ClassificationCache
+from .config import ClassifierProfile, EngineConfig, profile_classifier
+from .distribution import PathDistribution, SwitchLoad, priority_inversions
+from .engine import EngineReport, SaxPacEngine
+from .serialization import (
+    classifier_from_dict,
+    classifier_to_dict,
+    load_classifier,
+    profile_from_dict,
+    profile_to_dict,
+    save_classifier,
+)
+from .updates import DynamicSaxPac, InsertOutcome, InsertReport
+
+__all__ = [
+    "CacheStats",
+    "ClassificationCache",
+    "ClassifierProfile",
+    "DynamicSaxPac",
+    "EngineConfig",
+    "EngineReport",
+    "InsertOutcome",
+    "InsertReport",
+    "PathDistribution",
+    "SaxPacEngine",
+    "SwitchLoad",
+    "priority_inversions",
+    "classifier_from_dict",
+    "classifier_to_dict",
+    "load_classifier",
+    "profile_classifier",
+    "profile_from_dict",
+    "profile_to_dict",
+    "save_classifier",
+]

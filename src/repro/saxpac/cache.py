@@ -1,0 +1,105 @@
+"""Power-efficient classification cache ((β,l)-MRCC, Section 4.3).
+
+A cache front-end holds an order-independent subset I of the classifier,
+constructed so that whenever the cache matches a (non-catch-all) rule, the
+backing store — typically the TCAM holding the order-dependent remainder D
+— need not be consulted at all.  This requires the MRCC property: no rule
+of I intersects a higher-priority rule of D.
+
+The wrapper tracks hit statistics, turning the paper's power argument
+(TCAM lookups are expensive; skipped lookups are saved power) into
+measurable counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..analysis.mgr import enforce_cache_property, l_mgr
+from ..analysis.mrc import greedy_independent_set
+from ..core.classifier import Classifier, MatchResult
+from ..lookup.group_engine import MultiGroupEngine
+
+__all__ = ["ClassificationCache", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters; ``hits`` are lookups the backing store never saw."""
+
+    lookups: int = 0
+    hits: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered without the backing store."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ClassificationCache:
+    """Front-end over a full classifier: cached I answers directly, misses
+    fall back to the reference classifier (standing in for the TCAM path).
+    Semantically equivalent to the original classifier by Theorem 3 + the
+    MRCC construction."""
+
+    def __init__(
+        self,
+        classifier: Classifier,
+        max_groups: Optional[int] = None,
+        max_group_fields: int = 2,
+        capacity: Optional[int] = None,
+    ) -> None:
+        self.classifier = classifier
+        independent = greedy_independent_set(classifier)
+        grouping = l_mgr(
+            classifier,
+            l=min(max_group_fields, classifier.num_fields),
+            beta=max_groups,
+            rule_subset=independent.rule_indices,
+        )
+        # Everything outside the groups is D for MRCC purposes.
+        from ..analysis.mgr import MGRResult
+
+        spill = set(grouping.ungrouped)
+        spill.update(independent.complement(len(classifier.body)))
+        grouping = MGRResult(grouping.groups, tuple(sorted(spill)), grouping.l)
+        grouping = enforce_cache_property(classifier, grouping)
+        if capacity is not None:
+            grouping = self._trim_to_capacity(grouping, capacity)
+            # Trimming moved rules into D, which may reintroduce priority
+            # inversions — re-establish the cache property.
+            grouping = enforce_cache_property(classifier, grouping)
+        self.grouping = grouping
+        self._engine = MultiGroupEngine(classifier, grouping.groups)
+        self.stats = CacheStats()
+
+    @staticmethod
+    def _trim_to_capacity(grouping, capacity: int):
+        """Keep the largest groups that fit the cache's rule capacity."""
+        from ..analysis.mgr import MGRResult
+
+        kept = []
+        spill = set(grouping.ungrouped)
+        budget = capacity
+        for group in sorted(grouping.groups, key=lambda g: -g.size):
+            if group.size <= budget:
+                kept.append(group)
+                budget -= group.size
+            else:
+                spill.update(group.rule_indices)
+        return MGRResult(tuple(kept), tuple(sorted(spill)), grouping.l)
+
+    @property
+    def cached_rules(self) -> int:
+        """Rules held by the cache front-end."""
+        return self._engine.num_rules
+
+    def match(self, header: Sequence[int]) -> MatchResult:
+        """Cache probe; on miss, defer to the full classifier."""
+        self.stats.lookups += 1
+        cached = self._engine.lookup(header)
+        if cached is not None:
+            self.stats.hits += 1
+            return MatchResult(cached, self.classifier.rules[cached])
+        return self.classifier.match(header)

@@ -1,0 +1,162 @@
+"""The hybrid SAX-PAC engine: software groups + TCAM remainder.
+
+Build pipeline (Sections 4 and 8):
+
+1. **I-selection** — greedy maximal order-independent subset on all k
+   fields, scanned in priority order so that I holds the highest-priority
+   rules possible.
+2. **Grouping** — (β,l)-MRC on I: groups order-independent on at most l
+   fields each (l = 2 by default, giving the linear-memory, logarithmic
+   lookup structures of :mod:`repro.lookup`).  Spill-over and undersized
+   groups fold into the order-dependent part D.
+3. **Optional MRCC** — demote I rules that intersect higher-priority D
+   rules so an I match can preempt the (power-hungry) D lookup entirely.
+4. **Programming** — D expands into the TCAM simulator at full width.
+
+Lookup issues the group probes and the D probe "in parallel" (simulated
+sequentially), false-positive-checks the single candidate per group, and
+returns the highest-priority survivor — exactly the dataflow of Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..analysis.mgr import Group, MGRResult, enforce_cache_property, l_mgr
+from ..analysis.mrc import greedy_independent_set
+from ..core.actions import Action
+from ..core.classifier import Classifier, MatchResult
+from ..lookup.group_engine import MultiGroupEngine
+from ..tcam.encoding import BinaryRangeEncoder, RangeEncoder
+from ..tcam.tcam import build_tcam
+from .config import EngineConfig
+
+__all__ = ["SaxPacEngine", "EngineReport"]
+
+
+@dataclass(frozen=True)
+class EngineReport:
+    """Structural summary of a built engine — the headline numbers of the
+    evaluation (what fraction of rules escaped the TCAM, and how big the
+    remaining TCAM is compared to a TCAM-only deployment)."""
+
+    total_rules: int
+    software_rules: int
+    tcam_rules: int
+    num_groups: int
+    group_fields: Tuple[Tuple[int, ...], ...]
+    tcam_entries: int
+    tcam_entries_full: int
+
+    @property
+    def software_fraction(self) -> float:
+        """Share of body rules served by the software groups."""
+        if self.total_rules == 0:
+            return 1.0
+        return self.software_rules / self.total_rules
+
+    @property
+    def tcam_saving(self) -> float:
+        """1 - (hybrid TCAM entries / all-TCAM entries)."""
+        if self.tcam_entries_full == 0:
+            return 0.0
+        return 1.0 - self.tcam_entries / self.tcam_entries_full
+
+
+class SaxPacEngine:
+    """Semantically equivalent drop-in for first-match classification."""
+
+    def __init__(
+        self,
+        classifier: Classifier,
+        config: Optional[EngineConfig] = None,
+        encoder: Optional[RangeEncoder] = None,
+    ) -> None:
+        self.classifier = classifier
+        self.config = config or EngineConfig()
+        self.encoder = encoder or BinaryRangeEncoder()
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        cfg = self.config
+        classifier = self.classifier
+        independent = greedy_independent_set(classifier)
+        grouping = l_mgr(
+            classifier,
+            l=min(cfg.max_group_fields, classifier.num_fields),
+            beta=cfg.max_groups,
+            rule_subset=independent.rule_indices,
+        )
+        # Rules that never made it into I also belong to D.
+        spill = set(grouping.ungrouped)
+        spill.update(independent.complement(len(classifier.body)))
+        # Fold undersized groups into D (Example 5's practical advice).
+        kept_groups: List[Group] = []
+        for group in grouping.groups:
+            if group.size < cfg.min_group_size:
+                spill.update(group.rule_indices)
+            else:
+                kept_groups.append(group)
+        grouping = MGRResult(
+            tuple(kept_groups), tuple(sorted(spill)), grouping.l
+        )
+        if cfg.enforce_cache:
+            grouping = enforce_cache_property(classifier, grouping)
+        self.grouping = grouping
+        self.software = MultiGroupEngine(
+            classifier, grouping.groups, cascading=cfg.use_cascading
+        )
+        self._d_indices: Tuple[int, ...] = grouping.ungrouped
+        self._tcam, self._tcam_view = build_tcam(
+            classifier,
+            encoder=self.encoder,
+            rule_indices=self._d_indices,
+            capacity=cfg.d_capacity,
+        )
+        self.d_lookups_skipped = 0
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def match(self, header: Sequence[int]) -> MatchResult:
+        """Highest-priority match across the software part, the TCAM part
+        and the catch-all."""
+        software_best = self.software.lookup(header)
+        skip_d = (
+            software_best is not None and self.config.enforce_cache
+        )
+        if skip_d:
+            # MRCC guarantees no higher-priority D rule can also match.
+            self.d_lookups_skipped += 1
+            tcam_best: Optional[int] = None
+        else:
+            tcam_best = self._tcam_view.match_index(header)
+        candidates = [c for c in (software_best, tcam_best) if c is not None]
+        index = min(candidates) if candidates else len(self.classifier.rules) - 1
+        return MatchResult(index, self.classifier.rules[index])
+
+    def classify(self, header: Sequence[int]) -> Action:
+        """Action of the highest-priority matching rule."""
+        return self.match(header).action
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self) -> EngineReport:
+        """Structural summary: decomposition sizes and TCAM savings."""
+        from ..tcam.cost import classifier_entry_count
+
+        full_entries = classifier_entry_count(self.classifier, self.encoder)
+        return EngineReport(
+            total_rules=len(self.classifier.body),
+            software_rules=self.software.num_rules,
+            tcam_rules=len(self._d_indices),
+            num_groups=len(self.grouping.groups),
+            group_fields=tuple(g.fields for g in self.grouping.groups),
+            tcam_entries=len(self._tcam),
+            tcam_entries_full=full_entries,
+        )

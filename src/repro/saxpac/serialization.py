@@ -1,0 +1,222 @@
+"""JSON (de)serialization of classifiers and their offline profiles.
+
+Section 7.1 proposes shipping classifiers together with precomputed
+configuration traits — maximal order-independent part, FSM field subset,
+group counts/assignments — so that a network element can pick an
+implementation without recomputing anything.  This module defines that
+interchange format: a stable, versioned JSON document containing the
+schema, the rules, and (optionally) the profile.
+
+The format is intentionally explicit (field names, interval bounds as
+integers) rather than compact; it is a configuration artifact, not a wire
+format.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, TextIO, Union
+
+from ..analysis.fsm import FSMResult
+from ..analysis.mgr import Group, MGRResult
+from ..analysis.mrc import MRCResult
+from ..core.actions import Action, ActionKind
+from ..core.classifier import Classifier
+from ..core.fields import FieldKind, FieldSchema, FieldSpec
+from ..core.intervals import Interval
+from ..core.rule import Rule
+from .config import ClassifierProfile
+
+__all__ = [
+    "classifier_to_dict",
+    "classifier_from_dict",
+    "profile_to_dict",
+    "profile_from_dict",
+    "save_classifier",
+    "load_classifier",
+]
+
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Classifier <-> dict
+# ---------------------------------------------------------------------------
+
+def _action_to_dict(action: Action) -> Dict[str, Any]:
+    out: Dict[str, Any] = {"kind": action.kind.value}
+    if action.payload is not None:
+        out["payload"] = action.payload
+    return out
+
+
+def _action_from_dict(data: Dict[str, Any]) -> Action:
+    return Action(ActionKind(data["kind"]), data.get("payload"))
+
+
+def _rule_to_dict(rule: Rule) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "intervals": [[iv.low, iv.high] for iv in rule.intervals],
+        "action": _action_to_dict(rule.action),
+    }
+    if rule.name is not None:
+        out["name"] = rule.name
+    return out
+
+
+def _rule_from_dict(data: Dict[str, Any]) -> Rule:
+    return Rule(
+        tuple(Interval(lo, hi) for lo, hi in data["intervals"]),
+        _action_from_dict(data["action"]),
+        data.get("name"),
+    )
+
+
+def classifier_to_dict(
+    classifier: Classifier, profile: Optional[ClassifierProfile] = None
+) -> Dict[str, Any]:
+    """Serialize a classifier (and optionally its Section 7.1 profile)."""
+    out: Dict[str, Any] = {
+        "format": "saxpac-classifier",
+        "version": FORMAT_VERSION,
+        "schema": [
+            {"name": f.name, "width": f.width, "kind": f.kind.value}
+            for f in classifier.schema
+        ],
+        "rules": [_rule_to_dict(rule) for rule in classifier.rules],
+    }
+    if profile is not None:
+        out["profile"] = profile_to_dict(profile)
+    return out
+
+
+def classifier_from_dict(data: Dict[str, Any]) -> Classifier:
+    """Inverse of :func:`classifier_to_dict` (profile, if any, ignored —
+    use :func:`profile_from_dict` to recover it)."""
+    if data.get("format") != "saxpac-classifier":
+        raise ValueError("not a saxpac-classifier document")
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported format version {data.get('version')}")
+    schema = FieldSchema(
+        tuple(
+            FieldSpec(f["name"], f["width"], FieldKind(f["kind"]))
+            for f in data["schema"]
+        )
+    )
+    rules = [_rule_from_dict(r) for r in data["rules"]]
+    return Classifier(schema, rules, ensure_catch_all=True)
+
+
+# ---------------------------------------------------------------------------
+# Profile <-> dict
+# ---------------------------------------------------------------------------
+
+def _mgr_to_dict(result: MGRResult) -> Dict[str, Any]:
+    return {
+        "l": result.l,
+        "groups": [
+            {"rules": list(g.rule_indices), "fields": list(g.fields)}
+            for g in result.groups
+        ],
+        "ungrouped": list(result.ungrouped),
+    }
+
+
+def _mgr_from_dict(data: Dict[str, Any]) -> MGRResult:
+    return MGRResult(
+        groups=tuple(
+            Group(tuple(g["rules"]), tuple(g["fields"]))
+            for g in data["groups"]
+        ),
+        ungrouped=tuple(data["ungrouped"]),
+        l=data["l"],
+    )
+
+
+def profile_to_dict(profile: ClassifierProfile) -> Dict[str, Any]:
+    """Serialize a Section 7.1 profile to plain JSON-able data."""
+    fsm = profile.fsm_on_independent
+    return {
+        "num_rules": profile.num_rules,
+        "independent": {
+            "rules": list(profile.max_order_independent.rule_indices),
+            "fields": list(profile.max_order_independent.fields),
+        },
+        "fsm": None
+        if fsm is None
+        else {
+            "kept_fields": list(fsm.kept_fields),
+            "removed_fields": list(fsm.removed_fields),
+            "lookup_width": fsm.lookup_width,
+            "method": fsm.method,
+        },
+        "min_groups_two_fields": profile.min_groups_two_fields,
+        "group_assignments": {
+            str(beta): _mgr_to_dict(result)
+            for beta, result in profile.group_assignments.items()
+        },
+    }
+
+
+def profile_from_dict(data: Dict[str, Any]) -> ClassifierProfile:
+    """Inverse of :func:`profile_to_dict`."""
+    fsm_data = data.get("fsm")
+    fsm = (
+        None
+        if fsm_data is None
+        else FSMResult(
+            kept_fields=tuple(fsm_data["kept_fields"]),
+            removed_fields=tuple(fsm_data["removed_fields"]),
+            lookup_width=fsm_data["lookup_width"],
+            method=fsm_data["method"],
+        )
+    )
+    independent = MRCResult(
+        rule_indices=tuple(data["independent"]["rules"]),
+        fields=tuple(data["independent"]["fields"]),
+    )
+    return ClassifierProfile(
+        num_rules=data["num_rules"],
+        max_order_independent=independent,
+        fsm_on_independent=fsm,
+        min_groups_two_fields=data["min_groups_two_fields"],
+        group_assignments={
+            int(beta): _mgr_from_dict(result)
+            for beta, result in data.get("group_assignments", {}).items()
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# File helpers
+# ---------------------------------------------------------------------------
+
+def save_classifier(
+    classifier: Classifier,
+    destination: Union[str, TextIO],
+    profile: Optional[ClassifierProfile] = None,
+    indent: int = 2,
+) -> None:
+    """Write the JSON document to a path or open file."""
+    document = classifier_to_dict(classifier, profile)
+    if isinstance(destination, str):
+        with open(destination, "w") as handle:
+            json.dump(document, handle, indent=indent)
+    else:
+        json.dump(document, destination, indent=indent)
+
+
+def load_classifier(
+    source: Union[str, TextIO]
+) -> "tuple[Classifier, Optional[ClassifierProfile]]":
+    """Read back a classifier and its embedded profile (if present)."""
+    if isinstance(source, str):
+        with open(source) as handle:
+            data = json.load(handle)
+    else:
+        data = json.load(source)
+    classifier = classifier_from_dict(data)
+    profile = (
+        profile_from_dict(data["profile"]) if data.get("profile") else None
+    )
+    return classifier, profile

@@ -1,0 +1,487 @@
+"""Dynamic updates (Section 7.2).
+
+A mutable SAX-PAC classifier supporting rule insertion, removal and
+modification while keeping the I (grouped, software) / D (order-dependent,
+TCAM-resident) decomposition intact:
+
+* an inserted rule that is order-dependent with I goes to D (with capacity
+  handling: recompute, then reject);
+* a rule order-independent with I joins an existing group when some
+  feasible field subset survives, or opens a new group within the β budget;
+* otherwise it may ride as a **shadow**: an extra false-positive check
+  attached to the group rules it collides with, bounded by the per-match
+  budget C (Example 10) — at most C extra checks at line rate;
+* removals are cheap for I; modifications that leave the group's lookup
+  fields untouched are in-place (the false-positive check uses the updated
+  rule automatically).
+
+Rules are identified by stable integer ids; priority is a monotonically
+increasing sequence number (lower = higher priority), so ids never shift.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.actions import Action, TRANSMIT
+from ..core.classifier import Classifier
+from ..core.fields import FieldSchema
+from ..core.intervals import merge_intervals
+from ..core.rule import Rule
+from ..lookup.interval_map import DisjointIntervalMap
+from ..lookup.two_field import TwoFieldIndex
+
+__all__ = ["InsertOutcome", "InsertReport", "DynamicSaxPac"]
+
+
+class InsertOutcome(enum.Enum):
+    """Where an inserted rule landed."""
+
+    GROUP = "group"
+    NEW_GROUP = "new-group"
+    SHADOW = "shadow"
+    ORDER_DEPENDENT = "order-dependent"
+    REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class InsertReport:
+    """Outcome of one insertion: where the rule landed and via whom."""
+    outcome: InsertOutcome
+    rule_id: Optional[int]
+    group: Optional[int] = None
+    hosts: Tuple[int, ...] = ()
+
+    @property
+    def accepted(self) -> bool:
+        """False only for rejected insertions (capacity exhausted)."""
+        return self.outcome is not InsertOutcome.REJECTED
+
+    @property
+    def in_software(self) -> bool:
+        """True when the rule avoids the TCAM part D."""
+        return self.outcome in (
+            InsertOutcome.GROUP,
+            InsertOutcome.NEW_GROUP,
+            InsertOutcome.SHADOW,
+        )
+
+
+class _DynGroup:
+    """Mutable group: members, surviving feasible field subsets, and a
+    lazily rebuilt probe index."""
+
+    def __init__(self, subsets: Sequence[Tuple[int, ...]]) -> None:
+        self.members: List[int] = []
+        self.feasible: Set[Tuple[int, ...]] = set(subsets)
+        self._index = None
+        self._index_fields: Optional[Tuple[int, ...]] = None
+
+    @property
+    def fields(self) -> Tuple[int, ...]:
+        """Narrowest currently feasible subset (deterministic pick)."""
+        return min(self.feasible)
+
+    def invalidate(self) -> None:
+        """Drop the probe index; it is rebuilt lazily on next use."""
+        self._index = None
+
+    def accepts(self, rule: Rule, rules: Dict[int, Rule]) -> Optional[Set[Tuple[int, ...]]]:
+        """Feasible subsets surviving if ``rule`` joins, else None."""
+        surviving = set()
+        for subset in self.feasible:
+            ok = True
+            for member_id in self.members:
+                member = rules[member_id]
+                if rule.intersects_on(member, subset):
+                    ok = False
+                    break
+            if ok:
+                surviving.add(subset)
+        return surviving or None
+
+    def probe(self, header: Sequence[int], rules: Dict[int, Rule]) -> Optional[int]:
+        """Candidate member id matching on the group fields, or None."""
+        fields = self.fields
+        if self._index is None or self._index_fields != fields:
+            self._rebuild(fields, rules)
+        if len(fields) == 1:
+            return self._index.lookup(header[fields[0]])
+        if len(fields) == 2:
+            return self._index.lookup(header[fields[0]], header[fields[1]])
+        for member_id in self.members:
+            if rules[member_id].matches_on(header, fields):
+                return member_id
+        return None
+
+    def _rebuild(self, fields: Tuple[int, ...], rules: Dict[int, Rule]) -> None:
+        if len(fields) == 1:
+            (f,) = fields
+            self._index = DisjointIntervalMap(
+                (rules[m].intervals[f], m) for m in self.members
+            )
+        elif len(fields) == 2:
+            a, b = fields
+            self._index = TwoFieldIndex(
+                (rules[m].intervals[a], rules[m].intervals[b], m)
+                for m in self.members
+            )
+        else:
+            self._index = ()
+        self._index_fields = fields
+
+
+class DynamicSaxPac:
+    """Mutable hybrid classifier with Section 7.2 update semantics."""
+
+    def __init__(
+        self,
+        schema: FieldSchema,
+        max_group_fields: int = 2,
+        max_groups: Optional[int] = None,
+        fp_budget: int = 1,
+        d_capacity: Optional[int] = None,
+        default_action: Action = TRANSMIT,
+    ) -> None:
+        if max_group_fields < 1:
+            raise ValueError("max_group_fields must be >= 1")
+        if fp_budget < 0:
+            raise ValueError("fp_budget must be >= 0")
+        self.schema = schema
+        self.max_group_fields = min(max_group_fields, len(schema))
+        self.max_groups = max_groups
+        self.fp_budget = fp_budget
+        self.d_capacity = d_capacity
+        self.default_action = default_action
+        self._subsets = list(
+            itertools.combinations(range(len(schema)), self.max_group_fields)
+        )
+        self._rules: Dict[int, Rule] = {}
+        self._prio: Dict[int, float] = {}
+        self._next_id = 0
+        self._next_prio = 0.0
+        self._groups: List[_DynGroup] = []
+        self._d: List[int] = []
+        self._shadow: Dict[int, List[int]] = {}   # host id -> shadowed ids
+        self._shadow_hosts: Dict[int, List[int]] = {}  # shadow id -> hosts
+        self.recomputations = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    @property
+    def d_size(self) -> int:
+        """Rules currently in the order-dependent (TCAM) part."""
+        return len(self._d)
+
+    @property
+    def software_size(self) -> int:
+        """Rules currently served by groups or shadows."""
+        return len(self._rules) - len(self._d)
+
+    @property
+    def num_groups(self) -> int:
+        """Open group count."""
+        return len(self._groups)
+
+    def rule(self, rule_id: int) -> Rule:
+        """The Rule object registered under ``rule_id``."""
+        return self._rules[rule_id]
+
+    def to_classifier(self) -> Classifier:
+        """The semantically equivalent static classifier (priority order),
+        used as ground truth in verification."""
+        ordered = sorted(self._rules, key=lambda rid: self._prio[rid])
+        return Classifier(
+            self.schema,
+            (self._rules[rid] for rid in ordered),
+            ensure_catch_all=True,
+            default_action=self.default_action,
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def _i_member_ids(self) -> List[int]:
+        ids: List[int] = []
+        for group in self._groups:
+            ids.extend(group.members)
+        ids.extend(self._shadow_hosts)
+        return ids
+
+    def insert(self, rule: Rule) -> InsertReport:
+        """Insert at the lowest priority (above the catch-all)."""
+        if rule.num_fields != len(self.schema):
+            raise ValueError(
+                f"rule has {rule.num_fields} fields, schema expects "
+                f"{len(self.schema)}"
+            )
+        rule_id = self._next_id
+        report = self._place(rule, rule_id)
+        if report.accepted:
+            self._next_id += 1
+            self._rules[rule_id] = rule
+            self._prio[rule_id] = self._next_prio
+            self._next_prio += 1.0
+        return report
+
+    def _place(self, rule: Rule, rule_id: int) -> InsertReport:
+        # 1. Order-dependent with the current I? -> D.
+        for member_id in self._i_member_ids():
+            if rule.intersects(self._rules[member_id]):
+                return self._place_in_d(rule, rule_id)
+        # 2. First group whose feasible subsets survive.
+        for g, group in enumerate(self._groups):
+            surviving = group.accepts(rule, self._rules)
+            if surviving is not None:
+                group.feasible = surviving
+                group.members.append(rule_id)
+                group.invalidate()
+                return InsertReport(InsertOutcome.GROUP, rule_id, group=g)
+        # 3. A new group, if the budget allows.
+        if self.max_groups is None or len(self._groups) < self.max_groups:
+            group = _DynGroup(self._subsets)
+            group.members.append(rule_id)
+            self._groups.append(group)
+            return InsertReport(
+                InsertOutcome.NEW_GROUP, rule_id, group=len(self._groups) - 1
+            )
+        # 4. Shadow attachment within the false-positive budget C.
+        shadow = self._try_shadow(rule, rule_id)
+        if shadow is not None:
+            return shadow
+        # 5. Fall back to D.
+        return self._place_in_d(rule, rule_id)
+
+    def _place_in_d(self, rule: Rule, rule_id: int) -> InsertReport:
+        if self.d_capacity is not None and len(self._d) >= self.d_capacity:
+            self.recompute()
+            if self.d_capacity is not None and len(self._d) >= self.d_capacity:
+                return InsertReport(InsertOutcome.REJECTED, None)
+        self._d.append(rule_id)
+        return InsertReport(InsertOutcome.ORDER_DEPENDENT, rule_id)
+
+    def _try_shadow(self, rule: Rule, rule_id: int) -> Optional[InsertReport]:
+        """Attach ``rule`` as extra false-positive checks on the members of
+        one group, if that group's probes are guaranteed to surface a host
+        whenever the rule matches (Example 10)."""
+        for g, group in enumerate(self._groups):
+            fields = group.fields
+            hosts = [
+                m
+                for m in group.members
+                if rule.intersects_on(self._rules[m], fields)
+            ]
+            if not hosts:
+                continue
+            if not self._hosts_cover(rule, hosts, fields):
+                continue
+            if any(
+                len(self._shadow.get(h, ())) + 1 > self.fp_budget
+                for h in hosts
+            ):
+                continue
+            for h in hosts:
+                self._shadow.setdefault(h, []).append(rule_id)
+            self._shadow_hosts[rule_id] = list(hosts)
+            return InsertReport(
+                InsertOutcome.SHADOW, rule_id, group=g, hosts=tuple(hosts)
+            )
+        return None
+
+    def _hosts_cover(
+        self, rule: Rule, hosts: Sequence[int], fields: Tuple[int, ...]
+    ) -> bool:
+        """Soundness condition for shadowing: any header matching ``rule``
+        must make the group emit one of ``hosts`` as its candidate."""
+        if len(fields) == 1:
+            (f,) = fields
+            union = merge_intervals(
+                [self._rules[h].intervals[f] for h in hosts]
+            )
+            target = rule.intervals[f]
+            return any(iv.covers(target) for iv in union)
+        # Multi-field groups: accept only if a single host box covers the
+        # rule's box on the group fields (conservative but sound).
+        for h in hosts:
+            host = self._rules[h]
+            if all(
+                host.intervals[f].covers(rule.intervals[f]) for f in fields
+            ):
+                return True
+        return False
+
+    def remove(self, rule_id: int) -> None:
+        """Remove a rule wherever it lives; shadowed rules orphaned by a
+        removed host are re-placed from scratch."""
+        if rule_id not in self._rules:
+            raise KeyError(f"unknown rule id {rule_id}")
+        orphans: List[int] = []
+        if rule_id in self._shadow:
+            orphans = list(self._shadow.pop(rule_id))
+        if rule_id in self._shadow_hosts:
+            for host in self._shadow_hosts.pop(rule_id):
+                hosted = self._shadow.get(host)
+                if hosted and rule_id in hosted:
+                    hosted.remove(rule_id)
+                    if not hosted:
+                        del self._shadow[host]
+        if rule_id in self._d:
+            self._d.remove(rule_id)
+        for g, group in enumerate(self._groups):
+            if rule_id in group.members:
+                group.members.remove(rule_id)
+                group.invalidate()
+                # Feasibility only grows on removal; keeping the current
+                # feasible set is sound (recompute() re-optimizes later).
+                if not group.members:
+                    self._drop_group(g)
+                break
+        rule = self._rules.pop(rule_id)
+        prio = self._prio.pop(rule_id)
+        # Re-place orphaned shadows (they lost a hosting anchor).
+        for orphan in orphans:
+            self._detach_shadow(orphan)
+            self._replace_existing(orphan)
+
+    def _drop_group(self, index: int) -> None:
+        del self._groups[index]
+
+    def _detach_shadow(self, rule_id: int) -> None:
+        for host in self._shadow_hosts.pop(rule_id, []):
+            hosted = self._shadow.get(host)
+            if hosted and rule_id in hosted:
+                hosted.remove(rule_id)
+                if not hosted:
+                    del self._shadow[host]
+
+    def _replace_existing(self, rule_id: int) -> None:
+        """Re-run placement for a rule already registered (keeps id and
+        priority)."""
+        rule = self._rules[rule_id]
+        report = self._place(rule, rule_id)
+        if not report.accepted:
+            # Capacity loss: drop to D regardless (never silently lose a
+            # configured rule).
+            self._d.append(rule_id)
+
+    def _narrow_feasible(self, group: _DynGroup, rule_id: int) -> None:
+        """Shrink the group's feasible subsets to those on which the
+        (just-modified) rule is still disjoint from every other member.
+        O(|members| * subsets); sound because feasibility w.r.t. the
+        unchanged members is already encoded in the previous set."""
+        rule = self._rules[rule_id]
+        others = [m for m in group.members if m != rule_id]
+        surviving = {
+            subset
+            for subset in group.feasible
+            if not any(
+                rule.intersects_on(self._rules[m], subset) for m in others
+            )
+        }
+        assert surviving, "caller must verify at least one subset survives"
+        group.feasible = surviving
+
+    def modify(self, rule_id: int, new_rule: Rule) -> InsertReport:
+        """Modify a rule in place when possible (Section 7.2):
+
+        * group member changed only outside its group's lookup fields —
+          in-place update, nothing rebuilt (the false-positive check reads
+          the updated rule automatically);
+        * otherwise: remove + re-place under the same id and priority.
+        """
+        if rule_id not in self._rules:
+            raise KeyError(f"unknown rule id {rule_id}")
+        if new_rule.num_fields != len(self.schema):
+            raise ValueError(
+                f"rule has {new_rule.num_fields} fields, schema expects "
+                f"{len(self.schema)}"
+            )
+        old = self._rules[rule_id]
+        for g, group in enumerate(self._groups):
+            if rule_id in group.members:
+                fields = group.fields
+                unchanged_on_fields = all(
+                    old.intervals[f] == new_rule.intervals[f] for f in fields
+                )
+                still_independent = True
+                if not unchanged_on_fields:
+                    others = [m for m in group.members if m != rule_id]
+                    still_independent = not any(
+                        new_rule.intersects_on(self._rules[m], fields)
+                        for m in others
+                    )
+                if unchanged_on_fields or still_independent:
+                    self._rules[rule_id] = new_rule
+                    group.invalidate()
+                    if not unchanged_on_fields:
+                        # Other feasible subsets may have been invalidated
+                        # by the new intervals.
+                        self._narrow_feasible(group, rule_id)
+                    return InsertReport(InsertOutcome.GROUP, rule_id, group=g)
+                break
+        # General path: re-place under the same priority.
+        prio = self._prio[rule_id]
+        self.remove(rule_id)
+        self._rules[rule_id] = new_rule
+        self._prio[rule_id] = prio
+        report = self._place(new_rule, rule_id)
+        if not report.accepted:
+            del self._rules[rule_id]
+            del self._prio[rule_id]
+        return report
+
+    def recompute(self) -> None:
+        """Full re-optimization (the "background recomputation"): rebuild
+        the decomposition from the current rules."""
+        self.recomputations += 1
+        ordered = sorted(self._rules, key=lambda rid: self._prio[rid])
+        self._groups = []
+        self._d = []
+        self._shadow = {}
+        self._shadow_hosts = {}
+        saved_capacity = self.d_capacity
+        self.d_capacity = None  # re-placement must not recurse
+        try:
+            for rid in ordered:
+                self._replace_existing(rid)
+        finally:
+            self.d_capacity = saved_capacity
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def match_id(self, header: Sequence[int]) -> Optional[int]:
+        """Id of the highest-priority matching rule, or None (catch-all)."""
+        best: Optional[int] = None
+
+        def consider(rid: int) -> None:
+            nonlocal best
+            if best is None or self._prio[rid] < self._prio[best]:
+                best = rid
+
+        for group in self._groups:
+            candidate = group.probe(header, self._rules)
+            if candidate is not None:
+                if self._rules[candidate].matches(header):
+                    consider(candidate)
+                for extra in self._shadow.get(candidate, ()):
+                    if self._rules[extra].matches(header):
+                        consider(extra)
+        for rid in self._d:
+            if self._rules[rid].matches(header):
+                consider(rid)
+        return best
+
+    def classify(self, header: Sequence[int]) -> Action:
+        """Action of the best match (default action on catch-all)."""
+        rid = self.match_id(header)
+        if rid is None:
+            return self.default_action
+        return self._rules[rid].action

@@ -1,0 +1,104 @@
+"""TCAM space accounting — the currency of Tables 1-2 and Figure 1.
+
+The paper reports "Space, Kb": the number of TCAM entries times the entry
+width in bits, divided by 1024.  Widths snap to nothing by default; the
+optional ``snap_to_standard`` models the common 72/144/288-bit TCAM row
+formats mentioned in Section 4 (a reduced representation that crosses one
+of those barriers halves the physical space).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.classifier import Classifier
+from .encoding import RangeEncoder, rule_entry_count
+
+__all__ = ["SpaceReport", "classifier_entry_count", "classifier_space",
+           "STANDARD_ROW_WIDTHS", "snapped_width"]
+
+#: Common TCAM row formats (bits).
+STANDARD_ROW_WIDTHS = (72, 144, 288, 576)
+
+
+def snapped_width(width: int) -> int:
+    """Smallest standard row width holding ``width`` bits (or ``width``
+    itself beyond the largest standard format)."""
+    for standard in STANDARD_ROW_WIDTHS:
+        if width <= standard:
+            return standard
+    return width
+
+
+@dataclass(frozen=True)
+class SpaceReport:
+    """Entry count and derived space figures for one classifier encoding."""
+
+    entries: int
+    width_bits: int
+    snapped: bool = False
+
+    @property
+    def effective_width(self) -> int:
+        """Row width after optional standard-format snapping."""
+        return snapped_width(self.width_bits) if self.snapped else self.width_bits
+
+    @property
+    def total_bits(self) -> int:
+        """Entries times effective width."""
+        return self.entries * self.effective_width
+
+    @property
+    def kilobits(self) -> float:
+        """The paper's "Space, Kb" figure."""
+        return self.total_bits / 1024.0
+
+
+def classifier_entry_count(
+    classifier: Classifier,
+    encoder: RangeEncoder,
+    fields: Optional[Sequence[int]] = None,
+    rule_indices: Optional[Sequence[int]] = None,
+    include_catch_all: bool = False,
+) -> int:
+    """Total TCAM entries for (a subset of) a classifier under ``encoder``.
+
+    ``fields`` restricts the encoded fields (Theorem 2: the reduced
+    representation only stores the FSM subset).  ``rule_indices`` restricts
+    the rules (e.g. the order-independent part only).
+    """
+    field_list = (
+        list(fields) if fields is not None else list(range(classifier.num_fields))
+    )
+    indices = (
+        list(rule_indices)
+        if rule_indices is not None
+        else list(range(len(classifier.body)))
+    )
+    total = 0
+    for idx in indices:
+        total += rule_entry_count(
+            classifier.rules[idx], classifier.schema, encoder, field_list
+        )
+    if include_catch_all:
+        total += rule_entry_count(
+            classifier.catch_all, classifier.schema, encoder, field_list
+        )
+    return total
+
+
+def classifier_space(
+    classifier: Classifier,
+    encoder: RangeEncoder,
+    fields: Optional[Sequence[int]] = None,
+    rule_indices: Optional[Sequence[int]] = None,
+    snapped: bool = False,
+) -> SpaceReport:
+    """Space report (entries, width, Kb) for a classifier encoding."""
+    field_list = (
+        list(fields) if fields is not None else list(range(classifier.num_fields))
+    )
+    entries = classifier_entry_count(classifier, encoder, field_list, rule_indices)
+    width = classifier.schema.subset_width(field_list)
+    return SpaceReport(entries=entries, width_bits=width, snapped=snapped)

@@ -1,0 +1,93 @@
+"""Ternary entries: the VALUE/MASK words a TCAM stores.
+
+An entry is a ternary string over {0, 1, *}: a mask bit of 1 means the
+corresponding value bit must match; a mask bit of 0 hides a "don't care"
+position.  Entries support matching integer keys and composing across fields
+by concatenation, which is how multi-field rules are programmed after range
+expansion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+__all__ = ["TernaryEntry", "entry_from_pattern", "concat_entries"]
+
+
+@dataclass(frozen=True)
+class TernaryEntry:
+    """A ternary word of ``width`` bits stored as (value, mask) integers.
+
+    Bit ``width-1`` is the most significant.  ``value`` bits outside the
+    mask are normalized to zero so equal entries compare equal.
+    """
+
+    value: int
+    mask: int
+    width: int
+
+    def __post_init__(self) -> None:
+        limit = 1 << self.width
+        if not 0 <= self.mask < limit:
+            raise ValueError(f"mask {self.mask:#x} does not fit in {self.width} bits")
+        if not 0 <= self.value < limit:
+            raise ValueError(f"value {self.value:#x} does not fit in {self.width} bits")
+        object.__setattr__(self, "value", self.value & self.mask)
+
+    def matches(self, key: int) -> bool:
+        """True if ``key`` agrees with the entry on every cared-for bit."""
+        return (key & self.mask) == self.value
+
+    @property
+    def num_wildcards(self) -> int:
+        """Number of * positions."""
+        return self.width - bin(self.mask).count("1")
+
+    def pattern(self) -> str:
+        """Render as a {0,1,*} string, MSB first."""
+        chars: List[str] = []
+        for bit in range(self.width - 1, -1, -1):
+            if not (self.mask >> bit) & 1:
+                chars.append("*")
+            elif (self.value >> bit) & 1:
+                chars.append("1")
+            else:
+                chars.append("0")
+        return "".join(chars)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TernaryEntry({self.pattern()})"
+
+
+def entry_from_pattern(pattern: str) -> TernaryEntry:
+    """Parse a {0,1,*} string (MSB first) into a :class:`TernaryEntry`."""
+    value = 0
+    mask = 0
+    for ch in pattern:
+        value <<= 1
+        mask <<= 1
+        if ch == "1":
+            value |= 1
+            mask |= 1
+        elif ch == "0":
+            mask |= 1
+        elif ch != "*":
+            raise ValueError(f"invalid ternary character {ch!r} in {pattern!r}")
+    return TernaryEntry(value, mask, len(pattern))
+
+
+def concat_entries(entries: Iterable[TernaryEntry]) -> TernaryEntry:
+    """Concatenate per-field entries into one wide entry (leftmost field
+    becomes the most significant bits), mirroring how a multi-field rule is
+    programmed into a single TCAM row."""
+    value = 0
+    mask = 0
+    width = 0
+    for entry in entries:
+        value = (value << entry.width) | entry.value
+        mask = (mask << entry.width) | entry.mask
+        width += entry.width
+    if width == 0:
+        raise ValueError("cannot concatenate zero entries")
+    return TernaryEntry(value, mask, width)

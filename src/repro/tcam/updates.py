@@ -1,0 +1,200 @@
+"""Ordered TCAM updates: priority via physical position, with few moves.
+
+A real TCAM resolves priority by *row position*, so inserting a rule
+between existing ones may require physically moving entries — the cost the
+update literature fights (CoPTUA [41], TreeCAM [38]).  The standard
+insight: full sortedness is unnecessary; position order only has to agree
+with priority for entries that can match the same key (their ternary
+patterns intersect).  Non-overlapping entries may sit in any order, which
+leaves large feasible windows and makes most insertions move-free.
+
+:class:`ManagedTcam` maintains that invariant over a fixed array of slots:
+
+* insertion computes the feasible window (after every overlapping
+  higher-priority entry, before every overlapping lower-priority one) and
+  uses a free slot inside it;
+* when the window is full — or inconsistent, which can happen because the
+  ordering is only partial — entries are evicted and re-placed along a
+  chain, with every physical move counted;
+* a recompaction fallback (repack everything in priority order) bounds the
+  worst case and is also counted, so benchmarks can report amortized moves
+  per update.
+
+Deletion just frees the slot (the invariant only ever relaxes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .entry import TernaryEntry
+
+__all__ = ["ManagedTcam", "UpdateStats"]
+
+
+def _entries_overlap(a: TernaryEntry, b: TernaryEntry) -> bool:
+    """True if some key matches both ternary words."""
+    common = a.mask & b.mask
+    return (a.value ^ b.value) & common == 0
+
+
+@dataclass
+class UpdateStats:
+    """Cost counters: how much physical work updates caused."""
+
+    inserts: int = 0
+    deletes: int = 0
+    moves: int = 0
+    recompactions: int = 0
+
+    @property
+    def moves_per_insert(self) -> float:
+        """Amortized physical moves per insertion."""
+        return self.moves / self.inserts if self.inserts else 0.0
+
+
+@dataclass(frozen=True)
+class _Slot:
+    entry: TernaryEntry
+    priority: int  # smaller = higher priority, must sit earlier
+
+
+class ManagedTcam:
+    """Fixed-capacity TCAM with consistent, move-counted updates."""
+
+    def __init__(self, width: int, capacity: int) -> None:
+        if width <= 0 or capacity <= 0:
+            raise ValueError("width and capacity must be positive")
+        self.width = width
+        self.capacity = capacity
+        self._slots: List[Optional[_Slot]] = [None] * capacity
+        self.stats = UpdateStats()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for s in self._slots if s is not None)
+
+    def occupancy(self) -> float:
+        """Used fraction of the slot array."""
+        return len(self) / self.capacity
+
+    def check_invariant(self) -> bool:
+        """Every overlapping pair is position-ordered by priority."""
+        occupied = [
+            (pos, slot)
+            for pos, slot in enumerate(self._slots)
+            if slot is not None
+        ]
+        for i in range(len(occupied) - 1):
+            for j in range(i + 1, len(occupied)):
+                a, b = occupied[i][1], occupied[j][1]
+                if _entries_overlap(a.entry, b.entry):
+                    if a.priority > b.priority:
+                        return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def _window(self, entry: TernaryEntry, priority: int) -> Tuple[int, int]:
+        """Feasible position range [lo, hi] for the new entry."""
+        lo, hi = 0, self.capacity - 1
+        for pos, slot in enumerate(self._slots):
+            if slot is None or not _entries_overlap(slot.entry, entry):
+                continue
+            if slot.priority < priority:
+                lo = max(lo, pos + 1)
+            elif slot.priority > priority:
+                hi = min(hi, pos - 1)
+        return lo, hi
+
+    def insert(self, entry: TernaryEntry, priority: int) -> None:
+        """Insert with the consistency invariant; raises MemoryError when
+        full."""
+        if entry.width != self.width:
+            raise ValueError(
+                f"entry width {entry.width} != TCAM width {self.width}"
+            )
+        if len(self) >= self.capacity:
+            raise MemoryError("TCAM full")
+        self.stats.inserts += 1
+        # Chain placement mutates slots as it goes; snapshot so a failed
+        # chain rolls back cleanly before the recompaction fallback.
+        snapshot = list(self._slots)
+        moves_before = self.stats.moves
+        if not self._place(entry, priority, budget=self.capacity):
+            self._slots = snapshot
+            self.stats.moves = moves_before
+            self._recompact(extra=(entry, priority))
+
+    def _place(
+        self, entry: TernaryEntry, priority: int, budget: int
+    ) -> bool:
+        """Chain placement; returns False if the move budget runs out."""
+        if budget <= 0:
+            return False
+        lo, hi = self._window(entry, priority)
+        if lo <= hi:
+            for pos in range(lo, hi + 1):
+                if self._slots[pos] is None:
+                    self._slots[pos] = _Slot(entry, priority)
+                    return True
+            # Window exists but is packed.  Entries inside it do not
+            # overlap the new one (overlapping entries pin the window from
+            # outside), so any of them can be evicted; take the hi end and
+            # re-place the victim down the chain.
+            victim = self._slots[hi]
+            assert victim is not None
+            self._slots[hi] = _Slot(entry, priority)
+            self.stats.moves += 1
+            return self._place(victim.entry, victim.priority, budget - 1)
+        # Inconsistent (empty) window: a lower-priority overlapping entry
+        # sits at hi + 1 (or a higher-priority one at lo - 1 when hi was
+        # pinned by capacity).  Evict the blocker, retry, then re-place it.
+        victim_pos = hi + 1 if hi + 1 < self.capacity else lo - 1
+        victim = self._slots[victim_pos]
+        if victim is None:
+            return False  # defensive: blocker vanished mid-chain
+        self._slots[victim_pos] = None
+        self.stats.moves += 1
+        if not self._place(entry, priority, budget - 1):
+            return False  # caller rolls back via its snapshot
+        return self._place(victim.entry, victim.priority, budget - 1)
+
+    def _recompact(self, extra: Optional[Tuple[TernaryEntry, int]]) -> None:
+        """Repack every entry in priority order (counted as one move per
+        surviving entry)."""
+        self.stats.recompactions += 1
+        slots = [s for s in self._slots if s is not None]
+        if extra is not None:
+            slots.append(_Slot(extra[0], extra[1]))
+        slots.sort(key=lambda s: s.priority)
+        self.stats.moves += len(slots)
+        self._slots = [None] * self.capacity
+        for pos, slot in enumerate(slots):
+            self._slots[pos] = slot
+
+    def delete(self, priority: int) -> int:
+        """Free every slot holding entries of this priority; returns how
+        many were removed."""
+        removed = 0
+        for pos, slot in enumerate(self._slots):
+            if slot is not None and slot.priority == priority:
+                self._slots[pos] = None
+                removed += 1
+        if removed:
+            self.stats.deletes += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(self, key: int) -> Optional[int]:
+        """Priority of the first (lowest-position) matching entry."""
+        for slot in self._slots:
+            if slot is not None and slot.entry.matches(key):
+                return slot.priority
+        return None

@@ -1,0 +1,47 @@
+"""Workloads: ClassBench format, synthetic generators, packet traces."""
+
+from .classbench import (
+    format_rule,
+    parse_classbench,
+    parse_classbench_text,
+    write_classbench,
+)
+from .forwarding import (
+    generate_forwarding_table,
+    ipv4_forwarding_schema,
+    ipv6_forwarding_schema,
+    longest_prefix_match,
+)
+from .openflow import flow_count, from_flow_table, to_flow_table
+from .generator import (
+    BENCHMARK_NAMES,
+    STYLES,
+    StyleParams,
+    add_random_range_fields,
+    benchmark_suite,
+    generate_classifier,
+)
+from .traces import generate_trace, rule_targeted_headers, uniform_headers
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "STYLES",
+    "StyleParams",
+    "add_random_range_fields",
+    "benchmark_suite",
+    "flow_count",
+    "format_rule",
+    "from_flow_table",
+    "generate_classifier",
+    "to_flow_table",
+    "generate_forwarding_table",
+    "generate_trace",
+    "ipv4_forwarding_schema",
+    "ipv6_forwarding_schema",
+    "longest_prefix_match",
+    "parse_classbench",
+    "parse_classbench_text",
+    "rule_targeted_headers",
+    "uniform_headers",
+    "write_classbench",
+]

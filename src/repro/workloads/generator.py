@@ -1,0 +1,317 @@
+"""Seeded synthetic classifier generation in ClassBench's spirit.
+
+The paper evaluates on 12 ClassBench filter sets generated from real seed
+parameters plus 5 proprietary Cisco classifiers — neither shippable here.
+This module substitutes seeded generators that reproduce the *structural*
+statistics those filter sets are known for (see DESIGN.md, substitutions):
+
+* **acl** — access control lists: specific source/destination prefixes
+  (skewed long), destination ports exact or well-known ranges, little
+  source-port usage, mostly TCP/UDP;
+* **fw** — firewall rules: short (wide) source prefixes, port ranges on
+  both sides, more protocol wildcards, a tail of broad deny rules that
+  makes the classifier order-dependent at the bottom;
+* **ipc** — IP chains: a blend of the two;
+* **cisco** — small service classifiers (tens to hundreds of rules):
+  subnets talking to a handful of servers on exact ports, almost entirely
+  order-independent — mirroring the paper's cisco1-5 row shapes.
+
+All randomness flows from an explicit seed, so every experiment is
+reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.actions import DENY, PERMIT, Action, ActionKind
+from ..core.classifier import Classifier
+from ..core.fields import FieldSpec, classbench_schema
+from ..core.intervals import Interval, interval_from_prefix
+from ..core.rule import Rule
+
+__all__ = [
+    "StyleParams",
+    "STYLES",
+    "generate_classifier",
+    "add_random_range_fields",
+    "benchmark_suite",
+    "BENCHMARK_NAMES",
+]
+
+_TCP, _UDP, _ICMP = 6, 17, 1
+
+#: Destination-port vocabulary (well-known services).
+_PORTS = (80, 443, 22, 23, 25, 53, 110, 123, 143, 161, 389, 445, 1433, 1521,
+          3306, 3389, 5060, 8080)
+
+#: Common port ranges seen in filter sets.
+_PORT_RANGES = ((1024, 65535), (0, 1023), (6000, 6063), (5000, 5100),
+                (49152, 65535), (135, 139))
+
+
+@dataclass(frozen=True)
+class StyleParams:
+    """Distributional knobs of one generator style."""
+
+    name: str
+    src_lengths: Tuple[Tuple[int, float], ...]
+    dst_lengths: Tuple[Tuple[int, float], ...]
+    sport_model: Tuple[Tuple[str, float], ...]
+    dport_model: Tuple[Tuple[str, float], ...]
+    protocols: Tuple[Tuple[Optional[int], float], ...]
+    nest_probability: float
+    broad_tail_fraction: float
+    flags_exact_probability: float = 0.0
+
+
+STYLES: Dict[str, StyleParams] = {
+    "acl": StyleParams(
+        name="acl",
+        src_lengths=((0, 0.05), (8, 0.03), (16, 0.07), (24, 0.25),
+                     (28, 0.15), (32, 0.45)),
+        dst_lengths=((0, 0.02), (16, 0.08), (24, 0.35), (28, 0.15),
+                     (32, 0.40)),
+        sport_model=(("wildcard", 0.85), ("exact", 0.05), ("range", 0.10)),
+        dport_model=(("wildcard", 0.15), ("exact", 0.55), ("range", 0.25),
+                     ("arbitrary", 0.05)),
+        protocols=((_TCP, 0.65), (_UDP, 0.25), (_ICMP, 0.03), (None, 0.07)),
+        nest_probability=0.10,
+        broad_tail_fraction=0.002,
+    ),
+    "fw": StyleParams(
+        name="fw",
+        src_lengths=((0, 0.12), (8, 0.08), (16, 0.20), (24, 0.28),
+                     (32, 0.32)),
+        dst_lengths=((0, 0.05), (8, 0.07), (16, 0.23), (24, 0.32),
+                     (32, 0.33)),
+        sport_model=(("wildcard", 0.50), ("exact", 0.12), ("range", 0.28),
+                     ("arbitrary", 0.10)),
+        dport_model=(("wildcard", 0.15), ("exact", 0.40), ("range", 0.30),
+                     ("arbitrary", 0.15)),
+        protocols=((_TCP, 0.50), (_UDP, 0.30), (_ICMP, 0.05), (None, 0.15)),
+        nest_probability=0.20,
+        broad_tail_fraction=0.008,
+        flags_exact_probability=0.10,
+    ),
+    "ipc": StyleParams(
+        name="ipc",
+        src_lengths=((0, 0.12), (8, 0.08), (16, 0.15), (24, 0.25),
+                     (32, 0.40)),
+        dst_lengths=((0, 0.06), (16, 0.14), (24, 0.35), (32, 0.45)),
+        sport_model=(("wildcard", 0.70), ("exact", 0.10), ("range", 0.20)),
+        dport_model=(("wildcard", 0.18), ("exact", 0.47), ("range", 0.30),
+                     ("arbitrary", 0.05)),
+        protocols=((_TCP, 0.60), (_UDP, 0.28), (_ICMP, 0.04), (None, 0.08)),
+        nest_probability=0.20,
+        broad_tail_fraction=0.006,
+    ),
+    "cisco": StyleParams(
+        name="cisco",
+        src_lengths=((16, 0.10), (24, 0.55), (28, 0.15), (32, 0.20)),
+        dst_lengths=((24, 0.15), (28, 0.10), (32, 0.75)),
+        sport_model=(("wildcard", 0.90), ("range", 0.10)),
+        dport_model=(("wildcard", 0.05), ("exact", 0.80), ("range", 0.15)),
+        protocols=((_TCP, 0.70), (_UDP, 0.25), (None, 0.05)),
+        nest_probability=0.05,
+        broad_tail_fraction=0.02,
+    ),
+}
+
+
+def _weighted(rng: random.Random, table: Sequence[Tuple[object, float]]):
+    values = [v for v, _w in table]
+    weights = [w for _v, w in table]
+    return rng.choices(values, weights=weights, k=1)[0]
+
+
+def _sample_prefix(
+    rng: random.Random,
+    lengths: Sequence[Tuple[int, float]],
+    pool: List[int],
+    nest_probability: float,
+) -> Interval:
+    """A 32-bit prefix interval; with ``nest_probability`` the address is
+    drawn from earlier rules so prefixes nest/overlap like real tables."""
+    length = _weighted(rng, lengths)
+    if pool and rng.random() < nest_probability:
+        address = rng.choice(pool)
+    else:
+        address = rng.getrandbits(32)
+        pool.append(address)
+    return interval_from_prefix(address, length, 32)
+
+
+def _sample_port(rng: random.Random, model: Sequence[Tuple[str, float]]) -> Interval:
+    kind = _weighted(rng, model)
+    if kind == "wildcard":
+        return Interval(0, 65535)
+    if kind == "exact":
+        return Interval(*(rng.choice(_PORTS),) * 2)
+    if kind == "range":
+        return Interval(*rng.choice(_PORT_RANGES))
+    low = rng.randrange(0, 65000)
+    return Interval(low, min(65535, low + rng.randrange(1, 512)))
+
+
+def _sample_protocol(rng: random.Random, params: StyleParams) -> Interval:
+    proto = _weighted(rng, params.protocols)
+    if proto is None:
+        return Interval(0, 255)
+    return Interval(proto, proto)
+
+
+def _sample_flags(rng: random.Random, params: StyleParams) -> Interval:
+    if rng.random() < params.flags_exact_probability:
+        value = rng.choice((0x0000, 0x0002, 0x0010, 0x0012))
+        return Interval(value, value)
+    return Interval(0, 0xFFFF)
+
+
+def _broad_tail_rule(rng: random.Random) -> Rule:
+    """A broad, low-priority rule (the Example 5 pattern): wildcard-ish
+    matches that intersect many specific rules above them."""
+    length = rng.choice((0, 0, 8, 8, 16))
+    dst = interval_from_prefix(rng.getrandbits(32), length, 32)
+    return Rule(
+        (
+            Interval(0, (1 << 32) - 1),
+            dst,
+            Interval(0, 65535),
+            _sample_port(rng, (("wildcard", 0.5), ("range", 0.5))),
+            Interval(0, 255),
+            Interval(0, 0xFFFF),
+        ),
+        DENY,
+    )
+
+
+#: Per-style action mixes (permit-heavy ACLs, deny-heavy firewalls, QoS
+#: marking in ipc/cisco service chains).
+_ACTION_MIX: Dict[str, Tuple[Tuple[str, float], ...]] = {
+    "acl": (("permit", 0.75), ("deny", 0.25)),
+    "fw": (("permit", 0.45), ("deny", 0.55)),
+    "ipc": (("permit", 0.60), ("deny", 0.25), ("mark", 0.15)),
+    "cisco": (("permit", 0.70), ("deny", 0.10), ("mark", 0.20)),
+}
+
+
+def _sample_action(rng: random.Random, style: str) -> Action:
+    kind = _weighted(rng, _ACTION_MIX[style])
+    if kind == "permit":
+        return PERMIT
+    if kind == "deny":
+        return DENY
+    return Action(ActionKind.MARK, payload=rng.randrange(8))
+
+
+def generate_classifier(
+    style: str,
+    num_rules: int,
+    seed: int,
+    action: Optional[Action] = None,
+) -> Classifier:
+    """Generate a six-field classifier of ``num_rules`` body rules in the
+    given style ("acl", "fw", "ipc" or "cisco"), fully determined by
+    ``seed``.  ``action`` forces a single action for every specific rule;
+    by default each rule samples from the style's permit/deny/mark mix."""
+    try:
+        params = STYLES[style]
+    except KeyError:
+        raise ValueError(
+            f"unknown style {style!r}; choose from {sorted(STYLES)}"
+        ) from None
+    rng = random.Random(seed)
+    schema = classbench_schema()
+    src_pool: List[int] = []
+    dst_pool: List[int] = []
+    seen = set()
+    rules: List[Rule] = []
+    tail_budget = max(0, round(num_rules * params.broad_tail_fraction))
+    specific_budget = num_rules - tail_budget
+    attempts = 0
+    while len(rules) < specific_budget and attempts < specific_budget * 20:
+        attempts += 1
+        intervals = (
+            _sample_prefix(rng, params.src_lengths, src_pool,
+                           params.nest_probability),
+            _sample_prefix(rng, params.dst_lengths, dst_pool,
+                           params.nest_probability),
+            _sample_port(rng, params.sport_model),
+            _sample_port(rng, params.dport_model),
+            _sample_protocol(rng, params),
+            _sample_flags(rng, params),
+        )
+        if intervals in seen:
+            continue
+        seen.add(intervals)
+        rule_action = action if action is not None else _sample_action(
+            rng, style
+        )
+        rules.append(Rule(intervals, rule_action))
+    for _ in range(tail_budget):
+        rules.append(_broad_tail_rule(rng))
+    return Classifier(schema, rules)
+
+
+def add_random_range_fields(
+    classifier: Classifier,
+    count: int,
+    seed: int,
+    width: int = 16,
+    wildcard_probability: float = 0.1,
+) -> Classifier:
+    """The Table 1 / Figure 1 extension: append ``count`` synthetic
+    ``width``-bit *range* fields with random intervals to every body rule
+    (the catch-all gets wildcards)."""
+    rng = random.Random(seed)
+    max_value = (1 << width) - 1
+    specs = [
+        FieldSpec(f"range{classifier.num_fields + i}", width)
+        for i in range(count)
+    ]
+    extra: List[List[Interval]] = []
+    for _rule in classifier.body:
+        row: List[Interval] = []
+        for _ in range(count):
+            if rng.random() < wildcard_probability:
+                row.append(Interval(0, max_value))
+            else:
+                a = rng.randrange(0, max_value)
+                b = rng.randrange(a, max_value + 1)
+                row.append(Interval(a, b))
+        extra.append(row)
+    return classifier.extend(specs, extra)
+
+
+#: The 17 benchmark classifiers of the paper's evaluation, by name.
+BENCHMARK_NAMES: Tuple[str, ...] = (
+    "acl1", "acl2", "acl3", "acl4", "acl5",
+    "fw1", "fw2", "fw3", "fw4", "fw5",
+    "ipc1", "ipc2",
+    "cisco1", "cisco2", "cisco3", "cisco4", "cisco5",
+)
+
+#: Paper sizes of the cisco classifiers (Table 1 row counts).
+_CISCO_SIZES = {"cisco1": 584, "cisco2": 269, "cisco3": 95, "cisco4": 364,
+                "cisco5": 148}
+
+
+def benchmark_suite(
+    classbench_rules: int = 2000, seed: int = 2014
+) -> Dict[str, Classifier]:
+    """The full 17-classifier suite mirroring Table 1's rows.
+
+    The paper's ClassBench sets hold ~50k rules; our analysis pipeline is
+    pure Python with Theta(N^2) pair algorithms, so the default scales them
+    to ``classbench_rules`` while the cisco sets keep their true sizes.
+    Every classifier is deterministic in (name, sizes, seed).
+    """
+    suite: Dict[str, Classifier] = {}
+    for i, name in enumerate(BENCHMARK_NAMES):
+        style = "".join(ch for ch in name if ch.isalpha())
+        size = _CISCO_SIZES.get(name, classbench_rules)
+        suite[name] = generate_classifier(style, size, seed + i * 101)
+    return suite

@@ -1,0 +1,230 @@
+"""OpenFlow-style flow-table rendering.
+
+The paper motivates expressive classification with OpenFlow's rise
+(Section 1: "hierarchical tuple matching with set actions"); operationally
+a classifier is deployed as a flow table.  This module renders six-field
+classifiers into the familiar ``ovs-ofctl``-style text format
+
+    priority=900,nw_src=10.0.0.0/8,tp_dst=80,nw_proto=6,actions=output:1
+
+and parses it back.  OpenFlow matches cannot express arbitrary port
+*ranges*, so range fields are expanded into prefix-masked ``tp_src``/
+``tp_dst`` matches (one flow per prefix combination) — making the flow
+count itself a measurement of range-expansion cost, exactly parallel to
+the TCAM story.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.actions import Action, ActionKind, DENY, PERMIT, TRANSMIT
+from ..core.classifier import Classifier
+from ..core.fields import classbench_schema
+from ..core.intervals import (
+    Interval,
+    interval_from_prefix,
+    split_into_prefixes,
+)
+from ..core.rule import Rule
+
+__all__ = ["to_flow_table", "from_flow_table", "flow_count"]
+
+_PRIORITY_BASE = 10_000
+
+
+def _format_ip(value: int) -> str:
+    return ".".join(str((value >> s) & 0xFF) for s in (24, 16, 8, 0))
+
+
+def _action_text(action: Action) -> str:
+    if action.kind in (ActionKind.PERMIT, ActionKind.TRANSMIT):
+        return "actions=NORMAL"
+    if action.kind is ActionKind.DENY:
+        return "actions=drop"
+    if action.kind is ActionKind.MARK:
+        return f"actions=set_queue:{action.payload},NORMAL"
+    if action.kind is ActionKind.REDIRECT:
+        return f"actions=output:{action.payload}"
+    return "actions=CONTROLLER"
+
+
+def _action_from_text(text: str) -> Action:
+    if text == "NORMAL":
+        return PERMIT
+    if text == "drop":
+        return DENY
+    if text.startswith("set_queue:"):
+        queue = int(text.split(":")[1].split(",")[0])
+        return Action(ActionKind.MARK, payload=queue)
+    if text.startswith("output:"):
+        return Action(ActionKind.REDIRECT, payload=int(text.split(":")[1]))
+    return TRANSMIT
+
+
+def _match_parts(rule: Rule, sport: Tuple[int, int], dport: Tuple[int, int]) -> List[str]:
+    """Match fields for one expanded flow (ports as value/prefix-length)."""
+    parts: List[str] = []
+    src, dst, _sp, _dp, proto, _flags = rule.intervals
+    src_prefix = _prefix_of(src, 32)
+    if src_prefix[1]:
+        parts.append(f"nw_src={_format_ip(src_prefix[0])}/{src_prefix[1]}")
+    dst_prefix = _prefix_of(dst, 32)
+    if dst_prefix[1]:
+        parts.append(f"nw_dst={_format_ip(dst_prefix[0])}/{dst_prefix[1]}")
+    for name, (value, length) in (("tp_src", sport), ("tp_dst", dport)):
+        if length == 0:
+            continue
+        if length == 16:
+            parts.append(f"{name}={value}")
+        else:
+            mask = ((1 << length) - 1) << (16 - length)
+            parts.append(f"{name}={value << (16 - length)}/0x{mask:04x}")
+    if not proto.is_full(8):
+        parts.append(f"nw_proto={proto.low}")
+    flags = rule.intervals[5]
+    if not flags.is_full(16):
+        if not flags.is_exact():
+            raise ValueError(
+                "OpenFlow tcp_flags matches only exact values or "
+                f"wildcards; got {flags}"
+            )
+        parts.append(f"tcp_flags=0x{flags.low:04x}")
+    return parts
+
+
+def _prefix_of(interval: Interval, width: int) -> Tuple[int, int]:
+    from ..core.intervals import prefix_for_interval
+
+    prefix = prefix_for_interval(interval, width)
+    if prefix is None:
+        raise ValueError(
+            f"interval {interval} is not a prefix; expand it first"
+        )
+    value, length = prefix
+    return value << (width - length) if length else 0, length
+
+
+def to_flow_table(classifier: Classifier) -> str:
+    """Render the body rules as OpenFlow flow entries, one line per
+    expanded flow; priorities descend with rule order so the switch's
+    highest-priority-wins matches first-match semantics."""
+    if len(classifier.schema) != 6:
+        raise ValueError("flow rendering expects the six-field schema")
+    lines: List[str] = []
+    for idx, rule in enumerate(classifier.body):
+        priority = _PRIORITY_BASE - idx
+        sports = list(split_into_prefixes(rule.intervals[2], 16))
+        dports = list(split_into_prefixes(rule.intervals[3], 16))
+        for sp in sports:
+            for dp in dports:
+                parts = [f"priority={priority}"]
+                parts.extend(_match_parts(rule, sp, dp))
+                parts.append(_action_text(rule.action))
+                lines.append(",".join(parts))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def flow_count(classifier: Classifier) -> int:
+    """Flows needed without materializing the text — the OpenFlow analogue
+    of the TCAM entry count for the port-range fields."""
+    total = 0
+    for rule in classifier.body:
+        sports = sum(1 for _ in split_into_prefixes(rule.intervals[2], 16))
+        dports = sum(1 for _ in split_into_prefixes(rule.intervals[3], 16))
+        total += sports * dports
+    return total
+
+
+def _parse_ip(text: str) -> int:
+    parts = [int(p) for p in text.split(".")]
+    return (parts[0] << 24) | (parts[1] << 16) | (parts[2] << 8) | parts[3]
+
+
+def _port_interval(text: str) -> Interval:
+    if "/" in text:
+        value, mask = text.split("/")
+        length = bin(int(mask, 16)).count("1")
+        # The rendered value is already the full 16-bit shifted form.
+        return interval_from_prefix(int(value), length, 16)
+    value = int(text)
+    return Interval(value, value)
+
+
+def from_flow_table(text: str) -> Classifier:
+    """Parse flow entries back into a six-field classifier.
+
+    Flows sharing a priority came from one rule's range expansion; they are
+    merged back by grouping on (priority, action, non-port fields) and
+    re-merging the port prefixes into ranges.
+    """
+    schema = classbench_schema()
+    groups: Dict[Tuple, Dict[str, object]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields: Dict[str, str] = {}
+        action_text = "NORMAL"
+        for part in line.split(","):
+            if part.startswith("actions="):
+                action_text = part[len("actions="):]
+                break
+            key, _, value = part.partition("=")
+            fields[key] = value
+        # actions may contain commas; recover the tail.
+        if "actions=" in line:
+            action_text = line.split("actions=", 1)[1]
+        priority = int(fields["priority"])
+        src = (
+            fields.get("nw_src", "0.0.0.0/0").split("/")
+            if "nw_src" in fields
+            else ["0.0.0.0", "0"]
+        )
+        dst = (
+            fields.get("nw_dst", "0.0.0.0/0").split("/")
+            if "nw_dst" in fields
+            else ["0.0.0.0", "0"]
+        )
+        src_iv = interval_from_prefix(_parse_ip(src[0]), int(src[1]), 32)
+        dst_iv = interval_from_prefix(_parse_ip(dst[0]), int(dst[1]), 32)
+        sport = _port_interval(fields["tp_src"]) if "tp_src" in fields \
+            else Interval(0, 65535)
+        dport = _port_interval(fields["tp_dst"]) if "tp_dst" in fields \
+            else Interval(0, 65535)
+        proto = (
+            Interval(int(fields["nw_proto"]), int(fields["nw_proto"]))
+            if "nw_proto" in fields
+            else Interval(0, 255)
+        )
+        if "tcp_flags" in fields:
+            value = int(fields["tcp_flags"], 16)
+            flags = Interval(value, value)
+        else:
+            flags = Interval(0, 0xFFFF)
+        key = (priority, action_text, src_iv, dst_iv, proto, flags)
+        bucket = groups.setdefault(
+            key, {"sports": [], "dports": []}
+        )
+        bucket["sports"].append(sport)
+        bucket["dports"].append(dport)
+    rules: List[Rule] = []
+    for (priority, action_text, src_iv, dst_iv, proto, flags), bucket in sorted(
+        groups.items(), key=lambda item: -item[0][0]
+    ):
+        from ..core.intervals import merge_intervals
+
+        sports = merge_intervals(list(bucket["sports"]))
+        dports = merge_intervals(list(bucket["dports"]))
+        if len(sports) != 1 or len(dports) != 1:
+            raise ValueError(
+                f"flows at priority {priority} do not merge back into a "
+                "single rule (corrupt or foreign flow table)"
+            )
+        rules.append(
+            Rule(
+                (src_iv, dst_iv, sports[0], dports[0], proto, flags),
+                _action_from_text(action_text),
+            )
+        )
+    return Classifier(schema, rules)

@@ -1,0 +1,54 @@
+"""Hypothesis strategies for classifiers, rules and headers.
+
+Shared by the property-test modules; kept separate from conftest so the
+strategies can be imported explicitly where needed.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core import Classifier, Interval, Rule, uniform_schema
+from repro.core.actions import DENY, PERMIT, TRANSMIT
+
+
+@st.composite
+def intervals(draw, width: int):
+    max_value = (1 << width) - 1
+    low = draw(st.integers(0, max_value))
+    high = draw(st.integers(low, max_value))
+    return Interval(low, high)
+
+
+@st.composite
+def rules(draw, num_fields: int, width: int):
+    action = draw(st.sampled_from([PERMIT, DENY, TRANSMIT]))
+    return Rule(
+        tuple(draw(intervals(width)) for _ in range(num_fields)), action
+    )
+
+
+@st.composite
+def classifiers(
+    draw,
+    max_rules: int = 20,
+    num_fields: int = 3,
+    width: int = 5,
+):
+    """Random classifiers with arbitrary overlap structure."""
+    body = draw(st.lists(rules(num_fields, width), max_size=max_rules))
+    return Classifier(uniform_schema(num_fields, width), body)
+
+
+@st.composite
+def headers_for(draw, classifier: Classifier):
+    """A header, biased toward hitting some body rule."""
+    body = classifier.body
+    if body and draw(st.booleans()):
+        rule = draw(st.sampled_from(list(body)))
+        return tuple(
+            draw(st.integers(iv.low, iv.high)) for iv in rule.intervals
+        )
+    return tuple(
+        draw(st.integers(0, spec.max_value)) for spec in classifier.schema
+    )

@@ -1,0 +1,30 @@
+"""Tests for rule actions."""
+
+from repro.core.actions import (
+    Action,
+    ActionKind,
+    DENY,
+    PERMIT,
+    TRANSMIT,
+)
+
+
+class TestAction:
+    def test_builtins_kinds(self):
+        assert TRANSMIT.kind is ActionKind.TRANSMIT
+        assert PERMIT.kind is ActionKind.PERMIT
+        assert DENY.kind is ActionKind.DENY
+
+    def test_equality_by_value(self):
+        assert Action(ActionKind.MARK, 3) == Action(ActionKind.MARK, 3)
+        assert Action(ActionKind.MARK, 3) != Action(ActionKind.MARK, 4)
+
+    def test_payload_defaults_none(self):
+        assert TRANSMIT.payload is None
+
+    def test_custom_payload(self):
+        action = Action(ActionKind.REDIRECT, payload="port7")
+        assert action.payload == "port7"
+
+    def test_hashable(self):
+        assert len({TRANSMIT, PERMIT, DENY, TRANSMIT}) == 3

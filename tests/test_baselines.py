@@ -1,0 +1,178 @@
+"""Tests for the baseline classifiers: tuple space search and HiCuts."""
+
+import random
+
+import pytest
+
+from repro.core import Classifier, make_rule, uniform_schema
+from repro.lookup.decision_tree import DecisionTreeClassifier
+from repro.lookup.tuple_space import TupleSpaceClassifier
+from repro.workloads.generator import generate_classifier
+from conftest import random_classifier
+
+
+def _check_equivalence(baseline, classifier, rng, samples=200):
+    for header in classifier.sample_headers(samples, rng):
+        expected = classifier.match(header)
+        got = baseline.match_index(header)
+        if expected.rule is classifier.catch_all:
+            assert got is None
+        else:
+            assert got == expected.index
+
+
+class TestTupleSpace:
+    def test_prefix_rules_one_entry_each(self):
+        schema = uniform_schema(2, 8)
+        k = Classifier(
+            schema,
+            [
+                make_rule([(0, 127), (64, 64)]),   # /1 and /8
+                make_rule([(128, 255), (32, 32)]),
+            ],
+        )
+        tss = TupleSpaceClassifier(k)
+        assert tss.num_entries == 2
+        assert tss.num_tuples == 1  # both rules share tuple (1, 8)
+
+    def test_range_rules_expand(self):
+        schema = uniform_schema(1, 8)
+        k = Classifier(schema, [make_rule([(1, 254)])])
+        tss = TupleSpaceClassifier(k)
+        assert tss.num_entries == 14  # 2W - 2 prefixes
+
+    def test_lookup_basic(self):
+        schema = uniform_schema(2, 8)
+        k = Classifier(
+            schema,
+            [
+                make_rule([(0, 127), (64, 64)]),
+                make_rule([(128, 255), (32, 32)]),
+            ],
+        )
+        tss = TupleSpaceClassifier(k)
+        assert tss.match_index((5, 64)) == 0
+        assert tss.match_index((200, 32)) == 1
+        assert tss.match_index((5, 32)) is None
+
+    def test_priority_on_shared_entry(self):
+        schema = uniform_schema(1, 4)
+        k = Classifier(
+            schema, [make_rule([(8, 15)]), make_rule([(8, 15)])]
+        )
+        tss = TupleSpaceClassifier(k)
+        assert tss.match_index((9,)) == 0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_equivalent_to_linear_scan(self, seed):
+        rng = random.Random(seed)
+        k = random_classifier(rng, num_rules=20, num_fields=3, width=6)
+        tss = TupleSpaceClassifier(k)
+        _check_equivalence(tss, k, rng)
+
+    def test_realistic_workload(self):
+        k = generate_classifier("acl", 200, seed=31)
+        rng = random.Random(2)
+        tss = TupleSpaceClassifier(k)
+        _check_equivalence(tss, k, rng, samples=300)
+        # Range expansion inflates the tuple space — exactly the weakness
+        # the paper attributes to [35]; entries bound tuples from above.
+        assert tss.num_tuples <= tss.num_entries
+
+    def test_prefix_only_rules_share_few_tuples(self):
+        # Without ranges, tuple count collapses far below the rule count.
+        schema = uniform_schema(2, 8)
+        rng = random.Random(7)
+        rules = []
+        for _ in range(60):
+            plen_a = rng.choice((0, 8))
+            plen_b = rng.choice((0, 8))
+            a = rng.randrange(256) & (0xFF << (8 - plen_a)) & 0xFF
+            b = rng.randrange(256) & (0xFF << (8 - plen_b)) & 0xFF
+            rules.append(
+                make_rule(
+                    [
+                        (a, a + (1 << (8 - plen_a)) - 1),
+                        (b, b + (1 << (8 - plen_b)) - 1),
+                    ]
+                )
+            )
+        k = Classifier(schema, rules)
+        tss = TupleSpaceClassifier(k)
+        assert tss.num_tuples <= 4  # (0|8) x (0|8)
+
+    def test_rule_subset(self):
+        k = generate_classifier("acl", 50, seed=32)
+        tss = TupleSpaceClassifier(k, rule_indices=[0, 1, 2])
+        assert tss.num_entries >= 3 or tss.num_entries > 0
+
+    def test_tuple_histogram(self):
+        k = generate_classifier("acl", 50, seed=33)
+        tss = TupleSpaceClassifier(k)
+        histogram = tss.tuple_histogram()
+        assert sum(histogram.values()) == tss.num_entries
+
+    def test_match_falls_back_to_catch_all(self):
+        schema = uniform_schema(1, 4)
+        k = Classifier(schema, [make_rule([(0, 3)])])
+        tss = TupleSpaceClassifier(k)
+        assert tss.match((9,)).rule is k.catch_all
+
+
+class TestDecisionTree:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_equivalent_to_linear_scan(self, seed):
+        rng = random.Random(100 + seed)
+        k = random_classifier(rng, num_rules=25, num_fields=3, width=6)
+        tree = DecisionTreeClassifier(k, binth=4)
+        _check_equivalence(tree, k, rng)
+
+    def test_realistic_workload(self):
+        k = generate_classifier("fw", 200, seed=41)
+        tree = DecisionTreeClassifier(k, binth=8)
+        rng = random.Random(3)
+        _check_equivalence(tree, k, rng, samples=300)
+
+    def test_binth_respected_where_cuttable(self):
+        k = generate_classifier("acl", 150, seed=42)
+        tree = DecisionTreeClassifier(k, binth=4, max_depth=30)
+        # Leaves exceed binth only when cutting cannot separate further.
+        assert tree.stats.leaves >= 1
+        assert tree.stats.max_depth <= 30
+
+    def test_replication_reported(self):
+        k = generate_classifier("fw", 150, seed=43)
+        tree = DecisionTreeClassifier(k, binth=8)
+        factor = tree.stats.replication_factor(len(k.body))
+        assert factor >= 1.0  # every rule stored at least once
+
+    def test_single_rule(self):
+        schema = uniform_schema(2, 4)
+        k = Classifier(schema, [make_rule([(1, 2), (3, 4)])])
+        tree = DecisionTreeClassifier(k)
+        assert tree.match_index((1, 3)) == 0
+        assert tree.match_index((0, 0)) is None
+
+    def test_empty_classifier(self):
+        schema = uniform_schema(2, 4)
+        k = Classifier(schema, [])
+        tree = DecisionTreeClassifier(k)
+        assert tree.match_index((0, 0)) is None
+        assert tree.match((0, 0)).rule is k.catch_all
+
+    def test_parameter_validation(self):
+        schema = uniform_schema(1, 4)
+        k = Classifier(schema, [make_rule([(0, 3)])])
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(k, binth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(k, max_cuts=1)
+
+    def test_identical_rules_leaf_out(self):
+        # Uncuttable: identical boxes must not recurse forever.
+        schema = uniform_schema(2, 6)
+        k = Classifier(
+            schema, [make_rule([(0, 40), (0, 40)]) for _ in range(20)]
+        )
+        tree = DecisionTreeClassifier(k, binth=2, max_depth=10)
+        assert tree.match_index((5, 5)) == 0

@@ -1,0 +1,67 @@
+"""Tests for the shared benchmark harness utilities."""
+
+import pytest
+
+from repro.bench.harness import (
+    bench_rules,
+    cached_suite,
+    classbench_names,
+    cisco_names,
+    format_kb,
+    format_table,
+)
+
+
+class TestBenchRules:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_RULES", raising=False)
+        assert bench_rules() == 2000
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_RULES", "123")
+        assert bench_rules() == 123
+
+    def test_garbage_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_RULES", "not-a-number")
+        assert bench_rules() == 2000
+
+    def test_non_positive_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_RULES", "-5")
+        assert bench_rules() == 2000
+
+
+class TestCachedSuite:
+    def test_caching_returns_same_object(self):
+        a = cached_suite(rules=60)
+        b = cached_suite(rules=60)
+        assert a is b
+
+    def test_names_partition(self):
+        names = set(classbench_names()) | set(cisco_names())
+        suite = cached_suite(rules=60)
+        assert names == set(suite)
+        assert not set(classbench_names()) & set(cisco_names())
+
+
+class TestFormatting:
+    def test_format_kb_scales(self):
+        assert format_kb(0.5) == "0.50"
+        assert format_kb(12.34) == "12.3"
+        assert format_kb(512.0) == "512"
+        assert format_kb(123456.0) == "123,456"
+
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [["a", 1], ["long-name", 22]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        # All rows share the same width.
+        assert len(set(len(l) for l in lines[1:])) <= 2
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["only"], [])
+        assert "only" in text

@@ -1,0 +1,77 @@
+"""Tests for the MRCC classification cache (Section 4.3)."""
+
+import random
+
+import pytest
+
+from repro.core import Classifier, make_rule, uniform_schema
+from repro.saxpac.cache import ClassificationCache
+from conftest import random_classifier
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_cache_matches_linear_scan(self, seed):
+        rng = random.Random(seed)
+        k = random_classifier(rng, num_rules=30)
+        cache = ClassificationCache(k)
+        for header in k.sample_headers(200, rng):
+            assert cache.match(header).index == k.match(header).index
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_capacity_limited_cache_still_correct(self, seed):
+        rng = random.Random(100 + seed)
+        k = random_classifier(rng, num_rules=30)
+        cache = ClassificationCache(k, capacity=10)
+        assert cache.cached_rules <= 10
+        for header in k.sample_headers(200, rng):
+            assert cache.match(header).index == k.match(header).index
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_group_budget_respected(self, seed):
+        rng = random.Random(200 + seed)
+        k = random_classifier(rng, num_rules=30)
+        cache = ClassificationCache(k, max_groups=2)
+        assert len(cache.grouping.groups) <= 2
+        for header in k.sample_headers(150, rng):
+            assert cache.match(header).index == k.match(header).index
+
+
+class TestCachePropertySemantics:
+    def test_hit_never_needs_backing_store(self):
+        """The MRCC guarantee, checked directly: whenever the cache engine
+        returns a rule, that rule IS the overall first match."""
+        rng = random.Random(7)
+        for seed in range(8):
+            k = random_classifier(random.Random(seed), num_rules=25)
+            cache = ClassificationCache(k)
+            for header in k.sample_headers(100, rng):
+                cached = cache._engine.lookup(header)
+                if cached is not None:
+                    assert k.match(header).index == cached
+
+    def test_stats_track_hits(self):
+        rng = random.Random(8)
+        k = random_classifier(rng, num_rules=25)
+        cache = ClassificationCache(k)
+        for header in k.sample_headers(100, rng):
+            cache.match(header)
+        assert cache.stats.lookups == 100
+        assert 0 <= cache.stats.hits <= 100
+        assert cache.stats.hit_rate == cache.stats.hits / 100
+
+    def test_empty_stats(self):
+        rng = random.Random(9)
+        k = random_classifier(rng, num_rules=10)
+        cache = ClassificationCache(k)
+        assert cache.stats.hit_rate == 0.0
+
+    def test_order_independent_classifier_hits_everything_matched(
+        self, example2_classifier
+    ):
+        cache = ClassificationCache(example2_classifier)
+        # Every body rule of a fully order-independent classifier can live
+        # in the cache.
+        assert cache.cached_rules == 3
+        assert cache.match((2, 5, 5)).index == 0
+        assert cache.stats.hits == 1

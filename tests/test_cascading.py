@@ -1,0 +1,129 @@
+"""Tests for the fractionally-cascaded two-field index."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import Interval
+from repro.lookup.cascading import CascadingTwoFieldIndex
+from repro.lookup.two_field import TwoFieldIndex
+
+
+def _independent_boxes(rng, count, stripe=10):
+    """Boxes pairwise disjoint in at least one dimension (see
+    test_two_field): unique stripes in dimension a."""
+    boxes = []
+    for i in range(count):
+        a_lo = i * stripe
+        a = Interval(a_lo, a_lo + rng.randint(0, stripe - 1))
+        b_lo = rng.randint(0, 80)
+        b = Interval(b_lo, b_lo + rng.randint(0, 25))
+        boxes.append((a, b))
+    return boxes
+
+
+def _layered_boxes(levels=5, per_level=6):
+    """Boxes that genuinely share segment-tree nodes: same a-interval per
+    layer, disjoint b-intervals within a layer."""
+    boxes = []
+    for layer in range(levels):
+        a = Interval(0, 10 * (layer + 1))
+        for j in range(per_level):
+            b = Interval(j * 12, j * 12 + 9)
+            boxes.append((a, b))
+    # Deduplicate b-collisions across layers sharing canonical nodes by
+    # shifting each layer's b range.
+    out = []
+    for i, (a, b) in enumerate(boxes):
+        layer = i // per_level
+        out.append((a, Interval(b.low + layer * 80, b.high + layer * 80)))
+    return out
+
+
+class TestCorrectness:
+    def test_basic(self):
+        index = CascadingTwoFieldIndex(
+            [
+                (Interval(0, 5), Interval(0, 5), "low"),
+                (Interval(10, 15), Interval(10, 15), "high"),
+            ]
+        )
+        assert index.lookup(3, 3) == "low"
+        assert index.lookup(12, 11) == "high"
+        assert index.lookup(3, 12) is None
+        assert index.lookup(7, 7) is None
+
+    def test_empty(self):
+        index = CascadingTwoFieldIndex([])
+        assert index.lookup(0, 0) is None
+
+    def test_boundaries(self):
+        index = CascadingTwoFieldIndex(
+            [(Interval(2, 9), Interval(4, 8), "x")]
+        )
+        assert index.lookup(2, 4) == "x"
+        assert index.lookup(9, 8) == "x"
+        assert index.lookup(2, 3) is None
+        assert index.lookup(2, 9) is None
+
+    def test_shared_nodes_layered(self):
+        boxes = _layered_boxes()
+        index = CascadingTwoFieldIndex(
+            (a, b, i) for i, (a, b) in enumerate(boxes)
+        )
+        for i, (a, b) in enumerate(boxes):
+            assert index.lookup(a.low, b.low) == i
+            assert index.lookup(a.high, b.high) == i
+
+    def test_non_independent_rejected(self):
+        with pytest.raises(ValueError):
+            CascadingTwoFieldIndex(
+                [
+                    (Interval(0, 10), Interval(0, 5), "a"),
+                    (Interval(0, 10), Interval(3, 8), "b"),
+                ]
+            )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_agrees_with_plain_two_field_index(self, seed):
+        rng = random.Random(seed)
+        boxes = _independent_boxes(rng, 15)
+        cascading = CascadingTwoFieldIndex(
+            (a, b, i) for i, (a, b) in enumerate(boxes)
+        )
+        plain = TwoFieldIndex((a, b, i) for i, (a, b) in enumerate(boxes))
+        for _ in range(500):
+            va = rng.randint(0, 170)
+            vb = rng.randint(0, 120)
+            assert cascading.lookup(va, vb) == plain.lookup(va, vb)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_agrees_on_layered_plus_stripes(self, seed):
+        rng = random.Random(100 + seed)
+        boxes = _layered_boxes() + [
+            (Interval(200 + i * 5, 200 + i * 5 + 4), Interval(0, 500))
+            for i in range(10)
+        ]
+        cascading = CascadingTwoFieldIndex(
+            (a, b, i) for i, (a, b) in enumerate(boxes)
+        )
+        plain = TwoFieldIndex((a, b, i) for i, (a, b) in enumerate(boxes))
+        for _ in range(600):
+            va = rng.randint(0, 260)
+            vb = rng.randint(0, 520)
+            assert cascading.lookup(va, vb) == plain.lookup(va, vb)
+
+
+class TestMemory:
+    def test_linear_memory(self):
+        rng = random.Random(7)
+        boxes = _independent_boxes(rng, 300)
+        index = CascadingTwoFieldIndex(
+            (a, b, i) for i, (a, b) in enumerate(boxes)
+        )
+        n = len(boxes)
+        # Catalog slots are O(n log n) (segment tree); the augmented lists
+        # add at most a constant factor on top.
+        bound = 8 * n * max(1, math.ceil(math.log2(n)))
+        assert index.memory_slots <= bound

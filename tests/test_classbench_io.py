@@ -1,0 +1,99 @@
+"""Tests for the ClassBench filter-set parser and writer."""
+
+import io
+
+import pytest
+
+from repro.core import Interval
+from repro.workloads.classbench import (
+    format_rule,
+    parse_classbench,
+    parse_classbench_text,
+    parse_rule_line,
+    write_classbench,
+)
+from repro.workloads.generator import generate_classifier
+
+SAMPLE = (
+    "@192.128.0.0/9\t0.0.0.0/0\t0 : 65535\t1024 : 65535\t"
+    "0x06/0xFF\t0x0000/0x0000"
+)
+
+PAPER_LINE = (
+    "@0.0.0.0/0 0.0.0.0/0 1234 : 1234 0 : 65535 0x00/0x00 0x0000/0x0000"
+)
+
+
+class TestParsing:
+    def test_sample_line_fields(self):
+        rule = parse_rule_line(SAMPLE)
+        assert rule.intervals[0] == Interval(0xC0800000, 0xC0FFFFFF)
+        assert rule.intervals[1] == Interval(0, 0xFFFFFFFF)
+        assert rule.intervals[2] == Interval(0, 65535)
+        assert rule.intervals[3] == Interval(1024, 65535)
+        assert rule.intervals[4] == Interval(6, 6)
+        assert rule.intervals[5] == Interval(0, 0xFFFF)
+
+    def test_paper_rule_line(self):
+        # The Section 8 example rule: wildcard IPs, source port 1234.
+        rule = parse_rule_line(PAPER_LINE)
+        assert rule.intervals[2] == Interval(1234, 1234)
+        assert rule.intervals[4] == Interval(0, 255)
+
+    def test_whole_text_with_comments(self):
+        text = f"# a comment\n\n{SAMPLE}\n{PAPER_LINE}\n"
+        classifier = parse_classbench_text(text)
+        assert len(classifier.body) == 2
+        assert classifier.schema.total_width == 120
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_rule_line("@not-an-ip/9 ...")
+
+    def test_bad_ip_rejected(self):
+        with pytest.raises(ValueError):
+            parse_rule_line(SAMPLE.replace("192.128.0.0", "999.0.0.1"))
+
+    def test_noncontiguous_mask_widened(self):
+        line = SAMPLE.replace("0x0000/0x0000", "0x0010/0x0018")
+        rule = parse_rule_line(line)
+        flags = rule.intervals[5]
+        # Every value with v & 0x18 == 0x10 lies inside the widened range.
+        assert flags.contains(0x0010)
+        assert flags.contains(0xFFF7 & ~0x08 | 0x10)
+
+    def test_parse_from_file_object(self):
+        classifier = parse_classbench(io.StringIO(SAMPLE + "\n"))
+        assert len(classifier.body) == 1
+
+
+class TestWriting:
+    def test_roundtrip_sample(self):
+        rule = parse_rule_line(SAMPLE)
+        assert parse_rule_line(format_rule(rule)) == rule
+
+    def test_roundtrip_generated_classifier(self):
+        classifier = generate_classifier("acl", 50, seed=3)
+        out = io.StringIO()
+        write_classbench(classifier, out)
+        reparsed = parse_classbench_text(out.getvalue())
+        assert len(reparsed.body) == len(classifier.body)
+        for original, round_tripped in zip(classifier.body, reparsed.body):
+            assert original.intervals == round_tripped.intervals
+
+    def test_roundtrip_file_path(self, tmp_path):
+        classifier = generate_classifier("cisco", 20, seed=4)
+        path = str(tmp_path / "filters.txt")
+        write_classbench(classifier, path)
+        reparsed = parse_classbench(path)
+        assert len(reparsed.body) == 20
+
+    def test_non_prefix_ip_rejected_on_write(self):
+        from repro.core import Rule, TRANSMIT
+
+        rule = parse_rule_line(SAMPLE)
+        bad = Rule(
+            (Interval(1, 2),) + rule.intervals[1:], TRANSMIT
+        )
+        with pytest.raises(ValueError):
+            format_rule(bad)

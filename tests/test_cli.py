@@ -1,0 +1,158 @@
+"""Tests for the command-line interface."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def small_txt(tmp_path):
+    path = str(tmp_path / "acl.txt")
+    assert main(["generate", "--style", "acl", "--rules", "60",
+                 "--seed", "3", "--out", path]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_generate_classbench_text(self, tmp_path, capsys):
+        path = str(tmp_path / "fw.txt")
+        rc = main(["generate", "--style", "fw", "--rules", "40",
+                   "--seed", "1", "--out", path])
+        assert rc == 0
+        assert "40 fw rules" in capsys.readouterr().out
+        with open(path) as handle:
+            lines = [l for l in handle if l.strip()]
+        assert len(lines) == 40
+        assert lines[0].startswith("@")
+
+    def test_generate_json(self, tmp_path):
+        path = str(tmp_path / "acl.json")
+        assert main(["generate", "--style", "acl", "--rules", "25",
+                     "--seed", "2", "--out", path]) == 0
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["format"] == "saxpac-classifier"
+        assert len(data["rules"]) == 26  # body + catch-all
+
+
+class TestGenerateForwarding:
+    def test_forwarding_json(self, tmp_path, capsys):
+        path = str(tmp_path / "fib.json")
+        rc = main(["generate", "--forwarding", "6", "--rules", "30",
+                   "--seed", "1", "--out", path])
+        assert rc == 0
+        assert "IPv6 prefixes" in capsys.readouterr().out
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["schema"][0]["width"] == 128
+
+    def test_forwarding_requires_json(self, tmp_path, capsys):
+        path = str(tmp_path / "fib.txt")
+        rc = main(["generate", "--forwarding", "4", "--rules", "10",
+                   "--seed", "1", "--out", path])
+        assert rc == 2
+
+
+class TestAnalyze:
+    def test_analyze_text_file(self, small_txt, capsys):
+        assert main(["analyze", small_txt]) == 0
+        out = capsys.readouterr().out
+        assert "order-independent" in out
+        assert "FSM fields" in out
+
+    def test_analyze_with_betas(self, small_txt, capsys):
+        assert main(["analyze", small_txt, "--betas", "2", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "beta=2" in out and "beta=4" in out
+
+    def test_analyze_redundancy(self, small_txt, capsys):
+        assert main(["analyze", small_txt, "--redundancy"]) == 0
+        assert "provably-dead rules" in capsys.readouterr().out
+
+
+class TestProfileAndConvert:
+    def test_profile_saves_json(self, small_txt, tmp_path, capsys):
+        out = str(tmp_path / "profiled.json")
+        assert main(["profile", small_txt, "--out", out]) == 0
+        with open(out) as handle:
+            data = json.load(handle)
+        assert "profile" in data
+        assert data["profile"]["num_rules"] == 60
+
+    def test_convert_roundtrip(self, small_txt, tmp_path):
+        as_json = str(tmp_path / "c.json")
+        back = str(tmp_path / "back.txt")
+        assert main(["convert", small_txt, as_json]) == 0
+        assert main(["convert", as_json, back]) == 0
+        with open(small_txt) as a, open(back) as b:
+            assert a.read() == b.read()
+
+
+class TestClassify:
+    def test_classify_reports_throughput(self, small_txt, capsys):
+        assert main(["classify", small_txt, "--trace", "500",
+                     "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "classified 500 packets" in out
+        assert "group probes" in out
+
+    def test_classify_cache_mode(self, small_txt, capsys):
+        assert main(["classify", small_txt, "--trace", "200",
+                     "--cache"]) == 0
+        assert "D lookups skipped" in capsys.readouterr().out
+
+
+class TestStatsAndFlows:
+    def test_analyze_stats(self, small_txt, capsys):
+        assert main(["analyze", small_txt, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "mean specificity" in out
+        assert "src_ip" in out
+
+    def test_export_flows_stdout(self, small_txt, capsys):
+        assert main(["export-flows", small_txt]) == 0
+        out = capsys.readouterr().out
+        assert "priority=" in out
+        assert "actions=" in out
+
+    def test_export_flows_file(self, small_txt, tmp_path, capsys):
+        out_path = str(tmp_path / "flows.txt")
+        assert main(["export-flows", small_txt, "--out", out_path]) == 0
+        assert "flows" in capsys.readouterr().out
+        with open(out_path) as handle:
+            assert "priority=" in handle.read()
+
+
+class TestReport:
+    def test_collates_result_files(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "table1_space.txt").write_text("Table 1 demo\n")
+        (results / "custom_thing.txt").write_text("custom output\n")
+        out = str(tmp_path / "REPORT.md")
+        assert main(["report", "--results", str(results),
+                     "--out", out]) == 0
+        text = open(out).read()
+        assert "Paper tables and figures" in text
+        assert "Table 1 demo" in text
+        assert "custom output" in text
+        assert "## Other" in text
+
+    def test_missing_directory(self, tmp_path, capsys):
+        assert main(["report", "--results",
+                     str(tmp_path / "nope")]) == 2
+
+
+class TestExperiments:
+    def test_table3_runs(self, capsys, monkeypatch):
+        assert main(["experiments", "table3", "--rules", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "acl1" in out
+
+    def test_bad_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiments", "table9"])

@@ -1,0 +1,50 @@
+"""Tests for classifier profiles (Section 7.1)."""
+
+import random
+
+import pytest
+
+from repro.analysis.order_independence import rules_order_independent
+from repro.saxpac.config import profile_classifier
+from conftest import random_classifier
+
+
+class TestProfile:
+    def test_fully_independent(self, example2_classifier):
+        profile = profile_classifier(example2_classifier)
+        assert profile.num_rules == 3
+        assert profile.independent_fraction == 1.0
+        assert profile.max_order_independent.size == 3
+        assert profile.fsm_on_independent is not None
+        assert profile.fsm_on_independent.kept_fields == (0,)
+        assert profile.min_groups_two_fields == 1
+
+    def test_order_dependent(self, example3_classifier):
+        profile = profile_classifier(example3_classifier)
+        assert profile.max_order_independent.size == 4
+        assert profile.independent_fraction == pytest.approx(0.8)
+        assert profile.min_groups_two_fields == 2
+
+    def test_group_assignments_for_betas(self, example3_classifier):
+        profile = profile_classifier(example3_classifier, betas=(1, 2))
+        assert set(profile.group_assignments) == {1, 2}
+        assert profile.group_assignments[1].num_groups == 1
+        assert profile.group_assignments[2].num_groups <= 2
+
+    def test_assignment_groups_are_independent(self):
+        rng = random.Random(1)
+        k = random_classifier(rng, num_rules=25)
+        profile = profile_classifier(k, betas=(3,))
+        result = profile.group_assignments[3]
+        for group in result.groups:
+            rules = [k.rules[i] for i in group.rule_indices]
+            assert rules_order_independent(rules, group.fields)
+
+    def test_empty_classifier(self):
+        from repro.core import Classifier, uniform_schema
+
+        k = Classifier(uniform_schema(2, 4), [])
+        profile = profile_classifier(k)
+        assert profile.num_rules == 0
+        assert profile.independent_fraction == 1.0
+        assert profile.fsm_on_independent is None

@@ -1,0 +1,84 @@
+"""Tests for TCAM space accounting."""
+
+import pytest
+
+from repro.core import Classifier, make_rule, uniform_schema
+from repro.tcam.cost import (
+    SpaceReport,
+    classifier_entry_count,
+    classifier_space,
+    snapped_width,
+)
+from repro.tcam.encoding import BinaryRangeEncoder, SrgeRangeEncoder
+
+
+class TestSnappedWidth:
+    def test_standard_steps(self):
+        assert snapped_width(64) == 72
+        assert snapped_width(72) == 72
+        assert snapped_width(73) == 144
+        assert snapped_width(150) == 288
+
+    def test_beyond_largest(self):
+        assert snapped_width(1000) == 1000
+
+
+class TestSpaceReport:
+    def test_kilobits_math(self):
+        report = SpaceReport(entries=1024, width_bits=120)
+        assert report.total_bits == 1024 * 120
+        assert report.kilobits == 120.0
+
+    def test_snapped_uses_row_format(self):
+        report = SpaceReport(entries=10, width_bits=100, snapped=True)
+        assert report.effective_width == 144
+
+
+class TestClassifierAccounting:
+    def test_example2_totals(self, example2_classifier):
+        assert (
+            classifier_entry_count(example2_classifier, BinaryRangeEncoder())
+            == 120
+        )
+        assert (
+            classifier_entry_count(example2_classifier, SrgeRangeEncoder())
+            == 64
+        )
+
+    def test_reduced_fields_example2(self, example2_classifier):
+        # Binary encoding of K^-{1,2}: [1,3] -> 2, [4,4] -> 1, [7,9] -> 2
+        # prefixes.  (The paper's prose says "2 + 1 + 1 = 4", but [7,9]
+        # spans 0111/100* and cannot be a single prefix; 5 is the exact
+        # minimal count.)
+        assert (
+            classifier_entry_count(
+                example2_classifier, BinaryRangeEncoder(), fields=[0]
+            )
+            == 5
+        )
+
+    def test_rule_subset(self, example2_classifier):
+        full = classifier_entry_count(example2_classifier, BinaryRangeEncoder())
+        partial = classifier_entry_count(
+            example2_classifier, BinaryRangeEncoder(), rule_indices=[0]
+        )
+        assert partial == 42
+        assert partial < full
+
+    def test_catch_all_excluded_by_default(self):
+        schema = uniform_schema(1, 4)
+        k = Classifier(schema, [make_rule([(0, 14)])])
+        assert classifier_entry_count(k, BinaryRangeEncoder()) == 4
+        assert (
+            classifier_entry_count(
+                k, BinaryRangeEncoder(), include_catch_all=True
+            )
+            == 5
+        )
+
+    def test_classifier_space_width(self, example2_classifier):
+        report = classifier_space(
+            example2_classifier, BinaryRangeEncoder(), fields=[0, 1]
+        )
+        assert report.width_bits == 10
+        assert report.kilobits == report.entries * 10 / 1024

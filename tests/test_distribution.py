@@ -1,0 +1,130 @@
+"""Tests for classifier distribution over a switch path (Section 9)."""
+
+import random
+
+import pytest
+
+from repro.analysis.mrc import greedy_independent_set
+from repro.core import Classifier, make_rule, uniform_schema
+from repro.saxpac.distribution import (
+    PathDistribution,
+    priority_inversions,
+)
+from repro.workloads.generator import generate_classifier
+from conftest import random_classifier
+
+
+class TestPlacement:
+    def test_everything_placed_exactly_once(self):
+        k = generate_classifier("acl", 120, seed=1)
+        dist = PathDistribution(k, [50, 50, 50])
+        placed = [idx for rules in dist.assignments for idx in rules]
+        assert sorted(placed) == list(range(len(k.body)))
+
+    def test_capacities_respected(self):
+        k = generate_classifier("acl", 120, seed=2)
+        caps = [60, 40, 40]
+        dist = PathDistribution(k, caps)
+        for load, cap in zip(dist.loads(), caps):
+            assert load.used <= cap
+            assert load.capacity == cap
+
+    def test_dependent_part_colocated(self):
+        k = generate_classifier("fw", 150, seed=3)
+        dist = PathDistribution(k, [80, 80, 80])
+        dependent = set(
+            greedy_independent_set(k).complement(len(k.body))
+        )
+        holders = {
+            switch
+            for switch, rules in enumerate(dist.assignments)
+            if any(i in dependent for i in rules)
+        }
+        assert len(holders) <= 1
+
+    def test_insufficient_total_capacity(self):
+        k = generate_classifier("acl", 100, seed=4)
+        with pytest.raises(ValueError):
+            PathDistribution(k, [30, 30, 30])
+
+    def test_dependent_part_too_big_for_any_switch(self):
+        schema = uniform_schema(1, 6)
+        # Nested rules: all but the first are order-dependent.
+        k = Classifier(
+            schema, [make_rule([(0, 40 - i)]) for i in range(10)]
+        )
+        with pytest.raises(ValueError):
+            PathDistribution(k, [5, 5])
+
+    def test_invalid_capacities(self):
+        k = generate_classifier("acl", 10, seed=5)
+        with pytest.raises(ValueError):
+            PathDistribution(k, [])
+        with pytest.raises(ValueError):
+            PathDistribution(k, [10, -1])
+
+
+class TestPathSemantics:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_equivalent_to_monolithic(self, seed):
+        rng = random.Random(seed)
+        k = random_classifier(rng, num_rules=30)
+        # Random classifiers are heavily order-dependent; the D part
+        # lives on the last switch, so that one needs the room.
+        dist = PathDistribution(k, [12, 12, 30])
+        for header in k.sample_headers(200, rng):
+            assert dist.match(header).index == k.match(header).index
+
+    def test_single_switch_degenerate(self):
+        rng = random.Random(9)
+        k = random_classifier(rng, num_rules=20)
+        dist = PathDistribution(k, [20])
+        for header in k.sample_headers(100, rng):
+            assert dist.match(header).index == k.match(header).index
+
+    def test_miss_returns_catch_all(self):
+        schema = uniform_schema(1, 5)
+        k = Classifier(schema, [make_rule([(0, 3)])])
+        dist = PathDistribution(k, [1])
+        assert dist.match((9,)).rule is k.catch_all
+
+    def test_classify_returns_action(self):
+        from repro.core import DENY
+
+        schema = uniform_schema(1, 5)
+        k = Classifier(schema, [make_rule([(0, 3)], DENY)])
+        dist = PathDistribution(k, [1])
+        assert dist.classify((2,)) is DENY
+
+
+class TestPriorityInversions:
+    def test_independent_rules_never_invert(self):
+        k = generate_classifier("acl", 150, seed=6)
+        independent = greedy_independent_set(k)
+        # Scatter I rules round-robin across 4 switches, worst ordering.
+        assignments = [[], [], [], []]
+        for pos, idx in enumerate(reversed(independent.rule_indices)):
+            assignments[pos % 4].append(idx)
+        assert priority_inversions(k, assignments) == 0
+
+    def test_naive_split_of_whole_classifier_inverts(self):
+        k = generate_classifier("fw", 200, seed=7)
+        # Reverse round-robin of everything: high-priority rules land on
+        # late switches.
+        assignments = [[], [], [], []]
+        for pos, idx in enumerate(reversed(range(len(k.body)))):
+            assignments[pos % 4].append(idx)
+        assert priority_inversions(k, assignments) > 0
+
+    def test_path_distribution_has_zero_inversions(self):
+        for style, seed in (("fw", 8), ("acl", 9), ("ipc", 10)):
+            k = generate_classifier(style, 200, seed=seed)
+            dist = PathDistribution(k, [100, 100, 100])
+            assert priority_inversions(k, dist.assignments) == 0
+
+    def test_load_report(self):
+        k = generate_classifier("acl", 90, seed=9)
+        dist = PathDistribution(k, [40, 40, 40])
+        loads = dist.loads()
+        assert sum(l.used for l in loads) == len(k.body)
+        assert all(0.0 <= l.utilization <= 1.0 for l in loads)

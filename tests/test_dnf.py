@@ -1,0 +1,159 @@
+"""Tests for the DNF machinery (Section 5)."""
+
+import random
+
+import pytest
+
+from repro.boolean.dnf import (
+    Dnf,
+    dnf_from_classifier,
+    minimize_terms,
+    remove_subsumed,
+    resolve_terms,
+)
+from repro.boolean.ternary import word_from_pattern
+from repro.core import Classifier, make_rule, uniform_schema
+from repro.tcam.encoding import BinaryRangeEncoder, SrgeRangeEncoder
+
+
+def _words(*patterns):
+    return [word_from_pattern(p) for p in patterns]
+
+
+def _same_function(terms_a, terms_b, width):
+    for v in range(1 << width):
+        hit_a = any(t.matches(v) for t in terms_a)
+        hit_b = any(t.matches(v) for t in terms_b)
+        if hit_a != hit_b:
+            return False
+    return True
+
+
+class TestExample7and8:
+    """The paper's worked DNF minimization: four rules collapse to x2."""
+
+    PATTERNS = ("01***", "*10**", "*11*0", "*11*1")
+
+    def test_minimize_to_single_term(self):
+        terms = _words(*self.PATTERNS)
+        minimized = minimize_terms(terms)
+        assert len(minimized) == 1
+        assert minimized[0].pattern() == "*1***"
+
+    def test_semantics_preserved(self):
+        terms = _words(*self.PATTERNS)
+        assert _same_function(terms, minimize_terms(terms), 5)
+
+
+class TestResolve:
+    def test_single_merge(self):
+        out = resolve_terms(_words("10", "11"))
+        assert [t.pattern() for t in out] == ["1*"]
+
+    def test_cascading_merges(self):
+        out = resolve_terms(_words("00", "01", "10", "11"))
+        assert [t.pattern() for t in out] == ["**"]
+
+    def test_no_merge_possible(self):
+        terms = _words("1*0", "0*1")
+        assert sorted(t.pattern() for t in resolve_terms(terms)) == [
+            "0*1",
+            "1*0",
+        ]
+
+    def test_semantics_random(self):
+        rng = random.Random(1)
+        for _ in range(20):
+            patterns = [
+                "".join(rng.choice("01*") for _ in range(6)) for _ in range(8)
+            ]
+            terms = _words(*patterns)
+            assert _same_function(terms, resolve_terms(terms), 6)
+
+
+class TestSubsumption:
+    def test_covered_term_removed(self):
+        out = remove_subsumed(_words("1**", "101"))
+        assert [t.pattern() for t in out] == ["1**"]
+
+    def test_duplicates_removed(self):
+        out = remove_subsumed(_words("10*", "10*"))
+        assert len(out) == 1
+
+    def test_incomparable_kept(self):
+        out = remove_subsumed(_words("1**", "0**"))
+        assert len(out) == 2
+
+    def test_semantics_random(self):
+        rng = random.Random(2)
+        for _ in range(20):
+            patterns = [
+                "".join(rng.choice("01*") for _ in range(5)) for _ in range(8)
+            ]
+            terms = _words(*patterns)
+            assert _same_function(terms, remove_subsumed(terms), 5)
+
+
+class TestMinimize:
+    def test_fixpoint_semantics_random(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            patterns = [
+                "".join(rng.choice("01*") for _ in range(6))
+                for _ in range(10)
+            ]
+            terms = _words(*patterns)
+            minimized = minimize_terms(terms)
+            assert _same_function(terms, minimized, 6)
+            assert len(minimized) <= len(set(terms))
+
+    def test_subsumption_limit_skips_quadratic_pass(self):
+        terms = _words("1**", "101")
+        out = minimize_terms(terms, subsumption_limit=0)
+        # Without subsumption the covered term survives.
+        assert len(out) == 2
+
+
+class TestDnfFromClassifier:
+    def test_prefix_classifier_one_term_per_rule(self):
+        schema = uniform_schema(2, 4)
+        k = Classifier(
+            schema, [make_rule([(8, 11), (0, 15)]), make_rule([(0, 3), (4, 7)])]
+        )
+        dnf = dnf_from_classifier(k)
+        assert len(dnf) == 2
+        assert dnf.width == 8
+
+    def test_range_classifier_expands(self):
+        schema = uniform_schema(1, 4)
+        k = Classifier(schema, [make_rule([(1, 14)])])
+        dnf = dnf_from_classifier(k, BinaryRangeEncoder())
+        assert len(dnf) == 6
+
+    def test_srge_encoder_fewer_terms(self):
+        schema = uniform_schema(1, 8)
+        k = Classifier(schema, [make_rule([(1, 254)])])
+        binary = dnf_from_classifier(k, BinaryRangeEncoder())
+        srge = dnf_from_classifier(k, SrgeRangeEncoder())
+        assert len(srge) <= len(binary)
+
+    def test_evaluate_matches_rule_semantics_binary(self):
+        schema = uniform_schema(2, 4)
+        k = Classifier(
+            schema, [make_rule([(3, 11), (2, 9)])], ensure_catch_all=True
+        )
+        dnf = dnf_from_classifier(k, BinaryRangeEncoder())
+        for a in range(16):
+            for b in range(16):
+                key = (a << 4) | b
+                assert dnf.evaluate(key) == k.rules[0].matches((a, b))
+
+    def test_rule_subset(self, example3_classifier):
+        dnf = dnf_from_classifier(
+            example3_classifier, rule_indices=[0, 1]
+        )
+        assert len(dnf) >= 2
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Dnf(4, _words("10"))

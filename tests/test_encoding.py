@@ -1,0 +1,199 @@
+"""Tests for range encodings: binary expansion, SRGE, rule expansion."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Interval, make_rule, uniform_schema
+from repro.tcam.encoding import (
+    BinaryRangeEncoder,
+    SrgeRangeEncoder,
+    binary_expand,
+    expand_rule,
+    gray_decode,
+    gray_encode,
+    rule_entry_count,
+    srge_expand,
+)
+
+
+class TestGrayCode:
+    def test_known_values(self):
+        assert [gray_encode(v) for v in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    @given(st.integers(0, 1 << 32))
+    def test_roundtrip(self, value):
+        assert gray_decode(gray_encode(value)) == value
+
+    @given(st.integers(0, (1 << 16) - 2))
+    def test_adjacent_values_differ_in_one_bit(self, value):
+        diff = gray_encode(value) ^ gray_encode(value + 1)
+        assert diff and diff & (diff - 1) == 0
+
+
+def _covered_values(entries, width, transform=lambda v: v):
+    return {
+        v for v in range(1 << width) if any(e.matches(transform(v)) for e in entries)
+    }
+
+
+class TestBinaryExpand:
+    @given(st.integers(1, 10), st.data())
+    def test_exact_cover(self, width, data):
+        max_value = (1 << width) - 1
+        low = data.draw(st.integers(0, max_value))
+        high = data.draw(st.integers(low, max_value))
+        entries = binary_expand(Interval(low, high), width)
+        assert _covered_values(entries, width) == set(range(low, high + 1))
+
+    @given(st.integers(2, 16), st.data())
+    def test_worst_case_bound(self, width, data):
+        max_value = (1 << width) - 1
+        low = data.draw(st.integers(0, max_value))
+        high = data.draw(st.integers(low, max_value))
+        entries = binary_expand(Interval(low, high), width)
+        assert len(entries) <= 2 * width - 2
+
+    def test_prefix_needs_one_entry(self):
+        assert len(binary_expand(Interval(8, 15), 4)) == 1
+
+    def test_worst_case_achieved(self):
+        # [1, 2^W-2] hits the 2W-2 bound exactly.
+        assert len(binary_expand(Interval(1, 14), 4)) == 6
+
+
+class TestSrgeExpand:
+    @given(st.integers(1, 10), st.data())
+    @settings(max_examples=200)
+    def test_exact_cover_in_gray_space(self, width, data):
+        max_value = (1 << width) - 1
+        low = data.draw(st.integers(0, max_value))
+        high = data.draw(st.integers(low, max_value))
+        entries = srge_expand(Interval(low, high), width)
+        covered = _covered_values(entries, width, gray_encode)
+        assert covered == set(range(low, high + 1))
+
+    @given(st.integers(1, 16), st.data())
+    def test_never_worse_than_binary(self, width, data):
+        max_value = (1 << width) - 1
+        low = data.draw(st.integers(0, max_value))
+        high = data.draw(st.integers(low, max_value))
+        interval = Interval(low, high)
+        assert len(srge_expand(interval, width)) <= len(
+            binary_expand(interval, width)
+        )
+
+    @given(st.integers(4, 16), st.data())
+    def test_paper_worst_case_bound(self, width, data):
+        # [3]'s bound: at most 2W - 4 entries.  It genuinely starts at
+        # W = 4: for W = 3, the range [0, 6] covers 7 of 8 Gray points and
+        # no two ternary words can cover 7 points, so 3 > 2W - 4 entries
+        # are unavoidable.
+        max_value = (1 << width) - 1
+        low = data.draw(st.integers(0, max_value))
+        high = data.draw(st.integers(low, max_value))
+        entries = srge_expand(Interval(low, high), width)
+        assert len(entries) <= 2 * width - 4
+
+    def test_worst_case_bound_exhaustive_small_widths(self):
+        # Deterministic version of the bound check: the true maximum over
+        # every range at widths 4-9 stays within 2W - 4 (and W = 3 tops
+        # out at 3).
+        for width in range(3, 10):
+            top = (1 << width) - 1
+            worst = max(
+                len(srge_expand(Interval(lo, hi), width))
+                for lo in range(top + 1)
+                for hi in range(lo, top + 1)
+            )
+            if width == 3:
+                assert worst == 3
+            else:
+                assert worst <= 2 * width - 4
+
+    def test_symmetric_range_single_entry(self):
+        # [1, 2] on 2 bits is one Gray entry (*1) vs two binary prefixes.
+        entries = srge_expand(Interval(1, 2), 2)
+        assert len(entries) == 1
+        assert entries[0].pattern() == "*1"
+
+    def test_full_range(self):
+        entries = srge_expand(Interval(0, 15), 4)
+        assert len(entries) == 1
+        assert entries[0].pattern() == "****"
+
+    def test_oversized_rejected(self):
+        with pytest.raises(ValueError):
+            srge_expand(Interval(0, 16), 4)
+
+
+class TestEncoders:
+    def test_binary_encoder_identity_keys(self):
+        enc = BinaryRangeEncoder()
+        assert enc.encode_value(37, 8) == 37
+        assert enc.name == "binary"
+
+    def test_srge_encoder_gray_keys(self):
+        enc = SrgeRangeEncoder()
+        assert enc.encode_value(2, 8) == 3
+        assert enc.name == "srge"
+
+    def test_binary_count_matches_expand(self):
+        enc = BinaryRangeEncoder()
+        iv = Interval(1, 14)
+        assert enc.count(iv, 4) == len(enc.expand(iv, 4))
+
+    def test_example2_paper_counts(self, example2_classifier):
+        # Example 2: binary needs 42 + 28 + 50 = 120 entries, SRGE
+        # 24 + 8 + 32 = 64.
+        schema = example2_classifier.schema
+        binary = [
+            rule_entry_count(r, schema, BinaryRangeEncoder())
+            for r in example2_classifier.body
+        ]
+        srge = [
+            rule_entry_count(r, schema, SrgeRangeEncoder())
+            for r in example2_classifier.body
+        ]
+        assert binary == [42, 28, 50]
+        assert srge == [24, 8, 32]
+
+
+class TestExpandRule:
+    def test_cross_product_count(self):
+        schema = uniform_schema(2, 4)
+        rule = make_rule([(1, 14), (0, 15)])
+        entries = expand_rule(rule, schema, BinaryRangeEncoder())
+        assert len(entries) == 6 * 1
+        assert len(entries) == rule_entry_count(
+            rule, schema, BinaryRangeEncoder()
+        )
+
+    def test_field_subset_expansion(self):
+        schema = uniform_schema(3, 4)
+        rule = make_rule([(1, 14), (1, 14), (0, 15)])
+        entries = expand_rule(rule, schema, BinaryRangeEncoder(), fields=[2])
+        assert len(entries) == 1
+        assert entries[0].width == 4
+
+    @given(st.data())
+    @settings(max_examples=60)
+    def test_expanded_entries_match_iff_rule_matches(self, data):
+        width = 5
+        schema = uniform_schema(2, width)
+        max_value = (1 << width) - 1
+        ranges = []
+        for _ in range(2):
+            lo = data.draw(st.integers(0, max_value))
+            hi = data.draw(st.integers(lo, max_value))
+            ranges.append((lo, hi))
+        rule = make_rule(ranges)
+        for encoder in (BinaryRangeEncoder(), SrgeRangeEncoder()):
+            entries = expand_rule(rule, schema, encoder)
+            header = tuple(
+                data.draw(st.integers(0, max_value)) for _ in range(2)
+            )
+            key = 0
+            for v in header:
+                key = (key << width) | encoder.encode_value(v, width)
+            hit = any(e.matches(key) for e in entries)
+            assert hit == rule.matches(header)

@@ -1,0 +1,123 @@
+"""Tests for the exact classifier-equivalence decision procedure."""
+
+import random
+
+import pytest
+
+from repro.analysis.equivalence import (
+    BudgetExceeded,
+    are_equivalent,
+    find_difference,
+)
+from repro.analysis.redundancy import remove_redundant
+from repro.core import (
+    Classifier,
+    DENY,
+    PERMIT,
+    make_rule,
+    uniform_schema,
+)
+from conftest import random_classifier
+
+
+class TestBasics:
+    def test_identical_classifiers(self, example3_classifier):
+        assert are_equivalent(example3_classifier, example3_classifier)
+
+    def test_schema_mismatch_rejected(self, example1_classifier,
+                                      example2_classifier):
+        with pytest.raises(ValueError):
+            are_equivalent(example1_classifier, example2_classifier)
+
+    def test_detects_action_difference(self):
+        schema = uniform_schema(2, 5)
+        a = Classifier(schema, [make_rule([(1, 3), (4, 8)], PERMIT)])
+        b = Classifier(schema, [make_rule([(1, 3), (4, 8)], DENY)])
+        witness = find_difference(a, b)
+        assert witness is not None
+        assert a.classify(witness) != b.classify(witness)
+
+    def test_detects_boundary_difference(self):
+        schema = uniform_schema(1, 6)
+        a = Classifier(schema, [make_rule([(10, 20)], DENY)])
+        b = Classifier(schema, [make_rule([(10, 21)], DENY)])
+        witness = find_difference(a, b)
+        assert witness == (21,)
+
+    def test_same_behavior_different_rules(self):
+        # Two rules vs their merged equivalent.
+        schema = uniform_schema(1, 6)
+        a = Classifier(
+            schema,
+            [make_rule([(0, 9)], DENY), make_rule([(10, 20)], DENY)],
+        )
+        b = Classifier(schema, [make_rule([(0, 20)], DENY)])
+        assert are_equivalent(a, b)
+
+    def test_budget_enforced(self):
+        rng = random.Random(0)
+        a = random_classifier(rng, num_rules=15, num_fields=3)
+        b = random_classifier(rng, num_rules=15, num_fields=3)
+        with pytest.raises(BudgetExceeded):
+            find_difference(a, b, budget=3)
+
+
+class TestOrderIndependencePermutation:
+    def test_permuting_independent_rules_is_equivalent(
+        self, example2_classifier
+    ):
+        """The definitional property: an order-independent classifier is
+        insensitive to rule order — verified exactly."""
+        permuted = example2_classifier.subset([2, 0, 1])
+        assert are_equivalent(example2_classifier, permuted)
+
+    def test_permuting_dependent_rules_is_detected(self):
+        schema = uniform_schema(1, 5)
+        a = Classifier(
+            schema,
+            [make_rule([(0, 10)], PERMIT), make_rule([(5, 15)], DENY)],
+        )
+        b = a.subset([1, 0])
+        witness = find_difference(a, b)
+        assert witness is not None
+        assert 5 <= witness[0] <= 10  # the overlap region
+
+
+class TestPipelineVerification:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_redundancy_removal_exactly_equivalent(self, seed):
+        rng = random.Random(seed)
+        k = random_classifier(rng, num_rules=12, num_fields=2, width=5)
+        cleaned, _removed = remove_redundant(k)
+        assert are_equivalent(k, cleaned)
+
+    def test_serialization_roundtrip_exactly_equivalent(self):
+        from repro.saxpac.serialization import (
+            classifier_from_dict,
+            classifier_to_dict,
+        )
+
+        rng = random.Random(9)
+        k = random_classifier(rng, num_rules=10, num_fields=2, width=5)
+        restored = classifier_from_dict(classifier_to_dict(k))
+        assert are_equivalent(k, restored)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_mutation_detected(self, seed):
+        """Perturbing one rule's action (on a reachable rule) must be
+        caught."""
+        rng = random.Random(100 + seed)
+        k = random_classifier(rng, num_rules=8, num_fields=2, width=5)
+        # Mutate the highest-priority rule: always reachable.
+        from dataclasses import replace
+
+        target = k.rules[0]
+        flipped = replace(
+            target, action=DENY if target.action != DENY else PERMIT
+        )
+        mutated = Classifier(
+            k.schema,
+            [flipped] + list(k.body[1:]),
+            ensure_catch_all=True,
+        )
+        assert find_difference(k, mutated) is not None

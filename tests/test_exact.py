@@ -1,0 +1,87 @@
+"""Tests for the exact grouping solvers, and greedy-vs-exact certification."""
+
+import random
+
+import pytest
+
+from repro.analysis.exact import exact_max_coverage, exact_min_groups
+from repro.analysis.lower_bounds import (
+    hypercube_classifier,
+    min_groups_hypercube,
+)
+from repro.analysis.mgr import beta_l_mrc, l_mgr
+from repro.core import Classifier, make_rule, uniform_schema
+from conftest import random_classifier
+
+
+class TestExactMinGroups:
+    def test_order_independent_needs_one_group(self, example2_classifier):
+        assert exact_min_groups(example2_classifier, l=1) == 1
+
+    def test_example3_needs_two_groups(self, example3_classifier):
+        assert exact_min_groups(example3_classifier, l=2) == 2
+
+    def test_hypercube_matches_theorem6(self):
+        for k, l in ((3, 1), (3, 2), (4, 2)):
+            classifier = hypercube_classifier(k)
+            assert exact_min_groups(classifier, l) == min_groups_hypercube(
+                k, l
+            )
+
+    def test_empty(self):
+        schema = uniform_schema(1, 4)
+        assert exact_min_groups(Classifier(schema, []), l=1) == 0
+
+    def test_limit_enforced(self):
+        rng = random.Random(0)
+        k = random_classifier(rng, num_rules=20)
+        with pytest.raises(ValueError):
+            exact_min_groups(k, l=1, limit=10)
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("l", [1, 2])
+    def test_greedy_never_beats_exact(self, seed, l):
+        rng = random.Random(seed)
+        k = random_classifier(rng, num_rules=9, num_fields=3)
+        optimum = exact_min_groups(k, l)
+        greedy = l_mgr(k, l=l).num_groups
+        assert greedy >= optimum
+        # Greedy first-fit stays close on tiny instances.
+        assert greedy <= 2 * optimum + 1
+
+
+class TestExactMaxCoverage:
+    def test_beta_one_is_max_independent_subset(self):
+        schema = uniform_schema(2, 5)
+        k = Classifier(
+            schema,
+            [
+                make_rule([(0, 10), (0, 10)]),
+                make_rule([(5, 15), (5, 15)]),
+                make_rule([(20, 25), (0, 31)]),
+            ],
+        )
+        # Rules 0 and 2 are disjoint in field 0 -> one group of two.
+        assert exact_max_coverage(k, beta=1, l=1) == 2
+
+    def test_enough_groups_cover_everything(self, example3_classifier):
+        assert exact_max_coverage(example3_classifier, beta=2, l=2) == 5
+
+    def test_zero_beta(self, example3_classifier):
+        assert exact_max_coverage(example3_classifier, beta=0, l=1) == 0
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_greedy_never_beats_exact(self, seed):
+        rng = random.Random(100 + seed)
+        k = random_classifier(rng, num_rules=8, num_fields=3)
+        optimum = exact_max_coverage(k, beta=2, l=2)
+        greedy = beta_l_mrc(k, beta=2, l=2).covered
+        assert greedy <= optimum
+
+    def test_more_groups_never_hurt(self):
+        rng = random.Random(7)
+        k = random_classifier(rng, num_rules=8, num_fields=3)
+        coverages = [
+            exact_max_coverage(k, beta=b, l=1) for b in (1, 2, 3)
+        ]
+        assert coverages == sorted(coverages)

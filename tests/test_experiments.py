@@ -1,0 +1,145 @@
+"""Smoke + invariant tests for the experiment drivers on a tiny suite."""
+
+import pytest
+
+from repro.bench.experiments import (
+    render_figure1,
+    render_figure6,
+    render_table1,
+    render_table2,
+    render_table3,
+    run_figure1,
+    run_figure6,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.workloads.generator import benchmark_suite
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    full = benchmark_suite(classbench_rules=120, seed=5)
+    # One classifier per style keeps this fast while covering the code.
+    return {
+        name: full[name] for name in ("acl1", "fw1", "ipc1", "cisco3")
+    }
+
+
+class TestTable1:
+    def test_rows_and_invariants(self, tiny_suite):
+        rows = run_table1(tiny_suite)
+        assert len(rows) == len(tiny_suite)
+        for row in rows:
+            # Independent subset is large but bounded by the rule count.
+            assert 0 < row.independent_rules <= row.rules
+            # SRGE never exceeds binary.
+            assert row.orig_srge_kb <= row.orig_binary_kb
+            assert row.ext_srge_kb <= row.ext_binary_kb
+            # Theorem 2 reduction never costs more than the original.
+            assert row.red_binary_kb <= row.orig_binary_kb + 1e-9
+            # Theorem 1 keeps the extended classifier far below the
+            # regular extended encoding.
+            assert row.ext_red_binary_kb < row.ext_binary_kb
+            # Reduced widths are subsets of the full width.
+            assert row.red_width <= row.orig_width
+            assert row.ext_width == row.orig_width + 32
+
+    def test_render(self, tiny_suite):
+        text = render_table1(run_table1(tiny_suite))
+        assert "Table 1" in text
+        assert "acl1" in text
+
+
+class TestFigure1:
+    def test_growth_shape(self, tiny_suite):
+        points = run_figure1(tiny_suite, field_counts=(0, 2))
+        by_panel = {}
+        for p in points:
+            by_panel.setdefault(p.panel, []).append(p)
+        for panel_points in by_panel.values():
+            panel_points.sort(key=lambda p: p.extra_fields)
+            # Regular space explodes with added range fields...
+            assert (
+                panel_points[-1].regular_binary_kb
+                > 10 * panel_points[0].regular_binary_kb
+            )
+            # ...and grows strictly faster than the Theorem 1 scheme.
+            regular_growth = (
+                panel_points[-1].regular_binary_kb
+                / panel_points[0].regular_binary_kb
+            )
+            reduced_growth = (
+                panel_points[-1].theorem1_binary_kb
+                / panel_points[0].theorem1_binary_kb
+            )
+            assert reduced_growth < regular_growth
+
+    def test_render(self, tiny_suite):
+        text = render_figure1(run_figure1(tiny_suite, field_counts=(0, 2)))
+        assert "Figure 1" in text
+
+
+class TestTable2:
+    def test_invariants(self, tiny_suite):
+        rows = run_table2(tiny_suite)
+        for row in rows:
+            # Expansion cannot shrink the rule count below the OI subset.
+            assert row.binary_terms >= row.independent_rules
+            assert row.srge_terms <= row.binary_terms
+            # Minimization never grows the term count.
+            assert row.mindnf_binary_terms <= row.binary_terms
+            assert row.mindnf_srge_terms <= row.srge_terms
+            # Width chain: reduced <= pure <= total.
+            assert (
+                row.mindnf_binary_red_width
+                <= row.mindnf_binary_width
+                <= row.width
+            )
+            # The paper's headline: FSM beats MinDNF on width.
+            assert row.fsm_width <= row.mindnf_binary_red_width
+
+    def test_render(self, tiny_suite):
+        assert "Table 2" in render_table2(run_table2(tiny_suite))
+
+
+class TestTable3:
+    def test_invariants(self, tiny_suite):
+        rows = run_table3(tiny_suite)
+        for row in rows:
+            assert 0 < row.kmrc_size <= row.rules
+            assert row.fsm_fields  # non-empty field subset
+            # MGR restricted to the k-MRC subset never needs more groups.
+            assert row.mgr1_on_kmrc.num_groups <= row.mgr1.num_groups
+            assert row.mgr2_on_kmrc.num_groups <= row.mgr2.num_groups
+            # Coverage columns are monotone.
+            assert row.mgr1.groups_for_95 <= row.mgr1.groups_for_99
+            assert row.mgr1.groups_for_99 <= row.mgr1.num_groups
+            # Whole-classifier MGR covers everything (no beta).
+            assert row.mgr1.covered_rules == row.rules
+            assert row.mgr2.covered_rules == row.rules
+
+    def test_render(self, tiny_suite):
+        assert "Table 3" in render_table3(run_table3(tiny_suite))
+
+
+class TestFigure6:
+    def test_shape(self, tiny_suite):
+        points = run_figure6(
+            tiny_suite, field_widths=(1, 4, 16), rule_cap=80
+        )
+        by_panel = {}
+        for p in points:
+            by_panel.setdefault(p.panel, []).append(p)
+        for panel_points in by_panel.values():
+            panel_points.sort(key=lambda p: p.virtual_field_width)
+            widths = [p.fsm_width for p in panel_points]
+            # Finer resolution never needs more bits (the Figure 6 trend).
+            assert widths == sorted(widths)
+            for p in panel_points:
+                assert p.fsm_width <= p.original_width
+                assert p.mindnf_width <= p.original_width
+
+    def test_render(self, tiny_suite):
+        text = render_figure6(run_figure6(tiny_suite, field_widths=(4,)))
+        assert "Figure 6" in text

@@ -1,0 +1,79 @@
+"""Tests for repro.core.fields."""
+
+import pytest
+
+from repro.core.fields import (
+    FieldKind,
+    FieldSchema,
+    FieldSpec,
+    classbench_schema,
+    ipv4_5tuple_schema,
+    uniform_schema,
+)
+from repro.core.fields import synthetic_range_fields
+
+
+class TestFieldSpec:
+    def test_max_value(self):
+        assert FieldSpec("p", 8).max_value == 255
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            FieldSpec("bad", 0)
+
+
+class TestFieldSchema:
+    def test_total_width_five_tuple(self):
+        assert ipv4_5tuple_schema().total_width == 104
+
+    def test_classbench_is_120_bits(self):
+        # The "Width, bits" column of Table 1.
+        assert classbench_schema().total_width == 120
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            FieldSchema((FieldSpec("a", 4), FieldSpec("a", 4)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FieldSchema(())
+
+    def test_index_of(self):
+        schema = classbench_schema()
+        assert schema.index_of("dst_port") == 3
+        with pytest.raises(KeyError):
+            schema.index_of("nope")
+
+    def test_subset_width(self):
+        schema = classbench_schema()
+        assert schema.subset_width([0, 1]) == 64
+        assert schema.subset_width([4]) == 8
+
+    def test_keep_drop_are_complementary(self):
+        schema = classbench_schema()
+        kept = schema.keep([0, 2, 4])
+        dropped = schema.drop([1, 3, 5])
+        assert kept.names == dropped.names
+
+    def test_extend(self):
+        schema = uniform_schema(2, 4)
+        extended = schema.extend([FieldSpec("x", 16)])
+        assert extended.total_width == 24
+        assert extended.names[-1] == "x"
+
+    def test_iteration_and_len(self):
+        schema = uniform_schema(3, 5)
+        assert len(schema) == 3
+        assert [f.width for f in schema] == [5, 5, 5]
+
+    def test_uniform_schema_names_unique(self):
+        schema = uniform_schema(4, 2)
+        assert len(set(schema.names)) == 4
+
+
+class TestSyntheticRangeFields:
+    def test_count_and_width(self):
+        specs = synthetic_range_fields(3)
+        assert len(specs) == 3
+        assert all(s.width == 16 for s in specs)
+        assert all(s.kind is FieldKind.RANGE for s in specs)

@@ -1,0 +1,112 @@
+"""Tests for the forwarding-table workload (Section 4.4's one-field case)."""
+
+import random
+
+import pytest
+
+from repro.analysis.mrc import edf_single_field, greedy_independent_set
+from repro.analysis.order_independence import is_order_independent
+from repro.workloads.forwarding import (
+    generate_forwarding_table,
+    ipv4_forwarding_schema,
+    ipv6_forwarding_schema,
+    longest_prefix_match,
+)
+
+
+class TestSchemas:
+    def test_widths(self):
+        assert ipv4_forwarding_schema().total_width == 32
+        assert ipv6_forwarding_schema().total_width == 128
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = generate_forwarding_table(100, seed=1)
+        b = generate_forwarding_table(100, seed=1)
+        assert [r.intervals for r in a.body] == [r.intervals for r in b.body]
+
+    def test_requested_size(self):
+        k = generate_forwarding_table(200, seed=2)
+        assert len(k.body) == 200
+
+    def test_all_entries_are_prefixes(self):
+        from repro.core.intervals import prefix_for_interval
+
+        for version, width in ((4, 32), (6, 128)):
+            k = generate_forwarding_table(100, seed=3, version=version)
+            for rule in k.body:
+                assert prefix_for_interval(rule.intervals[0], width)
+
+    def test_no_duplicate_prefixes(self):
+        k = generate_forwarding_table(300, seed=4)
+        intervals = [r.intervals[0] for r in k.body]
+        assert len(set(intervals)) == len(intervals)
+
+    def test_longest_prefixes_first(self):
+        k = generate_forwarding_table(150, seed=5)
+        sizes = [r.intervals[0].size for r in k.body]
+        assert sizes == sorted(sizes)  # smaller interval = longer prefix
+
+    def test_invalid_version(self):
+        with pytest.raises(ValueError):
+            generate_forwarding_table(10, seed=0, version=5)
+
+    def test_aggregation_produces_nesting(self):
+        k = generate_forwarding_table(300, seed=6, aggregation=0.5)
+        body = k.body
+        nested = 0
+        for i in range(len(body)):
+            for j in range(len(body)):
+                if i != j and body[j].intervals[0].covers(
+                    body[i].intervals[0]
+                ):
+                    nested += 1
+                    break
+        assert nested > 10
+
+
+class TestLpmSemantics:
+    def test_first_match_equals_lpm(self):
+        k = generate_forwarding_table(200, seed=7, aggregation=0.5)
+        rng = random.Random(8)
+        for header in k.sample_headers(300, rng):
+            winner = k.match(header)
+            reference = longest_prefix_match(k, header[0])
+            if reference is None:
+                assert winner.rule is k.catch_all
+            else:
+                assert winner.rule == reference
+
+    def test_lpm_miss(self):
+        k = generate_forwarding_table(5, seed=9, aggregation=0.0)
+        # An address outside every prefix (overwhelmingly likely): probe a
+        # few and require at least consistency.
+        rng = random.Random(10)
+        for _ in range(50):
+            address = rng.getrandbits(32)
+            reference = longest_prefix_match(k, address)
+            winner = k.match((address,))
+            if reference is None:
+                assert winner.rule is k.catch_all
+
+
+class TestSection44Claims:
+    def test_edf_is_the_exact_one_field_mrc(self):
+        k = generate_forwarding_table(120, seed=11, aggregation=0.4)
+        edf = edf_single_field(k, 0)
+        greedy = greedy_independent_set(k)
+        # EDF is optimal; priority-greedy cannot beat it.
+        assert greedy.size <= edf.size
+        # And the EDF subset really is order-independent.
+        sub = k.subset(edf.rule_indices)
+        assert is_order_independent(sub)
+
+    def test_ipv6_tables_at_least_as_independent(self):
+        """The paper's conjecture: wider keys should leave a larger (or
+        equal) order-independent fraction at the same table size."""
+        v4 = generate_forwarding_table(400, seed=12, version=4)
+        v6 = generate_forwarding_table(400, seed=12, version=6)
+        frac4 = edf_single_field(v4, 0).size / len(v4.body)
+        frac6 = edf_single_field(v6, 0).size / len(v6.body)
+        assert frac6 >= frac4 - 0.05  # allow sampling noise

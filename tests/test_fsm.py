@@ -1,0 +1,146 @@
+"""Tests for FSM (Problem 1) — exact and greedy solvers."""
+
+import random
+
+import pytest
+
+from repro.analysis.fsm import fsm, fsm_exact, fsm_greedy
+from repro.analysis.order_independence import is_order_independent
+from repro.core import Classifier, make_rule, uniform_schema
+from conftest import random_classifier
+
+
+def _independent_classifier(rng, num_rules=15, num_fields=4, width=8):
+    """Random order-independent classifier: distinct exact values in field
+    0 guarantee pairwise disjointness; other fields are random ranges."""
+    schema = uniform_schema(num_fields, width)
+    max_value = (1 << width) - 1
+    values = rng.sample(range(max_value + 1), num_rules)
+    rules = []
+    for v in values:
+        ranges = [(v, v)]
+        for _ in range(num_fields - 1):
+            lo = rng.randint(0, max_value)
+            hi = min(max_value, lo + rng.randint(0, 6))
+            ranges.append((lo, hi))
+        rules.append(make_rule(ranges))
+    return Classifier(schema, rules)
+
+
+class TestExact:
+    def test_example2_keeps_field0(self, example2_classifier):
+        result = fsm_exact(example2_classifier)
+        assert result.kept_fields == (0,)
+        assert result.removed_fields == (1, 2)
+        assert result.lookup_width == 5
+
+    def test_example1_cannot_reduce_below_one(self, example1_classifier):
+        result = fsm_exact(example1_classifier)
+        assert len(result.kept_fields) >= 1
+        assert is_order_independent(example1_classifier, result.kept_fields)
+
+    def test_rejects_order_dependent(self, example3_classifier):
+        with pytest.raises(ValueError):
+            fsm_exact(example3_classifier)
+
+    def test_result_is_order_independent(self):
+        rng = random.Random(1)
+        for _ in range(5):
+            k = _independent_classifier(rng)
+            result = fsm_exact(k)
+            assert is_order_independent(k, result.kept_fields)
+
+    def test_result_is_minimum_size(self):
+        # No field subset strictly smaller than the exact result keeps the
+        # classifier order-independent.
+        import itertools
+
+        rng = random.Random(2)
+        for _ in range(5):
+            k = _independent_classifier(rng, num_rules=10)
+            result = fsm_exact(k)
+            smaller = len(result.kept_fields) - 1
+            if smaller >= 1:
+                for subset in itertools.combinations(
+                    range(k.num_fields), smaller
+                ):
+                    assert not is_order_independent(k, subset)
+
+    def test_exact_is_optimal_vs_bruteforce(self):
+        import itertools
+
+        rng = random.Random(3)
+        for _ in range(6):
+            k = _independent_classifier(rng, num_rules=8, num_fields=4)
+            result = fsm_exact(k)
+            best = None
+            for size in range(1, k.num_fields + 1):
+                for subset in itertools.combinations(range(k.num_fields), size):
+                    if is_order_independent(k, subset):
+                        best = size
+                        break
+                if best is not None:
+                    break
+            assert len(result.kept_fields) == best
+
+    def test_single_rule_classifier(self):
+        schema = uniform_schema(3, 4)
+        k = Classifier(schema, [make_rule([(1, 2), (3, 4), (5, 6)])])
+        result = fsm_exact(k)
+        assert len(result.kept_fields) == 1
+
+
+class TestGreedy:
+    def test_example2_keeps_field0(self, example2_classifier):
+        result = fsm_greedy(example2_classifier)
+        assert result.kept_fields == (0,)
+
+    def test_rejects_order_dependent(self, example3_classifier):
+        with pytest.raises(ValueError):
+            fsm_greedy(example3_classifier)
+
+    def test_result_is_order_independent(self):
+        rng = random.Random(4)
+        for _ in range(6):
+            k = _independent_classifier(rng)
+            result = fsm_greedy(k)
+            assert is_order_independent(k, result.kept_fields)
+
+    def test_greedy_within_approximation_of_exact(self):
+        import math
+
+        rng = random.Random(5)
+        for _ in range(6):
+            k = _independent_classifier(rng, num_rules=10)
+            exact = fsm_exact(k)
+            greedy = fsm_greedy(k)
+            n = len(k.body)
+            bound = (2 * math.log(n) + 1) * max(1, len(exact.kept_fields))
+            assert len(greedy.kept_fields) <= bound
+
+    def test_empty_body(self):
+        schema = uniform_schema(3, 4)
+        k = Classifier(schema, [])
+        result = fsm_greedy(k)
+        assert len(result.kept_fields) == 1
+
+
+class TestDispatcher:
+    def test_small_uses_exact(self, example2_classifier):
+        assert fsm(example2_classifier).method == "exact"
+
+    def test_large_field_count_uses_greedy(self):
+        rng = random.Random(6)
+        schema = uniform_schema(12, 6)
+        values = rng.sample(range(64), 10)
+        rules = [
+            make_rule([(v, v)] + [(0, 63)] * 11) for v in values
+        ]
+        k = Classifier(schema, rules)
+        assert fsm(k).method == "greedy"
+
+    def test_width_reported(self, example2_classifier):
+        result = fsm(example2_classifier)
+        assert result.lookup_width == sum(
+            example2_classifier.schema.widths[f] for f in result.kept_fields
+        )

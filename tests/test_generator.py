@@ -1,0 +1,108 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.analysis.mrc import greedy_independent_set
+from repro.core import Interval
+from repro.workloads.generator import (
+    BENCHMARK_NAMES,
+    STYLES,
+    add_random_range_fields,
+    benchmark_suite,
+    generate_classifier,
+)
+
+
+class TestGenerateClassifier:
+    def test_determinism(self):
+        a = generate_classifier("acl", 100, seed=7)
+        b = generate_classifier("acl", 100, seed=7)
+        assert [r.intervals for r in a.body] == [r.intervals for r in b.body]
+
+    def test_different_seeds_differ(self):
+        a = generate_classifier("acl", 100, seed=7)
+        b = generate_classifier("acl", 100, seed=8)
+        assert [r.intervals for r in a.body] != [r.intervals for r in b.body]
+
+    def test_requested_size(self):
+        k = generate_classifier("fw", 200, seed=1)
+        assert len(k.body) == 200
+
+    def test_schema_is_six_field(self):
+        k = generate_classifier("ipc", 50, seed=2)
+        assert k.schema.total_width == 120
+        assert len(k.schema) == 6
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError):
+            generate_classifier("nope", 10, seed=0)
+
+    def test_rules_fit_schema(self):
+        k = generate_classifier("fw", 300, seed=3)
+        for rule in k.body:
+            for iv, spec in zip(rule.intervals, k.schema):
+                assert 0 <= iv.low <= iv.high <= spec.max_value
+
+    def test_no_duplicate_specific_rules(self):
+        k = generate_classifier("acl", 300, seed=4)
+        specific = [r.intervals for r in k.body if r.action.kind.value != "deny"]
+        assert len(specific) == len(set(specific))
+
+    @pytest.mark.parametrize("style,low,high", [
+        ("acl", 0.90, 1.0),
+        ("fw", 0.80, 1.0),
+        ("ipc", 0.85, 1.0),
+        ("cisco", 0.93, 1.0),
+    ])
+    def test_order_independent_fraction_in_paper_band(self, style, low, high):
+        """The paper's headline: 90-95%+ of rules are order-independent."""
+        k = generate_classifier(style, 800, seed=11)
+        fraction = greedy_independent_set(k).size / len(k.body)
+        assert low <= fraction <= high
+
+
+class TestAddRandomRangeFields:
+    def test_field_count_and_width(self):
+        k = generate_classifier("acl", 30, seed=5)
+        extended = add_random_range_fields(k, 2, seed=6)
+        assert extended.num_fields == 8
+        assert extended.schema.total_width == 152  # Table 1's K+2 width
+
+    def test_catch_all_gets_wildcards(self):
+        k = generate_classifier("acl", 10, seed=5)
+        extended = add_random_range_fields(k, 1, seed=6)
+        assert extended.catch_all.intervals[6] == Interval(0, 65535)
+
+    def test_deterministic(self):
+        k = generate_classifier("acl", 30, seed=5)
+        a = add_random_range_fields(k, 2, seed=9)
+        b = add_random_range_fields(k, 2, seed=9)
+        assert [r.intervals for r in a.body] == [r.intervals for r in b.body]
+
+    def test_extension_preserves_order_independence_of_subsets(self):
+        # Theorem 1's premise: adding fields never creates intersections.
+        k = generate_classifier("acl", 200, seed=12)
+        base = greedy_independent_set(k)
+        extended = add_random_range_fields(k, 2, seed=13)
+        from repro.analysis.order_independence import rules_order_independent
+
+        rules = [extended.rules[i] for i in base.rule_indices]
+        assert rules_order_independent(rules)
+
+
+class TestBenchmarkSuite:
+    def test_all_names_present(self):
+        suite = benchmark_suite(classbench_rules=50)
+        assert set(suite) == set(BENCHMARK_NAMES)
+
+    def test_cisco_sizes_match_paper(self):
+        suite = benchmark_suite(classbench_rules=50)
+        assert len(suite["cisco1"].body) == 584
+        assert len(suite["cisco3"].body) == 95
+
+    def test_classbench_scaling(self):
+        suite = benchmark_suite(classbench_rules=80)
+        assert len(suite["acl1"].body) == 80
+
+    def test_styles_cover_all(self):
+        assert set(STYLES) == {"acl", "fw", "ipc", "cisco"}

@@ -1,0 +1,75 @@
+"""Tests for the disjoint-interval lookup map."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import Interval
+from repro.lookup.interval_map import DisjointIntervalMap
+
+
+class TestBasics:
+    def test_lookup_hits_and_misses(self):
+        m = DisjointIntervalMap(
+            [(Interval(1, 3), "a"), (Interval(7, 9), "b")]
+        )
+        assert m.lookup(2) == "a"
+        assert m.lookup(1) == "a"
+        assert m.lookup(3) == "a"
+        assert m.lookup(8) == "b"
+        assert m.lookup(0) is None
+        assert m.lookup(5) is None
+        assert m.lookup(10) is None
+
+    def test_empty_map(self):
+        m = DisjointIntervalMap([])
+        assert len(m) == 0
+        assert m.lookup(0) is None
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            DisjointIntervalMap(
+                [(Interval(1, 5), "a"), (Interval(5, 9), "b")]
+            )
+
+    def test_adjacent_allowed(self):
+        m = DisjointIntervalMap(
+            [(Interval(1, 4), "a"), (Interval(5, 9), "b")]
+        )
+        assert m.lookup(4) == "a"
+        assert m.lookup(5) == "b"
+
+    def test_unsorted_input_sorted_internally(self):
+        m = DisjointIntervalMap(
+            [(Interval(7, 9), "b"), (Interval(1, 3), "a")]
+        )
+        assert m.intervals() == [Interval(1, 3), Interval(7, 9)]
+        assert m.payloads() == ["a", "b"]
+
+
+class TestProperty:
+    @given(st.lists(st.tuples(st.integers(0, 200), st.integers(0, 8)),
+                    max_size=30))
+    def test_lookup_matches_linear_scan(self, raw):
+        # Build a disjoint set by greedy filtering, then compare against a
+        # linear scan on every probe point.
+        intervals = []
+        occupied = set()
+        for lo, span in raw:
+            candidate = Interval(lo, lo + span)
+            points = set(range(candidate.low, candidate.high + 1))
+            if points & occupied:
+                continue
+            occupied |= points
+            intervals.append(candidate)
+        m = DisjointIntervalMap(
+            (iv, i) for i, iv in enumerate(intervals)
+        )
+        for value in range(0, 215, 3):
+            expected = None
+            for i, iv in enumerate(intervals):
+                if iv.contains(value):
+                    expected = i
+                    break
+            assert m.lookup(value) == expected

@@ -1,0 +1,196 @@
+"""Unit and property tests for repro.core.intervals."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.intervals import (
+    Interval,
+    full_interval,
+    interval_from_prefix,
+    interval_from_value_mask,
+    merge_intervals,
+    prefix_for_interval,
+    split_into_prefixes,
+)
+
+
+class TestIntervalBasics:
+    def test_point_interval(self):
+        iv = Interval(5, 5)
+        assert iv.size == 1
+        assert iv.is_exact()
+        assert 5 in iv
+        assert 4 not in iv
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            Interval(3, 2)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Interval(-1, 2)
+
+    def test_len_matches_size(self):
+        iv = Interval(2, 9)
+        assert len(iv) == iv.size == 8
+
+    def test_ordering_is_lexicographic(self):
+        assert Interval(1, 5) < Interval(2, 3)
+        assert Interval(1, 3) < Interval(1, 5)
+
+    def test_hashable(self):
+        assert len({Interval(1, 2), Interval(1, 2), Interval(1, 3)}) == 2
+
+
+class TestOverlapDisjoint:
+    def test_overlapping(self):
+        assert Interval(1, 5).overlaps(Interval(5, 9))
+        assert not Interval(1, 5).disjoint(Interval(5, 9))
+
+    def test_disjoint(self):
+        assert Interval(1, 4).disjoint(Interval(5, 9))
+        assert Interval(5, 9).disjoint(Interval(1, 4))
+
+    def test_nested_overlap(self):
+        assert Interval(0, 10).overlaps(Interval(3, 4))
+
+    def test_paper_order_independence_example(self):
+        # Section 2: [1,3] vs [5,6] disjoint; [1,3] vs [2,4] overlap.
+        assert Interval(1, 3).disjoint(Interval(5, 6))
+        assert Interval(1, 3).overlaps(Interval(2, 4))
+
+    def test_covers(self):
+        assert Interval(0, 10).covers(Interval(3, 7))
+        assert Interval(0, 10).covers(Interval(0, 10))
+        assert not Interval(1, 10).covers(Interval(0, 5))
+
+    def test_intersection(self):
+        assert Interval(1, 5).intersection(Interval(3, 9)) == Interval(3, 5)
+        assert Interval(1, 2).intersection(Interval(5, 6)) is None
+
+
+class TestPrefixConversions:
+    def test_full_interval(self):
+        assert full_interval(4) == Interval(0, 15)
+
+    def test_full_interval_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            full_interval(0)
+
+    def test_prefix_roundtrip_exact(self):
+        iv = interval_from_prefix(0b1010, 4, 4)
+        assert iv == Interval(10, 10)
+        assert prefix_for_interval(iv, 4) == (10, 4)
+
+    def test_prefix_roundtrip_wildcard(self):
+        iv = interval_from_prefix(0, 0, 4)
+        assert iv == Interval(0, 15)
+        assert prefix_for_interval(iv, 4) == (0, 0)
+
+    def test_prefix_partial(self):
+        # 10?? on 4 bits -> [8, 11]
+        iv = interval_from_prefix(0b1000, 2, 4)
+        assert iv == Interval(8, 11)
+
+    def test_non_prefix_interval(self):
+        assert prefix_for_interval(Interval(1, 2), 4) is None  # unaligned
+        assert prefix_for_interval(Interval(0, 2), 4) is None  # size 3
+
+    def test_value_mask_prefix(self):
+        iv = interval_from_value_mask(0b1100, 0b1100, 4)
+        assert iv == Interval(12, 15)
+
+    def test_value_mask_rejects_noncontiguous(self):
+        with pytest.raises(ValueError):
+            interval_from_value_mask(0b1010, 0b1010, 4)
+
+    @given(st.integers(1, 12), st.data())
+    def test_prefix_roundtrip_property(self, width, data):
+        plen = data.draw(st.integers(0, width))
+        value = data.draw(st.integers(0, (1 << width) - 1))
+        iv = interval_from_prefix(value, plen, width)
+        got = prefix_for_interval(iv, width)
+        assert got is not None
+        # Re-expanding the detected prefix gives the same interval.
+        assert interval_from_prefix(got[0] << (width - got[1]), got[1], width) == iv
+
+
+class TestSplitIntoPrefixes:
+    def test_single_point(self):
+        assert list(split_into_prefixes(Interval(5, 5), 4)) == [(5, 4)]
+
+    def test_full_range(self):
+        assert list(split_into_prefixes(Interval(0, 15), 4)) == [(0, 0)]
+
+    def test_worst_case_bound(self):
+        # [1, 2^W - 2] needs exactly 2W - 2 prefixes.
+        for width in (3, 5, 8):
+            parts = list(
+                split_into_prefixes(Interval(1, (1 << width) - 2), width)
+            )
+            assert len(parts) == 2 * width - 2
+
+    def test_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            list(split_into_prefixes(Interval(0, 16), 4))
+
+    @given(st.integers(1, 10), st.data())
+    def test_exact_cover_property(self, width, data):
+        max_value = (1 << width) - 1
+        low = data.draw(st.integers(0, max_value))
+        high = data.draw(st.integers(low, max_value))
+        interval = Interval(low, high)
+        covered = set()
+        for value, plen in split_into_prefixes(interval, width):
+            span = width - plen
+            start = value << span
+            block = set(range(start, start + (1 << span)))
+            assert not block & covered, "prefixes must not overlap"
+            covered |= block
+        assert covered == set(range(low, high + 1))
+
+    @given(st.integers(1, 16), st.data())
+    def test_count_bound_property(self, width, data):
+        max_value = (1 << width) - 1
+        low = data.draw(st.integers(0, max_value))
+        high = data.draw(st.integers(low, max_value))
+        count = sum(1 for _ in split_into_prefixes(Interval(low, high), width))
+        assert count <= max(1, 2 * width - 2)
+
+
+class TestMergeIntervals:
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_adjacent_merge(self):
+        assert merge_intervals([Interval(1, 3), Interval(4, 6)]) == [
+            Interval(1, 6)
+        ]
+
+    def test_overlapping_merge(self):
+        assert merge_intervals([Interval(1, 5), Interval(3, 9)]) == [
+            Interval(1, 9)
+        ]
+
+    def test_disjoint_stay_apart(self):
+        out = merge_intervals([Interval(8, 9), Interval(1, 3)])
+        assert out == [Interval(1, 3), Interval(8, 9)]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 50), st.integers(0, 20)), max_size=15
+        )
+    )
+    def test_merge_preserves_points(self, raw):
+        intervals = [Interval(lo, lo + span) for lo, span in raw]
+        merged = merge_intervals(intervals)
+        points = set()
+        for iv in intervals:
+            points |= set(range(iv.low, iv.high + 1))
+        merged_points = set()
+        for iv in merged:
+            merged_points |= set(range(iv.low, iv.high + 1))
+        assert merged_points == points
+        # Result is sorted and strictly separated.
+        for a, b in zip(merged, merged[1:]):
+            assert a.high + 1 < b.low

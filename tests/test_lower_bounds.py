@@ -1,0 +1,74 @@
+"""Tests for the Theorem 6 lower-bound constructions."""
+
+import pytest
+
+from repro.analysis.lower_bounds import (
+    hypercube_classifier,
+    min_groups_hypercube,
+    min_groups_single_field,
+    min_groups_two_fields,
+    pairs_classifier,
+    quadruples_classifier,
+)
+from repro.analysis.mgr import l_mgr
+from repro.analysis.order_independence import is_order_independent
+
+
+class TestConstructions:
+    def test_pairs_size_and_independence(self):
+        for n in (2, 3, 5):
+            k = pairs_classifier(n)
+            assert len(k.body) == n * (n - 1)
+            assert is_order_independent(k)
+
+    def test_quadruples_size_and_independence(self):
+        k = quadruples_classifier(4)
+        assert len(k.body) == 4 * 3 * 2 * 1
+        assert is_order_independent(k)
+
+    def test_hypercube_size_and_independence(self):
+        for kk in (1, 3, 5):
+            k = hypercube_classifier(kk)
+            assert len(k.body) == 1 << kk
+            assert is_order_independent(k)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            pairs_classifier(1)
+        with pytest.raises(ValueError):
+            quadruples_classifier(3)
+        with pytest.raises(ValueError):
+            hypercube_classifier(0)
+
+
+class TestBoundsHoldForHeuristics:
+    """Theorem 6 certifies a *lower* bound: any correct grouping — greedy
+    included — must open at least that many groups."""
+
+    @pytest.mark.parametrize("n", [3, 4, 6])
+    def test_single_field_bound(self, n):
+        k = pairs_classifier(n)
+        result = l_mgr(k, l=1)
+        assert not result.ungrouped
+        assert result.num_groups >= min_groups_single_field(n)
+
+    @pytest.mark.parametrize("n", [4, 5])
+    def test_two_field_bound(self, n):
+        k = quadruples_classifier(n)
+        result = l_mgr(k, l=2)
+        assert not result.ungrouped
+        assert result.num_groups >= min_groups_two_fields(n)
+
+    @pytest.mark.parametrize("kk,l", [(3, 1), (4, 2), (5, 3)])
+    def test_hypercube_bound(self, kk, l):
+        k = hypercube_classifier(kk)
+        result = l_mgr(k, l=l)
+        assert not result.ungrouped
+        assert result.num_groups >= min_groups_hypercube(kk, l)
+
+    def test_hypercube_greedy_is_tight(self):
+        # On the hypercube the greedy grouping achieves the bound exactly:
+        # each group exhausts all 2^l combinations on its fields.
+        k = hypercube_classifier(4)
+        result = l_mgr(k, l=2)
+        assert result.num_groups == min_groups_hypercube(4, 2)

@@ -1,0 +1,210 @@
+"""Tests for MGR / (β,l)-MRC / MRCC (Problems 2, 4, 5)."""
+
+import random
+
+import pytest
+
+from repro.analysis.mgr import (
+    beta_l_mrc,
+    enforce_cache_property,
+    group_statistics,
+    l_mgr,
+)
+from repro.analysis.order_independence import rules_order_independent
+from repro.core import Classifier, make_rule, uniform_schema
+from conftest import random_classifier
+
+
+def _check_groups(classifier, result):
+    """Every group must be order-independent on its own fields and within
+    the l budget; assignments must partition the scanned rules."""
+    seen = set()
+    for group in result.groups:
+        assert len(group.fields) <= result.l
+        rules = [classifier.rules[i] for i in group.rule_indices]
+        assert rules_order_independent(rules, group.fields)
+        for idx in group.rule_indices:
+            assert idx not in seen
+            seen.add(idx)
+    for idx in result.ungrouped:
+        assert idx not in seen
+        seen.add(idx)
+    return seen
+
+
+class TestLMgr:
+    def test_example3_two_groups(self, example3_classifier):
+        result = l_mgr(example3_classifier, l=2)
+        covered = _check_groups(example3_classifier, result)
+        assert covered == set(range(5))
+        assert result.ungrouped == ()
+        # The paper splits into {R1,R2,R3} (fields {0,1}) and {R4,R5}
+        # (field {2}); the greedy scan reproduces exactly that.
+        assert result.num_groups == 2
+        assert result.groups[0].rule_indices == (0, 1, 2)
+        assert result.groups[1].rule_indices == (3, 4)
+
+    def test_example3_group_fields(self, example3_classifier):
+        result = l_mgr(example3_classifier, l=2)
+        g1, g2 = result.groups
+        rules = example3_classifier.rules
+        assert rules_order_independent(
+            [rules[i] for i in g1.rule_indices], g1.fields
+        )
+        # Second group is independent on the third field alone.
+        assert rules_order_independent(
+            [rules[i] for i in g2.rule_indices], [2]
+        )
+
+    def test_order_independent_classifier_single_group(
+        self, example2_classifier
+    ):
+        result = l_mgr(example2_classifier, l=1)
+        assert result.num_groups == 1
+        assert result.groups[0].size == 3
+
+    def test_all_rules_covered_without_beta(self):
+        rng = random.Random(0)
+        k = random_classifier(rng, num_rules=40)
+        result = l_mgr(k, l=2)
+        covered = _check_groups(k, result)
+        assert covered == set(range(len(k.body)))
+        assert not result.ungrouped
+
+    @pytest.mark.parametrize("l", [1, 2, 3])
+    def test_field_budget_respected(self, l):
+        rng = random.Random(l)
+        k = random_classifier(rng, num_rules=30, num_fields=3)
+        result = l_mgr(k, l=l)
+        _check_groups(k, result)
+
+    def test_invalid_l(self, example3_classifier):
+        with pytest.raises(ValueError):
+            l_mgr(example3_classifier, l=0)
+
+    def test_rule_subset_restriction(self, example3_classifier):
+        result = l_mgr(example3_classifier, l=2, rule_subset=[0, 1, 2])
+        covered = _check_groups(example3_classifier, result)
+        assert covered == {0, 1, 2}
+
+    def test_group_fields_pick_narrowest(self):
+        # Fields of different widths: group field choice minimizes width.
+        from repro.core import FieldSchema, FieldSpec
+
+        schema = FieldSchema(
+            (FieldSpec("wide", 16), FieldSpec("narrow", 4))
+        )
+        k = Classifier(
+            schema,
+            [
+                make_rule([(0, 100), (1, 1)]),
+                make_rule([(50, 200), (2, 2)]),
+            ],
+        )
+        result = l_mgr(k, l=1)
+        assert result.num_groups == 1
+        assert result.groups[0].fields == (1,)
+
+
+class TestBetaLMrc:
+    def test_beta_caps_groups(self):
+        rng = random.Random(5)
+        k = random_classifier(rng, num_rules=40)
+        capped = beta_l_mrc(k, beta=2, l=1)
+        assert capped.num_groups <= 2
+        _check_groups(k, capped)
+
+    def test_spill_goes_to_ungrouped(self):
+        # Three mutually intersecting rules, beta=1, l=k: only one group.
+        schema = uniform_schema(2, 5)
+        k = Classifier(
+            schema,
+            [
+                make_rule([(0, 10), (0, 10)]),
+                make_rule([(5, 15), (5, 15)]),
+                make_rule([(0, 15), (0, 15)]),
+            ],
+        )
+        result = beta_l_mrc(k, beta=1, l=2)
+        assert result.num_groups == 1
+        assert len(result.ungrouped) == 2
+
+    def test_invalid_beta(self, example3_classifier):
+        with pytest.raises(ValueError):
+            beta_l_mrc(example3_classifier, beta=0, l=1)
+
+    def test_example5_beta1_spills_general_rules(self, example5_classifier):
+        # With a single group on one field, the greedy scan mirrors the
+        # paper's observation: broad bottom rules spill to D.
+        result = beta_l_mrc(example5_classifier, beta=1, l=1)
+        assert result.num_groups == 1
+        _check_groups(example5_classifier, result)
+        assert result.ungrouped  # something had to spill
+
+
+class TestCacheProperty:
+    def _violations(self, classifier, result):
+        grouped = result.grouped_indices()
+        out = []
+        for i in grouped:
+            for d in result.ungrouped:
+                if d < i and classifier.rules[d].intersects(
+                    classifier.rules[i]
+                ):
+                    out.append((d, i))
+        return out
+
+    def test_enforced_has_no_violations(self):
+        rng = random.Random(7)
+        for _ in range(6):
+            k = random_classifier(rng, num_rules=25)
+            result = beta_l_mrc(k, beta=2, l=2)
+            fixed = enforce_cache_property(k, result)
+            assert not self._violations(k, fixed)
+            _check_groups(k, fixed)
+
+    def test_no_op_when_clean(self, example3_classifier):
+        result = l_mgr(example3_classifier, l=2)
+        fixed = enforce_cache_property(example3_classifier, result)
+        assert fixed.grouped_indices() == result.grouped_indices()
+
+    def test_demotion_cascades(self):
+        schema = uniform_schema(1, 6)
+        # r0 broad (will be spilled by beta), r1 and r2 nested under it.
+        k = Classifier(
+            schema,
+            [
+                make_rule([(0, 40)]),
+                make_rule([(0, 10)]),
+                make_rule([(20, 30)]),
+            ],
+        )
+        result = beta_l_mrc(k, beta=1, l=1, order=[1, 2, 0])
+        # group holds r1, r2; r0 spilled with the highest priority.
+        assert set(result.ungrouped) == {0}
+        fixed = enforce_cache_property(k, result)
+        assert set(fixed.ungrouped) == {0, 1, 2}
+
+
+class TestGroupStatistics:
+    def test_example3_stats(self, example3_classifier):
+        result = l_mgr(example3_classifier, l=2)
+        stats = group_statistics(result)
+        assert stats.num_groups == 2
+        assert stats.covered_rules == 5
+        assert stats.groups_for_95 == 2
+        assert stats.groups_le_2 == 1
+        assert stats.groups_le_5 == 2
+
+    def test_single_group_covers_all(self, example2_classifier):
+        stats = group_statistics(l_mgr(example2_classifier, l=1))
+        assert stats.num_groups == 1
+        assert stats.groups_for_95 == 1
+        assert stats.groups_for_99 == 1
+
+    def test_empty(self):
+        schema = uniform_schema(1, 4)
+        k = Classifier(schema, [])
+        stats = group_statistics(l_mgr(k, l=1))
+        assert stats.num_groups == 0
+        assert stats.groups_for_95 == 0

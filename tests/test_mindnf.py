@@ -1,0 +1,140 @@
+"""Tests for truth-table MinDNF (Quine-McCluskey + greedy cover)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.boolean.mindnf import mindnf_greedy, minterms_of, prime_implicants
+from repro.boolean.ternary import word_from_pattern
+
+
+def _on_set(terms, width):
+    return {v for v in range(1 << width) if any(t.matches(v) for t in terms)}
+
+
+class TestMinterms:
+    def test_minterms_of_single_term(self):
+        terms = [word_from_pattern("1*0")]
+        assert minterms_of(terms, 3) == {0b100, 0b110}
+
+    def test_minterms_of_overlapping_terms(self):
+        terms = [word_from_pattern("1*"), word_from_pattern("*1")]
+        assert minterms_of(terms, 2) == {0b01, 0b10, 0b11}
+
+    def test_width_guard(self):
+        with pytest.raises(ValueError):
+            minterms_of([], 25)
+
+
+class TestPrimeImplicants:
+    def test_classic_example(self):
+        # f = x'y + xy = y  (single prime implicant *1).
+        minterms = {0b01, 0b11}
+        primes = prime_implicants(minterms, 2)
+        assert [p.pattern() for p in primes] == ["*1"]
+
+    def test_primes_cover_exactly_the_on_set(self):
+        rng = random.Random(0)
+        for _ in range(15):
+            width = rng.randint(1, 6)
+            on = {
+                v
+                for v in range(1 << width)
+                if rng.random() < 0.4
+            }
+            if not on:
+                continue
+            primes = prime_implicants(on, width)
+            assert _on_set(primes, width) == on
+
+    def test_primes_are_maximal(self):
+        # Growing any prime implicant (removing a literal) must leave the
+        # ON-set.
+        rng = random.Random(1)
+        for _ in range(10):
+            width = 4
+            on = {v for v in range(16) if rng.random() < 0.5}
+            if not on:
+                continue
+            primes = prime_implicants(on, width)
+            for p in primes:
+                for bit in range(width):
+                    if not (p.care >> bit) & 1:
+                        continue
+                    from repro.boolean.ternary import TernaryWord
+
+                    widened = TernaryWord(
+                        p.value & ~(1 << bit), p.care & ~(1 << bit), width
+                    )
+                    covered = {
+                        v for v in range(1 << width) if widened.matches(v)
+                    }
+                    assert not covered <= on, "prime implicant was not maximal"
+
+
+class TestGreedyMinDnf:
+    def test_covers_exactly(self):
+        rng = random.Random(2)
+        for _ in range(15):
+            width = rng.randint(1, 6)
+            on = {v for v in range(1 << width) if rng.random() < 0.35}
+            chosen = mindnf_greedy(on, width)
+            assert _on_set(chosen, width) == on
+
+    def test_empty_function(self):
+        assert mindnf_greedy(set(), 4) == []
+
+    def test_constant_true(self):
+        chosen = mindnf_greedy(set(range(16)), 4)
+        assert len(chosen) == 1
+        assert chosen[0].pattern() == "****"
+
+    def test_example7_reduces_to_one_term(self):
+        # Example 7's function is f = x2 (bit index 3 of 5, MSB first).
+        terms = [
+            word_from_pattern(p)
+            for p in ("01***", "*10**", "*11*0", "*11*1")
+        ]
+        on = minterms_of(terms, 5)
+        chosen = mindnf_greedy(on, 5)
+        assert len(chosen) == 1
+        assert chosen[0].pattern() == "*1***"
+
+    def test_greedy_not_larger_than_input_terms(self):
+        rng = random.Random(3)
+        for _ in range(10):
+            width = 5
+            patterns = [
+                "".join(rng.choice("01*") for _ in range(width))
+                for _ in range(6)
+            ]
+            terms = [word_from_pattern(p) for p in patterns]
+            on = minterms_of(terms, width)
+            chosen = mindnf_greedy(on, width)
+            assert len(chosen) <= len(set(terms))
+
+    def test_optimal_on_small_functions(self):
+        # Exhaustive check against brute-force minimal DNF size for 3-bit
+        # functions (greedy achieves the optimum on these tiny inputs
+        # except for rare pathological covers; allow +1 slack).
+        width = 3
+        all_words = [
+            word_from_pattern("".join(p))
+            for p in itertools.product("01*", repeat=width)
+        ]
+        rng = random.Random(4)
+        for _ in range(20):
+            on = {v for v in range(8) if rng.random() < 0.5}
+            if not on:
+                continue
+            chosen = mindnf_greedy(on, width)
+            best = None
+            for size in range(1, len(on) + 1):
+                for combo in itertools.combinations(all_words, size):
+                    if _on_set(list(combo), width) == on:
+                        best = size
+                        break
+                if best:
+                    break
+            assert len(chosen) <= best + 1

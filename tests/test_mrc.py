@@ -1,0 +1,173 @@
+"""Tests for the MRC family (Problems 3/4 heuristics, EDF)."""
+
+import random
+
+import pytest
+
+from repro.analysis.mrc import (
+    edf_single_field,
+    exact_independent_set_small,
+    greedy_independent_set,
+    l_mrc,
+)
+from repro.analysis.order_independence import rules_order_independent
+from repro.core import Classifier, make_rule, uniform_schema
+from conftest import random_classifier
+
+
+def _check_independent(classifier, result):
+    rules = [classifier.rules[i] for i in result.rule_indices]
+    assert rules_order_independent(rules, result.fields)
+
+
+class TestGreedyIndependentSet:
+    def test_example3_takes_first_independent_prefix(self, example3_classifier):
+        result = greedy_independent_set(example3_classifier)
+        _check_independent(example3_classifier, result)
+        # R1..R4 are pairwise disjoint; R5 intersects R4 -> greedy keeps 4.
+        assert result.rule_indices == (0, 1, 2, 3)
+
+    def test_fully_independent_keeps_everything(self, example1_classifier):
+        result = greedy_independent_set(example1_classifier)
+        assert result.size == 3
+
+    def test_complement(self, example3_classifier):
+        result = greedy_independent_set(example3_classifier)
+        assert result.complement(5) == (4,)
+
+    def test_custom_order_changes_selection(self, example3_classifier):
+        result = greedy_independent_set(
+            example3_classifier, order=[4, 3, 2, 1, 0]
+        )
+        _check_independent(example3_classifier, result)
+        assert 4 in result.rule_indices
+
+    def test_field_subset(self, example3_classifier):
+        result = greedy_independent_set(example3_classifier, fields=[0, 1])
+        _check_independent(example3_classifier, result)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_maximality(self, seed):
+        # No rejected rule could be added back.
+        rng = random.Random(seed)
+        k = random_classifier(rng, num_rules=20)
+        result = greedy_independent_set(k)
+        chosen = [k.rules[i] for i in result.rule_indices]
+        for i in range(len(k.body)):
+            if i not in result.rule_indices:
+                extended = chosen + [k.rules[i]]
+                assert not rules_order_independent(extended)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_greedy_vs_exact_small(self, seed):
+        rng = random.Random(50 + seed)
+        k = random_classifier(rng, num_rules=10)
+        greedy = greedy_independent_set(k)
+        exact = exact_independent_set_small(k)
+        assert greedy.size <= exact.size
+        # Priority-greedy on interval intersection graphs stays close.
+        assert greedy.size >= max(1, exact.size // 2)
+
+    def test_empty_body(self):
+        schema = uniform_schema(2, 4)
+        k = Classifier(schema, [])
+        assert greedy_independent_set(k).size == 0
+
+
+class TestEdf:
+    def test_edf_is_optimal_single_field(self):
+        rng = random.Random(9)
+        for _ in range(8):
+            k = random_classifier(rng, num_rules=10, num_fields=1, width=5)
+            edf = edf_single_field(k, 0)
+            exact = exact_independent_set_small(k, fields=[0])
+            assert edf.size == exact.size
+
+    def test_edf_result_is_disjoint(self):
+        rng = random.Random(10)
+        k = random_classifier(rng, num_rules=30, num_fields=2)
+        result = edf_single_field(k, 1)
+        _check_independent(k, result)
+
+    def test_edf_known_instance(self):
+        schema = uniform_schema(1, 5)
+        k = Classifier(
+            schema,
+            [
+                make_rule([(0, 10)]),
+                make_rule([(0, 2)]),
+                make_rule([(3, 5)]),
+                make_rule([(6, 8)]),
+            ],
+        )
+        result = edf_single_field(k, 0)
+        assert result.size == 3
+        assert result.rule_indices == (1, 2, 3)
+
+
+class TestLMrc:
+    def test_paper_counterexample_field_choice(self):
+        # Section 6.2.2: field 1 separates fewer pairs than field 0 but
+        # yields the larger independent set; the heuristic may settle for
+        # the coverage-optimal field, but must return a valid result.
+        schema = uniform_schema(2, 3)
+        k = Classifier(
+            schema,
+            [
+                make_rule([(0, 1), (0, 0)]),
+                make_rule([(2, 3), (1, 1)]),
+                make_rule([(0, 1), (2, 2)]),
+                make_rule([(2, 3), (0, 3)]),
+            ],
+        )
+        result = l_mrc(k, 1)
+        _check_independent(k, result)
+        assert len(result.fields) == 1
+        assert result.size >= 2
+
+    def test_l_equal_k_is_plain_greedy(self, example3_classifier):
+        full = greedy_independent_set(example3_classifier)
+        via_l = l_mrc(example3_classifier, example3_classifier.num_fields)
+        assert via_l.rule_indices == full.rule_indices
+
+    def test_l2_uses_at_most_two_fields(self, example3_classifier):
+        result = l_mrc(example3_classifier, 2)
+        assert len(result.fields) <= 2
+        _check_independent(example3_classifier, result)
+
+    def test_invalid_l(self, example3_classifier):
+        with pytest.raises(ValueError):
+            l_mrc(example3_classifier, 0)
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("l", [1, 2])
+    def test_random_instances_valid(self, seed, l):
+        rng = random.Random(200 + seed)
+        k = random_classifier(rng, num_rules=25, num_fields=4)
+        result = l_mrc(k, l)
+        assert len(result.fields) <= l
+        _check_independent(k, result)
+
+
+class TestExactSmall:
+    def test_limit_enforced(self):
+        rng = random.Random(11)
+        k = random_classifier(rng, num_rules=30)
+        with pytest.raises(ValueError):
+            exact_independent_set_small(k, limit=10)
+
+    def test_exact_on_example4(self):
+        # Example 4: all three rules are independent using two fields,
+        # but any single field yields at most two.
+        schema = uniform_schema(3, 4)
+        k = Classifier(
+            schema,
+            [
+                make_rule([(5, 10), (4, 7), (4, 5)]),
+                make_rule([(1, 4), (4, 7), (4, 5)]),
+                make_rule([(1, 9), (1, 3), (4, 6)]),
+            ],
+        )
+        assert exact_independent_set_small(k, fields=[0, 1]).size == 3
+        assert exact_independent_set_small(k, fields=[0]).size == 2
+        assert exact_independent_set_small(k, fields=[1]).size == 2

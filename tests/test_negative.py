@@ -1,0 +1,112 @@
+"""Tests for the deny-entry range encoding (after [29])."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Interval
+from repro.tcam.encoding import binary_expand
+from repro.tcam.negative import (
+    DecisionList,
+    negative_range_encode,
+)
+
+
+def _semantics(interval, width):
+    dl = DecisionList(negative_range_encode(interval, width))
+    return {v for v in range(1 << width) if dl.matches(v)}
+
+
+class TestExactCover:
+    def test_point(self):
+        assert _semantics(Interval(5, 5), 4) == {5}
+
+    def test_full(self):
+        entries = negative_range_encode(Interval(0, 15), 4)
+        assert len(entries) == 1
+        assert _semantics(Interval(0, 15), 4) == set(range(16))
+
+    def test_classic_worst_case_for_prefixes(self):
+        # [1, 2^W - 2] costs 2W-2 positive prefixes but only a handful of
+        # signed entries.
+        width = 8
+        interval = Interval(1, 254)
+        entries = negative_range_encode(interval, width)
+        assert _semantics(interval, width) == set(range(1, 255))
+        assert len(entries) < len(binary_expand(interval, width))
+
+    @pytest.mark.parametrize("width", [1, 2, 3, 4, 5, 6])
+    def test_exhaustive_small_widths(self, width):
+        top = (1 << width) - 1
+        for low in range(top + 1):
+            for high in range(low, top + 1):
+                expected = set(range(low, high + 1))
+                assert _semantics(Interval(low, high), width) == expected
+
+    @given(st.integers(7, 14), st.data())
+    @settings(max_examples=150)
+    def test_cover_property(self, width, data):
+        max_value = (1 << width) - 1
+        low = data.draw(st.integers(0, max_value))
+        high = data.draw(st.integers(low, max_value))
+        dl = DecisionList(negative_range_encode(Interval(low, high), width))
+        probe = data.draw(st.integers(0, max_value))
+        assert dl.matches(probe) == (low <= probe <= high)
+        for boundary in (low, high, max(0, low - 1), min(max_value, high + 1)):
+            assert dl.matches(boundary) == (low <= boundary <= high)
+
+
+class TestEntryCounts:
+    @given(st.integers(1, 16), st.data())
+    def test_linear_bound(self, width, data):
+        max_value = (1 << width) - 1
+        low = data.draw(st.integers(0, max_value))
+        high = data.draw(st.integers(low, max_value))
+        entries = negative_range_encode(Interval(low, high), width)
+        # Run-based construction: at most 2 * width signed entries.
+        assert len(entries) <= 2 * width
+
+    def test_oversized_rejected(self):
+        with pytest.raises(ValueError):
+            negative_range_encode(Interval(0, 16), 4)
+
+    def test_never_worse_than_binary(self):
+        import random
+
+        width = 16
+        rng = random.Random(3)
+        for _ in range(200):
+            low = rng.randint(0, (1 << width) - 1)
+            high = rng.randint(low, (1 << width) - 1)
+            iv = Interval(low, high)
+            assert len(negative_range_encode(iv, width)) <= len(
+                binary_expand(iv, width)
+            )
+
+    def test_worst_case_far_below_binary(self):
+        # The prefix-expansion worst case [1, 2^W-2] needs 2W-2 positive
+        # entries; signed entries cap it near W.
+        for width in (8, 12, 16):
+            iv = Interval(1, (1 << width) - 2)
+            signed = negative_range_encode(iv, width)
+            assert len(binary_expand(iv, width)) == 2 * width - 2
+            assert len(signed) <= width + 2
+
+
+class TestDecisionList:
+    def test_default_reject(self):
+        dl = DecisionList([])
+        assert not dl.matches(0)
+
+    def test_first_match_polarity(self):
+        from repro.tcam.entry import entry_from_pattern
+        from repro.tcam.negative import SignedEntry
+
+        dl = DecisionList(
+            [
+                SignedEntry(entry_from_pattern("11"), False),
+                SignedEntry(entry_from_pattern("1*"), True),
+            ]
+        )
+        assert not dl.matches(0b11)
+        assert dl.matches(0b10)
+        assert not dl.matches(0b01)

@@ -1,0 +1,154 @@
+"""Tests for OpenFlow flow-table rendering/parsing."""
+
+import pytest
+
+from repro.core import (
+    Classifier,
+    DENY,
+    Interval,
+    PERMIT,
+    make_rule,
+    classbench_schema,
+    uniform_schema,
+)
+from repro.core.actions import Action, ActionKind
+from repro.workloads.generator import generate_classifier
+from repro.workloads.openflow import (
+    flow_count,
+    from_flow_table,
+    to_flow_table,
+)
+
+
+def _rule(src=(0, 0xFFFFFFFF), dst=(0, 0xFFFFFFFF), sport=(0, 65535),
+          dport=(0, 65535), proto=(0, 255), flags=(0, 0xFFFF),
+          action=PERMIT):
+    return make_rule([src, dst, sport, dport, proto, flags], action)
+
+
+class TestRendering:
+    def test_simple_rule(self):
+        k = Classifier(
+            classbench_schema(),
+            [
+                _rule(
+                    src=(0x0A000000, 0x0AFFFFFF),
+                    dport=(80, 80),
+                    proto=(6, 6),
+                )
+            ],
+        )
+        text = to_flow_table(k)
+        assert "nw_src=10.0.0.0/8" in text
+        assert "tp_dst=80" in text
+        assert "nw_proto=6" in text
+        assert "actions=NORMAL" in text
+
+    def test_priorities_descend(self):
+        k = Classifier(
+            classbench_schema(),
+            [_rule(dport=(80, 80)), _rule(dport=(443, 443), action=DENY)],
+        )
+        lines = to_flow_table(k).splitlines()
+        priorities = [int(l.split(",")[0].split("=")[1]) for l in lines]
+        assert priorities == sorted(priorities, reverse=True)
+
+    def test_range_expansion_counts(self):
+        k = Classifier(
+            classbench_schema(), [_rule(dport=(1, 14))]  # 6 prefixes on 16 bits? no: [1,14] on 16 bits
+        )
+        assert flow_count(k) == len(to_flow_table(k).splitlines())
+
+    def test_deny_renders_drop(self):
+        k = Classifier(
+            classbench_schema(), [_rule(proto=(6, 6), action=DENY)]
+        )
+        assert "actions=drop" in to_flow_table(k)
+
+    def test_mark_renders_queue(self):
+        # Needs a non-wildcard match somewhere: a fully-wildcard body rule
+        # would be absorbed as the catch-all.
+        k = Classifier(
+            classbench_schema(),
+            [_rule(dport=(80, 80),
+                   action=Action(ActionKind.MARK, payload=3))],
+        )
+        assert "set_queue:3" in to_flow_table(k)
+
+    def test_exact_flags_rendered(self):
+        k = Classifier(classbench_schema(), [_rule(flags=(0x12, 0x12))])
+        assert "tcp_flags=0x0012" in to_flow_table(k)
+
+    def test_non_exact_flags_rejected(self):
+        k = Classifier(classbench_schema(), [_rule(flags=(0, 7))])
+        with pytest.raises(ValueError):
+            to_flow_table(k)
+
+    def test_wrong_schema_rejected(self):
+        k = Classifier(uniform_schema(2, 4), [make_rule([(1, 2), (3, 4)])])
+        with pytest.raises(ValueError):
+            to_flow_table(k)
+
+
+class TestRoundTrip:
+    def test_single_rule_roundtrip(self):
+        k = Classifier(
+            classbench_schema(),
+            [
+                _rule(
+                    src=(0x0A000000, 0x0AFFFFFF),
+                    dst=(0xC0A80000, 0xC0A8FFFF),
+                    sport=(1024, 65535),
+                    dport=(53, 53),
+                    proto=(17, 17),
+                    action=DENY,
+                )
+            ],
+        )
+        restored = from_flow_table(to_flow_table(k))
+        assert len(restored.body) == 1
+        assert restored.body[0].intervals == k.body[0].intervals
+        assert restored.body[0].action == k.body[0].action
+
+    def test_generated_classifier_roundtrip(self):
+        k = generate_classifier("acl", 60, seed=8)
+        restored = from_flow_table(to_flow_table(k))
+        assert len(restored.body) == len(k.body)
+        for original, back in zip(k.body, restored.body):
+            assert original.intervals == back.intervals
+            assert original.action.kind == back.action.kind
+
+    def test_roundtrip_preserves_semantics(self):
+        import random
+
+        k = generate_classifier("ipc", 80, seed=9)
+        restored = from_flow_table(to_flow_table(k))
+        rng = random.Random(1)
+        for header in k.sample_headers(300, rng):
+            assert restored.classify(header) == k.classify(header)
+
+    def test_foreign_flow_table_rejected(self):
+        # Flows that cannot merge back into range rules.
+        text = (
+            "priority=100,tp_dst=80,actions=NORMAL\n"
+            "priority=100,tp_dst=443,actions=NORMAL\n"
+        )
+        with pytest.raises(ValueError):
+            from_flow_table(text)
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# comment\n\npriority=5,tp_dst=80,actions=drop\n"
+        k = from_flow_table(text)
+        assert len(k.body) == 1
+        assert k.body[0].action == DENY
+
+
+class TestFlowCount:
+    def test_port_ranges_multiply(self):
+        single = Classifier(classbench_schema(), [_rule(proto=(6, 6))])
+        ranged = Classifier(
+            classbench_schema(),
+            [_rule(sport=(1, 65534), dport=(1, 65534))],
+        )
+        assert flow_count(single) == 1
+        assert flow_count(ranged) == 30 * 30  # (2*16-2)^2

@@ -1,0 +1,187 @@
+"""Tests for repro.analysis.order_independence."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis.order_independence import (
+    PairUniverse,
+    conflict_matrix,
+    find_dependent_pair,
+    is_order_independent,
+    is_order_independent_pairwise,
+    pair_separation_bitsets,
+    rules_order_independent,
+    separating_fields_matrix,
+)
+from repro.core import Classifier, make_rule, uniform_schema
+from conftest import random_classifier
+
+
+class TestPaperExamples:
+    def test_section2_order_independent_pair(self):
+        schema = uniform_schema(2, 4)
+        k = Classifier(
+            schema, [make_rule([(1, 3), (4, 5)]), make_rule([(5, 6), (4, 5)])]
+        )
+        assert is_order_independent(k)
+        assert is_order_independent_pairwise(k)
+
+    def test_section2_order_dependent_pair(self):
+        schema = uniform_schema(2, 4)
+        k = Classifier(
+            schema, [make_rule([(1, 3), (4, 5)]), make_rule([(2, 4), (4, 5)])]
+        )
+        assert not is_order_independent(k)
+        assert not is_order_independent_pairwise(k)
+
+    def test_example1_is_order_independent(self, example1_classifier):
+        assert is_order_independent(example1_classifier)
+
+    def test_example2_field0_suffices(self, example2_classifier):
+        assert is_order_independent(example2_classifier, [0])
+        assert is_order_independent(example2_classifier)
+
+    def test_example3_is_order_dependent(self, example3_classifier):
+        assert not is_order_independent(example3_classifier)
+
+    def test_example3_dependent_pair_is_r1_r5(self, example3_classifier):
+        pair = find_dependent_pair(example3_classifier)
+        assert pair is not None
+        i, j = pair
+        body = example3_classifier.body
+        assert body[i].intersects(body[j])
+
+
+class TestVectorizedMatchesPairwise:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_classifiers_agree(self, seed):
+        rng = random.Random(seed)
+        k = random_classifier(rng, num_rules=25)
+        assert is_order_independent(k) == is_order_independent_pairwise(k)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_subset_agreement(self, seed):
+        rng = random.Random(100 + seed)
+        k = random_classifier(rng, num_rules=20, num_fields=4)
+        for subset in ([0], [1, 2], [0, 3], [0, 1, 2, 3]):
+            assert is_order_independent(k, subset) == (
+                is_order_independent_pairwise(k, subset)
+            )
+
+    def test_block_boundary(self):
+        # More rules than one processing block, all disjoint in field 0.
+        schema = uniform_schema(1, 12)
+        rules = [make_rule([(i * 4, i * 4 + 3)]) for i in range(600)]
+        k = Classifier(schema, rules)
+        assert is_order_independent(k)
+
+    def test_block_boundary_with_conflict_at_end(self):
+        schema = uniform_schema(1, 12)
+        rules = [make_rule([(i * 4, i * 4 + 3)]) for i in range(600)]
+        rules.append(make_rule([(0, 5)]))  # conflicts with the first rules
+        k = Classifier(schema, rules)
+        assert not is_order_independent(k)
+        pair = find_dependent_pair(k)
+        assert pair == (0, 600)
+
+
+class TestHelpers:
+    def test_rules_order_independent_bare_list(self):
+        r1 = make_rule([(1, 3), (4, 5)])
+        r2 = make_rule([(5, 6), (4, 5)])
+        assert rules_order_independent([r1, r2])
+        assert not rules_order_independent([r1, r1])
+        assert rules_order_independent([])
+
+    def test_empty_subset_rejected(self, example1_classifier):
+        with pytest.raises(ValueError):
+            is_order_independent(example1_classifier, [])
+
+    def test_out_of_range_subset_rejected(self, example1_classifier):
+        with pytest.raises(ValueError):
+            is_order_independent(example1_classifier, [5])
+
+    def test_conflict_matrix_symmetric(self):
+        rng = random.Random(3)
+        k = random_classifier(rng, num_rules=15)
+        m = conflict_matrix(k)
+        assert (m == m.T).all()
+        assert not m.diagonal().any()
+
+    def test_conflict_matrix_matches_rule_intersects(self):
+        rng = random.Random(4)
+        k = random_classifier(rng, num_rules=12)
+        m = conflict_matrix(k)
+        body = k.body
+        for i in range(len(body)):
+            for j in range(len(body)):
+                if i != j:
+                    assert m[i, j] == body[i].intersects(body[j])
+
+
+class TestSeparatingFieldsMatrix:
+    def test_bits_are_witnesses(self):
+        rng = random.Random(5)
+        k = random_classifier(rng, num_rules=12, num_fields=3)
+        m = separating_fields_matrix(k)
+        body = k.body
+        for i in range(len(body)):
+            for j in range(len(body)):
+                witnesses = body[i].disjoint_fields(body[j])
+                expected = 0
+                for f in witnesses:
+                    expected |= 1 << f
+                assert int(m[i, j]) == expected
+
+
+class TestPairUniverse:
+    def test_index_pair_roundtrip(self):
+        universe = PairUniverse(7)
+        seen = set()
+        for i in range(6):
+            for j in range(i + 1, 7):
+                idx = universe.index(i, j)
+                assert universe.pair(idx) == (i, j)
+                seen.add(idx)
+        assert seen == set(range(universe.num_pairs))
+
+    def test_invalid_pairs_rejected(self):
+        universe = PairUniverse(5)
+        with pytest.raises(ValueError):
+            universe.index(3, 3)
+        with pytest.raises(ValueError):
+            universe.index(4, 2)
+        with pytest.raises(ValueError):
+            universe.pair(universe.num_pairs)
+
+
+class TestPairSeparationBitsets:
+    def test_bitsets_match_pairwise_disjointness(self):
+        rng = random.Random(6)
+        k = random_classifier(rng, num_rules=14, num_fields=3)
+        universe, bitsets = pair_separation_bitsets(k)
+        body = k.body
+        for f in range(3):
+            bits = np.unpackbits(bitsets[f])
+            for i in range(len(body) - 1):
+                for j in range(i + 1, len(body)):
+                    expected = body[i].intervals[f].disjoint(
+                        body[j].intervals[f]
+                    )
+                    assert bool(bits[universe.index(i, j)]) == expected
+
+    def test_union_of_fields_covers_iff_order_independent(
+        self, example1_classifier, example3_classifier
+    ):
+        for k, expected in (
+            (example1_classifier, True),
+            (example3_classifier, False),
+        ):
+            universe, bitsets = pair_separation_bitsets(k)
+            combined = np.zeros_like(bitsets[0])
+            for b in bitsets:
+                combined |= b
+            covered = int(np.unpackbits(combined)[: universe.num_pairs].sum())
+            assert (covered == universe.num_pairs) == expected

@@ -1,0 +1,54 @@
+"""Tests for repro.core.packet."""
+
+import pytest
+
+from repro.core import (
+    Packet,
+    classbench_schema,
+    format_header,
+    uniform_schema,
+    validate_header,
+)
+
+
+class TestValidation:
+    def test_valid_header_passes(self):
+        schema = uniform_schema(2, 4)
+        assert validate_header([3, 15], schema) == (3, 15)
+
+    def test_arity_checked(self):
+        schema = uniform_schema(2, 4)
+        with pytest.raises(ValueError):
+            validate_header([3], schema)
+
+    def test_range_checked(self):
+        schema = uniform_schema(2, 4)
+        with pytest.raises(ValueError):
+            validate_header([3, 16], schema)
+        with pytest.raises(ValueError):
+            validate_header([-1, 3], schema)
+
+
+class TestFormatting:
+    def test_ipv4_fields_dotted(self):
+        schema = classbench_schema()
+        header = (0xC0A80101, 0, 80, 443, 6, 0)
+        text = format_header(header, schema)
+        assert "src_ip=192.168.1.1" in text
+        assert "dst_port=443" in text
+
+    def test_plain_fields_numeric(self):
+        schema = uniform_schema(2, 4)
+        assert format_header((3, 9), schema) == "f0=3 f1=9"
+
+
+class TestPacket:
+    def test_of_validates(self):
+        schema = uniform_schema(2, 4)
+        packet = Packet.of([1, 2], schema)
+        assert packet[0] == 1 and packet[1] == 2
+
+    def test_of_rejects_bad(self):
+        schema = uniform_schema(2, 4)
+        with pytest.raises(ValueError):
+            Packet.of([1, 99], schema)

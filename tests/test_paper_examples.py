@@ -1,0 +1,251 @@
+"""End-to-end walkthroughs of the paper's worked examples and figures.
+
+Each test reproduces the exact rules and packets of Examples 1-3, 5, 6 and
+10 (Figures 2-5 and 7) and checks the behaviour the paper describes.
+"""
+
+import pytest
+
+from repro.analysis.fsm import fsm_exact
+from repro.analysis.mgr import beta_l_mrc, l_mgr
+from repro.analysis.mrc import greedy_independent_set
+from repro.analysis.order_independence import is_order_independent
+from repro.core import Classifier, FieldSpec, Interval, make_rule, uniform_schema
+from repro.lookup.group_engine import MultiGroupEngine
+from repro.saxpac.engine import SaxPacEngine
+from repro.saxpac.updates import DynamicSaxPac, InsertOutcome
+from repro.tcam.encoding import (
+    BinaryRangeEncoder,
+    SrgeRangeEncoder,
+)
+from repro.tcam.cost import classifier_entry_count
+
+
+class TestExample1Figure2:
+    """Theorem 1: classify on the original fields, verify the new ones."""
+
+    def test_expansion_lookup(self, example1_classifier):
+        extra_specs = [FieldSpec("new", 5)]
+        expanded = example1_classifier.extend(
+            extra_specs,
+            [[Interval(1, 28)], [Interval(4, 27)], [Interval(3, 18)]],
+        )
+        assert is_order_independent(expanded)
+        # Packet (4, 2, 2): matches R2 on the original fields, but fails
+        # the false-positive check on the added field -> catch-all.
+        header = (4, 2, 2)
+        original = header[:2]
+        candidate = example1_classifier.match(original)
+        assert candidate.rule.name == "R2"
+        assert not expanded.rules[candidate.index].matches(header)
+        assert expanded.match(header).rule is expanded.catch_all
+
+    def test_entry_counts_shrink(self, example1_classifier):
+        """Example 1's space claim: encoding K instead of K+1 is far
+        cheaper under both encodings."""
+        extra_specs = [FieldSpec("new", 5)]
+        expanded = example1_classifier.extend(
+            extra_specs,
+            [[Interval(1, 28)], [Interval(4, 27)], [Interval(3, 18)]],
+        )
+        for encoder in (BinaryRangeEncoder(), SrgeRangeEncoder()):
+            small = classifier_entry_count(example1_classifier, encoder)
+            large = classifier_entry_count(expanded, encoder)
+            assert small < large
+
+    def test_paper_entry_counts_binary(self, example1_classifier):
+        """The binary encoding of K+1 requires 42 + 28 + 50 = 120 entries
+        (paper); K itself needs far fewer."""
+        extra_specs = [FieldSpec("new", 5)]
+        expanded = example1_classifier.extend(
+            extra_specs,
+            [[Interval(1, 28)], [Interval(4, 27)], [Interval(3, 18)]],
+        )
+        counts = [
+            classifier_entry_count(
+                expanded, BinaryRangeEncoder(), rule_indices=[i]
+            )
+            for i in range(3)
+        ]
+        assert counts == [42, 28, 50]
+
+
+class TestExample2Figure3:
+    def test_field0_reduction(self, example2_classifier):
+        result = fsm_exact(example2_classifier)
+        assert result.kept_fields == (0,)
+
+    def test_false_positive_check(self, example2_classifier):
+        # Packet (4, 2, 2) matches R2 on field 0 but fails the check on
+        # the removed fields -> catch-all.
+        header = (4, 2, 2)
+        reduced = example2_classifier.restrict([0])
+        candidate = reduced.match((header[0],))
+        assert candidate.rule.name == "R2"
+        assert not example2_classifier.rules[candidate.index].matches(header)
+        assert (
+            example2_classifier.match(header).rule
+            is example2_classifier.catch_all
+        )
+
+    def test_paper_entry_totals(self, example2_classifier):
+        assert (
+            classifier_entry_count(example2_classifier, BinaryRangeEncoder())
+            == 120
+        )
+        assert (
+            classifier_entry_count(example2_classifier, SrgeRangeEncoder())
+            == 64
+        )
+
+
+class TestExample3Figure4:
+    def test_grouping_matches_paper(self, example3_classifier):
+        result = l_mgr(example3_classifier, l=2)
+        assert [g.rule_indices for g in result.groups] == [(0, 1, 2), (3, 4)]
+
+    def test_lookup_walkthrough(self, example3_classifier):
+        result = l_mgr(example3_classifier, l=2)
+        engine = MultiGroupEngine(example3_classifier, result.groups)
+        # Packet (2, 4, 5): group 1 returns R2, group 2 returns R5; both
+        # survive the false-positive test; R2 wins by priority.
+        g1 = engine.groups[0].probe((2, 4, 5))
+        g2 = engine.groups[1].probe((2, 4, 5))
+        assert example3_classifier.rules[g1].name == "R2"
+        assert example3_classifier.rules[g2].name == "R5"
+        assert example3_classifier.rules[engine.lookup((2, 4, 5))].name == "R2"
+
+
+class TestExample5Figure5:
+    def test_compact_representation(self, example5_classifier):
+        """Moving R3 (and R5) to D leaves {R1, R2, R4} order-independent
+        on the third field alone."""
+        rules = example5_classifier.rules
+        from repro.analysis.order_independence import rules_order_independent
+
+        assert rules_order_independent([rules[0], rules[1], rules[3]], [2])
+        # And the four-rule maximal independent set needs two groups.
+        result = l_mgr(
+            example5_classifier, l=2, rule_subset=[0, 1, 2, 3]
+        )
+        assert result.num_groups == 2
+
+    def test_greedy_independent_set_matches_paper(self, example5_classifier):
+        result = greedy_independent_set(example5_classifier)
+        assert result.rule_indices == (0, 1, 2, 3)
+
+    def test_hybrid_engine_on_example5(self, example5_classifier):
+        engine = SaxPacEngine(example5_classifier)
+        import random
+
+        rng = random.Random(0)
+        for header in example5_classifier.sample_headers(300, rng):
+            assert (
+                engine.match(header).index
+                == example5_classifier.match(header).index
+            )
+
+
+class TestExample6:
+    def test_field_level_fsm(self):
+        """Treating the 8 bits as two 4-bit fields, FSM keeps field 0."""
+        schema = uniform_schema(2, 4)
+        k = Classifier(
+            schema,
+            [
+                make_rule([(0b1000, 0b1001), (0b0010, 0b0011)]),
+                make_rule([(0b1010, 0b1010), (0b0001, 0b0001)]),
+                make_rule([(0b0000, 0b0001), (0b0000, 0b1111)]),
+                make_rule([(0b0010, 0b0011), (0b0000, 0b1111)]),
+            ],
+        )
+        result = fsm_exact(k)
+        assert result.kept_fields == (0,)
+        assert result.lookup_width == 4
+
+
+class TestExample9:
+    def test_mindnf_vs_fsm_on_example6_classifier(self):
+        """Example 9: on Example 6's rules the only MinDNF move is the
+        resolution of R3 and R4 into (00**, ****); width stays 8 (7 after
+        dropping the constant column), while FSM reaches 4 bits at field
+        resolution and 2 at bit resolution."""
+        from repro.boolean.dnf import minimize_terms
+        from repro.boolean.ternary import word_from_pattern
+        from repro.boolean.width import (
+            pure_width,
+            same_value_reduced_width,
+            virtual_field_fsm,
+        )
+
+        terms = [
+            word_from_pattern("100*001*"),
+            word_from_pattern("10100001"),
+            word_from_pattern("000*****"),
+            word_from_pattern("001*****"),
+        ]
+        minimized = minimize_terms(terms)
+        # The only resolution merges R3 and R4 into 00******.
+        patterns = sorted(t.pattern() for t in minimized)
+        assert "00******" in patterns
+        assert len(minimized) == 3
+        # MinDNF width stays near 8; paper notes 7 after dropping the
+        # constant column (bit 1 is 0 in every remaining term).
+        assert pure_width(minimized, 8) == 8
+        assert same_value_reduced_width(minimized, 8) == 7
+        # Bit-level FSM gets to 2 bits.
+        result = virtual_field_fsm(terms, 8, 1)
+        assert result.reduced_width == 2
+
+
+class TestExample10Figure7:
+    def test_insertion_flow(self, example10_classifier):
+        dyn = DynamicSaxPac(
+            uniform_schema(3, 4),
+            max_group_fields=1,
+            max_groups=1,
+            fp_budget=2,
+        )
+        ids = {}
+        for rule in example10_classifier.body:
+            report = dyn.insert(rule)
+            ids[rule.name] = report.rule_id
+        # First field suffices for order-independence of R1..R3.
+        assert dyn._groups[0].fields == (0,)
+        r4 = make_rule([(2, 4), (2, 2), (3, 3)], name="R4")
+        report = dyn.insert(r4)
+        assert report.outcome is InsertOutcome.SHADOW
+        # R4 is tested when R1 or R3 matches, not when R2 matches.
+        host_names = {dyn.rule(h).name for h in report.hosts}
+        assert host_names == {"R1", "R3"}
+        # Packets: inside R4 -> R4; inside R2 -> R2 untouched.
+        assert dyn.rule(dyn.match_id((3, 2, 3))).name == "R4"
+        assert dyn.rule(dyn.match_id((7, 4, 4))).name == "R2"
+
+
+class TestSection6LowerBoundExample:
+    def test_mrc_field_selection_counterexample(self):
+        """Section 6.2.2's instance where the best-covering field is not
+        the best MRC field: field 0 separates 4 pairs, field 1 only 3, yet
+        field 1 admits the 3-rule independent set."""
+        schema = uniform_schema(2, 3)
+        k = Classifier(
+            schema,
+            [
+                make_rule([(0, 1), (0, 0)]),
+                make_rule([(2, 3), (1, 1)]),
+                make_rule([(0, 1), (2, 2)]),
+                make_rule([(2, 3), (0, 3)]),
+            ],
+        )
+        from repro.analysis.order_independence import pair_separation_bitsets
+        import numpy as np
+
+        universe, bitsets = pair_separation_bitsets(k)
+        counts = [int(np.unpackbits(b)[: universe.num_pairs].sum())
+                  for b in bitsets]
+        assert counts == [4, 3]
+        from repro.analysis.mrc import exact_independent_set_small
+
+        assert exact_independent_set_small(k, fields=[0]).size == 2
+        assert exact_independent_set_small(k, fields=[1]).size == 3

@@ -1,0 +1,62 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.bench.experiments import run_figure1, run_figure6
+from repro.bench.plotting import ascii_chart, plot_figure1, plot_figure6
+from repro.workloads.generator import benchmark_suite
+
+
+class TestAsciiChart:
+    def test_markers_present(self):
+        chart = ascii_chart(
+            {"a": [(0, 1.0), (1, 2.0)], "b": [(0, 3.0), (1, 1.0)]},
+            width=30,
+            height=8,
+        )
+        assert "o" in chart and "x" in chart
+        assert "legend: o a   x b" in chart
+
+    def test_log_scale_handles_wide_range(self):
+        chart = ascii_chart(
+            {"s": [(0, 1.0), (2, 1e6)]}, log_y=True, title="t"
+        )
+        assert chart.startswith("t")
+        assert "o" in chart
+
+    def test_empty_series(self):
+        assert ascii_chart({}, title="nothing") == "nothing"
+
+    def test_single_point(self):
+        chart = ascii_chart({"p": [(5, 3.0)]}, width=20, height=5)
+        assert "o" in chart
+
+    def test_x_ticks_rendered(self):
+        chart = ascii_chart({"a": [(0, 1.0), (4, 2.0)]}, width=30, height=6)
+        tick_line = chart.splitlines()[-2]  # axis, ticks, legend
+        assert "0" in tick_line and "4" in tick_line
+
+    def test_zero_values_with_log(self):
+        # log scale must survive zero values via flooring.
+        chart = ascii_chart({"z": [(0, 0.0), (1, 10.0)]}, log_y=True)
+        assert "o" in chart
+
+
+class TestFigurePlots:
+    @pytest.fixture(scope="class")
+    def tiny_suite(self):
+        full = benchmark_suite(classbench_rules=80, seed=9)
+        return {"acl1": full["acl1"], "cisco3": full["cisco3"]}
+
+    def test_plot_figure1(self, tiny_suite):
+        points = run_figure1(tiny_suite, field_counts=(0, 2))
+        text = plot_figure1(points)
+        assert "Figure 1 (classbench)" in text
+        assert "Figure 1 (cisco)" in text
+        assert "regular binary" in text
+
+    def test_plot_figure6(self, tiny_suite):
+        points = run_figure6(tiny_suite, field_widths=(1, 8), rule_cap=50)
+        text = plot_figure6(points)
+        assert "Figure 6 (classbench)" in text
+        assert "FSM" in text

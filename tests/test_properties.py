@@ -1,0 +1,137 @@
+"""Cross-module property tests (hypothesis) on the core invariants.
+
+These are the "whole system" guarantees the paper's construction rests on:
+every engine is semantically equivalent to the first-match linear scan;
+every grouping partitions correctly; every encoding matches exactly the
+same keys as the rule it encodes.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.mgr import l_mgr
+from repro.analysis.mrc import greedy_independent_set
+from repro.analysis.order_independence import (
+    is_order_independent,
+    is_order_independent_pairwise,
+)
+from repro.analysis.sweep import is_order_independent_sweep
+from repro.lookup.group_engine import MultiGroupEngine
+from repro.saxpac.cache import ClassificationCache
+from repro.saxpac.engine import EngineConfig, SaxPacEngine
+from strategies import classifiers, headers_for
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestOrderIndependenceAgreement:
+    @given(st.data())
+    @_SETTINGS
+    def test_three_implementations_agree(self, data):
+        k = data.draw(classifiers())
+        reference = is_order_independent_pairwise(k)
+        assert is_order_independent(k) == reference
+        assert is_order_independent_sweep(k) == reference
+
+
+class TestEngineEquivalence:
+    @given(st.data())
+    @_SETTINGS
+    def test_hybrid_engine_is_drop_in(self, data):
+        k = data.draw(classifiers())
+        engine = SaxPacEngine(k)
+        for _ in range(15):
+            header = data.draw(headers_for(k))
+            assert engine.match(header).index == k.match(header).index
+
+    @given(st.data())
+    @_SETTINGS
+    def test_cache_engine_is_drop_in(self, data):
+        k = data.draw(classifiers())
+        cache = ClassificationCache(k)
+        for _ in range(15):
+            header = data.draw(headers_for(k))
+            assert cache.match(header).index == k.match(header).index
+
+    @given(st.data())
+    @_SETTINGS
+    def test_mrcc_engine_is_drop_in(self, data):
+        k = data.draw(classifiers())
+        engine = SaxPacEngine(k, EngineConfig(enforce_cache=True))
+        for _ in range(15):
+            header = data.draw(headers_for(k))
+            assert engine.match(header).index == k.match(header).index
+
+
+class TestGroupingInvariants:
+    @given(st.data())
+    @_SETTINGS
+    def test_mgr_partitions_and_respects_l(self, data):
+        k = data.draw(classifiers())
+        l = data.draw(st.integers(1, 3))
+        result = l_mgr(k, l=l)
+        seen = set()
+        for group in result.groups:
+            assert 1 <= len(group.fields) <= l
+            for idx in group.rule_indices:
+                assert idx not in seen
+                seen.add(idx)
+            # Within-group order-independence on the chosen fields.
+            members = [k.rules[i] for i in group.rule_indices]
+            for a in range(len(members) - 1):
+                for b in range(a + 1, len(members)):
+                    assert not members[a].intersects_on(
+                        members[b], group.fields
+                    )
+        assert seen == set(range(len(k.body)))
+
+    @given(st.data())
+    @_SETTINGS
+    def test_multi_group_engine_equivalence(self, data):
+        k = data.draw(classifiers())
+        result = l_mgr(k, l=2)
+        engine = MultiGroupEngine(k, result.groups)
+        for _ in range(15):
+            header = data.draw(headers_for(k))
+            assert engine.match(header).index == k.match(header).index
+
+    @given(st.data())
+    @_SETTINGS
+    def test_independent_subset_is_independent(self, data):
+        k = data.draw(classifiers())
+        result = greedy_independent_set(k)
+        chosen = [k.rules[i] for i in result.rule_indices]
+        for a in range(len(chosen) - 1):
+            for b in range(a + 1, len(chosen)):
+                assert not chosen[a].intersects(chosen[b])
+
+
+class TestTheorems:
+    @given(st.data())
+    @_SETTINGS
+    def test_theorem2_reduction_is_semantically_equivalent(self, data):
+        """Theorem 2, end to end: reduced lookup + single FP check equals
+        the full classifier, on order-independent inputs."""
+        from repro.analysis.fsm import fsm
+
+        k = data.draw(classifiers(max_rules=10))
+        if not is_order_independent(k) or not k.body:
+            return
+        result = fsm(k)
+        kept = result.kept_fields
+        for _ in range(15):
+            header = data.draw(headers_for(k))
+            # Reduced lookup: scan on the kept fields only.
+            candidate = None
+            for i, rule in enumerate(k.body):
+                if rule.matches_on(header, kept):
+                    candidate = i
+                    break
+            expected = k.match(header)
+            if candidate is not None and k.rules[candidate].matches(header):
+                assert expected.index == candidate
+            else:
+                assert expected.rule is k.catch_all

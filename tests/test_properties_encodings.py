@@ -1,0 +1,96 @@
+"""Property tests across the encoding and baseline layers.
+
+Complements test_properties.py with the TCAM-facing invariants: every
+encoding of a rule matches exactly the headers the rule matches, and every
+baseline classifier agrees with the linear scan.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import Interval
+from repro.lookup.decision_tree import DecisionTreeClassifier
+from repro.lookup.tuple_space import TupleSpaceClassifier
+from repro.tcam.encoding import (
+    BinaryRangeEncoder,
+    SrgeRangeEncoder,
+    expand_rule,
+)
+from repro.tcam.negative import DecisionList, negative_range_encode
+from strategies import classifiers, headers_for, intervals
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestEncodingAgreement:
+    @given(st.integers(1, 12), st.data())
+    @_SETTINGS
+    def test_three_encodings_same_membership(self, width, data):
+        """binary, SRGE and signed decision lists encode the same set."""
+        from repro.tcam.encoding import binary_expand, gray_encode, srge_expand
+
+        interval = data.draw(intervals(width))
+        binary = binary_expand(interval, width)
+        srge = srge_expand(interval, width)
+        signed = DecisionList(negative_range_encode(interval, width))
+        for _ in range(20):
+            key = data.draw(st.integers(0, (1 << width) - 1))
+            expected = interval.contains(key)
+            assert any(e.matches(key) for e in binary) == expected
+            assert any(e.matches(gray_encode(key)) for e in srge) == expected
+            assert signed.matches(key) == expected
+
+    @given(st.data())
+    @_SETTINGS
+    def test_rule_expansion_membership(self, data):
+        k = data.draw(classifiers(max_rules=4, num_fields=2, width=5))
+        if not k.body:
+            return
+        rule = k.body[0]
+        for encoder in (BinaryRangeEncoder(), SrgeRangeEncoder()):
+            entries = expand_rule(rule, k.schema, encoder)
+            for _ in range(15):
+                header = data.draw(headers_for(k))
+                key = 0
+                for value, spec in zip(header, k.schema):
+                    key = (key << spec.width) | encoder.encode_value(
+                        value, spec.width
+                    )
+                hit = any(e.matches(key) for e in entries)
+                assert hit == rule.matches(header)
+
+
+class TestBaselineAgreement:
+    @given(st.data())
+    @_SETTINGS
+    def test_tuple_space_is_drop_in(self, data):
+        k = data.draw(classifiers(max_rules=12, num_fields=2, width=5))
+        tss = TupleSpaceClassifier(k)
+        for _ in range(15):
+            header = data.draw(headers_for(k))
+            assert tss.match(header).index == k.match(header).index
+
+    @given(st.data())
+    @_SETTINGS
+    def test_decision_tree_is_drop_in(self, data):
+        k = data.draw(classifiers(max_rules=12, num_fields=2, width=5))
+        tree = DecisionTreeClassifier(k, binth=3)
+        for _ in range(15):
+            header = data.draw(headers_for(k))
+            assert tree.match(header).index == k.match(header).index
+
+
+class TestRedundancyProperty:
+    @given(st.data())
+    @_SETTINGS
+    def test_removal_preserves_actions(self, data):
+        from repro.analysis.redundancy import remove_redundant
+
+        k = data.draw(classifiers(max_rules=12))
+        cleaned, _removed = remove_redundant(k)
+        for _ in range(15):
+            header = data.draw(headers_for(k))
+            assert cleaned.classify(header) == k.classify(header)

@@ -1,0 +1,87 @@
+"""Sanity checks on the public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.core",
+    "repro.analysis",
+    "repro.tcam",
+    "repro.boolean",
+    "repro.lookup",
+    "repro.saxpac",
+    "repro.workloads",
+    "repro.bench",
+]
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackage_all_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} needs a docstring"
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_headline_workflow_importable_from_root(self):
+        # The five-line quickstart must not need subpackage imports.
+        from repro import (
+            Classifier,
+            SaxPacEngine,
+            classbench_schema,
+            generate_classifier,
+            make_rule,
+        )
+
+        k = generate_classifier("acl", 10, seed=0)
+        engine = SaxPacEngine(k)
+        assert engine.report().total_rules == 10
+        assert classbench_schema().total_width == 120
+        assert Classifier and make_rule  # imported, usable
+
+
+class TestExperimentInternals:
+    def test_decompose_invariants(self):
+        from repro.bench.experiments import _decompose
+        from repro.analysis.order_independence import is_order_independent
+        from repro.workloads.generator import generate_classifier
+
+        k = generate_classifier("ipc", 150, seed=77)
+        decomposition = _decompose(k)
+        assert (
+            len(decomposition.independent) + len(decomposition.dependent)
+            == len(k.body)
+        )
+        sub = k.subset(decomposition.independent)
+        assert is_order_independent(sub, decomposition.kept_fields)
+
+    def test_hybrid_space_between_bounds(self):
+        from repro.bench.experiments import (
+            _BINARY,
+            _decompose,
+            _hybrid_space,
+        )
+        from repro.tcam.cost import classifier_entry_count
+        from repro.workloads.generator import generate_classifier
+
+        k = generate_classifier("acl", 150, seed=78)
+        decomposition = _decompose(k)
+        reduced = _hybrid_space(
+            k, decomposition, _BINARY, decomposition.kept_fields
+        )
+        full = (
+            classifier_entry_count(k, _BINARY)
+            * k.schema.total_width
+            / 1024.0
+        )
+        assert 0 < reduced <= full + 1e-9

@@ -1,0 +1,179 @@
+"""Tests for redundancy removal."""
+
+import random
+
+import pytest
+
+from repro.analysis.redundancy import (
+    downward_redundant_rules,
+    remove_redundant,
+    shadowed_rules,
+)
+from repro.core import Classifier, DENY, PERMIT, make_rule, uniform_schema
+from conftest import random_classifier
+
+
+class TestShadowed:
+    def test_single_cover_detected(self):
+        schema = uniform_schema(2, 5)
+        k = Classifier(
+            schema,
+            [
+                make_rule([(0, 10), (0, 10)], PERMIT),
+                make_rule([(2, 5), (3, 7)], DENY),  # inside the first
+            ],
+        )
+        assert shadowed_rules(k) == (1,)
+
+    def test_union_cover_on_one_field(self):
+        schema = uniform_schema(2, 5)
+        k = Classifier(
+            schema,
+            [
+                make_rule([(0, 7), (4, 6)], PERMIT),
+                make_rule([(8, 15), (4, 6)], PERMIT),
+                make_rule([(3, 12), (4, 6)], DENY),  # covered by the union
+            ],
+        )
+        assert shadowed_rules(k) == (2,)
+
+    def test_partial_overlap_not_shadowed(self):
+        schema = uniform_schema(2, 5)
+        k = Classifier(
+            schema,
+            [
+                make_rule([(0, 10), (0, 10)], PERMIT),
+                make_rule([(5, 15), (3, 7)], DENY),
+            ],
+        )
+        assert shadowed_rules(k) == ()
+
+    def test_no_false_positives_on_random(self, rng):
+        # Every rule reported shadowed must indeed never be the winner.
+        for seed in range(5):
+            k = random_classifier(random.Random(seed), num_rules=20)
+            dead = set(shadowed_rules(k))
+            if not dead:
+                continue
+            for header in k.sample_headers(300, rng):
+                assert k.match(header).index not in dead
+
+
+class TestDownward:
+    def test_same_action_fallthrough(self):
+        schema = uniform_schema(1, 5)
+        k = Classifier(
+            schema,
+            [
+                make_rule([(2, 5)], DENY),
+                make_rule([(0, 10)], DENY),  # same action, covers above
+            ],
+        )
+        assert downward_redundant_rules(k) == (0,)
+
+    def test_different_action_kept(self):
+        schema = uniform_schema(1, 5)
+        k = Classifier(
+            schema,
+            [
+                make_rule([(2, 5)], PERMIT),
+                make_rule([(0, 10)], DENY),
+            ],
+        )
+        assert downward_redundant_rules(k) == ()
+
+    def test_interposed_rule_blocks(self):
+        schema = uniform_schema(1, 6)
+        k = Classifier(
+            schema,
+            [
+                make_rule([(2, 5)], DENY),
+                make_rule([(4, 8)], PERMIT),  # overlaps, different action
+                make_rule([(0, 10)], DENY),
+            ],
+        )
+        assert downward_redundant_rules(k) == ()
+
+    def test_chain_collapses(self):
+        schema = uniform_schema(1, 6)
+        k = Classifier(
+            schema,
+            [
+                make_rule([(3, 4)], DENY),
+                make_rule([(2, 6)], DENY),
+                make_rule([(0, 10)], DENY),
+            ],
+        )
+        assert set(downward_redundant_rules(k)) == {0, 1}
+
+    def test_transmit_body_rule_folds_into_catch_all(self):
+        from repro.core import TRANSMIT
+
+        schema = uniform_schema(1, 5)
+        k = Classifier(schema, [make_rule([(2, 5)], TRANSMIT)])
+        # Falls through to the catch-all, same TRANSMIT action.
+        assert downward_redundant_rules(k) == (0,)
+
+
+class TestRemoveRedundant:
+    def test_semantics_preserved_random(self):
+        for seed in range(10):
+            rng = random.Random(seed)
+            k = random_classifier(rng, num_rules=25)
+            cleaned, removed = remove_redundant(k)
+            assert len(cleaned.body) + len(removed) == len(k.body)
+            for header in k.sample_headers(200, rng):
+                assert cleaned.classify(header) == k.classify(header)
+
+    def test_fixpoint_removes_chains(self):
+        schema = uniform_schema(1, 6)
+        k = Classifier(
+            schema,
+            [
+                make_rule([(3, 3)], DENY),
+                make_rule([(3, 4)], DENY),
+                make_rule([(2, 6)], DENY),
+            ],
+        )
+        cleaned, removed = remove_redundant(k)
+        assert len(cleaned.body) == 1
+        assert set(removed) == {0, 1}
+
+    def test_reported_indices_refer_to_original(self):
+        schema = uniform_schema(1, 6)
+        k = Classifier(
+            schema,
+            [
+                make_rule([(0, 10)], PERMIT),
+                make_rule([(2, 5)], DENY),   # shadowed by rule 0
+                make_rule([(20, 30)], DENY),
+            ],
+        )
+        cleaned, removed = remove_redundant(k)
+        assert removed == (1,)
+        assert [r.intervals for r in cleaned.body] == [
+            k.body[0].intervals,
+            k.body[2].intervals,
+        ]
+
+    def test_nothing_to_remove(self):
+        schema = uniform_schema(1, 6)
+        k = Classifier(
+            schema,
+            [make_rule([(0, 3)], DENY), make_rule([(10, 12)], PERMIT)],
+        )
+        cleaned, removed = remove_redundant(k)
+        assert removed == ()
+        assert len(cleaned.body) == 2
+
+    def test_benchmark_workloads_lose_little(self):
+        """Generated workloads are deduplicated, so redundancy should be
+        rare — a sanity property of the generator, too."""
+        from repro.workloads.generator import generate_classifier
+
+        k = generate_classifier("acl", 300, seed=5)
+        cleaned, removed = remove_redundant(k)
+        assert len(removed) <= len(k.body) * 0.2
+        rng = random.Random(1)
+        for header in k.sample_headers(200, rng):
+            assert cleaned.classify(header) == k.classify(header)

@@ -1,0 +1,114 @@
+"""Tests for repro.core.rule."""
+
+import pytest
+
+from repro.core import (
+    DENY,
+    Interval,
+    TRANSMIT,
+    catch_all_rule,
+    make_rule,
+    uniform_schema,
+)
+
+
+class TestMatching:
+    def test_match_inside(self):
+        rule = make_rule([(1, 3), (4, 8)])
+        assert rule.matches((2, 5))
+
+    def test_match_boundaries(self):
+        rule = make_rule([(1, 3), (4, 8)])
+        assert rule.matches((1, 4))
+        assert rule.matches((3, 8))
+
+    def test_no_match_one_field_out(self):
+        rule = make_rule([(1, 3), (4, 8)])
+        assert not rule.matches((2, 9))
+        assert not rule.matches((0, 5))
+
+    def test_arity_mismatch_raises(self):
+        rule = make_rule([(1, 3)])
+        with pytest.raises(ValueError):
+            rule.matches((1, 2))
+
+    def test_matches_on_subset(self):
+        rule = make_rule([(1, 3), (4, 8), (0, 0)])
+        header = (2, 5, 9)  # fails field 2 only
+        assert rule.matches_on(header, [0, 1])
+        assert not rule.matches(header)
+
+
+class TestIntersection:
+    def test_paper_section2_pairs(self):
+        r1 = make_rule([(1, 3), (4, 5)])
+        r2 = make_rule([(5, 6), (4, 5)])
+        r3 = make_rule([(1, 3), (4, 5)])
+        r4 = make_rule([(2, 4), (4, 5)])
+        assert not r1.intersects(r2)  # order-independent pair
+        assert r3.intersects(r4)  # (3, 4) matches both
+
+    def test_intersects_on_subset(self):
+        r1 = make_rule([(1, 3), (4, 5)])
+        r2 = make_rule([(5, 6), (4, 5)])
+        assert r1.intersects_on(r2, [1])
+        assert not r1.intersects_on(r2, [0])
+
+    def test_disjoint_fields_witnesses(self):
+        r1 = make_rule([(1, 3), (4, 5), (0, 9)])
+        r2 = make_rule([(5, 6), (4, 5), (10, 12)])
+        assert r1.disjoint_fields(r2) == (0, 2)
+
+    def test_self_intersects(self):
+        rule = make_rule([(1, 3), (4, 5)])
+        assert rule.intersects(rule)
+
+
+class TestFieldSurgery:
+    def test_restrict(self):
+        rule = make_rule([(1, 3), (4, 5), (6, 7)], DENY, name="r")
+        reduced = rule.restrict([0, 2])
+        assert reduced.intervals == (Interval(1, 3), Interval(6, 7))
+        assert reduced.action is DENY
+        assert reduced.name == "r"
+
+    def test_drop_fields(self):
+        rule = make_rule([(1, 3), (4, 5), (6, 7)])
+        assert rule.drop_fields([1]).intervals == (
+            Interval(1, 3),
+            Interval(6, 7),
+        )
+
+    def test_extend(self):
+        rule = make_rule([(1, 3)])
+        extended = rule.extend([Interval(2, 9)])
+        assert extended.num_fields == 2
+        assert extended.intervals[1] == Interval(2, 9)
+
+    def test_restrict_then_match_theorem2_shape(self):
+        # The reduced rule matches a superset of the original headers.
+        rule = make_rule([(1, 3), (4, 5)])
+        reduced = rule.restrict([0])
+        for header in [(2, 4), (2, 9)]:
+            if rule.matches(header):
+                assert reduced.matches(header[:1])
+
+
+class TestCatchAll:
+    def test_catch_all_matches_everything(self):
+        schema = uniform_schema(2, 4)
+        rule = catch_all_rule(schema)
+        assert rule.is_catch_all(schema)
+        assert rule.action == TRANSMIT
+        for header in [(0, 0), (15, 15), (7, 3)]:
+            assert rule.matches(header)
+
+    def test_specific_rule_is_not_catch_all(self):
+        schema = uniform_schema(2, 4)
+        assert not make_rule([(0, 15), (0, 14)]).is_catch_all(schema)
+
+    def test_empty_rule_rejected(self):
+        from repro.core.rule import Rule
+
+        with pytest.raises(ValueError):
+            Rule(())

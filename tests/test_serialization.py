@@ -1,0 +1,102 @@
+"""Tests for the JSON interchange format (Section 7.1 artifacts)."""
+
+import io
+import json
+import random
+
+import pytest
+
+from repro.saxpac.config import profile_classifier
+from repro.saxpac.serialization import (
+    classifier_from_dict,
+    classifier_to_dict,
+    load_classifier,
+    profile_from_dict,
+    profile_to_dict,
+    save_classifier,
+)
+from repro.workloads.generator import generate_classifier
+from conftest import random_classifier
+
+
+class TestClassifierRoundTrip:
+    def test_roundtrip_preserves_rules(self, example3_classifier):
+        data = classifier_to_dict(example3_classifier)
+        restored = classifier_from_dict(data)
+        assert len(restored) == len(example3_classifier)
+        for a, b in zip(example3_classifier.rules, restored.rules):
+            assert a.intervals == b.intervals
+            assert a.action == b.action
+            assert a.name == b.name
+
+    def test_roundtrip_preserves_schema(self):
+        k = generate_classifier("acl", 30, seed=1)
+        restored = classifier_from_dict(classifier_to_dict(k))
+        assert restored.schema == k.schema
+
+    def test_roundtrip_preserves_semantics(self, rng):
+        k = random_classifier(rng, num_rules=20)
+        restored = classifier_from_dict(classifier_to_dict(k))
+        for header in k.sample_headers(150, rng):
+            assert restored.match(header).index == k.match(header).index
+
+    def test_document_is_json_serializable(self, example3_classifier):
+        text = json.dumps(classifier_to_dict(example3_classifier))
+        assert "saxpac-classifier" in text
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError):
+            classifier_from_dict({"format": "something-else"})
+
+    def test_wrong_version_rejected(self, example3_classifier):
+        data = classifier_to_dict(example3_classifier)
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            classifier_from_dict(data)
+
+
+class TestProfileRoundTrip:
+    def test_profile_roundtrip(self, example3_classifier):
+        profile = profile_classifier(example3_classifier, betas=(1, 2))
+        restored = profile_from_dict(profile_to_dict(profile))
+        assert restored.num_rules == profile.num_rules
+        assert (
+            restored.max_order_independent == profile.max_order_independent
+        )
+        assert restored.fsm_on_independent == profile.fsm_on_independent
+        assert (
+            restored.min_groups_two_fields == profile.min_groups_two_fields
+        )
+        assert set(restored.group_assignments) == {1, 2}
+        for beta in (1, 2):
+            assert (
+                restored.group_assignments[beta]
+                == profile.group_assignments[beta]
+            )
+
+    def test_empty_profile_fsm(self):
+        from repro.core import Classifier, uniform_schema
+
+        k = Classifier(uniform_schema(2, 4), [])
+        profile = profile_classifier(k)
+        restored = profile_from_dict(profile_to_dict(profile))
+        assert restored.fsm_on_independent is None
+
+
+class TestFileHelpers:
+    def test_save_load_path(self, tmp_path, example3_classifier):
+        path = str(tmp_path / "classifier.json")
+        profile = profile_classifier(example3_classifier)
+        save_classifier(example3_classifier, path, profile)
+        restored, restored_profile = load_classifier(path)
+        assert len(restored) == len(example3_classifier)
+        assert restored_profile is not None
+        assert restored_profile.num_rules == profile.num_rules
+
+    def test_save_load_file_object(self, example3_classifier):
+        buffer = io.StringIO()
+        save_classifier(example3_classifier, buffer)
+        buffer.seek(0)
+        restored, profile = load_classifier(buffer)
+        assert profile is None
+        assert len(restored) == len(example3_classifier)

@@ -1,0 +1,119 @@
+"""Tests for greedy set cover / max coverage, both backends."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.setcover import (
+    greedy_max_coverage,
+    greedy_max_coverage_bits,
+    greedy_set_cover,
+    greedy_set_cover_bits,
+)
+
+
+def _to_bitset(elements, num_elements):
+    flat = np.zeros(num_elements, dtype=bool)
+    for e in elements:
+        flat[e] = True
+    return np.packbits(flat)
+
+
+class TestSetBackend:
+    def test_simple_cover(self):
+        universe = {0, 1, 2, 3}
+        sets = [{0, 1}, {2}, {3}, {2, 3}]
+        chosen = greedy_set_cover(universe, sets)
+        covered = set()
+        for i in chosen:
+            covered |= sets[i]
+        assert covered >= universe
+
+    def test_greedy_picks_biggest_first(self):
+        universe = {0, 1, 2, 3, 4}
+        sets = [{0, 1, 2}, {3}, {4}, {3, 4}]
+        chosen = greedy_set_cover(universe, sets)
+        assert chosen[0] == 0
+        assert set(chosen) == {0, 3}
+
+    def test_uncoverable_returns_none(self):
+        assert greedy_set_cover({0, 1, 9}, [{0}, {1}]) is None
+
+    def test_empty_universe(self):
+        assert greedy_set_cover(set(), [{1}]) == []
+
+    def test_max_coverage_budget(self):
+        universe = set(range(6))
+        sets = [{0, 1, 2}, {3, 4}, {5}, {0, 5}]
+        chosen, covered = greedy_max_coverage(universe, sets, budget=2)
+        assert len(chosen) == 2
+        assert len(covered) == 5  # {0,1,2} then {3,4}
+
+    def test_max_coverage_stops_when_nothing_gains(self):
+        universe = {0, 1}
+        sets = [{0, 1}, {0}, {1}]
+        chosen, covered = greedy_max_coverage(universe, sets, budget=3)
+        assert chosen == [0]
+        assert covered == universe
+
+
+class TestBitsBackend:
+    def test_matches_set_backend_simple(self):
+        universe = set(range(10))
+        sets = [{0, 1, 2, 3}, {4, 5, 6}, {7, 8}, {9}, {0, 9}]
+        bitsets = [_to_bitset(s, 10) for s in sets]
+        chosen_sets = greedy_set_cover(universe, sets)
+        chosen_bits = greedy_set_cover_bits(10, bitsets)
+        assert chosen_sets == chosen_bits
+
+    def test_uncoverable_returns_none(self):
+        bitsets = [_to_bitset({0}, 3), _to_bitset({1}, 3)]
+        assert greedy_set_cover_bits(3, bitsets) is None
+
+    def test_zero_elements(self):
+        assert greedy_set_cover_bits(0, []) == []
+
+    def test_padding_bits_ignored(self):
+        # 9 elements needs 2 bytes; padding must not count as coverage.
+        bitsets = [np.full(2, 0xFF, dtype=np.uint8)]
+        chosen = greedy_set_cover_bits(9, bitsets)
+        assert chosen == [0]
+
+    @given(
+        st.integers(1, 40),
+        st.lists(
+            st.sets(st.integers(0, 39), max_size=20), min_size=1, max_size=8
+        ),
+    )
+    def test_backends_agree_property(self, num_elements, raw_sets):
+        sets = [{e for e in s if e < num_elements} for s in raw_sets]
+        universe = set(range(num_elements))
+        bitsets = [_to_bitset(s, num_elements) for s in sets]
+        set_result = greedy_set_cover(universe, sets)
+        bits_result = greedy_set_cover_bits(num_elements, bitsets)
+        assert (set_result is None) == (bits_result is None)
+        if set_result is not None:
+            assert set_result == bits_result
+
+    @given(
+        st.integers(1, 30),
+        st.lists(
+            st.sets(st.integers(0, 29), max_size=15), min_size=1, max_size=6
+        ),
+        st.integers(1, 4),
+    )
+    def test_max_coverage_backends_agree(self, num_elements, raw_sets, budget):
+        sets = [{e for e in s if e < num_elements} for s in raw_sets]
+        universe = set(range(num_elements))
+        bitsets = [_to_bitset(s, num_elements) for s in sets]
+        chosen_sets, covered_sets = greedy_max_coverage(universe, sets, budget)
+        chosen_bits, covered_bits = greedy_max_coverage_bits(
+            num_elements, bitsets, budget
+        )
+        assert chosen_sets == chosen_bits
+        covered_from_bits = {
+            i
+            for i, bit in enumerate(np.unpackbits(covered_bits)[:num_elements])
+            if bit
+        }
+        assert covered_from_bits == covered_sets

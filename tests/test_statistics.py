@@ -1,0 +1,94 @@
+"""Tests for classifier structural statistics."""
+
+import pytest
+
+from repro.analysis.statistics import classifier_statistics
+from repro.core import Classifier, make_rule, uniform_schema
+from repro.workloads.generator import generate_classifier
+
+
+class TestFieldStatistics:
+    def test_wildcard_and_exact_fractions(self):
+        schema = uniform_schema(2, 4)
+        k = Classifier(
+            schema,
+            [
+                make_rule([(0, 15), (3, 3)]),
+                make_rule([(0, 15), (5, 5)]),
+                make_rule([(2, 3), (0, 15)]),
+                make_rule([(4, 4), (1, 6)]),
+            ],
+        )
+        stats = classifier_statistics(k)
+        f0, f1 = stats.fields
+        assert f0.wildcard_fraction == 0.5
+        assert f0.exact_fraction == 0.25
+        assert f1.exact_fraction == 0.5
+        assert f1.wildcard_fraction == 0.25
+
+    def test_prefix_and_range_fractions(self):
+        schema = uniform_schema(1, 4)
+        k = Classifier(
+            schema,
+            [
+                make_rule([(8, 11)]),   # prefix 10**
+                make_rule([(1, 6)]),    # true range
+            ],
+        )
+        (f0,) = classifier_statistics(k).fields
+        assert f0.prefix_fraction == 0.5
+        assert f0.range_fraction == 0.5
+
+    def test_separation_fraction(self):
+        schema = uniform_schema(2, 5)
+        k = Classifier(
+            schema,
+            [
+                make_rule([(0, 3), (0, 31)]),
+                make_rule([(10, 13), (0, 31)]),
+            ],
+        )
+        stats = classifier_statistics(k)
+        assert stats.fields[0].separation_fraction == 1.0
+        assert stats.fields[1].separation_fraction == 0.0
+
+    def test_distinct_intervals(self):
+        schema = uniform_schema(1, 4)
+        k = Classifier(
+            schema,
+            [make_rule([(1, 2)]), make_rule([(1, 2)]), make_rule([(3, 4)])],
+        )
+        assert classifier_statistics(k).fields[0].distinct_intervals == 2
+
+
+class TestWholeClassifier:
+    def test_most_separating_fields(self):
+        k = generate_classifier("acl", 200, seed=3)
+        stats = classifier_statistics(k)
+        top = stats.most_separating_fields(2)
+        # ACLs separate overwhelmingly on addresses / ports, never flags.
+        assert "flags" not in top
+
+    def test_specificity_positive(self):
+        k = generate_classifier("cisco", 100, seed=4)
+        stats = classifier_statistics(k)
+        assert 0 < stats.mean_specificity_bits <= stats.total_width
+
+    def test_prefix_length_histogram(self):
+        k = generate_classifier("acl", 300, seed=5)
+        stats = classifier_statistics(k)
+        histogram = stats.prefix_length_histogram["src_ip"]
+        assert sum(histogram.values()) <= 300
+        assert all(0 <= length <= 32 for length in histogram)
+
+    def test_empty_classifier(self):
+        schema = uniform_schema(2, 4)
+        stats = classifier_statistics(Classifier(schema, []))
+        assert stats.num_rules == 0
+        assert stats.mean_specificity_bits == 0.0
+
+    def test_generator_styles_have_expected_shape(self):
+        """The acl style must be more specific than fw (its whole point)."""
+        acl = classifier_statistics(generate_classifier("acl", 400, seed=6))
+        fw = classifier_statistics(generate_classifier("fw", 400, seed=6))
+        assert acl.mean_specificity_bits > fw.mean_specificity_bits

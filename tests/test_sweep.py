@@ -1,0 +1,118 @@
+"""Tests for the output-sensitive sweep-line conflict enumeration."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis.order_independence import (
+    conflict_matrix,
+    is_order_independent,
+)
+from repro.analysis.sweep import (
+    conflict_pairs,
+    estimate_overlap_counts,
+    is_order_independent_sweep,
+    overlapping_pairs,
+)
+from repro.core import Classifier, make_rule, uniform_schema
+from conftest import random_classifier
+
+
+class TestEstimateOverlapCounts:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_bruteforce(self, seed):
+        rng = random.Random(seed)
+        k = random_classifier(rng, num_rules=20, num_fields=3)
+        counts = estimate_overlap_counts(k)
+        body = k.body
+        for f in range(3):
+            brute = sum(
+                1
+                for i in range(len(body) - 1)
+                for j in range(i + 1, len(body))
+                if body[i].intervals[f].overlaps(body[j].intervals[f])
+            )
+            assert counts[f] == brute
+
+    def test_disjoint_field_counts_zero(self):
+        schema = uniform_schema(2, 6)
+        k = Classifier(
+            schema,
+            [make_rule([(i * 10, i * 10 + 5), (0, 63)]) for i in range(5)],
+        )
+        counts = estimate_overlap_counts(k)
+        assert counts[0] == 0
+        assert counts[1] == 10  # all pairs overlap the wildcard field
+
+
+class TestOverlappingPairs:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("field", [0, 1])
+    def test_matches_bruteforce(self, seed, field):
+        rng = random.Random(100 + seed)
+        k = random_classifier(rng, num_rules=18, num_fields=2)
+        got = sorted(overlapping_pairs(k, field))
+        body = k.body
+        expected = sorted(
+            (i, j)
+            for i in range(len(body) - 1)
+            for j in range(i + 1, len(body))
+            if body[i].intervals[field].overlaps(body[j].intervals[field])
+        )
+        assert got == expected
+
+    def test_no_duplicates(self):
+        rng = random.Random(5)
+        k = random_classifier(rng, num_rules=25, num_fields=1)
+        pairs = list(overlapping_pairs(k, 0))
+        assert len(pairs) == len(set(pairs))
+
+    def test_identical_intervals(self):
+        schema = uniform_schema(1, 4)
+        k = Classifier(schema, [make_rule([(2, 5)]) for _ in range(4)])
+        assert len(list(overlapping_pairs(k, 0))) == 6
+
+
+class TestConflictPairs:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_conflict_matrix(self, seed):
+        rng = random.Random(200 + seed)
+        k = random_classifier(rng, num_rules=22)
+        got = conflict_pairs(k)
+        matrix = conflict_matrix(k)
+        expected = sorted(
+            (i, j)
+            for i, j in zip(*np.nonzero(np.triu(matrix, k=1)))
+        )
+        assert got == [(int(i), int(j)) for i, j in expected]
+
+    @pytest.mark.parametrize("field", [0, 1, 2])
+    def test_any_sweep_field_gives_same_answer(self, field):
+        rng = random.Random(9)
+        k = random_classifier(rng, num_rules=20)
+        assert conflict_pairs(k, sweep_field=field) == conflict_pairs(k)
+
+    def test_limit_stops_early(self):
+        schema = uniform_schema(1, 6)
+        k = Classifier(schema, [make_rule([(0, 60)]) for _ in range(6)])
+        assert len(conflict_pairs(k, limit=3)) == 3
+
+    def test_empty_and_single_rule(self):
+        schema = uniform_schema(1, 4)
+        assert conflict_pairs(Classifier(schema, [])) == []
+        assert conflict_pairs(
+            Classifier(schema, [make_rule([(0, 3)])])
+        ) == []
+
+
+class TestSweepOrderIndependence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_agrees_with_matrix_check(self, seed):
+        rng = random.Random(300 + seed)
+        k = random_classifier(rng, num_rules=24)
+        assert is_order_independent_sweep(k) == is_order_independent(k)
+
+    def test_paper_examples(self, example1_classifier, example3_classifier):
+        assert is_order_independent_sweep(example1_classifier)
+        assert not is_order_independent_sweep(example3_classifier)

@@ -1,0 +1,117 @@
+"""Tests for the TCAM simulator and its classifier facade."""
+
+import random
+
+import pytest
+
+from repro.core import Classifier, make_rule, uniform_schema
+from repro.tcam.encoding import BinaryRangeEncoder, SrgeRangeEncoder
+from repro.tcam.entry import entry_from_pattern
+from repro.tcam.tcam import Tcam, build_tcam
+from conftest import random_classifier
+
+
+class TestTcamBasics:
+    def test_first_match_priority(self):
+        tcam = Tcam(width=4)
+        r = make_rule([(0, 15)])
+        tcam.program(entry_from_pattern("1***"), 0, r)
+        tcam.program(entry_from_pattern("10**"), 1, r)
+        record = tcam.lookup(0b1000)
+        assert record.rule_index == 0  # earlier row wins
+
+    def test_miss_returns_none(self):
+        tcam = Tcam(width=4)
+        r = make_rule([(0, 15)])
+        tcam.program(entry_from_pattern("11**"), 0, r)
+        assert tcam.lookup(0b0000) is None
+
+    def test_width_mismatch_rejected(self):
+        tcam = Tcam(width=4)
+        with pytest.raises(ValueError):
+            tcam.program(entry_from_pattern("1"), 0, make_rule([(0, 1)]))
+
+    def test_capacity_enforced(self):
+        tcam = Tcam(width=4, capacity=1)
+        r = make_rule([(0, 15)])
+        tcam.program(entry_from_pattern("1***"), 0, r)
+        assert tcam.is_full()
+        with pytest.raises(MemoryError):
+            tcam.program(entry_from_pattern("0***"), 1, r)
+
+    def test_remove_rule_frees_rows(self):
+        tcam = Tcam(width=4)
+        r = make_rule([(0, 15)])
+        tcam.program(entry_from_pattern("1***"), 0, r)
+        tcam.program(entry_from_pattern("01**"), 0, r)
+        tcam.program(entry_from_pattern("00**"), 1, r)
+        assert tcam.remove_rule(0) == 2
+        assert len(tcam) == 1
+
+    def test_lookup_counter(self):
+        tcam = Tcam(width=4)
+        tcam.lookup(0)
+        tcam.lookup(1)
+        assert tcam.lookups == 2
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            Tcam(width=0)
+
+
+class TestBuildTcam:
+    @pytest.mark.parametrize("encoder_cls", [BinaryRangeEncoder, SrgeRangeEncoder])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_semantic_equivalence_with_linear_scan(self, encoder_cls, seed):
+        rng = random.Random(seed)
+        k = random_classifier(rng, num_rules=15, num_fields=3, width=5)
+        tcam, view = build_tcam(k, encoder=encoder_cls())
+        for header in k.sample_headers(150, rng):
+            expected = k.match(header)
+            got = view.match_index(header)
+            if expected.rule is k.catch_all:
+                assert got is None
+            else:
+                assert got == expected.index
+
+    def test_rule_subset_only_programs_those(self):
+        rng = random.Random(9)
+        k = random_classifier(rng, num_rules=10)
+        tcam, view = build_tcam(k, rule_indices=[2, 5])
+        programmed = {r.rule_index for r in tcam.rows}
+        assert programmed <= {2, 5}
+
+    def test_field_subset_lookup(self, example2_classifier):
+        # Theorem 2: a TCAM holding only field 0 still selects the right
+        # candidate (false positives to be checked by the caller).
+        tcam, view = build_tcam(example2_classifier, fields=[0])
+        assert tcam.width == 5
+        # Packet (2, 5, 5) -> field 0 value 2 -> candidate R1 (index 0).
+        assert view.match_index((2, 5, 5)) == 0
+
+    def test_include_catch_all(self):
+        schema = uniform_schema(1, 4)
+        k = Classifier(schema, [make_rule([(2, 3)])])
+        _tcam, view = build_tcam(k, include_catch_all=True)
+        assert view.match_index((9,)) == 1  # catch-all row
+
+    def test_capacity_propagates(self):
+        rng = random.Random(10)
+        k = random_classifier(rng, num_rules=20)
+        with pytest.raises(MemoryError):
+            build_tcam(k, capacity=1)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_srge_view_encodes_keys(self, seed):
+        # With the SRGE encoder the raw TCAM sees Gray-coded keys; the
+        # facade must still answer in plain header space.
+        rng = random.Random(100 + seed)
+        k = random_classifier(rng, num_rules=12, num_fields=2, width=6)
+        _tcam, view = build_tcam(k, encoder=SrgeRangeEncoder())
+        for header in k.sample_headers(100, rng):
+            expected = k.match(header)
+            got = view.match_index(header)
+            if expected.rule is k.catch_all:
+                assert got is None
+            else:
+                assert got == expected.index

@@ -1,0 +1,81 @@
+"""Tests for ternary TCAM entries."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tcam.entry import TernaryEntry, concat_entries, entry_from_pattern
+
+
+class TestTernaryEntry:
+    def test_exact_match(self):
+        entry = TernaryEntry(0b1010, 0b1111, 4)
+        assert entry.matches(0b1010)
+        assert not entry.matches(0b1011)
+
+    def test_wildcard_bits(self):
+        entry = entry_from_pattern("10**")
+        assert entry.matches(0b1000)
+        assert entry.matches(0b1011)
+        assert not entry.matches(0b0000)
+
+    def test_full_wildcard(self):
+        entry = entry_from_pattern("****")
+        for key in range(16):
+            assert entry.matches(key)
+
+    def test_value_normalized_under_mask(self):
+        a = TernaryEntry(0b1111, 0b1100, 4)
+        b = TernaryEntry(0b1100, 0b1100, 4)
+        assert a == b
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            TernaryEntry(0, 0b10000, 4)
+        with pytest.raises(ValueError):
+            TernaryEntry(0b10000, 0, 4)
+
+    def test_num_wildcards(self):
+        assert entry_from_pattern("1*0*").num_wildcards == 2
+
+
+class TestPatternRoundtrip:
+    @given(st.text(alphabet="01*", min_size=1, max_size=16))
+    def test_roundtrip_property(self, pattern):
+        entry = entry_from_pattern(pattern)
+        assert entry.pattern() == pattern
+        assert entry.width == len(pattern)
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(ValueError):
+            entry_from_pattern("10x*")
+
+    @given(st.text(alphabet="01*", min_size=1, max_size=12), st.data())
+    def test_matches_agrees_with_pattern_semantics(self, pattern, data):
+        entry = entry_from_pattern(pattern)
+        key = data.draw(st.integers(0, (1 << len(pattern)) - 1))
+        expected = all(
+            ch == "*" or int(ch) == (key >> (len(pattern) - 1 - i)) & 1
+            for i, ch in enumerate(pattern)
+        )
+        assert entry.matches(key) == expected
+
+
+class TestConcat:
+    def test_concat_order_msb_first(self):
+        left = entry_from_pattern("10")
+        right = entry_from_pattern("0*")
+        combined = concat_entries([left, right])
+        assert combined.pattern() == "100*"
+
+    def test_concat_matches_concatenated_keys(self):
+        left = entry_from_pattern("1*")
+        right = entry_from_pattern("01")
+        combined = concat_entries([left, right])
+        # key = (left_key << 2) | right_key
+        assert combined.matches((0b10 << 2) | 0b01)
+        assert combined.matches((0b11 << 2) | 0b01)
+        assert not combined.matches((0b10 << 2) | 0b11)
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concat_entries([])

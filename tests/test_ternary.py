@@ -1,0 +1,115 @@
+"""Tests for Boolean ternary words."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.boolean.ternary import TernaryWord, word_from_entry, word_from_pattern
+from repro.tcam.entry import entry_from_pattern
+
+
+class TestBasics:
+    def test_pattern_roundtrip(self):
+        for pattern in ("0", "1", "*", "10*1", "****"):
+            assert word_from_pattern(pattern).pattern() == pattern
+
+    def test_matches(self):
+        word = word_from_pattern("1*0")
+        assert word.matches(0b100)
+        assert word.matches(0b110)
+        assert not word.matches(0b101)
+
+    def test_literals_and_matches_count(self):
+        word = word_from_pattern("1*0*")
+        assert word.num_literals == 2
+        assert word.num_matches == 4
+
+    def test_normalization(self):
+        assert TernaryWord(0b11, 0b10, 2) == TernaryWord(0b10, 0b10, 2)
+
+    def test_from_entry(self):
+        entry = entry_from_pattern("1*01")
+        assert word_from_entry(entry).pattern() == "1*01"
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            TernaryWord(0, 0b100, 2)
+
+
+class TestPredicates:
+    def test_intersects(self):
+        assert word_from_pattern("1*").intersects(word_from_pattern("*0"))
+        assert not word_from_pattern("1*").intersects(word_from_pattern("0*"))
+
+    def test_covers(self):
+        assert word_from_pattern("1*").covers(word_from_pattern("10"))
+        assert word_from_pattern("**").covers(word_from_pattern("1*"))
+        assert not word_from_pattern("10").covers(word_from_pattern("1*"))
+
+    def test_covers_implies_intersects(self):
+        a, b = word_from_pattern("1**"), word_from_pattern("1*0")
+        assert a.covers(b)
+        assert a.intersects(b)
+
+    @given(st.text(alphabet="01*", min_size=1, max_size=8),
+           st.text(alphabet="01*", min_size=1, max_size=8))
+    def test_intersects_semantics(self, p1, p2):
+        if len(p1) != len(p2):
+            return
+        w1, w2 = word_from_pattern(p1), word_from_pattern(p2)
+        width = len(p1)
+        shares_key = any(
+            w1.matches(v) and w2.matches(v) for v in range(1 << width)
+        )
+        assert w1.intersects(w2) == shares_key
+
+    @given(st.text(alphabet="01*", min_size=1, max_size=8),
+           st.text(alphabet="01*", min_size=1, max_size=8))
+    def test_covers_semantics(self, p1, p2):
+        if len(p1) != len(p2):
+            return
+        w1, w2 = word_from_pattern(p1), word_from_pattern(p2)
+        width = len(p1)
+        subset = all(
+            w1.matches(v) for v in range(1 << width) if w2.matches(v)
+        )
+        assert w1.covers(w2) == subset
+
+
+class TestResolution:
+    def test_resolvable_single_bit(self):
+        a = word_from_pattern("10*")
+        b = word_from_pattern("11*")
+        assert a.resolvable_with(b)
+        assert a.resolve(b).pattern() == "1**"
+
+    def test_not_resolvable_different_cares(self):
+        assert not word_from_pattern("10*").resolvable_with(
+            word_from_pattern("1*0")
+        )
+
+    def test_not_resolvable_two_bits(self):
+        assert not word_from_pattern("10").resolvable_with(
+            word_from_pattern("01")
+        )
+
+    def test_resolve_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            word_from_pattern("10").resolve(word_from_pattern("01"))
+
+    def test_resolution_preserves_semantics(self):
+        a = word_from_pattern("010")
+        b = word_from_pattern("011")
+        merged = a.resolve(b)
+        for v in range(8):
+            assert merged.matches(v) == (a.matches(v) or b.matches(v))
+
+
+class TestProject:
+    def test_projection_masks_out(self):
+        word = word_from_pattern("101")
+        projected = word.project(0b110)
+        assert projected.pattern() == "10*"
+
+    def test_projection_of_wildcards(self):
+        word = word_from_pattern("1**")
+        assert word.project(0b011).pattern() == "***"

@@ -1,0 +1,79 @@
+"""Tests for packet trace generation."""
+
+import random
+
+import pytest
+
+from repro.workloads.generator import generate_classifier
+from repro.workloads.traces import (
+    generate_trace,
+    rule_targeted_headers,
+    uniform_headers,
+)
+
+
+@pytest.fixture(scope="module")
+def classifier():
+    return generate_classifier("acl", 100, seed=21)
+
+
+class TestUniform:
+    def test_headers_in_range(self, classifier):
+        rng = random.Random(1)
+        for header in uniform_headers(classifier, 50, rng):
+            for value, spec in zip(header, classifier.schema):
+                assert 0 <= value <= spec.max_value
+
+
+class TestRuleTargeted:
+    def test_headers_actually_hit_rules(self, classifier):
+        rng = random.Random(2)
+        headers = rule_targeted_headers(classifier, 100, rng)
+        hits = sum(
+            1
+            for h in headers
+            if classifier.match(h).rule is not classifier.catch_all
+        )
+        assert hits == 100
+
+    def test_zipf_skew_prefers_high_priority(self, classifier):
+        rng = random.Random(3)
+        headers = rule_targeted_headers(classifier, 400, rng, skew=1.5)
+        top_hits = sum(
+            1 for h in headers if classifier.match(h).index < 20
+        )
+        assert top_hits > 100  # far above the uniform expectation of 80
+
+    def test_empty_body_falls_back_to_uniform(self):
+        from repro.core import Classifier, uniform_schema
+
+        k = Classifier(uniform_schema(2, 4), [])
+        rng = random.Random(4)
+        assert len(rule_targeted_headers(k, 10, rng)) == 10
+
+
+class TestGenerateTrace:
+    def test_determinism(self, classifier):
+        a = generate_trace(classifier, 100, seed=5)
+        b = generate_trace(classifier, 100, seed=5)
+        assert a == b
+
+    def test_count(self, classifier):
+        assert len(generate_trace(classifier, 123, seed=6)) == 123
+
+    def test_hit_fraction_zero_is_all_uniform(self, classifier):
+        trace = generate_trace(classifier, 50, seed=7, hit_fraction=0.0)
+        assert len(trace) == 50
+
+    def test_hit_fraction_validated(self, classifier):
+        with pytest.raises(ValueError):
+            generate_trace(classifier, 10, seed=8, hit_fraction=1.5)
+
+    def test_high_hit_fraction_hits_mostly(self, classifier):
+        trace = generate_trace(classifier, 200, seed=9, hit_fraction=1.0)
+        hits = sum(
+            1
+            for h in trace
+            if classifier.match(h).rule is not classifier.catch_all
+        )
+        assert hits == 200

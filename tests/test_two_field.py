@@ -1,0 +1,96 @@
+"""Tests for the two-field lookup index."""
+
+import random
+
+import pytest
+
+from repro.core import Interval
+from repro.lookup.two_field import TwoFieldIndex
+
+
+def _independent_boxes(rng, count, universe=60):
+    """Random boxes pairwise disjoint in at least one of two dimensions:
+    place each box on a distinct value-grid row or column."""
+    boxes = []
+    for i in range(count):
+        if rng.random() < 0.5:
+            # Unique stripe in dimension a.
+            a_lo = i * 10
+            a = Interval(a_lo, a_lo + rng.randint(0, 5))
+            b_lo = rng.randint(0, universe)
+            b = Interval(b_lo, b_lo + rng.randint(0, 30))
+        else:
+            a_lo = i * 10
+            a = Interval(a_lo, a_lo + rng.randint(0, 9))
+            b_lo = rng.randint(0, universe)
+            b = Interval(b_lo, b_lo + rng.randint(0, 10))
+        boxes.append((a, b))
+    return boxes
+
+
+class TestLookup:
+    def test_basic_hit_and_miss(self):
+        index = TwoFieldIndex(
+            [
+                (Interval(0, 5), Interval(0, 5), "low"),
+                (Interval(10, 15), Interval(10, 15), "high"),
+            ]
+        )
+        assert index.lookup(3, 3) == "low"
+        assert index.lookup(12, 11) == "high"
+        assert index.lookup(3, 12) is None
+        assert index.lookup(7, 7) is None
+
+    def test_overlapping_first_dim_disjoint_second(self):
+        # Both boxes cover a=[0,10]; they must be disjoint in b.
+        index = TwoFieldIndex(
+            [
+                (Interval(0, 10), Interval(0, 4), "bottom"),
+                (Interval(0, 10), Interval(5, 9), "top"),
+            ]
+        )
+        assert index.lookup(5, 2) == "bottom"
+        assert index.lookup(5, 7) == "top"
+        assert index.lookup(5, 10) is None
+
+    def test_violating_order_independence_rejected(self):
+        # Identical first-field intervals land in the same canonical
+        # nodes, so the overlapping second field is detected at build
+        # time.  (Violations across different canonical nodes cannot be
+        # fully detected structurally; callers are responsible for the
+        # order-independence precondition.)
+        with pytest.raises(ValueError):
+            TwoFieldIndex(
+                [
+                    (Interval(0, 10), Interval(0, 5), "a"),
+                    (Interval(0, 10), Interval(3, 8), "b"),
+                ]
+            )
+
+    def test_empty(self):
+        index = TwoFieldIndex([])
+        assert index.lookup(0, 0) is None
+        assert len(index) == 0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_linear_scan(self, seed):
+        rng = random.Random(seed)
+        boxes = _independent_boxes(rng, 12)
+        index = TwoFieldIndex(
+            (a, b, i) for i, (a, b) in enumerate(boxes)
+        )
+        for _ in range(300):
+            va = rng.randint(0, 130)
+            vb = rng.randint(0, 100)
+            expected = None
+            for i, (a, b) in enumerate(boxes):
+                if a.contains(va) and b.contains(vb):
+                    expected = i
+                    break
+            assert index.lookup(va, vb) == expected
+
+    def test_memory_slots_reported(self):
+        rng = random.Random(99)
+        boxes = _independent_boxes(rng, 20)
+        index = TwoFieldIndex((a, b, i) for i, (a, b) in enumerate(boxes))
+        assert index.memory_slots >= len(boxes)

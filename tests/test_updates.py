@@ -1,0 +1,264 @@
+"""Tests for dynamic updates (Section 7.2)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    Classifier,
+    Interval,
+    make_rule,
+    uniform_schema,
+)
+from repro.saxpac.updates import DynamicSaxPac, InsertOutcome
+from conftest import random_classifier
+
+
+def _random_rule(rng, num_fields=3, width=6, max_span=8):
+    max_value = (1 << width) - 1
+    ranges = []
+    for _ in range(num_fields):
+        if rng.random() < 0.2:
+            ranges.append((0, max_value))
+        else:
+            lo = rng.randint(0, max_value)
+            ranges.append((lo, min(max_value, lo + rng.randint(0, max_span))))
+    return make_rule(ranges)
+
+
+def _assert_equivalent(dyn, samples):
+    reference = dyn.to_classifier()
+    for header in samples:
+        expected = reference.match(header)
+        got = dyn.match_id(header)
+        if got is None:
+            # Only acceptable when the winner is the implicit catch-all.
+            # (A full-wildcard *body* rule is reused as the catch-all by
+            # Classifier, and the dynamic engine rightly reports its id.)
+            assert expected.rule is reference.catch_all
+        else:
+            assert dyn.rule(got) == expected.rule
+
+
+class TestInsertion:
+    def test_first_insert_opens_group(self):
+        dyn = DynamicSaxPac(uniform_schema(2, 5))
+        report = dyn.insert(make_rule([(1, 3), (4, 5)]))
+        assert report.outcome is InsertOutcome.NEW_GROUP
+        assert dyn.num_groups == 1
+
+    def test_compatible_rule_joins_group(self):
+        dyn = DynamicSaxPac(uniform_schema(2, 5))
+        dyn.insert(make_rule([(1, 3), (4, 5)]))
+        report = dyn.insert(make_rule([(5, 6), (4, 5)]))
+        assert report.outcome is InsertOutcome.GROUP
+        assert dyn.num_groups == 1
+
+    def test_intersecting_rule_goes_to_d(self):
+        dyn = DynamicSaxPac(uniform_schema(2, 5))
+        dyn.insert(make_rule([(1, 3), (4, 5)]))
+        report = dyn.insert(make_rule([(2, 4), (4, 5)]))
+        assert report.outcome is InsertOutcome.ORDER_DEPENDENT
+        assert dyn.d_size == 1
+
+    def test_rejection_when_d_full(self):
+        dyn = DynamicSaxPac(uniform_schema(1, 6), d_capacity=1)
+        dyn.insert(make_rule([(0, 40)]))
+        dyn.insert(make_rule([(0, 30)]))  # -> D
+        report = dyn.insert(make_rule([(0, 20)]))  # D full, recompute fails
+        assert report.outcome in (
+            InsertOutcome.REJECTED,
+            InsertOutcome.ORDER_DEPENDENT,
+        )
+        if report.outcome is InsertOutcome.REJECTED:
+            assert len(dyn) == 2
+
+    def test_recompute_counter(self):
+        dyn = DynamicSaxPac(uniform_schema(1, 6), d_capacity=1)
+        dyn.insert(make_rule([(0, 40)]))
+        dyn.insert(make_rule([(0, 30)]))
+        dyn.insert(make_rule([(0, 20)]))
+        assert dyn.recomputations >= 1
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_insert_stream_equivalence(self, seed):
+        rng = random.Random(seed)
+        dyn = DynamicSaxPac(uniform_schema(3, 6))
+        for _ in range(40):
+            dyn.insert(_random_rule(rng))
+        samples = dyn.to_classifier().sample_headers(200, rng)
+        _assert_equivalent(dyn, samples)
+
+
+class TestExample10:
+    def test_insertion_with_budget(self, example10_classifier):
+        """Example 10: R4 is OI with I on all fields but needs an extra
+        field; with C >= 2 it can shadow R1 and R3."""
+        dyn = DynamicSaxPac(
+            uniform_schema(3, 4),
+            max_group_fields=1,
+            max_groups=1,
+            fp_budget=2,
+        )
+        for rule in example10_classifier.body:
+            report = dyn.insert(rule)
+            assert report.in_software
+        assert dyn.num_groups == 1
+        r4 = make_rule([(2, 4), (2, 2), (3, 3)], name="R4")
+        report = dyn.insert(r4)
+        assert report.outcome is InsertOutcome.SHADOW
+        hosts = {dyn.rule(h).name for h in report.hosts}
+        assert hosts == {"R1", "R3"}
+        # Classification still correct everywhere.
+        rng = random.Random(5)
+        samples = dyn.to_classifier().sample_headers(300, rng)
+        _assert_equivalent(dyn, samples)
+        # And R4 itself is reachable.
+        assert dyn.rule(dyn.match_id((3, 2, 3))).name == "R4"
+
+    def test_budget_too_small_sends_to_d(self, example10_classifier):
+        dyn = DynamicSaxPac(
+            uniform_schema(3, 4),
+            max_group_fields=1,
+            max_groups=1,
+            fp_budget=0,
+        )
+        for rule in example10_classifier.body:
+            dyn.insert(rule)
+        report = dyn.insert(make_rule([(2, 4), (2, 2), (3, 3)]))
+        assert report.outcome is InsertOutcome.ORDER_DEPENDENT
+
+
+class TestRemoval:
+    def test_remove_from_group(self):
+        dyn = DynamicSaxPac(uniform_schema(2, 5))
+        r1 = dyn.insert(make_rule([(1, 3), (4, 5)])).rule_id
+        dyn.insert(make_rule([(5, 6), (4, 5)]))
+        dyn.remove(r1)
+        assert len(dyn) == 1
+        assert dyn.match_id((2, 4)) is None
+
+    def test_remove_unknown_raises(self):
+        dyn = DynamicSaxPac(uniform_schema(1, 4))
+        with pytest.raises(KeyError):
+            dyn.remove(17)
+
+    def test_empty_group_dropped(self):
+        dyn = DynamicSaxPac(uniform_schema(1, 5))
+        rid = dyn.insert(make_rule([(1, 3)])).rule_id
+        assert dyn.num_groups == 1
+        dyn.remove(rid)
+        assert dyn.num_groups == 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_interleaved_insert_remove_equivalence(self, seed):
+        rng = random.Random(100 + seed)
+        dyn = DynamicSaxPac(uniform_schema(3, 6))
+        live = []
+        for step in range(60):
+            if live and rng.random() < 0.35:
+                victim = live.pop(rng.randrange(len(live)))
+                dyn.remove(victim)
+            else:
+                report = dyn.insert(_random_rule(rng))
+                if report.accepted:
+                    live.append(report.rule_id)
+        samples = dyn.to_classifier().sample_headers(200, rng)
+        _assert_equivalent(dyn, samples)
+
+
+class TestModification:
+    def test_in_place_outside_group_fields(self):
+        dyn = DynamicSaxPac(uniform_schema(3, 5), max_group_fields=1)
+        rid = dyn.insert(make_rule([(1, 3), (4, 5), (0, 9)])).rule_id
+        fields = dyn._groups[0].fields
+        assert fields == (0,)
+        new_rule = make_rule([(1, 3), (7, 8), (2, 4)])
+        report = dyn.modify(rid, new_rule)
+        assert report.outcome is InsertOutcome.GROUP
+        assert dyn.rule(rid) == new_rule
+        assert dyn.match_id((2, 8, 3)) == rid
+        assert dyn.match_id((2, 5, 3)) is None
+
+    def test_modify_breaking_group_moves_to_d(self):
+        dyn = DynamicSaxPac(uniform_schema(2, 5), max_group_fields=1)
+        a = dyn.insert(make_rule([(1, 3), (0, 31)])).rule_id
+        b = dyn.insert(make_rule([(5, 7), (0, 31)])).rule_id
+        # Modify b so it now collides with a everywhere.
+        report = dyn.modify(b, make_rule([(2, 4), (0, 31)]))
+        assert report.outcome is InsertOutcome.ORDER_DEPENDENT
+        # Priority preserved: b is still lower priority than a.
+        assert dyn.match_id((2, 0)) == a
+        assert dyn.match_id((4, 0)) == b
+
+    def test_modify_unknown_raises(self):
+        dyn = DynamicSaxPac(uniform_schema(1, 4))
+        with pytest.raises(KeyError):
+            dyn.modify(3, make_rule([(0, 1)]))
+
+    def test_modify_arity_checked(self):
+        dyn = DynamicSaxPac(uniform_schema(2, 4))
+        rid = dyn.insert(make_rule([(0, 1), (2, 3)])).rule_id
+        with pytest.raises(ValueError):
+            dyn.modify(rid, make_rule([(0, 1)]))
+        # The classifier is untouched by the failed modify.
+        assert dyn.rule(rid) == make_rule([(0, 1), (2, 3)])
+
+    def test_insert_arity_checked(self):
+        dyn = DynamicSaxPac(uniform_schema(2, 4))
+        with pytest.raises(ValueError):
+            dyn.insert(make_rule([(0, 1)]))
+        assert len(dyn) == 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_modify_stream_equivalence(self, seed):
+        rng = random.Random(200 + seed)
+        dyn = DynamicSaxPac(uniform_schema(3, 6))
+        live = []
+        for _ in range(30):
+            report = dyn.insert(_random_rule(rng))
+            if report.accepted:
+                live.append(report.rule_id)
+        for _ in range(20):
+            victim = rng.choice(live)
+            dyn.modify(victim, _random_rule(rng))
+        samples = dyn.to_classifier().sample_headers(200, rng)
+        _assert_equivalent(dyn, samples)
+
+
+class TestRecompute:
+    def test_recompute_preserves_semantics(self):
+        rng = random.Random(9)
+        dyn = DynamicSaxPac(uniform_schema(3, 6))
+        for _ in range(30):
+            dyn.insert(_random_rule(rng))
+        before = dyn.to_classifier()
+        dyn.recompute()
+        after = dyn.to_classifier()
+        samples = before.sample_headers(200, rng)
+        for header in samples:
+            assert before.match(header).rule == after.match(header).rule
+        _assert_equivalent(dyn, samples)
+
+    def test_recompute_can_shrink_d(self):
+        # Rules inserted in an unlucky order: a broad rule first forces
+        # later rules to D; recompute reshuffles into groups.
+        dyn = DynamicSaxPac(uniform_schema(1, 6), max_groups=1)
+        dyn.insert(make_rule([(0, 60)]))
+        for i in range(5):
+            dyn.insert(make_rule([(i * 10, i * 10 + 5)]))
+        assert dyn.d_size == 5
+        dyn.recompute()
+        # The broad rule overlaps everything; the nested rules are
+        # pairwise disjoint, so at most one side stays out of groups.
+        assert dyn.d_size <= 5
+
+
+class TestClassify:
+    def test_classify_returns_action(self):
+        from repro.core import DENY
+
+        dyn = DynamicSaxPac(uniform_schema(1, 5))
+        dyn.insert(make_rule([(0, 3)], DENY))
+        assert dyn.classify((2,)) is DENY
+        assert dyn.classify((9,)) == dyn.default_action

@@ -1,0 +1,112 @@
+"""Stateful (model-based) testing of the dynamic classifier.
+
+Hypothesis drives arbitrary interleavings of insert / remove / modify /
+recompute against DynamicSaxPac while a priority-ordered reference model
+tracks the intended semantics; after every step a batch of probe headers
+must classify identically.  This is the strongest correctness artifact for
+Section 7.2: it explores schedules no hand-written test would.
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core import Classifier, make_rule, uniform_schema
+from repro.core.actions import DENY, PERMIT
+from repro.saxpac.updates import DynamicSaxPac
+
+_NUM_FIELDS = 3
+_WIDTH = 5
+_MAX = (1 << _WIDTH) - 1
+
+
+def _interval(draw_low, draw_span):
+    low = draw_low
+    high = min(_MAX, low + draw_span)
+    return (low, high)
+
+
+_rule_strategy = st.builds(
+    lambda bounds, deny: make_rule(
+        [_interval(lo, span) for lo, span in bounds],
+        DENY if deny else PERMIT,
+    ),
+    st.lists(
+        st.tuples(st.integers(0, _MAX), st.integers(0, 10)),
+        min_size=_NUM_FIELDS,
+        max_size=_NUM_FIELDS,
+    ),
+    st.booleans(),
+)
+
+
+class DynamicSaxPacMachine(RuleBasedStateMachine):
+    @initialize(
+        max_groups=st.one_of(st.none(), st.integers(1, 4)),
+        budget=st.integers(0, 2),
+    )
+    def setup(self, max_groups, budget):
+        self.schema = uniform_schema(_NUM_FIELDS, _WIDTH)
+        self.dyn = DynamicSaxPac(
+            self.schema,
+            max_group_fields=2,
+            max_groups=max_groups,
+            fp_budget=budget,
+        )
+        self.live = []  # rule ids in the dynamic classifier
+        self.rng = random.Random(1234)
+
+    @rule(new_rule=_rule_strategy)
+    def insert(self, new_rule):
+        report = self.dyn.insert(new_rule)
+        if report.accepted:
+            self.live.append(report.rule_id)
+
+    @precondition(lambda self: self.live)
+    @rule(pick=st.integers(0, 10**6))
+    def remove(self, pick):
+        victim = self.live.pop(pick % len(self.live))
+        self.dyn.remove(victim)
+
+    @precondition(lambda self: self.live)
+    @rule(pick=st.integers(0, 10**6), new_rule=_rule_strategy)
+    def modify(self, pick, new_rule):
+        target = self.live[pick % len(self.live)]
+        report = self.dyn.modify(target, new_rule)
+        if not report.accepted:
+            self.live.remove(target)
+
+    @rule()
+    def recompute(self):
+        self.dyn.recompute()
+
+    @invariant()
+    def agrees_with_reference(self):
+        reference = self.dyn.to_classifier()
+        headers = reference.sample_headers(25, self.rng)
+        for header in headers:
+            expected = reference.match(header)
+            got = self.dyn.match_id(header)
+            if got is None:
+                assert expected.rule is reference.catch_all
+            else:
+                assert self.dyn.rule(got) == expected.rule
+
+    @invariant()
+    def bookkeeping_consistent(self):
+        assert len(self.dyn) == len(self.live)
+        assert self.dyn.software_size + self.dyn.d_size == len(self.live)
+
+
+TestDynamicSaxPacStateful = DynamicSaxPacMachine.TestCase
+TestDynamicSaxPacStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,152 @@
+"""Tests for width metrics and the virtual-field FSM (Section 4.4)."""
+
+import pytest
+
+from repro.boolean.ternary import word_from_pattern
+from repro.boolean.width import (
+    enclosing_prefix_word,
+    pure_width,
+    same_value_reduced_width,
+    virtual_field_fsm,
+    words_from_classifier,
+)
+from repro.core import Classifier, Interval, make_rule, uniform_schema
+
+
+def _words(*patterns):
+    return [word_from_pattern(p) for p in patterns]
+
+
+class TestWidthMetrics:
+    def test_pure_width_counts_cared_columns(self):
+        terms = _words("1**0", "0**1")
+        assert pure_width(terms, 4) == 2
+
+    def test_pure_width_any_care_counts(self):
+        terms = _words("1***", "*1**")
+        assert pure_width(terms, 4) == 2
+
+    def test_reduced_width_drops_constant_columns(self):
+        # Column 0 (MSB) is always 1: it cannot change which term matches.
+        terms = _words("10*", "11*")
+        assert pure_width(terms, 3) == 2
+        assert same_value_reduced_width(terms, 3) == 1
+
+    def test_reduced_width_keeps_mixed_wildcards(self):
+        # Column 0 is 1 in one term and * in the other: must be kept.
+        terms = _words("10", "*1")
+        assert same_value_reduced_width(terms, 2) == 2
+
+    def test_empty_terms(self):
+        assert pure_width([], 4) == 0
+        assert same_value_reduced_width([], 4) == 0
+
+
+class TestEnclosingPrefix:
+    def test_exact_value(self):
+        value, care = enclosing_prefix_word(Interval(5, 5), 4)
+        assert (value, care) == (5, 0b1111)
+
+    def test_prefix_interval(self):
+        value, care = enclosing_prefix_word(Interval(8, 11), 4)
+        assert (value, care) == (8, 0b1100)
+
+    def test_non_prefix_interval_widens(self):
+        # [5, 6] = 0101/0110 -> common prefix 01??.
+        value, care = enclosing_prefix_word(Interval(5, 6), 4)
+        assert (value, care) == (4, 0b1100)
+
+    def test_full_range(self):
+        value, care = enclosing_prefix_word(Interval(0, 15), 4)
+        assert (value, care) == (0, 0)
+
+    def test_soundness_contains_interval(self):
+        # The widened prefix matches every point of the interval.
+        for lo, hi in [(3, 9), (1, 14), (7, 8)]:
+            value, care = enclosing_prefix_word(Interval(lo, hi), 4)
+            for v in range(lo, hi + 1):
+                assert (v & care) == value
+
+
+class TestWordsFromClassifier:
+    def test_concatenation_order(self):
+        schema = uniform_schema(2, 4)
+        k = Classifier(schema, [make_rule([(5, 5), (8, 11)])])
+        (word,) = words_from_classifier(k)
+        assert word.pattern() == "010110**"
+
+    def test_rule_subset(self, example3_classifier):
+        words = words_from_classifier(example3_classifier, [0, 2])
+        assert len(words) == 2
+
+
+class TestVirtualFieldFsm:
+    def test_example6_field_level(self):
+        """Example 6: at 4-bit resolution FSM keeps one virtual field."""
+        schema = uniform_schema(2, 4)
+        k = Classifier(
+            schema,
+            [
+                make_rule([(0b1000, 0b1001), (0b0010, 0b0011)]),  # 100*, 001*
+                make_rule([(0b1010, 0b1010), (0b0001, 0b0001)]),  # 1010, 0001
+                make_rule([(0b0000, 0b0001), (0b0000, 0b1111)]),  # 000*, ****
+                make_rule([(0b0010, 0b0011), (0b0000, 0b1111)]),  # 001*, ****
+            ],
+        )
+        words = words_from_classifier(k)
+        result = virtual_field_fsm(words, 8, 4)
+        assert not result.dropped_rules
+        assert result.reduced_width == 4
+        assert result.chosen_fields == (0,)
+
+    def test_example6_bit_level(self):
+        """At 1-bit resolution two bits suffice (bits 1 and 3 of field 0)."""
+        schema = uniform_schema(2, 4)
+        k = Classifier(
+            schema,
+            [
+                make_rule([(0b1000, 0b1001), (0b0010, 0b0011)]),
+                make_rule([(0b1010, 0b1010), (0b0001, 0b0001)]),
+                make_rule([(0b0000, 0b0001), (0b0000, 0b1111)]),
+                make_rule([(0b0010, 0b0011), (0b0000, 0b1111)]),
+            ],
+        )
+        words = words_from_classifier(k)
+        result = virtual_field_fsm(words, 8, 1)
+        assert not result.dropped_rules
+        assert result.reduced_width == 2
+
+    def test_inseparable_rules_dropped(self):
+        words = _words("1*", "1*")  # identical -> never separable
+        result = virtual_field_fsm(words, 2, 1)
+        assert len(result.dropped_rules) == 1
+
+    def test_single_word(self):
+        result = virtual_field_fsm(_words("10"), 2, 1)
+        assert result.reduced_width == 1
+
+    def test_empty(self):
+        result = virtual_field_fsm([], 8, 4)
+        assert result.reduced_width == 0
+
+    def test_wider_resolution_never_narrower(self):
+        """Coarser virtual fields can only keep width equal or larger."""
+        schema = uniform_schema(2, 8)
+        rules = [
+            make_rule([(i * 16, i * 16 + 15), (0, 255)]) for i in range(8)
+        ]
+        k = Classifier(schema, rules)
+        words = words_from_classifier(k)
+        widths = []
+        for w in (1, 2, 4, 8, 16):
+            result = virtual_field_fsm(words, 16, w)
+            assert not result.dropped_rules
+            widths.append(result.reduced_width)
+        assert widths == sorted(widths)
+
+    def test_uneven_tail_field(self):
+        # Width 10 with 4-bit virtual fields -> fields of 4, 4, 2 bits.
+        words = _words("1111000011", "0000111100")
+        result = virtual_field_fsm(words, 10, 4)
+        assert result.total_fields == 3
+        assert not result.dropped_rules
