@@ -1,0 +1,200 @@
+"""Serving-pipeline throughput: single-packet vs batched vs sharded.
+
+Standalone script (not a pytest-benchmark module) so CI can smoke it:
+
+    python benchmarks/bench_runtime.py --quick
+
+Builds a generated classifier, replays a rule-targeted trace through the
+three data paths of :mod:`repro.runtime`, verifies the batched results
+against the linear-scan ground truth on a sample, and writes
+``BENCH_runtime.json`` with packets/sec for each path plus the
+batched-vs-single speedup (the headline number: per-packet cost must drop
+at least 2x on a 10k-rule classifier).
+
+The single-packet baseline is measured on a trace subsample and reported
+as packets/sec — per-packet cost is what's compared, so the subsample
+does not bias the ratio.  ``--seed`` controls classifier, trace and
+sampling RNGs; identical seeds give identical workloads run-to-run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import List, Optional, Sequence
+
+if __package__ in (None, ""):  # script invocation: put src/ on the path
+    _SRC = os.path.join(os.path.dirname(__file__), "..", "src")
+    if os.path.isdir(_SRC) and _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
+from repro.runtime.batch import iter_batches
+from repro.runtime.shard import ShardedRuntime
+from repro.saxpac.engine import SaxPacEngine
+from repro.workloads.generator import STYLES, generate_classifier
+from repro.workloads.traces import generate_trace
+
+
+def _measure_single(engine, trace: Sequence) -> dict:
+    match = engine.match
+    start = time.perf_counter()
+    for header in trace:
+        match(header)
+    seconds = time.perf_counter() - start
+    return _rates(len(trace), seconds)
+
+
+def _measure_batched(engine, trace: Sequence, batch_size: int) -> dict:
+    start = time.perf_counter()
+    for batch in iter_batches(trace, batch_size):
+        engine.match_batch(batch)
+    seconds = time.perf_counter() - start
+    result = _rates(len(trace), seconds)
+    result["batch_size"] = batch_size
+    return result
+
+
+def _measure_sharded(
+    engine, trace: Sequence, batch_size: int, shards: int, mode: str
+) -> dict:
+    if mode == "process":
+        runtime = ShardedRuntime(
+            classifier=engine.classifier,
+            config=engine.config,
+            num_shards=shards,
+            mode="process",
+        )
+    else:
+        runtime = ShardedRuntime(engine=engine, num_shards=shards)
+    with runtime:
+        start = time.perf_counter()
+        for batch in iter_batches(trace, batch_size):
+            runtime.match_indices(batch)
+        seconds = time.perf_counter() - start
+    result = _rates(len(trace), seconds)
+    result.update(batch_size=batch_size, shards=shards, mode=mode)
+    return result
+
+
+def _rates(packets: int, seconds: float) -> dict:
+    return {
+        "packets": packets,
+        "seconds": round(seconds, 6),
+        "packets_per_second": round(packets / seconds, 1)
+        if seconds
+        else float("inf"),
+    }
+
+
+def _verify_equivalence(engine, classifier, trace, sample: int) -> int:
+    """Cross-check the batched path against the linear-scan reference on
+    a trace sample; returns the number of headers checked."""
+    sub = list(trace[:sample])
+    batched = engine.match_batch(sub)
+    expected = classifier.match_batch(sub)
+    for header, got, want in zip(sub, batched, expected):
+        if got.index != want.index:
+            raise AssertionError(
+                f"batched mismatch on {header}: got rule {got.index}, "
+                f"expected {want.index}"
+            )
+    return len(sub)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="SAX-PAC runtime throughput benchmark"
+    )
+    parser.add_argument("--style", choices=sorted(STYLES), default="acl")
+    parser.add_argument("--rules", type=int, default=10000)
+    parser.add_argument("--trace", type=int, default=20000)
+    parser.add_argument("--single-sample", type=int, default=2000,
+                        help="packets for the (slow) single-packet "
+                             "baseline; per-packet cost is extrapolated")
+    parser.add_argument("--batch-size", type=int, default=1024)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--shard-mode", choices=("thread", "process"),
+                        default="thread")
+    parser.add_argument("--seed", type=int, default=2014,
+                        help="workload RNG seed (reproducible numbers)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small smoke configuration for CI")
+    parser.add_argument("--out", default="BENCH_runtime.json")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.quick:
+        args.rules = min(args.rules, 600)
+        args.trace = min(args.trace, 3000)
+        args.single_sample = min(args.single_sample, 600)
+        args.shards = min(args.shards, 2)
+    classifier = generate_classifier(args.style, args.rules, args.seed)
+    build_start = time.perf_counter()
+    engine = SaxPacEngine(classifier)
+    build_seconds = time.perf_counter() - build_start
+    report = engine.report()
+    trace = generate_trace(classifier, args.trace, seed=args.seed + 1)
+    checked = _verify_equivalence(
+        engine, classifier, trace, min(500, len(trace))
+    )
+
+    single = _measure_single(engine, trace[: args.single_sample])
+    batched = _measure_batched(engine, trace, args.batch_size)
+    sharded = _measure_sharded(
+        engine, trace, args.batch_size, args.shards, args.shard_mode
+    )
+    speedup_batched = (
+        batched["packets_per_second"] / single["packets_per_second"]
+    )
+    speedup_sharded = (
+        sharded["packets_per_second"] / single["packets_per_second"]
+    )
+    result = {
+        "benchmark": "runtime-throughput",
+        "config": {
+            "style": args.style,
+            "rules": len(classifier.body),
+            "trace": len(trace),
+            "batch_size": args.batch_size,
+            "shards": args.shards,
+            "shard_mode": args.shard_mode,
+            "seed": args.seed,
+            "quick": args.quick,
+        },
+        "engine": {
+            "software_rules": report.software_rules,
+            "tcam_rules": report.tcam_rules,
+            "num_groups": report.num_groups,
+            "tcam_entries": report.tcam_entries,
+            "build_seconds": round(build_seconds, 3),
+        },
+        "equivalence_checked_packets": checked,
+        "single": single,
+        "batched": batched,
+        "sharded": sharded,
+        "speedup_batched_vs_single": round(speedup_batched, 2),
+        "speedup_sharded_vs_single": round(speedup_sharded, 2),
+    }
+    with open(args.out, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(f"rules={len(classifier.body)} trace={len(trace)} "
+          f"(equivalence checked on {checked})")
+    print(f"  single : {single['packets_per_second']:>12,.0f} pkt/s "
+          f"({single['packets']} pkts)")
+    print(f"  batched: {batched['packets_per_second']:>12,.0f} pkt/s "
+          f"({speedup_batched:.1f}x single)")
+    print(f"  sharded: {sharded['packets_per_second']:>12,.0f} pkt/s "
+          f"({speedup_sharded:.1f}x single, {args.shards} "
+          f"{args.shard_mode} shards)")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

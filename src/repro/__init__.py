@@ -17,6 +17,8 @@ surface:
   updates;
 * :mod:`repro.workloads` — ClassBench parsing, synthetic generators,
   traces;
+* :mod:`repro.runtime` — the serving layer: batched classification,
+  sharded worker pools, RCU-style hot swaps, telemetry;
 * :mod:`repro.bench` — the experiment harness regenerating every table
   and figure.
 """
@@ -41,6 +43,13 @@ from .core import (
     classbench_schema,
     make_rule,
     uniform_schema,
+)
+from .runtime import (
+    HotSwapRuntime,
+    RuntimeConfig,
+    RuntimeService,
+    ShardedRuntime,
+    Telemetry,
 )
 from .saxpac import (
     ClassificationCache,
@@ -75,13 +84,18 @@ __all__ = [
     "FSMResult",
     "FieldSchema",
     "FieldSpec",
+    "HotSwapRuntime",
     "Interval",
     "MGRResult",
     "MRCResult",
     "Rule",
+    "RuntimeConfig",
+    "RuntimeService",
     "SaxPacEngine",
+    "ShardedRuntime",
     "SrgeRangeEncoder",
     "Tcam",
+    "Telemetry",
     "add_random_range_fields",
     "benchmark_suite",
     "build_tcam",

@@ -7,6 +7,8 @@ generate     write a synthetic classifier in ClassBench filter format
 analyze      print the Section 7.1 profile of a classifier file
 profile      compute the profile and save classifier+profile as JSON
 classify     build the hybrid engine and classify a generated trace
+runtime      replay a generated trace through the batched/sharded serving
+             pipeline (repro.runtime) and print the telemetry report
 experiments  regenerate a paper table/figure (table1|table2|table3|
              figure1|figure6)
 convert      convert between ClassBench text and the JSON format
@@ -84,6 +86,29 @@ def build_parser() -> argparse.ArgumentParser:
     cls.add_argument("--max-groups", type=int, default=None)
     cls.add_argument("--cache", action="store_true",
                      help="enforce the MRCC cache property")
+
+    run = sub.add_parser(
+        "runtime",
+        help="replay a trace through the batched/sharded serving pipeline",
+    )
+    run.add_argument("path")
+    run.add_argument("--trace", type=int, default=20000,
+                     help="number of generated packets to replay")
+    run.add_argument("--seed", type=int, default=1,
+                     help="trace/update RNG seed (reproducible runs)")
+    run.add_argument("--batch-size", type=int, default=1024)
+    run.add_argument("--shards", type=int, default=1,
+                     help="worker count (1 = unsharded)")
+    run.add_argument("--shard-mode", choices=("thread", "process"),
+                     default="thread")
+    run.add_argument("--max-groups", type=int, default=None)
+    run.add_argument("--cache", action="store_true",
+                     help="enforce the MRCC cache property")
+    run.add_argument("--updates", type=int, default=0,
+                     help="hot-insert this many rules mid-replay "
+                          "(exercises the RCU swap path)")
+    run.add_argument("--json", action="store_true",
+                     help="emit the report as JSON instead of text")
 
     exp = sub.add_parser("experiments", help="regenerate a table/figure")
     exp.add_argument(
@@ -212,6 +237,71 @@ def _cmd_classify(args) -> int:
     return 0
 
 
+def _cmd_runtime(args) -> int:
+    import random as _random
+    import time
+
+    from .runtime.batch import iter_batches
+    from .runtime.service import RuntimeConfig, RuntimeService
+
+    classifier, _ = _load(args.path)
+    config = RuntimeConfig(
+        batch_size=args.batch_size,
+        num_shards=args.shards,
+        shard_mode=args.shard_mode,
+        engine=EngineConfig(
+            max_groups=args.max_groups, enforce_cache=args.cache
+        ),
+    )
+    trace = generate_trace(classifier, args.trace, seed=args.seed)
+    with RuntimeService(classifier, config) as service:
+        report = service.swap.engine.report()
+        if not args.json:
+            print(
+                f"engine: {report.software_rules}/{report.total_rules} rules "
+                f"in software ({report.num_groups} groups), "
+                f"{report.tcam_entries} TCAM entries; "
+                f"batch={config.batch_size} shards={config.num_shards} "
+                f"({config.shard_mode})"
+            )
+        batches = list(iter_batches(trace, config.batch_size))
+        swap_at = len(batches) // 2 if args.updates else None
+        rng = _random.Random(args.seed)
+        start = time.perf_counter()
+        for i, batch in enumerate(batches):
+            if swap_at is not None and i == swap_at:
+                # Hot-insert mid-replay: clone existing body rules (valid
+                # for the schema, lowest priority) to exercise the swap.
+                for _ in range(args.updates):
+                    service.insert(rng.choice(classifier.body))
+            service.match_batch(batch)
+        elapsed = time.perf_counter() - start
+        rate = len(trace) / elapsed if elapsed else float("inf")
+        snapshot = service.telemetry.snapshot()
+        if args.json:
+            import json as _json
+
+            print(_json.dumps({
+                "packets": len(trace),
+                "seconds": elapsed,
+                "packets_per_second": rate,
+                "generation": service.swap.generation,
+                "degraded": service.swap.degraded,
+                "telemetry": snapshot.as_dict(),
+            }, indent=2))
+        else:
+            print(f"replayed {len(trace)} packets in {elapsed:.2f}s "
+                  f"({rate:,.0f} pkt/s)")
+            if args.updates:
+                print(f"  hot updates: {args.updates} inserts, engine "
+                      f"generation {service.swap.generation}, "
+                      f"degraded={service.swap.degraded}")
+            from .runtime.telemetry import render_text
+
+            print(render_text(snapshot))
+    return 0
+
+
 def _cmd_experiments(args) -> int:
     from .bench import experiments as drivers
     from .bench.harness import cached_suite
@@ -317,6 +407,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "profile": _cmd_profile,
     "classify": _cmd_classify,
+    "runtime": _cmd_runtime,
     "experiments": _cmd_experiments,
     "convert": _cmd_convert,
     "export-flows": _cmd_export_flows,

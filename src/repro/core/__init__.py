@@ -19,7 +19,7 @@ from .intervals import (
     prefix_for_interval,
     split_into_prefixes,
 )
-from .packet import Header, Packet, format_header, validate_header
+from .packet import Header, Packet, format_header, headers_array, validate_header
 from .rule import Rule, catch_all_rule, make_rule
 
 __all__ = [
@@ -41,6 +41,7 @@ __all__ = [
     "classbench_schema",
     "format_header",
     "full_interval",
+    "headers_array",
     "interval_from_prefix",
     "interval_from_value_mask",
     "ipv4_5tuple_schema",

@@ -111,6 +111,14 @@ class Classifier:
                 return MatchResult(i, rule)
         raise AssertionError("catch-all rule failed to match")  # pragma: no cover
 
+    def match_batch(
+        self, headers: Iterable[Sequence[int]]
+    ) -> List[MatchResult]:
+        """Naive batched reference: one linear-scan :meth:`match` per
+        header, results in input order.  Ground truth for the optimized
+        batch paths in :mod:`repro.runtime`."""
+        return [self.match(header) for header in headers]
+
     def classify(self, header: Sequence[int]) -> Action:
         """Action of the highest-priority matching rule."""
         return self.match(header).action

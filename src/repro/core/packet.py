@@ -11,12 +11,32 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
+import numpy as np
+
 from .fields import FieldKind, FieldSchema
 
-__all__ = ["Header", "validate_header", "format_header"]
+__all__ = ["Header", "headers_array", "validate_header", "format_header"]
 
 
 Header = Tuple[int, ...]
+
+
+def headers_array(
+    headers: Sequence[Sequence[int]], schema: FieldSchema
+) -> np.ndarray:
+    """A ``(B, k)`` array view of a batch of headers, dtype-matched to
+    :meth:`Classifier.bounds_arrays` (int64 normally, Python objects when
+    any field is wider than 62 bits, e.g. IPv6 prefixes)."""
+    wide = any(spec.width > 62 for spec in schema)
+    dtype = object if wide else np.int64
+    arr = np.asarray(headers, dtype=dtype)
+    if arr.size == 0:
+        return arr.reshape(0, len(schema))
+    if arr.ndim != 2 or arr.shape[1] != len(schema):
+        raise ValueError(
+            f"headers must be (B, {len(schema)}); got shape {arr.shape}"
+        )
+    return arr
 
 
 def validate_header(header: Sequence[int], schema: FieldSchema) -> Header:

@@ -23,9 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..analysis.mgr import Group
 from ..core.classifier import Classifier, MatchResult
 from ..core.intervals import Interval
+from ..core.packet import headers_array
 from .cascading import CascadingTwoFieldIndex
 from .interval_map import DisjointIntervalMap
 from .two_field import TwoFieldIndex
@@ -43,6 +46,21 @@ class GroupIndex:
         """Candidate rule index matching on the group fields, or None."""
         raise NotImplementedError
 
+    def probe_batch(
+        self, headers: Sequence[Sequence[int]], harr: np.ndarray
+    ) -> np.ndarray:
+        """Candidates for a whole batch: int64 array aligned with
+        ``headers``, -1 where the group yields no candidate.  ``harr`` is
+        the :func:`~repro.core.packet.headers_array` view of ``headers``;
+        subclasses with vectorizable structures override this."""
+        out = np.full(len(headers), -1, dtype=np.int64)
+        probe = self.probe
+        for j, header in enumerate(headers):
+            candidate = probe(header)
+            if candidate is not None:
+                out[j] = candidate
+        return out
+
     def __len__(self) -> int:
         raise NotImplementedError
 
@@ -59,6 +77,23 @@ class _OneFieldIndex(GroupIndex):
 
     def probe(self, header: Sequence[int]) -> Optional[int]:
         return self._map.lookup(header[self._field])
+
+    def probe_batch(
+        self, headers: Sequence[Sequence[int]], harr: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized binary search: one ``searchsorted`` for the whole
+        batch instead of B bisects."""
+        lows, highs, payloads = self._map.bounds()
+        if not lows:
+            return np.full(len(headers), -1, dtype=np.int64)
+        values = harr[:, self._field]
+        lows_arr = np.asarray(lows)
+        pos = np.searchsorted(lows_arr, values, side="right") - 1
+        inside = pos >= 0
+        clamped = np.where(inside, pos, 0)
+        inside &= values <= np.asarray(highs)[clamped]
+        result = np.asarray(payloads, dtype=np.int64)[clamped]
+        return np.where(inside, result, np.int64(-1))
 
     def __len__(self) -> int:
         return len(self._map)
@@ -85,6 +120,20 @@ class _TwoFieldGroupIndex(GroupIndex):
     def probe(self, header: Sequence[int]) -> Optional[int]:
         return self._index.lookup(header[self._a], header[self._b])
 
+    def probe_batch(
+        self, headers: Sequence[Sequence[int]], harr: np.ndarray
+    ) -> np.ndarray:
+        """Per-header tree walks with the dispatch hoisted out of the
+        loop (the segment-tree path itself is not batch-vectorizable)."""
+        out = np.full(len(headers), -1, dtype=np.int64)
+        lookup = self._index.lookup
+        a, b = self._a, self._b
+        for j, header in enumerate(headers):
+            candidate = lookup(header[a], header[b])
+            if candidate is not None:
+                out[j] = candidate
+        return out
+
     def __len__(self) -> int:
         return len(self._index)
 
@@ -103,6 +152,7 @@ class LinearGroupIndex(GroupIndex):
             )
             for idx in group.rule_indices
         ]
+        self._bounds: Optional[Tuple[np.ndarray, ...]] = None
 
     def probe(self, header: Sequence[int]) -> Optional[int]:
         """Linear scan over members, matching only the group fields."""
@@ -111,6 +161,30 @@ class LinearGroupIndex(GroupIndex):
             if all(iv.contains(v) for iv, v in zip(intervals, values)):
                 return idx
         return None
+
+    def probe_batch(
+        self, headers: Sequence[Sequence[int]], harr: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized scan: one containment test over the (B, M, f) cube.
+        Order-independence on the group fields means at most one member
+        matches, so 'first match' needs no tie-breaking."""
+        if not self._members:
+            return np.full(len(headers), -1, dtype=np.int64)
+        if self._bounds is None:
+            ids = np.asarray([m for m, _ in self._members], dtype=np.int64)
+            lo = np.asarray(
+                [[iv.low for iv in ivs] for _, ivs in self._members]
+            )
+            hi = np.asarray(
+                [[iv.high for iv in ivs] for _, ivs in self._members]
+            )
+            self._bounds = (ids, lo, hi)
+        ids, lo, hi = self._bounds
+        values = harr[:, list(self.fields)]
+        cube = values[:, None, :]
+        ok = ((lo[None, :, :] <= cube) & (cube <= hi[None, :, :])).all(axis=2)
+        hit = ok.any(axis=1)
+        return np.where(hit, ids[ok.argmax(axis=1)], np.int64(-1))
 
     def __len__(self) -> int:
         return len(self._members)
@@ -197,6 +271,61 @@ class MultiGroupEngine:
                 self.stats.shadow_checks += 1
                 if rules[extra].matches(header) and (best is None or extra < best):
                     best = extra
+        return best
+
+    def lookup_batch(
+        self,
+        headers: Sequence[Sequence[int]],
+        harr: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Batched :meth:`lookup`: best verified body-rule index per
+        header (int64, -1 where no group rule matches).
+
+        Probes each group index once for the whole batch, then verifies
+        every candidate on all fields in one vectorized containment test
+        against :meth:`Classifier.bounds_arrays`.  Stats are updated in
+        aggregate; results are identical to per-header :meth:`lookup`.
+        """
+        n = len(headers)
+        stats = self.stats
+        stats.lookups += n
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        if harr is None:
+            harr = headers_array(headers, self.classifier.schema)
+        lows, highs = self.classifier.bounds_arrays()
+        best = np.full(n, -1, dtype=np.int64)
+        shadow = self.shadow
+        rules = self.classifier.rules
+        for group in self.groups:
+            stats.probes += n
+            cand = group.probe_batch(headers, harr)
+            has = np.nonzero(cand >= 0)[0]
+            if has.size:
+                stats.candidates += int(has.size)
+                c = cand[has]
+                h = harr[has]
+                verified = ((lows[c] <= h) & (h <= highs[c])).all(axis=1)
+                stats.false_positives += int(has.size - verified.sum())
+                rows = has[verified]
+                winners = c[verified]
+                current = best[rows]
+                better = (current < 0) | (winners < current)
+                best[rows[better]] = winners[better]
+            if shadow:
+                # Rare path (fresh dynamic inserts riding as extra checks):
+                # only headers whose candidate hosts shadows take the loop.
+                for j in has:
+                    extras = shadow.get(int(cand[j]))
+                    if not extras:
+                        continue
+                    header = headers[j]
+                    for extra in extras:
+                        stats.shadow_checks += 1
+                        if rules[extra].matches(header) and (
+                            best[j] < 0 or extra < best[j]
+                        ):
+                            best[j] = extra
         return best
 
     def match(self, header: Sequence[int]) -> MatchResult:

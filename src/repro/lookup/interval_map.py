@@ -53,6 +53,11 @@ class DisjointIntervalMap(Generic[T]):
             return self._payloads[i]
         return None
 
+    def bounds(self) -> Tuple[List[int], List[int], List[T]]:
+        """``(lows, highs, payloads)`` in ascending interval order — the
+        raw sorted arrays, exposed for vectorized batch probes."""
+        return self._lows, self._highs, self._payloads
+
     def intervals(self) -> List[Interval]:
         """The stored intervals in ascending order."""
         return [Interval(lo, hi) for lo, hi in zip(self._lows, self._highs)]

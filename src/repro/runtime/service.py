@@ -1,0 +1,164 @@
+"""The serving facade: hot-swappable engine + batching + sharding +
+telemetry, behind one object.
+
+:class:`RuntimeService` is what ``python -m repro runtime`` drives: it
+owns a :class:`~repro.runtime.swap.HotSwapRuntime` (so rules can change
+under live traffic), optionally fans batches out over a
+:class:`~repro.runtime.shard.ShardedRuntime`, and records everything into
+one :class:`~repro.runtime.telemetry.Telemetry` instance.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.classifier import Classifier, MatchResult
+from ..core.rule import Rule
+from ..saxpac.config import EngineConfig
+from .batch import iter_batches
+from .shard import ShardedRuntime
+from .swap import HotSwapRuntime
+from .telemetry import Telemetry, TelemetrySnapshot, render_text
+
+__all__ = ["RunReport", "RuntimeConfig", "RuntimeService"]
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Knobs of the serving pipeline (engine knobs ride in ``engine``)."""
+
+    batch_size: int = 1024
+    num_shards: int = 1
+    shard_mode: str = "thread"
+    background_rebuild: bool = False
+    engine: EngineConfig = field(default_factory=EngineConfig)
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if self.shard_mode not in ("thread", "process"):
+            raise ValueError(f"unknown shard mode {self.shard_mode!r}")
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Outcome of one trace replay."""
+
+    packets: int
+    seconds: float
+    telemetry: TelemetrySnapshot
+
+    @property
+    def packets_per_second(self) -> float:
+        """Throughput over the whole replay."""
+        if self.seconds <= 0:
+            return float("inf")
+        return self.packets / self.seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable summary."""
+        return {
+            "packets": self.packets,
+            "seconds": self.seconds,
+            "packets_per_second": self.packets_per_second,
+            "telemetry": self.telemetry.as_dict(),
+        }
+
+
+class RuntimeService:
+    """Batched, sharded, hot-swappable classification service."""
+
+    def __init__(
+        self,
+        classifier: Classifier,
+        config: Optional[RuntimeConfig] = None,
+        recorder: Optional[Telemetry] = None,
+    ) -> None:
+        self.config = config or RuntimeConfig()
+        self.telemetry = recorder if recorder is not None else Telemetry()
+        self.swap = HotSwapRuntime(
+            classifier,
+            config=self.config.engine,
+            recorder=self.telemetry,
+            background=self.config.background_rebuild,
+        )
+        self.shards: Optional[ShardedRuntime] = None
+        if self.config.num_shards > 1:
+            if self.config.shard_mode == "process":
+                self.shards = ShardedRuntime(
+                    classifier=classifier,
+                    config=self.config.engine,
+                    num_shards=self.config.num_shards,
+                    mode="process",
+                    recorder=self.telemetry,
+                )
+            else:
+                self.shards = ShardedRuntime(
+                    engine_source=lambda: self.swap.engine,
+                    num_shards=self.config.num_shards,
+                    recorder=self.telemetry,
+                )
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def match_batch(
+        self, headers: Sequence[Sequence[int]]
+    ) -> List[MatchResult]:
+        """One batch through the pipeline (sharded when configured)."""
+        start = time.perf_counter()
+        if self.shards is not None:
+            results = self.shards.match_batch(headers)
+        else:
+            results = self.swap.match_batch(headers)
+        self.telemetry.incr("runtime.batches")
+        self.telemetry.incr("runtime.packets", len(headers))
+        self.telemetry.observe("runtime.batch", time.perf_counter() - start)
+        return results
+
+    def run_trace(self, trace: Sequence[Sequence[int]]) -> RunReport:
+        """Replay a whole trace in ``batch_size`` batches."""
+        start = time.perf_counter()
+        for batch in iter_batches(trace, self.config.batch_size):
+            self.match_batch(batch)
+        elapsed = time.perf_counter() - start
+        return RunReport(
+            packets=len(trace),
+            seconds=elapsed,
+            telemetry=self.telemetry.snapshot(),
+        )
+
+    # ------------------------------------------------------------------
+    # Control path
+    # ------------------------------------------------------------------
+    def insert(self, rule: Rule):
+        """Hot-insert a rule (serves after the next swap)."""
+        return self.swap.insert(rule)
+
+    def remove(self, rule_id: int) -> None:
+        """Hot-remove a rule by id."""
+        self.swap.remove(rule_id)
+
+    def modify(self, rule_id: int, rule: Rule):
+        """Hot-modify a rule in place."""
+        return self.swap.modify(rule_id, rule)
+
+    def report_text(self) -> str:
+        """Human-readable telemetry report."""
+        return render_text(self.telemetry.snapshot())
+
+    def close(self) -> None:
+        """Drain rebuilds and stop the shard pool."""
+        self.swap.flush()
+        if self.shards is not None:
+            self.shards.close()
+
+    def __enter__(self) -> "RuntimeService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

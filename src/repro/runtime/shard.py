@@ -1,0 +1,208 @@
+"""Sharded classification: a worker pool over N engine replicas.
+
+A batch is split into N contiguous chunks, each classified on its own
+replica of the engine, and the per-chunk results are merged back in input
+order.  Threads are the default (replicas are deep copies, so per-replica
+counters stay exact and lock-free); ``mode="process"`` opts into
+``multiprocessing`` workers that each build their own engine from the
+pickled classifier — useful when the per-chunk work is heavy enough to
+amortize the IPC.
+
+Workers return bare rule indices; the parent materializes
+:class:`MatchResult` objects against its own classifier, so results are
+identical (by value) to the unsharded path regardless of mode.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence
+
+from ..core.classifier import Classifier, MatchResult
+from .batch import match_batch
+from .telemetry import NULL_RECORDER
+
+__all__ = ["ShardedRuntime", "default_num_shards"]
+
+
+def default_num_shards() -> int:
+    """Worker count when unspecified: CPUs, capped at 8."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+# -- process-mode plumbing (module level so workers can unpickle it) ----
+_WORKER_ENGINE = None
+
+
+def _init_process_worker(classifier, config) -> None:
+    global _WORKER_ENGINE
+    from ..saxpac.engine import SaxPacEngine
+
+    _WORKER_ENGINE = SaxPacEngine(classifier, config)
+
+
+def _classify_chunk_in_worker(chunk) -> List[int]:
+    return [result.index for result in _WORKER_ENGINE.match_batch(chunk)]
+
+
+class ShardedRuntime:
+    """Partition batches across engine replicas and merge in order.
+
+    Three construction styles:
+
+    * ``ShardedRuntime(engine=built_engine)`` — thread workers over deep
+      copies of an already-built engine (cheapest; the default);
+    * ``ShardedRuntime(engine_source=lambda: runtime.engine)`` — thread
+      workers that re-read the engine per chunk, sharing one instance;
+      this is the hook :class:`~repro.runtime.swap.HotSwapRuntime` uses so
+      shards observe hot swaps;
+    * ``ShardedRuntime(classifier=k, config=cfg, mode="process")`` —
+      process workers, each building a private engine at pool start.
+    """
+
+    def __init__(
+        self,
+        engine=None,
+        classifier: Optional[Classifier] = None,
+        config=None,
+        num_shards: Optional[int] = None,
+        mode: str = "thread",
+        recorder=None,
+        engine_source: Optional[Callable[[], object]] = None,
+    ) -> None:
+        if mode not in ("thread", "process"):
+            raise ValueError(f"unknown shard mode {mode!r}")
+        sources = sum(
+            x is not None for x in (engine, engine_source, classifier)
+        )
+        if sources != 1:
+            raise ValueError(
+                "pass exactly one of engine / engine_source / classifier"
+            )
+        if mode == "process" and classifier is None:
+            raise ValueError(
+                "process mode needs a classifier (engines do not cross "
+                "process boundaries)"
+            )
+        self.num_shards = (
+            default_num_shards() if num_shards is None else num_shards
+        )
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.mode = mode
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self._pool = None
+        self._replicas: List[object] = []
+        self._source = engine_source
+        if mode == "process":
+            import multiprocessing
+
+            from ..saxpac.config import EngineConfig
+
+            self.classifier = classifier
+            ctx = multiprocessing.get_context()
+            self._pool = ctx.Pool(
+                processes=self.num_shards,
+                initializer=_init_process_worker,
+                initargs=(classifier, config or EngineConfig()),
+            )
+        else:
+            if classifier is not None:
+                from ..saxpac.engine import SaxPacEngine
+
+                engine = SaxPacEngine(classifier, config)
+            if engine is not None:
+                self.classifier = engine.classifier
+                self._replicas = [engine] + [
+                    copy.deepcopy(engine)
+                    for _ in range(self.num_shards - 1)
+                ]
+            else:
+                self.classifier = engine_source().classifier
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.num_shards,
+                thread_name_prefix="saxpac-shard",
+            )
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def _chunks(
+        self, headers: Sequence[Sequence[int]]
+    ) -> List[Sequence[Sequence[int]]]:
+        n = len(headers)
+        shards = min(self.num_shards, n)
+        base, extra = divmod(n, shards)
+        chunks = []
+        start = 0
+        for i in range(shards):
+            size = base + (1 if i < extra else 0)
+            chunks.append(headers[start : start + size])
+            start += size
+        return chunks
+
+    def _classify_on_replica(self, shard: int, chunk) -> List[int]:
+        if self._replicas:
+            engine = self._replicas[shard]
+        else:
+            engine = self._source()  # shared, re-read per chunk (RCU)
+        return [result.index for result in match_batch(engine, chunk)]
+
+    def match_indices(self, headers: Sequence[Sequence[int]]) -> List[int]:
+        """Winning rule indices for a batch, in input order."""
+        if not len(headers):
+            return []
+        chunks = self._chunks(headers)
+        if self.mode == "process":
+            parts = self._pool.map(_classify_chunk_in_worker, chunks)
+        else:
+            futures = [
+                self._executor.submit(self._classify_on_replica, i, chunk)
+                for i, chunk in enumerate(chunks)
+            ]
+            parts = [future.result() for future in futures]
+        recorder = self.recorder
+        if recorder.enabled:
+            recorder.incr("shard.batches")
+            recorder.incr("shard.packets", len(headers))
+            recorder.incr("shard.chunks", len(chunks))
+        merged: List[int] = []
+        for part in parts:  # chunk order == input order
+            merged.extend(part)
+        return merged
+
+    def match_batch(
+        self, headers: Sequence[Sequence[int]]
+    ) -> List[MatchResult]:
+        """Batched classification across the shards; results identical to
+        the unsharded engine."""
+        if self._source is not None:
+            # Shared-engine mode: the rule set moves under hot swaps, so
+            # materialize against the engine that is serving right now.
+            self.classifier = self._source().classifier
+        rules = self.classifier.rules
+        return [
+            MatchResult(index, rules[index])
+            for index in self.match_indices(headers)
+        ]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        elif getattr(self, "_executor", None) is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ShardedRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,274 @@
+"""Runtime telemetry: per-stage counters and latency histograms.
+
+The serving pipeline (batching, sharding, hot swaps) needs operational
+visibility without taxing the per-packet hot path.  Two recorder
+implementations share one duck-typed interface:
+
+* :data:`NULL_RECORDER` — a singleton whose methods are no-ops and whose
+  ``enabled`` flag is False, so instrumented code can skip even the
+  ``perf_counter`` calls when nobody is listening;
+* :class:`Telemetry` — thread-safe counters plus log2-bucketed latency
+  histograms, with a :meth:`~Telemetry.snapshot` API and text/JSON
+  renderers for the CLI report.
+
+Counter names are dotted strings (``engine.group_probes``,
+``swap.rebuild_failures``, ...) so renderers can group them by stage.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "HistogramStats",
+    "LatencyHistogram",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "Telemetry",
+    "TelemetrySnapshot",
+    "render_text",
+]
+
+#: Histogram buckets are powers of two in microseconds: bucket i holds
+#: observations in [2**(i-1), 2**i) us, bucket 0 holds (0, 1) us.
+_NUM_BUCKETS = 40
+
+
+@dataclass(frozen=True)
+class HistogramStats:
+    """Summary of one latency histogram (all times in seconds)."""
+
+    count: int
+    total: float
+    minimum: float
+    maximum: float
+    p50: float
+    p99: float
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean latency."""
+        return self.total / self.count if self.count else 0.0
+
+
+class LatencyHistogram:
+    """Log2-bucketed latency histogram (microsecond-scaled buckets).
+
+    Buckets give O(1) recording with bounded memory while still answering
+    quantile questions to within a factor of two — plenty for spotting a
+    rebuild stall or a slow shard.
+    """
+
+    def __init__(self) -> None:
+        self.buckets: List[int] = [0] * _NUM_BUCKETS
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one observation."""
+        micros = seconds * 1e6
+        index = 0 if micros < 1.0 else min(
+            _NUM_BUCKETS - 1, int(micros).bit_length()
+        )
+        self.buckets[index] += 1
+        self.count += 1
+        self.total += seconds
+        if seconds < self.minimum:
+            self.minimum = seconds
+        if seconds > self.maximum:
+            self.maximum = seconds
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other``'s observations into this histogram."""
+        for i, n in enumerate(other.buckets):
+            self.buckets[i] += n
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    def _quantile(self, q: float) -> float:
+        """Upper bound of the bucket containing the q-quantile, seconds."""
+        if not self.count:
+            return 0.0
+        need = q * self.count
+        seen = 0
+        for i, n in enumerate(self.buckets):
+            seen += n
+            if seen >= need:
+                return (1 << i) / 1e6
+        return self.maximum  # pragma: no cover - defensive
+
+    def stats(self) -> HistogramStats:
+        """Freeze the histogram into summary statistics."""
+        return HistogramStats(
+            count=self.count,
+            total=self.total,
+            minimum=0.0 if self.count == 0 else self.minimum,
+            maximum=self.maximum,
+            p50=self._quantile(0.50),
+            p99=self._quantile(0.99),
+        )
+
+
+class NullRecorder:
+    """No-op recorder: every instrumentation hook vanishes.
+
+    ``enabled`` is False so hot paths can also skip the clock reads that
+    would feed :meth:`observe`.
+    """
+
+    enabled = False
+
+    def incr(self, counter: str, n: int = 1) -> None:
+        """Discard a counter increment."""
+
+    def observe(self, stage: str, seconds: float) -> None:
+        """Discard a latency observation."""
+
+
+#: Shared no-op recorder; the default for every instrumented component.
+NULL_RECORDER = NullRecorder()
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """Point-in-time copy of all counters and histogram summaries."""
+
+    counters: Mapping[str, int]
+    latencies: Mapping[str, HistogramStats]
+
+    def counter(self, name: str) -> int:
+        """Counter value (0 when never incremented)."""
+        return self.counters.get(name, 0)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON-serializable)."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "latencies": {
+                name: {
+                    "count": s.count,
+                    "total_s": s.total,
+                    "mean_s": s.mean,
+                    "min_s": s.minimum,
+                    "max_s": s.maximum,
+                    "p50_s": s.p50,
+                    "p99_s": s.p99,
+                }
+                for name, s in sorted(self.latencies.items())
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """JSON rendering of :meth:`as_dict`."""
+        return json.dumps(self.as_dict(), indent=indent)
+
+
+class Telemetry:
+    """Thread-safe recorder: dotted counters + per-stage latency
+    histograms.
+
+    Recording takes one lock; the pipeline records in batch-sized
+    aggregates (not per packet), so contention stays negligible.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._latencies: Dict[str, LatencyHistogram] = {}
+
+    def incr(self, counter: str, n: int = 1) -> None:
+        """Add ``n`` to ``counter`` (created on first use)."""
+        with self._lock:
+            self._counters[counter] = self._counters.get(counter, 0) + n
+
+    def observe(self, stage: str, seconds: float) -> None:
+        """Record one latency observation for ``stage``."""
+        with self._lock:
+            hist = self._latencies.get(stage)
+            if hist is None:
+                hist = self._latencies[stage] = LatencyHistogram()
+            hist.observe(seconds)
+
+    def counter(self, name: str) -> int:
+        """Current value of one counter."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def merge(self, other: "Telemetry") -> None:
+        """Fold another recorder's data in (used when shards keep local
+        recorders)."""
+        snap = other.snapshot()
+        with self._lock:
+            for name, value in snap.counters.items():
+                self._counters[name] = self._counters.get(name, 0) + value
+        with other._lock:
+            for stage, hist in other._latencies.items():
+                with self._lock:
+                    mine = self._latencies.get(stage)
+                    if mine is None:
+                        mine = self._latencies[stage] = LatencyHistogram()
+                    mine.merge(hist)
+
+    def reset(self) -> None:
+        """Drop all recorded data."""
+        with self._lock:
+            self._counters.clear()
+            self._latencies.clear()
+
+    def snapshot(self) -> TelemetrySnapshot:
+        """Consistent copy of counters and histogram summaries."""
+        with self._lock:
+            return TelemetrySnapshot(
+                counters=dict(self._counters),
+                latencies={
+                    name: hist.stats()
+                    for name, hist in self._latencies.items()
+                },
+            )
+
+
+def _group_by_stage(names: Iterator[str]) -> Dict[str, List[str]]:
+    groups: Dict[str, List[str]] = {}
+    for name in names:
+        stage = name.split(".", 1)[0]
+        groups.setdefault(stage, []).append(name)
+    return groups
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def render_text(snapshot: TelemetrySnapshot) -> str:
+    """Human-readable telemetry report, grouped by pipeline stage."""
+    lines: List[str] = ["telemetry:"]
+    by_stage = _group_by_stage(iter(sorted(snapshot.counters)))
+    for stage in sorted(by_stage):
+        lines.append(f"  {stage}:")
+        for name in by_stage[stage]:
+            short = name.split(".", 1)[1] if "." in name else name
+            lines.append(f"    {short:<24} {snapshot.counters[name]:>12,}")
+    if snapshot.latencies:
+        lines.append("  latency:")
+        for name in sorted(snapshot.latencies):
+            s = snapshot.latencies[name]
+            lines.append(
+                f"    {name:<24} n={s.count:<8} mean={_fmt_seconds(s.mean)}"
+                f" p50={_fmt_seconds(s.p50)} p99={_fmt_seconds(s.p99)}"
+                f" max={_fmt_seconds(s.maximum)}"
+            )
+    return "\n".join(lines)

@@ -13,13 +13,15 @@ measurable counters.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from ..analysis.mgr import enforce_cache_property, l_mgr
+from ..analysis.mgr import Group, MGRResult, enforce_cache_property, l_mgr
 from ..analysis.mrc import greedy_independent_set
 from ..core.classifier import Classifier, MatchResult
 from ..lookup.group_engine import MultiGroupEngine
+from ..runtime.telemetry import NULL_RECORDER
 
 __all__ = ["ClassificationCache", "CacheStats"]
 
@@ -49,8 +51,16 @@ class ClassificationCache:
         max_groups: Optional[int] = None,
         max_group_fields: int = 2,
         capacity: Optional[int] = None,
+        recorder=None,
     ) -> None:
+        """``capacity`` bounds the number of rules the cache front-end may
+        hold (``cached_rules <= capacity`` always); ``recorder`` is an
+        optional :mod:`repro.runtime.telemetry` sink."""
+        if capacity is not None and capacity < 0:
+            raise ValueError("capacity must be >= 0")
         self.classifier = classifier
+        self.capacity = capacity
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         independent = greedy_independent_set(classifier)
         grouping = l_mgr(
             classifier,
@@ -59,8 +69,6 @@ class ClassificationCache:
             rule_subset=independent.rule_indices,
         )
         # Everything outside the groups is D for MRCC purposes.
-        from ..analysis.mgr import MGRResult
-
         spill = set(grouping.ungrouped)
         spill.update(independent.complement(len(classifier.body)))
         grouping = MGRResult(grouping.groups, tuple(sorted(spill)), grouping.l)
@@ -68,26 +76,35 @@ class ClassificationCache:
         if capacity is not None:
             grouping = self._trim_to_capacity(grouping, capacity)
             # Trimming moved rules into D, which may reintroduce priority
-            # inversions — re-establish the cache property.
+            # inversions — re-establish the cache property.  Demotion only
+            # shrinks groups, so the capacity bound survives this pass.
             grouping = enforce_cache_property(classifier, grouping)
         self.grouping = grouping
         self._engine = MultiGroupEngine(classifier, grouping.groups)
         self.stats = CacheStats()
 
     @staticmethod
-    def _trim_to_capacity(grouping, capacity: int):
-        """Keep the largest groups that fit the cache's rule capacity."""
-        from ..analysis.mgr import MGRResult
-
+    def _trim_to_capacity(grouping: MGRResult, capacity: int) -> MGRResult:
+        """Fit the grouping into ``capacity`` rules: keep the largest
+        groups whole, and fill the remaining budget with a *prefix* of the
+        next group — any subset of an order-independent group is still
+        order-independent on the same fields, so truncation is sound.
+        Highest-priority members are kept (they see the most traffic under
+        priority-skewed loads)."""
         kept = []
         spill = set(grouping.ungrouped)
         budget = capacity
         for group in sorted(grouping.groups, key=lambda g: -g.size):
-            if group.size <= budget:
+            if budget <= 0:
+                spill.update(group.rule_indices)
+            elif group.size <= budget:
                 kept.append(group)
                 budget -= group.size
             else:
-                spill.update(group.rule_indices)
+                members = sorted(group.rule_indices)[:budget]
+                spill.update(set(group.rule_indices) - set(members))
+                kept.append(Group(tuple(members), group.fields))
+                budget = 0
         return MGRResult(tuple(kept), tuple(sorted(spill)), grouping.l)
 
     @property
@@ -97,9 +114,18 @@ class ClassificationCache:
 
     def match(self, header: Sequence[int]) -> MatchResult:
         """Cache probe; on miss, defer to the full classifier."""
+        recorder = self.recorder
+        if recorder.enabled:
+            start = time.perf_counter()
         self.stats.lookups += 1
         cached = self._engine.lookup(header)
         if cached is not None:
             self.stats.hits += 1
-            return MatchResult(cached, self.classifier.rules[cached])
-        return self.classifier.match(header)
+            result = MatchResult(cached, self.classifier.rules[cached])
+        else:
+            result = self.classifier.match(header)
+        if recorder.enabled:
+            recorder.incr("cache.lookups")
+            recorder.incr("cache.hits" if cached is not None else "cache.misses")
+            recorder.observe("cache.match", time.perf_counter() - start)
+        return result

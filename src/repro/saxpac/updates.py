@@ -33,6 +33,7 @@ from ..core.intervals import merge_intervals
 from ..core.rule import Rule
 from ..lookup.interval_map import DisjointIntervalMap
 from ..lookup.two_field import TwoFieldIndex
+from ..runtime.telemetry import NULL_RECORDER
 
 __all__ = ["InsertOutcome", "InsertReport", "DynamicSaxPac"]
 
@@ -145,11 +146,15 @@ class DynamicSaxPac:
         fp_budget: int = 1,
         d_capacity: Optional[int] = None,
         default_action: Action = TRANSMIT,
+        recorder=None,
     ) -> None:
         if max_group_fields < 1:
             raise ValueError("max_group_fields must be >= 1")
         if fp_budget < 0:
             raise ValueError("fp_budget must be >= 0")
+        #: Telemetry sink (:mod:`repro.runtime.telemetry`); defaults to
+        #: the no-op recorder.
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.schema = schema
         self.max_group_fields = min(max_group_fields, len(schema))
         self.max_groups = max_groups
@@ -229,6 +234,10 @@ class DynamicSaxPac:
             self._rules[rule_id] = rule
             self._prio[rule_id] = self._next_prio
             self._next_prio += 1.0
+        recorder = self.recorder
+        if recorder.enabled:
+            recorder.incr("dyn.inserts")
+            recorder.incr(f"dyn.insert_{report.outcome.value}")
         return report
 
     def _place(self, rule: Rule, rule_id: int) -> InsertReport:
@@ -349,6 +358,7 @@ class DynamicSaxPac:
         for orphan in orphans:
             self._detach_shadow(orphan)
             self._replace_existing(orphan)
+        self.recorder.incr("dyn.removes")
 
     def _drop_group(self, index: int) -> None:
         del self._groups[index]
@@ -424,6 +434,7 @@ class DynamicSaxPac:
                         # Other feasible subsets may have been invalidated
                         # by the new intervals.
                         self._narrow_feasible(group, rule_id)
+                    self.recorder.incr("dyn.modifies")
                     return InsertReport(InsertOutcome.GROUP, rule_id, group=g)
                 break
         # General path: re-place under the same priority.
@@ -435,12 +446,14 @@ class DynamicSaxPac:
         if not report.accepted:
             del self._rules[rule_id]
             del self._prio[rule_id]
+        self.recorder.incr("dyn.modifies")
         return report
 
     def recompute(self) -> None:
         """Full re-optimization (the "background recomputation"): rebuild
         the decomposition from the current rules."""
         self.recomputations += 1
+        self.recorder.incr("dyn.recomputations")
         ordered = sorted(self._rules, key=lambda rid: self._prio[rid])
         self._groups = []
         self._d = []

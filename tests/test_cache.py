@@ -37,6 +37,60 @@ class TestEquivalence:
             assert cache.match(header).index == k.match(header).index
 
 
+class TestCapacityEnforcement:
+    """Regression tests for the capacity bound (see _trim_to_capacity):
+    the bound must hold exactly, reject nonsense, and not waste budget by
+    spilling whole groups when a prefix would fit."""
+
+    def test_negative_capacity_rejected(self):
+        k = random_classifier(random.Random(1), num_rules=10)
+        with pytest.raises(ValueError):
+            ClassificationCache(k, capacity=-1)
+
+    def test_zero_capacity_caches_nothing(self):
+        rng = random.Random(2)
+        k = random_classifier(rng, num_rules=20)
+        cache = ClassificationCache(k, capacity=0)
+        assert cache.cached_rules == 0
+        for header in k.sample_headers(100, rng):
+            assert cache.match(header).index == k.match(header).index
+        assert cache.stats.hits == 0  # everything fell through
+
+    @pytest.mark.parametrize("capacity", [1, 3, 7, 15])
+    def test_bound_holds_across_seeds(self, capacity):
+        for seed in range(10):
+            rng = random.Random(300 + seed)
+            k = random_classifier(rng, num_rules=30)
+            cache = ClassificationCache(k, capacity=capacity)
+            assert cache.cached_rules <= capacity
+            for header in k.sample_headers(60, rng):
+                assert cache.match(header).index == k.match(header).index
+
+    def test_partial_group_fills_budget(self, example2_classifier):
+        """A capacity smaller than the only group must truncate the group
+        rather than spill it whole (a subset of an order-independent group
+        is still order-independent)."""
+        full = ClassificationCache(example2_classifier)
+        assert full.cached_rules == 3
+        trimmed = ClassificationCache(example2_classifier, capacity=2)
+        assert trimmed.cached_rules == 2  # not 0
+        rng = random.Random(4)
+        for header in example2_classifier.sample_headers(100, rng):
+            assert (
+                trimmed.match(header).index
+                == example2_classifier.match(header).index
+            )
+
+    def test_truncation_keeps_highest_priority_members(
+        self, example2_classifier
+    ):
+        trimmed = ClassificationCache(example2_classifier, capacity=2)
+        kept = sorted(
+            i for g in trimmed.grouping.groups for i in g.rule_indices
+        )
+        assert kept == [0, 1]  # R1, R2 — the highest-priority prefix
+
+
 class TestCachePropertySemantics:
     def test_hit_never_needs_backing_store(self):
         """The MRCC guarantee, checked directly: whenever the cache engine

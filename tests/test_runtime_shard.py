@@ -1,0 +1,122 @@
+"""Tests for repro.runtime.shard: chunking, merge order, both modes."""
+
+import random
+
+import pytest
+
+from conftest import random_classifier
+from repro.runtime.shard import ShardedRuntime, default_num_shards
+from repro.runtime.telemetry import Telemetry
+from repro.saxpac.engine import SaxPacEngine
+from repro.workloads.traces import generate_trace
+
+
+@pytest.fixture
+def setup():
+    rng = random.Random(21)
+    classifier = random_classifier(rng, num_rules=40)
+    engine = SaxPacEngine(classifier)
+    trace = generate_trace(classifier, 400, seed=5)
+    return classifier, engine, trace
+
+
+class TestConstruction:
+    def test_default_num_shards_positive(self):
+        assert default_num_shards() >= 1
+
+    def test_requires_exactly_one_source(self, setup):
+        classifier, engine, _ = setup
+        with pytest.raises(ValueError):
+            ShardedRuntime()
+        with pytest.raises(ValueError):
+            ShardedRuntime(engine=engine, classifier=classifier)
+
+    def test_rejects_unknown_mode(self, setup):
+        _, engine, _ = setup
+        with pytest.raises(ValueError):
+            ShardedRuntime(engine=engine, mode="fiber")
+
+    def test_process_mode_needs_classifier(self, setup):
+        _, engine, _ = setup
+        with pytest.raises(ValueError):
+            ShardedRuntime(engine=engine, mode="process")
+
+    def test_rejects_nonpositive_shards(self, setup):
+        _, engine, _ = setup
+        with pytest.raises(ValueError):
+            ShardedRuntime(engine=engine, num_shards=0)
+
+
+class TestThreadMode:
+    def test_matches_unsharded(self, setup):
+        classifier, engine, trace = setup
+        want = [r.index for r in engine.match_batch(trace)]
+        with ShardedRuntime(engine=engine, num_shards=3) as sharded:
+            assert sharded.match_indices(trace) == want
+
+    def test_match_batch_materializes_results(self, setup):
+        classifier, engine, trace = setup
+        with ShardedRuntime(engine=engine, num_shards=3) as sharded:
+            results = sharded.match_batch(trace[:50])
+        for header, result in zip(trace[:50], results):
+            want = classifier.match(header)
+            assert result.index == want.index
+            assert result.rule is want.rule
+
+    def test_batch_smaller_than_shards(self, setup):
+        classifier, engine, trace = setup
+        with ShardedRuntime(engine=engine, num_shards=8) as sharded:
+            got = sharded.match_indices(trace[:3])
+        assert got == [classifier.match(h).index for h in trace[:3]]
+
+    def test_empty_batch(self, setup):
+        _, engine, _ = setup
+        with ShardedRuntime(engine=engine, num_shards=2) as sharded:
+            assert sharded.match_indices([]) == []
+
+    def test_from_classifier(self, setup):
+        classifier, engine, trace = setup
+        with ShardedRuntime(classifier=classifier, num_shards=2) as sharded:
+            got = sharded.match_indices(trace[:100])
+        assert got == [r.index for r in engine.match_batch(trace[:100])]
+
+    def test_engine_source_sees_swaps(self, setup):
+        classifier, engine, trace = setup
+        engines = {"current": engine}
+        with ShardedRuntime(
+            engine_source=lambda: engines["current"], num_shards=2
+        ) as sharded:
+            before = sharded.match_indices(trace[:100])
+            # Swap in a fresh replica mid-stream; shards must observe it.
+            engines["current"] = SaxPacEngine(classifier)
+            after = sharded.match_indices(trace[:100])
+        assert before == after  # same rules, new engine object
+
+    def test_telemetry(self, setup):
+        _, engine, trace = setup
+        tel = Telemetry()
+        with ShardedRuntime(
+            engine=engine, num_shards=4, recorder=tel
+        ) as sharded:
+            sharded.match_indices(trace)
+        snap = tel.snapshot()
+        assert snap.counter("shard.batches") == 1
+        assert snap.counter("shard.packets") == len(trace)
+        assert snap.counter("shard.chunks") == 4
+
+    def test_close_idempotent(self, setup):
+        _, engine, _ = setup
+        sharded = ShardedRuntime(engine=engine, num_shards=2)
+        sharded.close()
+        sharded.close()
+
+
+class TestProcessMode:
+    def test_matches_unsharded(self, setup):
+        classifier, engine, trace = setup
+        want = [r.index for r in engine.match_batch(trace[:120])]
+        with ShardedRuntime(
+            classifier=classifier, num_shards=2, mode="process"
+        ) as sharded:
+            got = sharded.match_indices(trace[:120])
+        assert got == want

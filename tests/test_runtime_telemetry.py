@@ -1,0 +1,153 @@
+"""Tests for repro.runtime.telemetry: counters, histograms, renderers."""
+
+import json
+import threading
+
+import pytest
+
+from repro.runtime.telemetry import (
+    NULL_RECORDER,
+    LatencyHistogram,
+    NullRecorder,
+    Telemetry,
+    render_text,
+)
+
+
+class TestNullRecorder:
+    def test_disabled_flag(self):
+        assert NULL_RECORDER.enabled is False
+        assert NullRecorder().enabled is False
+
+    def test_noop_methods(self):
+        rec = NullRecorder()
+        rec.incr("x")
+        rec.incr("x", 5)
+        rec.observe("stage", 0.25)  # no state, no error
+
+
+class TestLatencyHistogram:
+    def test_empty_stats(self):
+        stats = LatencyHistogram().stats()
+        assert stats.count == 0
+        assert stats.p50 == 0.0
+        assert stats.p99 == 0.0
+        assert stats.minimum == 0.0
+        assert stats.mean == 0.0
+
+    def test_observe_and_percentiles(self):
+        hist = LatencyHistogram()
+        for _ in range(100):
+            hist.observe(0.001)  # 1 ms
+        stats = hist.stats()
+        assert stats.count == 100
+        assert stats.minimum <= 0.001 <= stats.maximum
+        # log2 buckets answer quantiles to within a factor of two.
+        assert 0.0005 <= stats.p50 <= 0.002
+        assert 0.0005 <= stats.p99 <= 0.002
+        assert stats.mean == pytest.approx(0.001)
+
+    def test_merge(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.observe(0.001)
+        b.observe(0.010)
+        a.merge(b)
+        stats = a.stats()
+        assert stats.count == 2
+        assert stats.maximum >= 0.010
+        assert stats.minimum <= 0.001
+
+    def test_extreme_values_clamped(self):
+        hist = LatencyHistogram()
+        hist.observe(0.0)
+        hist.observe(1e9)
+        assert hist.stats().count == 2
+
+
+class TestTelemetry:
+    def test_incr_and_counter(self):
+        tel = Telemetry()
+        tel.incr("engine.lookups")
+        tel.incr("engine.lookups", 4)
+        assert tel.counter("engine.lookups") == 5
+        assert tel.counter("missing") == 0
+
+    def test_enabled_flag(self):
+        assert Telemetry().enabled is True
+
+    def test_snapshot_is_frozen_view(self):
+        tel = Telemetry()
+        tel.incr("a", 2)
+        snap = tel.snapshot()
+        tel.incr("a", 10)
+        assert snap.counter("a") == 2  # snapshot unaffected by later incr
+        assert tel.counter("a") == 12
+
+    def test_observe_appears_in_snapshot(self):
+        tel = Telemetry()
+        tel.observe("engine.match", 0.002)
+        tel.observe("engine.match", 0.004)
+        snap = tel.snapshot()
+        assert "engine.match" in snap.latencies
+        assert snap.latencies["engine.match"].count == 2
+
+    def test_reset(self):
+        tel = Telemetry()
+        tel.incr("a")
+        tel.observe("s", 0.1)
+        tel.reset()
+        snap = tel.snapshot()
+        assert dict(snap.counters) == {}
+        assert dict(snap.latencies) == {}
+
+    def test_merge_other_telemetry(self):
+        a, b = Telemetry(), Telemetry()
+        a.incr("x", 1)
+        b.incr("x", 2)
+        b.observe("s", 0.01)
+        a.merge(b)
+        assert a.counter("x") == 3
+        assert a.snapshot().latencies["s"].count == 1
+
+    def test_thread_safety_smoke(self):
+        tel = Telemetry()
+
+        def worker():
+            for _ in range(1000):
+                tel.incr("n")
+                tel.observe("s", 0.0001)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert tel.counter("n") == 4000
+        assert tel.snapshot().latencies["s"].count == 4000
+
+
+class TestRenderers:
+    def test_to_json_round_trip(self):
+        tel = Telemetry()
+        tel.incr("engine.lookups", 7)
+        tel.observe("engine.match", 0.003)
+        data = json.loads(tel.snapshot().to_json())
+        assert data["counters"]["engine.lookups"] == 7
+        assert data["latencies"]["engine.match"]["count"] == 1
+        assert data["latencies"]["engine.match"]["mean_s"] == pytest.approx(
+            0.003
+        )
+
+    def test_render_text_groups_by_prefix(self):
+        tel = Telemetry()
+        tel.incr("engine.lookups", 3)
+        tel.incr("cache.hits", 1)
+        tel.observe("engine.match", 0.001)
+        text = render_text(tel.snapshot())
+        assert "engine:" in text
+        assert "cache:" in text
+        assert "lookups" in text
+        assert "engine.match" in text
+
+    def test_render_text_empty(self):
+        assert isinstance(render_text(Telemetry().snapshot()), str)
