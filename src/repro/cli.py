@@ -8,7 +8,12 @@ analyze      print the Section 7.1 profile of a classifier file
 profile      compute the profile and save classifier+profile as JSON
 classify     build the hybrid engine and classify a generated trace
 runtime      replay a generated trace through the batched/sharded serving
-             pipeline (repro.runtime) and print the telemetry report
+             pipeline (repro.runtime) and print the telemetry report;
+             --serve-metrics exposes /metrics, /healthz and /snapshot
+             over HTTP, --obs/--trace-out/--heat-out add span tracing
+             and heat profiling (repro.obs)
+top          replay a trace with heat profiling and render the hottest
+             rules, groups and pipeline stages (live on a tty)
 experiments  regenerate a paper table/figure (table1|table2|table3|
              figure1|figure6)
 convert      convert between ClassBench text and the JSON format
@@ -109,6 +114,59 @@ def build_parser() -> argparse.ArgumentParser:
                           "(exercises the RCU swap path)")
     run.add_argument("--json", action="store_true",
                      help="emit the report as JSON instead of text")
+    run.add_argument("--serve-metrics", type=int, default=None,
+                     metavar="PORT", nargs="?", const=0,
+                     help="serve /metrics, /healthz and /snapshot over "
+                          "HTTP during the replay (0 or no value = "
+                          "ephemeral port)")
+    run.add_argument("--linger", type=float, default=0.0,
+                     help="keep the metrics endpoint up this many "
+                          "seconds after the replay finishes")
+    run.add_argument("--obs", action="store_true",
+                     help="enable span tracing + heat profiling "
+                          "(implied by --trace-out / --heat-out)")
+    run.add_argument("--trace-out", default=None, metavar="FILE",
+                     help="write spans as Chrome trace-event JSON "
+                          "(load in chrome://tracing or Perfetto)")
+    run.add_argument("--heat-out", default=None, metavar="FILE",
+                     help="write the per-rule/per-group heat report JSON")
+    run.add_argument("--heat-sample", type=int, default=1,
+                     help="heat sampling period (record every k-th "
+                          "packet)")
+    run.add_argument("--span-capacity", type=int, default=4096,
+                     help="span ring-buffer capacity")
+
+    top = sub.add_parser(
+        "top",
+        help="replay a trace and render the hottest rules/groups/stages",
+    )
+    top.add_argument("path")
+    top.add_argument("--trace", type=int, default=20000,
+                     help="number of generated packets to replay")
+    top.add_argument("--seed", type=int, default=1)
+    top.add_argument("--batch-size", type=int, default=1024)
+    top.add_argument("--shards", type=int, default=1)
+    top.add_argument("--shard-mode", choices=("thread", "process"),
+                     default="thread")
+    top.add_argument("--max-groups", type=int, default=None)
+    top.add_argument("--cache", action="store_true",
+                     help="enforce the MRCC cache property")
+    top.add_argument("--top", type=int, default=10, dest="k",
+                     help="rows per section")
+    top.add_argument("--heat-sample", type=int, default=1,
+                     help="heat sampling period (record every k-th "
+                          "packet)")
+    top.add_argument("--refresh-batches", type=int, default=8,
+                     help="re-render the live table every N batches "
+                          "(tty only)")
+    top.add_argument("--live", action="store_true",
+                     help="force live re-rendering even off a tty")
+    top.add_argument("--heat-out", default=None, metavar="FILE",
+                     help="write the heat report JSON (the schema "
+                          "ClassificationCache tuning consumes)")
+    top.add_argument("--json", action="store_true",
+                     help="emit the heat report as JSON instead of the "
+                          "table")
 
     exp = sub.add_parser("experiments", help="regenerate a table/figure")
     exp.add_argument(
@@ -237,6 +295,23 @@ def _cmd_classify(args) -> int:
     return 0
 
 
+def _build_observability(args):
+    """Recorder for the runtime commands, or ``None`` when every
+    observability flag is off (the NULL_RECORDER fast path)."""
+    tracing = args.obs or args.trace_out is not None
+    heat = args.obs or args.heat_out is not None
+    if not (tracing or heat):
+        return None
+    from .obs import Observability
+
+    return Observability.create(
+        tracing=tracing,
+        heat=heat,
+        span_capacity=getattr(args, "span_capacity", 4096),
+        sample_period=args.heat_sample,
+    )
+
+
 def _cmd_runtime(args) -> int:
     import random as _random
     import time
@@ -253,8 +328,15 @@ def _cmd_runtime(args) -> int:
             max_groups=args.max_groups, enforce_cache=args.cache
         ),
     )
+    obs = _build_observability(args)
     trace = generate_trace(classifier, args.trace, seed=args.seed)
-    with RuntimeService(classifier, config) as service:
+    recorder = obs.recorder if obs is not None else None
+    with RuntimeService(classifier, config, recorder=recorder) as service:
+        if args.serve_metrics is not None:
+            server = service.serve_metrics(port=args.serve_metrics)
+            if not args.json:
+                print(f"metrics: {server.url}/metrics "
+                      f"(also /healthz, /snapshot)")
         report = service.swap.engine.report()
         if not args.json:
             print(
@@ -277,7 +359,7 @@ def _cmd_runtime(args) -> int:
             service.match_batch(batch)
         elapsed = time.perf_counter() - start
         rate = len(trace) / elapsed if elapsed else float("inf")
-        snapshot = service.telemetry.snapshot()
+        snapshot = service.snapshot()
         if args.json:
             import json as _json
 
@@ -299,6 +381,87 @@ def _cmd_runtime(args) -> int:
             from .runtime.telemetry import render_text
 
             print(render_text(snapshot))
+        if obs is not None and args.trace_out:
+            count = len(obs.tracer)
+            obs.tracer.export_chrome(args.trace_out)
+            if not args.json:
+                print(f"wrote {count} spans to {args.trace_out} "
+                      f"({obs.tracer.dropped} dropped)")
+        if obs is not None and args.heat_out:
+            obs.heat.to_json(args.heat_out)
+            if not args.json:
+                print(f"wrote heat report to {args.heat_out}")
+        if args.serve_metrics is not None and args.linger > 0:
+            if not args.json:
+                print(f"serving metrics for {args.linger:.0f}s more "
+                      f"(ctrl-c to stop)...")
+            try:
+                time.sleep(args.linger)
+            except KeyboardInterrupt:
+                pass
+    return 0
+
+
+def _cmd_top(args) -> int:
+    import json as _json
+    import time
+
+    from .obs import Observability
+    from .obs.heat import render_top
+    from .runtime.batch import iter_batches
+    from .runtime.service import RuntimeConfig, RuntimeService
+
+    classifier, _ = _load(args.path)
+    config = RuntimeConfig(
+        batch_size=args.batch_size,
+        num_shards=args.shards,
+        shard_mode=args.shard_mode,
+        engine=EngineConfig(
+            max_groups=args.max_groups, enforce_cache=args.cache
+        ),
+    )
+    obs = Observability.create(
+        tracing=False, heat=True, sample_period=args.heat_sample
+    )
+    trace = generate_trace(classifier, args.trace, seed=args.seed)
+    live = args.live or (not args.json and sys.stdout.isatty())
+    with RuntimeService(classifier, config, recorder=obs.recorder) as service:
+        start = time.perf_counter()
+        for i, batch in enumerate(iter_batches(trace, config.batch_size)):
+            service.match_batch(batch)
+            if live and (i + 1) % max(1, args.refresh_batches) == 0:
+                snapshot = service.snapshot()
+                frame = render_top(
+                    obs.heat.report(),
+                    latencies=snapshot.latencies,
+                    k=args.k,
+                    rules=classifier.rules,
+                )
+                # \x1b[H\x1b[J = cursor home + clear: cheap live refresh.
+                sys.stdout.write("\x1b[H\x1b[J" + frame + "\n")
+                sys.stdout.flush()
+        elapsed = time.perf_counter() - start
+        snapshot = service.snapshot()
+        report = obs.heat.report()
+        if args.heat_out:
+            obs.heat.to_json(args.heat_out)
+        if args.json:
+            print(_json.dumps(report, indent=2))
+        else:
+            if live:
+                sys.stdout.write("\x1b[H\x1b[J")
+            rate = len(trace) / elapsed if elapsed else float("inf")
+            print(render_top(
+                report,
+                latencies=snapshot.latencies,
+                k=args.k,
+                rules=classifier.rules,
+            ))
+            print(f"\nreplayed {len(trace)} packets in {elapsed:.2f}s "
+                  f"({rate:,.0f} pkt/s), heat sample period "
+                  f"{args.heat_sample}")
+            if args.heat_out:
+                print(f"wrote heat report to {args.heat_out}")
     return 0
 
 
@@ -408,6 +571,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "classify": _cmd_classify,
     "runtime": _cmd_runtime,
+    "top": _cmd_top,
     "experiments": _cmd_experiments,
     "convert": _cmd_convert,
     "export-flows": _cmd_export_flows,

@@ -29,6 +29,7 @@ from ..analysis.mgr import Group
 from ..core.classifier import Classifier, MatchResult
 from ..core.intervals import Interval
 from ..core.packet import headers_array
+from ..runtime.telemetry import NULL_RECORDER
 from .cascading import CascadingTwoFieldIndex
 from .interval_map import DisjointIntervalMap
 from .two_field import TwoFieldIndex
@@ -229,6 +230,7 @@ class MultiGroupEngine:
         groups: Iterable[Group],
         shadow: Optional[Dict[int, Tuple[int, ...]]] = None,
         cascading: bool = False,
+        recorder=None,
     ) -> None:
         self.classifier = classifier
         self.groups = [
@@ -236,6 +238,14 @@ class MultiGroupEngine:
         ]
         self.shadow: Dict[int, Tuple[int, ...]] = dict(shadow or {})
         self.stats = EngineStats()
+        #: Telemetry sink (``groups.*`` counters, ``engine.group_probe``
+        #: spans, per-group heat); the null recorder keeps it free.
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        #: Stable per-group heat keys: position + field subset.
+        self._group_keys = [
+            f"g{i}[{','.join(str(f) for f in g.fields)}]"
+            for i, g in enumerate(self.groups)
+        ]
 
     @property
     def num_rules(self) -> int:
@@ -291,27 +301,60 @@ class MultiGroupEngine:
         stats.lookups += n
         if n == 0:
             return np.empty(0, dtype=np.int64)
+        recorder = self.recorder
+        instrumented = recorder.enabled
+        heat = recorder.heat if instrumented else None
         if harr is None:
             harr = headers_array(headers, self.classifier.schema)
         lows, highs = self.classifier.bounds_arrays()
         best = np.full(n, -1, dtype=np.int64)
         shadow = self.shadow
         rules = self.classifier.rules
-        for group in self.groups:
+        for gi, group in enumerate(self.groups):
             stats.probes += n
+            span = (
+                recorder.span(
+                    "engine.group_probe", group=self._group_keys[gi],
+                    batch=n,
+                )
+                if instrumented
+                else None
+            )
+            if span is not None:
+                span.__enter__()
             cand = group.probe_batch(headers, harr)
             has = np.nonzero(cand >= 0)[0]
+            candidates = fp_failures = verified_hits = 0
             if has.size:
-                stats.candidates += int(has.size)
+                candidates = int(has.size)
+                stats.candidates += candidates
                 c = cand[has]
                 h = harr[has]
                 verified = ((lows[c] <= h) & (h <= highs[c])).all(axis=1)
-                stats.false_positives += int(has.size - verified.sum())
+                verified_hits = int(verified.sum())
+                fp_failures = candidates - verified_hits
+                stats.false_positives += fp_failures
                 rows = has[verified]
                 winners = c[verified]
                 current = best[rows]
                 better = (current < 0) | (winners < current)
                 best[rows[better]] = winners[better]
+            if span is not None:
+                span.__exit__(None, None, None)
+            if instrumented:
+                recorder.incr("groups.probes", n)
+                if candidates:
+                    recorder.incr("groups.fp_checks", candidates)
+                if fp_failures:
+                    recorder.incr("groups.fp_failures", fp_failures)
+                if heat is not None:
+                    heat.record_group(
+                        self._group_keys[gi],
+                        probes=n,
+                        candidates=candidates,
+                        fp_failures=fp_failures,
+                        hits=verified_hits,
+                    )
             if shadow:
                 # Rare path (fresh dynamic inserts riding as extra checks):
                 # only headers whose candidate hosts shadows take the loop.

@@ -1,0 +1,92 @@
+"""repro.obs — observability for the serving runtime.
+
+Layers on :mod:`repro.runtime.telemetry`'s recorder:
+
+* :mod:`~repro.obs.tracing` — nestable spans with context propagation
+  through service -> shard workers -> engine probes -> background
+  rebuilds, a bounded span store, and Chrome-trace-event export;
+* :mod:`~repro.obs.prometheus` — Prometheus text exposition of all
+  counters and histograms (cumulative ``le`` buckets derived from the
+  log2 histogram);
+* :mod:`~repro.obs.server` — a stdlib HTTP endpoint serving
+  ``/metrics``, ``/healthz`` and ``/snapshot``;
+* :mod:`~repro.obs.heat` — sampled per-rule / per-group hit profiling
+  with FP-check tallies, the ``repro top`` renderer, and heat reports
+  that feed :class:`~repro.saxpac.cache.ClassificationCache` tuning.
+
+The disabled pipeline stays on :data:`~repro.runtime.telemetry.
+NULL_RECORDER` and never touches any of this;
+``benchmarks/bench_obs_overhead.py`` holds that fast path to <5%
+throughput regression.
+
+:class:`Observability` bundles one tracer + heat profiler and builds the
+`Telemetry` recorder that carries them, so enabling the full stack is::
+
+    obs = Observability.create()
+    service = RuntimeService(classifier, recorder=obs.recorder)
+    server = service.serve_metrics(port=9109)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..runtime.telemetry import Telemetry
+from .heat import (
+    GroupHeat,
+    HeatProfiler,
+    load_heat_report,
+    render_top,
+    rule_weights,
+)
+from .prometheus import parse_exposition, render_prometheus, sanitize_metric_name
+from .server import MetricsServer
+from .tracing import NULL_TRACER, NullTracer, Span, SpanContext, Tracer, chrome_trace
+
+__all__ = [
+    "GroupHeat",
+    "HeatProfiler",
+    "MetricsServer",
+    "NULL_TRACER",
+    "NullTracer",
+    "Observability",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "chrome_trace",
+    "load_heat_report",
+    "parse_exposition",
+    "render_prometheus",
+    "render_top",
+    "rule_weights",
+    "sanitize_metric_name",
+]
+
+
+@dataclass
+class Observability:
+    """One tracer + one heat profiler + the recorder carrying both."""
+
+    recorder: Telemetry
+    tracer: Optional[Tracer] = None
+    heat: Optional[HeatProfiler] = None
+
+    @classmethod
+    def create(
+        cls,
+        tracing: bool = True,
+        heat: bool = True,
+        span_capacity: int = 4096,
+        sample_period: int = 1,
+    ) -> "Observability":
+        """Build a fully-wired observability stack.  Disable pieces you
+        do not need; with both off this is just a plain telemetry
+        recorder."""
+        tracer = Tracer(capacity=span_capacity) if tracing else None
+        profiler = HeatProfiler(sample_period=sample_period) if heat else None
+        return cls(
+            recorder=Telemetry(tracer=tracer, heat=profiler),
+            tracer=tracer,
+            heat=profiler,
+        )

@@ -1,0 +1,137 @@
+"""Prometheus text exposition of a telemetry snapshot.
+
+Renders every counter and latency histogram of a
+:class:`~repro.runtime.telemetry.TelemetrySnapshot` in the Prometheus
+text format (version 0.0.4):
+
+* counter ``engine.group_probes`` becomes
+  ``saxpac_engine_group_probes_total``;
+* histogram stage ``engine.match_batch`` becomes
+  ``saxpac_engine_match_batch_latency_seconds`` with cumulative ``le``
+  buckets derived from the log2 microsecond buckets (bucket ``i`` ends at
+  ``2**i / 1e6`` seconds), a ``+Inf`` bucket, and consistent ``_count`` /
+  ``_sum`` series.
+
+Only the stdlib is used — no Prometheus client dependency — which is why
+the histogram exposition is derived rather than recorded natively.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Optional
+
+from ..runtime.telemetry import HistogramStats, TelemetrySnapshot
+
+__all__ = ["parse_exposition", "render_prometheus", "sanitize_metric_name"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+_PREFIX = "saxpac"
+
+
+def sanitize_metric_name(name: str, suffix: str = "") -> str:
+    """Dotted counter/stage name -> legal Prometheus metric name."""
+    base = _NAME_RE.sub("_", name.strip())
+    base = re.sub(r"__+", "_", base).strip("_")
+    return f"{_PREFIX}_{base}{suffix}"
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: integers bare, floats repr'd."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _format_labels(labels: Optional[Mapping[str, str]]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(str(val))}"'
+        for key, val in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _histogram_lines(
+    stage: str, stats: HistogramStats, labels: Optional[Mapping[str, str]]
+) -> List[str]:
+    name = sanitize_metric_name(stage, "_latency_seconds")
+    lines = [
+        f"# HELP {name} Latency of pipeline stage {stage} (log2 buckets).",
+        f"# TYPE {name} histogram",
+    ]
+    cumulative = 0
+    for index, count in enumerate(stats.buckets):
+        cumulative += count
+        bound = HistogramStats.bucket_upper_bound(index)
+        bucket_labels = dict(labels or {})
+        bucket_labels["le"] = repr(bound)
+        lines.append(
+            f"{name}_bucket{_format_labels(bucket_labels)} {cumulative}"
+        )
+    inf_labels = dict(labels or {})
+    inf_labels["le"] = "+Inf"
+    lines.append(
+        f"{name}_bucket{_format_labels(inf_labels)} {stats.count}"
+    )
+    label_text = _format_labels(labels)
+    lines.append(f"{name}_count{label_text} {stats.count}")
+    lines.append(f"{name}_sum{label_text} {repr(float(stats.total))}")
+    return lines
+
+
+def render_prometheus(
+    snapshot: TelemetrySnapshot,
+    labels: Optional[Mapping[str, str]] = None,
+    extra_gauges: Optional[Mapping[str, float]] = None,
+) -> str:
+    """Render a snapshot as Prometheus text exposition.
+
+    ``labels`` (e.g. ``{"instance": "shard0"}``) ride on every sample;
+    ``extra_gauges`` lets the caller add point-in-time gauges (engine
+    generation, degraded flag, ...) that are not telemetry counters.
+    """
+    lines: List[str] = []
+    label_text = _format_labels(labels)
+    for counter in sorted(snapshot.counters):
+        name = sanitize_metric_name(counter, "_total")
+        lines.append(f"# HELP {name} Pipeline counter {counter}.")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(
+            f"{name}{label_text} {_format_value(snapshot.counters[counter])}"
+        )
+    for stage in sorted(snapshot.latencies):
+        lines.extend(
+            _histogram_lines(stage, snapshot.latencies[stage], labels)
+        )
+    for gauge in sorted(extra_gauges or {}):
+        name = sanitize_metric_name(gauge)
+        lines.append(f"# HELP {name} Runtime gauge {gauge}.")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(
+            f"{name}{label_text} {_format_value(extra_gauges[gauge])}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def parse_exposition(text: str) -> Dict[str, Dict[str, float]]:
+    """Minimal exposition parser (tests/round-trips, not a full client):
+    metric name -> {label-string or "": value}."""
+    out: Dict[str, Dict[str, float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        head, _, value = line.rpartition(" ")
+        if "{" in head:
+            name, _, rest = head.partition("{")
+            labels = "{" + rest
+        else:
+            name, labels = head, ""
+        out.setdefault(name, {})[labels] = float(value)
+    return out

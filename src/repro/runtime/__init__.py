@@ -32,6 +32,7 @@ from .telemetry import (
     LatencyHistogram,
     NullRecorder,
     Telemetry,
+    TelemetryDelta,
     TelemetrySnapshot,
     render_text,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "RuntimeService",
     "ShardedRuntime",
     "Telemetry",
+    "TelemetryDelta",
     "TelemetrySnapshot",
     "UpdateRecord",
     "linear_match_batch",

@@ -6,6 +6,12 @@ owns a :class:`~repro.runtime.swap.HotSwapRuntime` (so rules can change
 under live traffic), optionally fans batches out over a
 :class:`~repro.runtime.shard.ShardedRuntime`, and records everything into
 one :class:`~repro.runtime.telemetry.Telemetry` instance.
+
+Observability rides on the recorder: hand the service a recorder built by
+:meth:`repro.obs.Observability.create` to get span tracing and heat
+profiling, and call :meth:`RuntimeService.serve_metrics` to expose
+``/metrics`` (Prometheus text), ``/healthz`` and ``/snapshot`` over HTTP
+for the service's lifetime.
 """
 
 from __future__ import annotations
@@ -86,6 +92,7 @@ class RuntimeService:
             recorder=self.telemetry,
             background=self.config.background_rebuild,
         )
+        self.metrics_server = None
         self.shards: Optional[ShardedRuntime] = None
         if self.config.num_shards > 1:
             if self.config.shard_mode == "process":
@@ -111,10 +118,11 @@ class RuntimeService:
     ) -> List[MatchResult]:
         """One batch through the pipeline (sharded when configured)."""
         start = time.perf_counter()
-        if self.shards is not None:
-            results = self.shards.match_batch(headers)
-        else:
-            results = self.swap.match_batch(headers)
+        with self.telemetry.span("runtime.batch", batch=len(headers)):
+            if self.shards is not None:
+                results = self.shards.match_batch(headers)
+            else:
+                results = self.swap.match_batch(headers)
         self.telemetry.incr("runtime.batches")
         self.telemetry.incr("runtime.packets", len(headers))
         self.telemetry.observe("runtime.batch", time.perf_counter() - start)
@@ -129,7 +137,7 @@ class RuntimeService:
         return RunReport(
             packets=len(trace),
             seconds=elapsed,
-            telemetry=self.telemetry.snapshot(),
+            telemetry=self.snapshot(),
         )
 
     # ------------------------------------------------------------------
@@ -147,13 +155,65 @@ class RuntimeService:
         """Hot-modify a rule in place."""
         return self.swap.modify(rule_id, rule)
 
+    def snapshot(self) -> TelemetrySnapshot:
+        """Consistent telemetry snapshot with per-shard recordings folded
+        back in first — this is what ``/metrics`` scrapes see."""
+        if self.shards is not None:
+            self.shards.collect()
+        return self.telemetry.snapshot()
+
     def report_text(self) -> str:
         """Human-readable telemetry report."""
-        return render_text(self.telemetry.snapshot())
+        return render_text(self.snapshot())
+
+    # ------------------------------------------------------------------
+    # Observability endpoints
+    # ------------------------------------------------------------------
+    def gauges(self) -> Dict[str, float]:
+        """Point-in-time gauges for ``/metrics`` and ``/snapshot``."""
+        return {
+            "runtime.generation": float(self.swap.generation),
+            "runtime.degraded": 1.0 if self.swap.degraded else 0.0,
+            "runtime.rules": float(len(self.swap)),
+            "runtime.num_shards": float(self.config.num_shards),
+            "runtime.update_log": float(len(self.swap.update_log)),
+        }
+
+    def health(self) -> tuple:
+        """(healthy, payload) for ``/healthz``: healthy while the real
+        engine serves, degraded (503) on the linear fallback."""
+        degraded = self.swap.degraded
+        return not degraded, {
+            "status": "degraded" if degraded else "ok",
+            "generation": self.swap.generation,
+            "rules": len(self.swap),
+        }
+
+    def serve_metrics(self, host: str = "127.0.0.1", port: int = 0):
+        """Start the HTTP observability endpoint (``/metrics``,
+        ``/healthz``, ``/snapshot``); returns the
+        :class:`~repro.obs.server.MetricsServer` (its ``.port`` is the
+        bound port).  Stopped by :meth:`close`, or call
+        ``service.metrics_server.close()`` earlier."""
+        if self.metrics_server is not None:
+            return self.metrics_server
+        from ..obs.server import MetricsServer
+
+        self.metrics_server = MetricsServer(
+            snapshot_source=self.snapshot,
+            host=host,
+            port=port,
+            health_source=self.health,
+            gauges_source=self.gauges,
+        )
+        return self.metrics_server
 
     def close(self) -> None:
-        """Drain rebuilds and stop the shard pool."""
+        """Drain rebuilds, stop the shard pool and the metrics server."""
         self.swap.flush()
+        if self.metrics_server is not None:
+            self.metrics_server.close()
+            self.metrics_server = None
         if self.shards is not None:
             self.shards.close()
 

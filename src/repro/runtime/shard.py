@@ -11,6 +11,20 @@ amortize the IPC.
 Workers return bare rule indices; the parent materializes
 :class:`MatchResult` objects against its own classifier, so results are
 identical (by value) to the unsharded path regardless of mode.
+
+**Telemetry fold-back.**  Replicas record into private recorders (a deep
+copy cannot share the parent's lock, and a process worker cannot share
+its memory); those recordings used to vanish.  Now every replica gets a
+fresh :class:`~repro.runtime.telemetry.Telemetry` that shares the
+parent's tracer/heat sinks (thread mode) or its own full stack (process
+mode), and the data flows back via
+:meth:`~repro.runtime.telemetry.Telemetry.drain` /
+:meth:`~repro.runtime.telemetry.Telemetry.absorb`: per chunk result in
+process mode, on :meth:`ShardedRuntime.collect` (called by the service
+before every snapshot, and on close) in thread mode.  Span context
+propagates into workers as an explicit parent
+:class:`~repro.obs.tracing.SpanContext`, so chunk and engine spans nest
+under the caller's batch span across thread and process boundaries.
 """
 
 from __future__ import annotations
@@ -18,11 +32,11 @@ from __future__ import annotations
 import copy
 import os
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..core.classifier import Classifier, MatchResult
 from .batch import match_batch
-from .telemetry import NULL_RECORDER
+from .telemetry import NULL_RECORDER, Telemetry
 
 __all__ = ["ShardedRuntime", "default_num_shards"]
 
@@ -32,19 +46,64 @@ def default_num_shards() -> int:
     return max(1, min(8, os.cpu_count() or 1))
 
 
+def _rebind_recorder(engine, recorder) -> None:
+    """Point an engine replica (and its software sub-engine) at a
+    recorder.  Duck-typed: engines without recorder slots are left
+    alone."""
+    if hasattr(engine, "recorder"):
+        engine.recorder = recorder
+        software = getattr(engine, "software", None)
+        if software is not None and hasattr(software, "recorder"):
+            software.recorder = recorder
+
+
 # -- process-mode plumbing (module level so workers can unpickle it) ----
 _WORKER_ENGINE = None
+_WORKER_RECORDER = NULL_RECORDER
 
 
-def _init_process_worker(classifier, config) -> None:
-    global _WORKER_ENGINE
+def _init_process_worker(classifier, config, obs_spec=None) -> None:
+    global _WORKER_ENGINE, _WORKER_RECORDER
     from ..saxpac.engine import SaxPacEngine
 
-    _WORKER_ENGINE = SaxPacEngine(classifier, config)
+    if obs_spec is None:
+        _WORKER_RECORDER = NULL_RECORDER
+    else:
+        # Worker-local tracer/heat; their recordings travel back in the
+        # per-chunk TelemetryDelta.
+        tracer = heat = None
+        if obs_spec.get("tracing"):
+            from ..obs.tracing import Tracer
+
+            tracer = Tracer(capacity=obs_spec.get("span_capacity", 4096))
+        if obs_spec.get("heat"):
+            from ..obs.heat import HeatProfiler
+
+            heat = HeatProfiler(
+                sample_period=obs_spec.get("sample_period", 1)
+            )
+        _WORKER_RECORDER = Telemetry(tracer=tracer, heat=heat)
+    _WORKER_ENGINE = SaxPacEngine(
+        classifier, config, recorder=_WORKER_RECORDER
+    )
 
 
-def _classify_chunk_in_worker(chunk) -> List[int]:
-    return [result.index for result in _WORKER_ENGINE.match_batch(chunk)]
+def _classify_chunk_in_worker(payload) -> Tuple[List[int], object]:
+    """Classify one chunk; returns (indices, drained telemetry delta or
+    None).  ``payload`` is ``(chunk, shard, parent span context)``."""
+    chunk, shard, parent_ctx = payload
+    recorder = _WORKER_RECORDER
+    if recorder.enabled:
+        with recorder.span(
+            "shard.chunk", parent=parent_ctx, shard=shard,
+            packets=len(chunk), pid=os.getpid(),
+        ):
+            indices = [
+                result.index for result in _WORKER_ENGINE.match_batch(chunk)
+            ]
+        return indices, recorder.drain()
+    indices = [result.index for result in _WORKER_ENGINE.match_batch(chunk)]
+    return indices, None
 
 
 class ShardedRuntime:
@@ -95,6 +154,8 @@ class ShardedRuntime:
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self._pool = None
         self._replicas: List[object] = []
+        self._replica_recorders: List[Telemetry] = []
+        self._restore: List[Tuple[object, object]] = []
         self._source = engine_source
         if mode == "process":
             import multiprocessing
@@ -102,11 +163,21 @@ class ShardedRuntime:
             from ..saxpac.config import EngineConfig
 
             self.classifier = classifier
+            obs_spec = None
+            if self.recorder.enabled:
+                heat = self.recorder.heat
+                obs_spec = {
+                    "tracing": self.recorder.tracer is not None,
+                    "heat": heat is not None,
+                    "sample_period": (
+                        heat.sample_period if heat is not None else 1
+                    ),
+                }
             ctx = multiprocessing.get_context()
             self._pool = ctx.Pool(
                 processes=self.num_shards,
                 initializer=_init_process_worker,
-                initargs=(classifier, config or EngineConfig()),
+                initargs=(classifier, config or EngineConfig(), obs_spec),
             )
         else:
             if classifier is not None:
@@ -119,12 +190,34 @@ class ShardedRuntime:
                     copy.deepcopy(engine)
                     for _ in range(self.num_shards - 1)
                 ]
+                if self.recorder.enabled:
+                    self._bind_replica_recorders()
             else:
                 self.classifier = engine_source().classifier
             self._executor = ThreadPoolExecutor(
                 max_workers=self.num_shards,
                 thread_name_prefix="saxpac-shard",
             )
+
+    def _bind_replica_recorders(self) -> None:
+        """Give every replica a private recorder whose data folds back
+        into :attr:`recorder` on :meth:`collect`.
+
+        Deep-copied replicas carry a *copy* of the original recorder
+        (stale data that must not be double-counted) — and the original
+        engine may carry no recorder at all — so all replicas are rebound
+        to fresh recorders sharing the parent's tracer/heat sinks (both
+        are thread-safe by design); the original engine's binding is
+        restored on :meth:`close`.
+        """
+        parent = self.recorder
+        for replica in self._replicas:
+            local = Telemetry(tracer=parent.tracer, heat=parent.heat)
+            self._restore.append(
+                (replica, getattr(replica, "recorder", None))
+            )
+            _rebind_recorder(replica, local)
+            self._replica_recorders.append(local)
 
     # ------------------------------------------------------------------
     # Classification
@@ -143,11 +236,24 @@ class ShardedRuntime:
             start += size
         return chunks
 
-    def _classify_on_replica(self, shard: int, chunk) -> List[int]:
+    def _classify_on_replica(
+        self, shard: int, chunk, parent_ctx=None
+    ) -> List[int]:
         if self._replicas:
             engine = self._replicas[shard]
         else:
             engine = self._source()  # shared, re-read per chunk (RCU)
+        recorder = self.recorder
+        if recorder.enabled:
+            # Pool threads do not inherit the caller's span context, so
+            # parent explicitly under the captured batch span.
+            with recorder.span(
+                "shard.chunk", parent=parent_ctx, shard=shard,
+                packets=len(chunk),
+            ):
+                return [
+                    result.index for result in match_batch(engine, chunk)
+                ]
         return [result.index for result in match_batch(engine, chunk)]
 
     def match_indices(self, headers: Sequence[Sequence[int]]) -> List[int]:
@@ -155,15 +261,28 @@ class ShardedRuntime:
         if not len(headers):
             return []
         chunks = self._chunks(headers)
+        recorder = self.recorder
+        parent_ctx = None
+        if recorder.enabled and recorder.tracer is not None:
+            parent_ctx = recorder.tracer.current_context()
         if self.mode == "process":
-            parts = self._pool.map(_classify_chunk_in_worker, chunks)
+            results = self._pool.map(
+                _classify_chunk_in_worker,
+                [(chunk, i, parent_ctx) for i, chunk in enumerate(chunks)],
+            )
+            parts = []
+            for indices, delta in results:
+                parts.append(indices)
+                if delta is not None and hasattr(recorder, "absorb"):
+                    recorder.absorb(delta)
         else:
             futures = [
-                self._executor.submit(self._classify_on_replica, i, chunk)
+                self._executor.submit(
+                    self._classify_on_replica, i, chunk, parent_ctx
+                )
                 for i, chunk in enumerate(chunks)
             ]
             parts = [future.result() for future in futures]
-        recorder = self.recorder
         if recorder.enabled:
             recorder.incr("shard.batches")
             recorder.incr("shard.packets", len(headers))
@@ -189,10 +308,39 @@ class ShardedRuntime:
         ]
 
     # ------------------------------------------------------------------
+    # Telemetry fold-back
+    # ------------------------------------------------------------------
+    def collect(self) -> None:
+        """Fold per-replica recordings into :attr:`recorder`.
+
+        Thread-mode replicas record counters/histograms into private
+        recorders (their spans/heat already land in the shared sinks);
+        this drains them into the parent so a snapshot taken right after
+        sees every shard's data.  Process-mode deltas are absorbed per
+        chunk, so this is a no-op there.  Cheap and idempotent — the
+        service calls it before every snapshot.
+        """
+        recorder = self.recorder
+        if not self._replica_recorders or not hasattr(recorder, "absorb"):
+            return
+        for local in self._replica_recorders:
+            delta = local.drain(sinks=False)
+            if not delta.is_empty():
+                recorder.absorb(delta)
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down (idempotent); folds any remaining
+        per-replica telemetry back and restores original recorder
+        bindings."""
+        self.collect()
+        for engine, original in self._restore:
+            if original is not None:
+                _rebind_recorder(engine, original)
+        self._restore = []
+        self._replica_recorders = []
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()

@@ -133,12 +133,19 @@ class HotSwapRuntime:
     def _build_and_swap(self) -> None:
         recorder = self.recorder
         start = time.perf_counter() if recorder.enabled else 0.0
-        snapshot = self.snapshot_classifier()
-        try:
-            engine = self._builder(snapshot)
-        except Exception:
-            recorder.incr("swap.rebuild_failures")
-            engine = LinearFallback(snapshot)
+        # Off the data path, so the span is unconditional; background
+        # rebuilds start fresh traces (no caller context in the worker).
+        with recorder.span(
+            "swap.rebuild",
+            generation=self.generation + 1,
+            background=self.background,
+        ):
+            snapshot = self.snapshot_classifier()
+            try:
+                engine = self._builder(snapshot)
+            except Exception:
+                recorder.incr("swap.rebuild_failures")
+                engine = LinearFallback(snapshot)
         # The swap itself: one attribute store, atomic under the GIL.
         # In-flight readers hold the old reference and drain naturally.
         self._engine = engine

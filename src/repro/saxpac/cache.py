@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 from ..analysis.mgr import Group, MGRResult, enforce_cache_property, l_mgr
 from ..analysis.mrc import greedy_independent_set
@@ -52,14 +52,23 @@ class ClassificationCache:
         max_group_fields: int = 2,
         capacity: Optional[int] = None,
         recorder=None,
+        heat: Optional[Mapping[int, int]] = None,
     ) -> None:
         """``capacity`` bounds the number of rules the cache front-end may
         hold (``cached_rules <= capacity`` always); ``recorder`` is an
-        optional :mod:`repro.runtime.telemetry` sink."""
+        optional :mod:`repro.runtime.telemetry` sink.
+
+        ``heat`` maps body-rule index -> observed hit count (the shape
+        :func:`repro.obs.heat.rule_weights` produces from a ``repro top``
+        heat report).  When given, capacity trimming keeps the *hottest*
+        groups and members instead of the highest-priority ones, so a
+        profiled workload concentrates its traffic in the cache.
+        """
         if capacity is not None and capacity < 0:
             raise ValueError("capacity must be >= 0")
         self.classifier = classifier
         self.capacity = capacity
+        self.heat = dict(heat) if heat else None
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         independent = greedy_independent_set(classifier)
         grouping = l_mgr(
@@ -74,7 +83,7 @@ class ClassificationCache:
         grouping = MGRResult(grouping.groups, tuple(sorted(spill)), grouping.l)
         grouping = enforce_cache_property(classifier, grouping)
         if capacity is not None:
-            grouping = self._trim_to_capacity(grouping, capacity)
+            grouping = self._trim_to_capacity(grouping, capacity, self.heat)
             # Trimming moved rules into D, which may reintroduce priority
             # inversions — re-establish the cache property.  Demotion only
             # shrinks groups, so the capacity bound survives this pass.
@@ -84,26 +93,44 @@ class ClassificationCache:
         self.stats = CacheStats()
 
     @staticmethod
-    def _trim_to_capacity(grouping: MGRResult, capacity: int) -> MGRResult:
+    def _trim_to_capacity(
+        grouping: MGRResult,
+        capacity: int,
+        heat: Optional[Mapping[int, int]] = None,
+    ) -> MGRResult:
         """Fit the grouping into ``capacity`` rules: keep the largest
         groups whole, and fill the remaining budget with a *prefix* of the
         next group — any subset of an order-independent group is still
         order-independent on the same fields, so truncation is sound.
-        Highest-priority members are kept (they see the most traffic under
-        priority-skewed loads)."""
+
+        Without ``heat``, highest-priority members are kept (they see the
+        most traffic under priority-skewed loads).  With ``heat`` (rule
+        index -> hit count from a heat report), groups are ranked by
+        observed traffic and the hottest members are kept, so the cache
+        holds the rules the measured workload actually hits.
+        """
         kept = []
         spill = set(grouping.ungrouped)
         budget = capacity
-        for group in sorted(grouping.groups, key=lambda g: -g.size):
+        if heat:
+            group_rank = lambda g: (
+                -sum(heat.get(idx, 0) for idx in g.rule_indices),
+                -g.size,
+            )
+            member_rank = lambda idx: (-heat.get(idx, 0), idx)
+        else:
+            group_rank = lambda g: -g.size
+            member_rank = lambda idx: idx
+        for group in sorted(grouping.groups, key=group_rank):
             if budget <= 0:
                 spill.update(group.rule_indices)
             elif group.size <= budget:
                 kept.append(group)
                 budget -= group.size
             else:
-                members = sorted(group.rule_indices)[:budget]
+                members = sorted(group.rule_indices, key=member_rank)[:budget]
                 spill.update(set(group.rule_indices) - set(members))
-                kept.append(Group(tuple(members), group.fields))
+                kept.append(Group(tuple(sorted(members)), group.fields))
                 budget = 0
         return MGRResult(tuple(kept), tuple(sorted(spill)), grouping.l)
 

@@ -117,7 +117,10 @@ class SaxPacEngine:
             grouping = enforce_cache_property(classifier, grouping)
         self.grouping = grouping
         self.software = MultiGroupEngine(
-            classifier, grouping.groups, cascading=cfg.use_cascading
+            classifier,
+            grouping.groups,
+            cascading=cfg.use_cascading,
+            recorder=self.recorder,
         )
         self._d_indices: Tuple[int, ...] = grouping.ungrouped
         self._tcam, self._tcam_view = build_tcam(
@@ -163,6 +166,13 @@ class SaxPacEngine:
             if tcam_best is not None:
                 recorder.incr("engine.tcam_hits")
             recorder.observe("engine.match", time.perf_counter() - start)
+            heat = recorder.heat
+            if heat is not None:
+                heat.record_rules((index,))
+                if tcam_best is not None and tcam_best == index:
+                    heat.record_group("d", probes=1, hits=1)
+                elif not skip_d:
+                    heat.record_group("d", probes=1)
         return MatchResult(index, self.classifier.rules[index])
 
     def match_batch(
@@ -181,8 +191,11 @@ class SaxPacEngine:
         if n == 0:
             return []
         recorder = self.recorder
+        span = None
         if recorder.enabled:
             start = time.perf_counter()
+            span = recorder.span("engine.match_batch", batch=n)
+            span.__enter__()
         rules = self.classifier.rules
         catch_all = len(rules) - 1
         harr = headers_array(headers, self.classifier.schema)
@@ -198,8 +211,19 @@ class SaxPacEngine:
         # One simulated TCAM cycle per non-skipped packet.
         self._tcam.lookups += probed
         self._tcam.row_activations += probed * len(self._tcam)
+        d_hits = 0
         if probed and self._d_indices:
+            d_span = (
+                recorder.span("engine.d_probe", batch=probed)
+                if recorder.enabled
+                else None
+            )
+            if d_span is not None:
+                d_span.__enter__()
             d_best = self._d_match_batch(harr[need_d])
+            if d_span is not None:
+                d_span.__exit__(None, None, None)
+            d_hits = int((d_best >= 0).sum())
             best[need_d] = np.minimum(
                 best[need_d],
                 np.where(d_best >= 0, d_best, np.int64(catch_all)),
@@ -213,6 +237,12 @@ class SaxPacEngine:
             recorder.incr("engine.software_hits", int(hit.sum()))
             recorder.incr("engine.d_probes", probed)
             recorder.incr("engine.d_skipped", n - probed)
+            heat = recorder.heat
+            if heat is not None:
+                heat.record_rules(best)
+                if probed:
+                    heat.record_group("d", probes=probed, hits=d_hits)
+            span.__exit__(None, None, None)
             recorder.observe(
                 "engine.match_batch", time.perf_counter() - start
             )

@@ -146,6 +146,87 @@ class TestReport:
                      str(tmp_path / "nope")]) == 2
 
 
+class TestRuntime:
+    def test_runtime_replay(self, small_txt, capsys):
+        assert main(["runtime", small_txt, "--trace", "600",
+                     "--batch-size", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 600 packets" in out
+        assert "telemetry:" in out
+
+    def test_runtime_obs_artifacts(self, small_txt, tmp_path, capsys):
+        trace_out = str(tmp_path / "trace.json")
+        heat_out = str(tmp_path / "heat.json")
+        assert main(["runtime", small_txt, "--trace", "400",
+                     "--obs", "--trace-out", trace_out,
+                     "--heat-out", heat_out]) == 0
+        out = capsys.readouterr().out
+        assert "spans to" in out and "heat report" in out
+        doc = json.loads(open(trace_out).read())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "runtime.batch" in names
+        assert "engine.match_batch" in names
+        heat = json.loads(open(heat_out).read())
+        assert heat["version"] == 1
+        assert heat["seen_packets"] == 400
+
+    def test_runtime_serve_metrics(self, small_txt, capsys):
+        import re
+        import urllib.request
+
+        # --linger keeps the endpoint alive just long enough to scrape
+        # post-replay state... but scraping happens after main returns,
+        # so scrape via the printed URL during a tiny linger would race.
+        # Instead just assert the URL is printed and the replay works.
+        assert main(["runtime", small_txt, "--trace", "200",
+                     "--serve-metrics", "0"]) == 0
+        out = capsys.readouterr().out
+        assert re.search(r"metrics: http://127\.0\.0\.1:\d+/metrics", out)
+
+    def test_runtime_json_mode_with_obs(self, small_txt, capsys):
+        assert main(["runtime", small_txt, "--trace", "300",
+                     "--obs", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["packets"] == 300
+        latency = data["telemetry"]["latencies"]["runtime.batch"]
+        assert sum(latency["buckets"]) == latency["count"]
+
+
+class TestTop:
+    def test_top_renders_heat(self, small_txt, capsys):
+        assert main(["top", small_txt, "--trace", "500",
+                     "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "hottest rules" in out
+        assert "hottest groups" in out
+        assert "hottest stages" in out
+        assert "replayed 500 packets" in out
+
+    def test_top_json_report(self, small_txt, capsys):
+        assert main(["top", small_txt, "--trace", "300",
+                     "--heat-sample", "2", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["version"] == 1
+        assert report["sample_period"] == 2
+        assert report["seen_packets"] == 300
+        assert report["rules"]
+
+    def test_top_heat_out_feeds_cache_weights(self, small_txt, tmp_path,
+                                              capsys):
+        from repro.obs.heat import load_heat_report, rule_weights
+
+        heat_out = str(tmp_path / "heat.json")
+        assert main(["top", small_txt, "--trace", "400",
+                     "--heat-out", heat_out]) == 0
+        weights = rule_weights(load_heat_report(heat_out))
+        assert weights and all(v > 0 for v in weights.values())
+
+    def test_top_sharded(self, small_txt, capsys):
+        assert main(["top", small_txt, "--trace", "400",
+                     "--shards", "2"]) == 0
+        assert "hottest rules" in capsys.readouterr().out
+
+
 class TestExperiments:
     def test_table3_runs(self, capsys, monkeypatch):
         assert main(["experiments", "table3", "--rules", "60"]) == 0

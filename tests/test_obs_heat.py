@@ -1,0 +1,217 @@
+"""Tests for repro.obs.heat: sampling, merging, reports, cache feed."""
+
+import json
+import random
+
+import numpy as np
+import pytest
+
+from conftest import random_classifier
+from repro.obs.heat import (
+    GroupHeat,
+    HEAT_REPORT_VERSION,
+    HeatProfiler,
+    load_heat_report,
+    render_top,
+    rule_weights,
+)
+from repro.runtime.telemetry import Telemetry
+
+
+class TestRecording:
+    def test_rule_hits_tally(self):
+        heat = HeatProfiler()
+        heat.record_rules([1, 2, 2, 3, 2])
+        assert heat.top_rules(2) == [(2, 3), (1, 1)]
+        assert heat.seen_packets == 5
+        assert heat.sampled_packets == 5
+
+    def test_accepts_numpy_arrays(self):
+        heat = HeatProfiler()
+        heat.record_rules(np.array([0, 0, 7]))
+        assert dict(heat.top_rules()) == {0: 2, 7: 1}
+
+    def test_empty_batch_noop(self):
+        heat = HeatProfiler()
+        heat.record_rules([])
+        assert heat.seen_packets == 0
+
+    def test_sampling_records_every_kth(self):
+        heat = HeatProfiler(sample_period=4)
+        heat.record_rules(list(range(100)))
+        assert heat.seen_packets == 100
+        assert heat.sampled_packets == 25
+
+    def test_sampling_stride_spans_batches(self):
+        # Period 3 over batches of 2: the stride phase must carry over so
+        # exactly every 3rd packet overall is sampled.
+        heat = HeatProfiler(sample_period=3)
+        for _ in range(9):
+            heat.record_rules([1, 1])
+        assert heat.seen_packets == 18
+        assert heat.sampled_packets == 6
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            HeatProfiler(sample_period=0)
+
+    def test_group_tallies(self):
+        heat = HeatProfiler()
+        heat.record_group("g0[0,1]", probes=10, candidates=6,
+                          fp_failures=2, hits=4)
+        heat.record_group("g0[0,1]", probes=10, candidates=4, hits=4)
+        report = heat.report()
+        group = report["groups"]["g0[0,1]"]
+        assert group["probes"] == 20
+        assert group["candidates"] == 10
+        assert group["fp_failures"] == 2
+        assert group["fp_rate"] == pytest.approx(0.2)
+        assert group["hits"] == 8
+
+
+class TestMerging:
+    def test_drain_absorb_round_trip(self):
+        worker, parent = HeatProfiler(), HeatProfiler()
+        worker.record_rules([5, 5, 9])
+        worker.record_group("d", probes=3, hits=1)
+        parent.record_rules([5])
+        parent.absorb(worker.drain())
+        assert dict(parent.top_rules()) == {5: 3, 9: 1}
+        assert parent.report()["groups"]["d"]["probes"] == 3
+        assert worker.seen_packets == 0  # drained
+
+    def test_group_heat_merge(self):
+        a = GroupHeat(probes=1, candidates=2, fp_failures=1, hits=1)
+        a.merge(GroupHeat(probes=2, candidates=2, fp_failures=0, hits=2))
+        assert (a.probes, a.candidates, a.fp_failures, a.hits) == (3, 4, 1, 3)
+
+    def test_fp_rate_zero_without_candidates(self):
+        assert GroupHeat().fp_rate == 0.0
+
+
+class TestReport:
+    def test_report_schema_and_scaling(self):
+        heat = HeatProfiler(sample_period=2)
+        heat.record_rules([4, 4, 4, 8])
+        report = heat.report()
+        assert report["version"] == HEAT_REPORT_VERSION
+        assert report["sample_period"] == 2
+        assert report["seen_packets"] == 4
+        for entry in report["rules"]:
+            assert entry["estimated_hits"] == entry["hits"] * 2
+
+    def test_rules_sorted_hottest_first(self):
+        heat = HeatProfiler()
+        heat.record_rules([3, 1, 1, 1, 2, 2])
+        ranks = [entry["rule"] for entry in heat.report()["rules"]]
+        assert ranks == [1, 2, 3]
+
+    def test_to_json_and_load(self, tmp_path):
+        heat = HeatProfiler()
+        heat.record_rules([0, 1])
+        path = str(tmp_path / "heat.json")
+        heat.to_json(path)
+        report = load_heat_report(path)
+        assert report["sampled_packets"] == 2
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as handle:
+            json.dump({"version": 99}, handle)
+        with pytest.raises(ValueError):
+            load_heat_report(path)
+
+    def test_rule_weights_shape(self):
+        heat = HeatProfiler(sample_period=5)
+        heat.record_rules([2, 2, 2, 2, 2])
+        weights = rule_weights(heat.report())
+        assert weights == {2: 5}  # 1 sampled hit x period
+
+
+class TestRenderTop:
+    def test_render_sections(self):
+        heat = HeatProfiler()
+        heat.record_rules([0, 0, 1])
+        heat.record_group("g0[0,1]", probes=3, candidates=2, hits=2)
+        tel = Telemetry()
+        tel.observe("engine.match_batch", 0.002)
+        text = render_top(
+            heat.report(), latencies=tel.snapshot().latencies, k=5
+        )
+        assert "hottest rules" in text
+        assert "rule      0" in text
+        assert "g0[0,1]" in text
+        assert "engine.match_batch" in text
+
+    def test_render_includes_rule_repr_when_given(self):
+        rng = random.Random(3)
+        classifier = random_classifier(rng, num_rules=10)
+        heat = HeatProfiler()
+        heat.record_rules([0])
+        text = render_top(heat.report(), rules=classifier.rules)
+        assert "Rule(" in text
+
+    def test_render_empty_report(self):
+        assert "0 sampled" in render_top(HeatProfiler().report())
+
+
+class TestEngineIntegration:
+    def test_engine_records_rule_and_group_heat(self):
+        from repro.obs import Observability
+        from repro.saxpac.engine import SaxPacEngine
+        from repro.workloads.traces import generate_trace
+
+        rng = random.Random(5)
+        classifier = random_classifier(rng, num_rules=40)
+        obs = Observability.create(tracing=False, heat=True)
+        engine = SaxPacEngine(classifier, recorder=obs.recorder)
+        trace = generate_trace(classifier, 300, seed=4)
+        results = engine.match_batch(trace)
+        report = obs.heat.report()
+        assert report["seen_packets"] == 300
+        # Group keys are positional + field subset, plus the D remainder.
+        for key in report["groups"]:
+            assert key == "d" or key.startswith("g")
+        # Every winning rule the engine returned shows up in the tally.
+        import collections
+
+        want = collections.Counter(r.index for r in results)
+        got = {e["rule"]: e["hits"] for e in report["rules"]}
+        assert got == dict(want)
+
+    def test_disabled_recorder_records_nothing(self):
+        from repro.saxpac.engine import SaxPacEngine
+        from repro.workloads.traces import generate_trace
+
+        rng = random.Random(5)
+        classifier = random_classifier(rng, num_rules=20)
+        engine = SaxPacEngine(classifier)  # NULL_RECORDER
+        trace = generate_trace(classifier, 100, seed=4)
+        engine.match_batch(trace)
+        assert engine.recorder.heat is None
+        assert engine.recorder.tracer is None
+
+
+class TestCacheIntegration:
+    def test_heat_aware_trimming_prefers_hot_rules(self):
+        from repro.saxpac.cache import ClassificationCache
+
+        rng = random.Random(11)
+        classifier = random_classifier(rng, num_rules=30)
+        cold = ClassificationCache(classifier, capacity=8)
+        kept_cold = {
+            idx for g in cold.grouping.groups for idx in g.rule_indices
+        }
+        # Make the rules cold trimming dropped the hottest ones.
+        dropped = [i for i in range(len(classifier.body))
+                   if i not in kept_cold]
+        if not dropped:
+            pytest.skip("capacity kept everything; nothing to trim")
+        heat = {idx: 1000 for idx in dropped}
+        hot = ClassificationCache(classifier, capacity=8, heat=heat)
+        kept_hot = {
+            idx for g in hot.grouping.groups for idx in g.rule_indices
+        }
+        hot_kept = sum(1 for idx in dropped if idx in kept_hot)
+        cold_kept = sum(1 for idx in dropped if idx in kept_cold)
+        assert hot_kept > cold_kept

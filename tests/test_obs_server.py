@@ -1,0 +1,145 @@
+"""Tests for repro.obs.server: the /metrics|/healthz|/snapshot endpoint."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.prometheus import parse_exposition
+from repro.obs.server import PROMETHEUS_CONTENT_TYPE, MetricsServer
+from repro.runtime.telemetry import Telemetry
+
+
+@pytest.fixture
+def telemetry():
+    tel = Telemetry()
+    tel.incr("engine.lookups", 12)
+    tel.observe("engine.match", 0.003)
+    return tel
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.headers, response.read()
+
+
+class TestEndpoints:
+    def test_metrics_over_http(self, telemetry):
+        with MetricsServer(telemetry.snapshot) as server:
+            status, headers, body = _get(f"{server.url}/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        metrics = parse_exposition(body.decode("utf-8"))
+        assert metrics["saxpac_engine_lookups_total"][""] == 12.0
+        assert "saxpac_engine_match_latency_seconds_count" in metrics
+
+    def test_metrics_sees_fresh_snapshot_per_scrape(self, telemetry):
+        with MetricsServer(telemetry.snapshot) as server:
+            _get(f"{server.url}/metrics")
+            telemetry.incr("engine.lookups", 8)
+            _, _, body = _get(f"{server.url}/metrics")
+        metrics = parse_exposition(body.decode("utf-8"))
+        assert metrics["saxpac_engine_lookups_total"][""] == 20.0
+
+    def test_healthz_ok(self, telemetry):
+        with MetricsServer(
+            telemetry.snapshot,
+            health_source=lambda: (True, {"status": "ok", "rules": 3}),
+        ) as server:
+            status, _, body = _get(f"{server.url}/healthz")
+        assert status == 200
+        assert json.loads(body) == {"status": "ok", "rules": 3}
+
+    def test_healthz_degraded_is_503(self, telemetry):
+        with MetricsServer(
+            telemetry.snapshot,
+            health_source=lambda: (False, {"status": "degraded"}),
+        ) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"{server.url}/healthz")
+            assert excinfo.value.code == 503
+            assert json.loads(excinfo.value.read()) == {"status": "degraded"}
+
+    def test_healthz_default_ok_without_source(self, telemetry):
+        with MetricsServer(telemetry.snapshot) as server:
+            status, _, body = _get(f"{server.url}/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+
+    def test_snapshot_json(self, telemetry):
+        with MetricsServer(
+            telemetry.snapshot,
+            gauges_source=lambda: {"runtime.generation": 2.0},
+        ) as server:
+            status, headers, body = _get(f"{server.url}/snapshot")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        payload = json.loads(body)
+        assert payload["telemetry"]["counters"]["engine.lookups"] == 12
+        assert payload["gauges"]["runtime.generation"] == 2.0
+
+    def test_gauges_appear_in_metrics(self, telemetry):
+        with MetricsServer(
+            telemetry.snapshot,
+            gauges_source=lambda: {"runtime.degraded": 0.0},
+        ) as server:
+            _, _, body = _get(f"{server.url}/metrics")
+        assert "saxpac_runtime_degraded 0" in body.decode("utf-8")
+
+    def test_unknown_path_is_404(self, telemetry):
+        with MetricsServer(telemetry.snapshot) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"{server.url}/nope")
+            assert excinfo.value.code == 404
+            assert "endpoints" in json.loads(excinfo.value.read())
+
+    def test_query_strings_ignored(self, telemetry):
+        with MetricsServer(telemetry.snapshot) as server:
+            status, _, _ = _get(f"{server.url}/metrics?format=prom")
+        assert status == 200
+
+
+class TestLifecycle:
+    def test_ephemeral_port_bound(self, telemetry):
+        with MetricsServer(telemetry.snapshot, port=0) as server:
+            assert server.port > 0
+            assert server.url.startswith("http://127.0.0.1:")
+
+    def test_close_idempotent(self, telemetry):
+        server = MetricsServer(telemetry.snapshot)
+        server.close()
+        server.close()
+
+    def test_closed_server_refuses_connections(self, telemetry):
+        server = MetricsServer(telemetry.snapshot)
+        url = server.url
+        server.close()
+        with pytest.raises(urllib.error.URLError):
+            _get(f"{url}/metrics")
+
+
+class TestServiceIntegration:
+    def test_runtime_service_serve_metrics(self):
+        import random
+
+        from conftest import random_classifier
+        from repro.runtime.service import RuntimeService
+        from repro.workloads.traces import generate_trace
+
+        rng = random.Random(9)
+        classifier = random_classifier(rng, num_rules=30)
+        trace = generate_trace(classifier, 200, seed=2)
+        with RuntimeService(classifier) as service:
+            server = service.serve_metrics()
+            assert service.serve_metrics() is server  # idempotent
+            service.match_batch(trace)
+            _, _, body = _get(f"{server.url}/metrics")
+            metrics = parse_exposition(body.decode("utf-8"))
+            assert metrics["saxpac_runtime_packets_total"][""] == 200.0
+            assert metrics["saxpac_runtime_generation"][""] >= 0.0
+            status, _, health = _get(f"{server.url}/healthz")
+            assert status == 200
+            assert json.loads(health)["status"] == "ok"
+        # close() stopped the server.
+        assert service.metrics_server is None

@@ -1,0 +1,213 @@
+"""Tests for repro.obs.tracing: spans, nesting, propagation, export."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanContext,
+    Tracer,
+    chrome_trace,
+)
+
+
+class TestBasicSpans:
+    def test_span_records_timing_and_identity(self):
+        tracer = Tracer()
+        with tracer.span("work", packets=7) as span:
+            pass
+        spans = tracer.spans()
+        assert len(spans) == 1
+        got = spans[0]
+        assert got.name == "work"
+        assert got.tags == {"packets": 7}
+        assert got.duration >= 0.0
+        assert got.start > 0.0
+        assert got.parent_id is None
+        assert got.trace_id and got.span_id
+
+    def test_nesting_same_thread(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert inner.trace_id == outer.trace_id
+        # Spans land in the store innermost-first (on exit).
+        assert [s.name for s in tracer.spans()] == ["inner", "outer"]
+
+    def test_siblings_share_parent_not_each_other(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == parent.span_id
+        assert b.parent_id == parent.span_id
+
+    def test_top_level_spans_get_distinct_traces(self):
+        tracer = Tracer()
+        with tracer.span("first") as first:
+            pass
+        with tracer.span("second") as second:
+            pass
+        assert first.trace_id != second.trace_id
+
+    def test_current_context_inside_and_outside(self):
+        tracer = Tracer()
+        assert tracer.current_context() is None
+        with tracer.span("s") as span:
+            ctx = tracer.current_context()
+            assert ctx == span.context
+        assert tracer.current_context() is None
+
+
+class TestExplicitParent:
+    def test_parent_as_span_context(self):
+        tracer = Tracer()
+        parent = SpanContext(trace_id=11, span_id=22)
+        with tracer.span("child", parent=parent) as child:
+            pass
+        assert child.trace_id == 11
+        assert child.parent_id == 22
+
+    def test_parent_as_span(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            pass
+        with tracer.span("child", parent=parent) as child:
+            pass
+        assert child.parent_id == parent.span_id
+
+    def test_cross_thread_parenting(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker(ctx):
+            with tracer.span("worker", parent=ctx) as span:
+                seen["span"] = span
+
+        with tracer.span("batch") as batch:
+            ctx = tracer.current_context()
+            thread = threading.Thread(target=worker, args=(ctx,))
+            thread.start()
+            thread.join()
+        assert seen["span"].parent_id == batch.span_id
+        assert seen["span"].trace_id == batch.trace_id
+
+    def test_context_is_picklable_and_tiny(self):
+        import pickle
+
+        ctx = SpanContext(trace_id=5, span_id=9)
+        assert pickle.loads(pickle.dumps(ctx)) == ctx
+
+
+class TestStore:
+    def test_ring_buffer_drops_oldest(self):
+        tracer = Tracer(capacity=3)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert [s.name for s in tracer.spans()] == ["s2", "s3", "s4"]
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_drain_empties_store(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        drained = tracer.drain()
+        assert [s.name for s in drained] == ["a"]
+        assert len(tracer) == 0
+
+    def test_ingest_merges_foreign_spans(self):
+        worker, parent = Tracer(), Tracer()
+        with worker.span("remote"):
+            pass
+        parent.ingest(worker.drain())
+        assert [s.name for s in parent.spans()] == ["remote"]
+
+    def test_ingest_respects_capacity(self):
+        parent = Tracer(capacity=2)
+        worker = Tracer()
+        for i in range(4):
+            with worker.span(f"w{i}"):
+                pass
+        parent.ingest(worker.drain())
+        assert len(parent) == 2
+        assert parent.dropped == 2
+
+    def test_distinct_tracers_produce_distinct_ids(self):
+        # Worker tracers merge into one store; ids must not collide.
+        ids = set()
+        for _ in range(5):
+            tracer = Tracer()
+            with tracer.span("s") as span:
+                pass
+            ids.add(span.span_id)
+        assert len(ids) == 5
+
+
+class TestChromeExport:
+    def test_chrome_trace_document(self):
+        tracer = Tracer()
+        with tracer.span("outer", batch=4):
+            with tracer.span("inner"):
+                pass
+        doc = chrome_trace(tracer.spans())
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert len(events) == 2
+        by_name = {e["name"]: e for e in events}
+        outer, inner = by_name["outer"], by_name["inner"]
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0 and event["dur"] >= 0
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+        assert outer["args"]["batch"] == 4
+        assert outer["cat"] == "outer"
+
+    def test_export_chrome_writes_valid_json(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        path = str(tmp_path / "trace.json")
+        text = tracer.export_chrome(path)
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert doc == json.loads(text)
+        assert doc["traceEvents"][0]["name"] == "s"
+
+    def test_span_as_dict_round_trips_json(self):
+        span = Span(
+            trace_id=1, span_id=2, parent_id=None, name="n",
+            start=1.5, duration=0.25, pid=10, tid=20, tags={"k": "v"},
+        )
+        data = json.loads(json.dumps(span.as_dict()))
+        assert data["name"] == "n"
+        assert data["duration_s"] == 0.25
+        assert data["tags"] == {"k": "v"}
+
+
+class TestNullTracer:
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("anything", parent=None, x=1):
+            pass
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.current_context() is None
+        assert NULL_TRACER.spans() == []
+        assert NULL_TRACER.drain() == []
+        assert len(NULL_TRACER) == 0
+
+    def test_null_tracer_shares_one_context_manager(self):
+        tracer = NullTracer()
+        assert tracer.span("a") is tracer.span("b")

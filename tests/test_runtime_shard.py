@@ -111,6 +111,70 @@ class TestThreadMode:
         sharded.close()
 
 
+class TestThreadModeFoldBack:
+    def test_replica_engine_telemetry_folds_back(self, setup):
+        # The bug this guards: deep-copied replicas used to record into
+        # private recorder copies whose data vanished.
+        classifier, engine, trace = setup
+        tel = Telemetry()
+        with ShardedRuntime(
+            engine=engine, num_shards=3, recorder=tel
+        ) as sharded:
+            sharded.match_indices(trace)
+            sharded.collect()
+            snap = tel.snapshot()
+        assert snap.counter("engine.lookups") == len(trace)
+        assert "engine.match_batch" in snap.latencies
+
+    def test_collect_is_idempotent(self, setup):
+        _, engine, trace = setup
+        tel = Telemetry()
+        with ShardedRuntime(
+            engine=engine, num_shards=2, recorder=tel
+        ) as sharded:
+            sharded.match_indices(trace)
+            sharded.collect()
+            sharded.collect()
+        assert tel.counter("engine.lookups") == len(trace)
+
+    def test_close_restores_original_recorder(self, setup):
+        _, engine, _ = setup
+        original = engine.recorder
+        sharded = ShardedRuntime(
+            engine=engine, num_shards=2, recorder=Telemetry()
+        )
+        assert engine.recorder is not original  # rebound while sharded
+        sharded.close()
+        assert engine.recorder is original
+
+    def test_replica_heat_lands_in_shared_profiler(self, setup):
+        from repro.obs import Observability
+
+        _, engine, trace = setup
+        obs = Observability.create(tracing=False, heat=True)
+        with ShardedRuntime(
+            engine=engine, num_shards=3, recorder=obs.recorder
+        ) as sharded:
+            sharded.match_indices(trace)
+        assert obs.heat.seen_packets == len(trace)
+
+    def test_chunk_spans_nest_under_caller(self, setup):
+        from repro.obs import Observability
+
+        _, engine, trace = setup
+        obs = Observability.create(tracing=True, heat=False)
+        with ShardedRuntime(
+            engine=engine, num_shards=2, recorder=obs.recorder
+        ) as sharded:
+            with obs.tracer.span("batch") as batch:
+                sharded.match_indices(trace[:50])
+        spans = obs.tracer.spans()
+        chunks = [s for s in spans if s.name == "shard.chunk"]
+        assert chunks, "expected shard.chunk spans"
+        assert all(s.parent_id == batch.span_id for s in chunks)
+        assert all(s.trace_id == batch.trace_id for s in chunks)
+
+
 class TestProcessMode:
     def test_matches_unsharded(self, setup):
         classifier, engine, trace = setup
@@ -120,3 +184,34 @@ class TestProcessMode:
         ) as sharded:
             got = sharded.match_indices(trace[:120])
         assert got == want
+
+    def test_worker_telemetry_ships_back(self, setup):
+        classifier, _, trace = setup
+        tel = Telemetry()
+        with ShardedRuntime(
+            classifier=classifier, num_shards=2, mode="process",
+            recorder=tel,
+        ) as sharded:
+            sharded.match_indices(trace[:120])
+            snap = tel.snapshot()
+        assert snap.counter("engine.lookups") == 120
+        assert "engine.match_batch" in snap.latencies
+
+    def test_worker_spans_and_heat_ship_back(self, setup):
+        from repro.obs import Observability
+
+        classifier, _, trace = setup
+        obs = Observability.create(tracing=True, heat=True)
+        with ShardedRuntime(
+            classifier=classifier, num_shards=2, mode="process",
+            recorder=obs.recorder,
+        ) as sharded:
+            with obs.tracer.span("batch") as batch:
+                sharded.match_indices(trace[:100])
+        assert obs.heat.seen_packets == 100
+        chunks = [
+            s for s in obs.tracer.spans() if s.name == "shard.chunk"
+        ]
+        assert chunks
+        assert all(s.parent_id == batch.span_id for s in chunks)
+        assert any(s.pid != batch.pid for s in chunks)
