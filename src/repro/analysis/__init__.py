@@ -1,5 +1,12 @@
 """Analysis algorithms: order-independence, FSM, MRC, MGR, lower bounds."""
 
+from .columnar import (
+    ColumnarRules,
+    candidate_subsets,
+    pack_disjoint_masks,
+    subset_bitmasks,
+    subset_fail_table,
+)
 from .fsm import FSMResult, fsm, fsm_exact, fsm_greedy
 from .lower_bounds import (
     hypercube_classifier,
@@ -17,6 +24,7 @@ from .mgr import (
     enforce_cache_property,
     group_statistics,
     l_mgr,
+    l_mgr_reference,
 )
 from .mrc import (
     MRCResult,
@@ -62,6 +70,12 @@ from .setcover import (
 __all__ = [
     "BudgetExceeded",
     "ClassifierStatistics",
+    "ColumnarRules",
+    "candidate_subsets",
+    "pack_disjoint_masks",
+    "subset_bitmasks",
+    "subset_fail_table",
+    "l_mgr_reference",
     "FSMResult",
     "FieldStatistics",
     "are_equivalent",

@@ -1,0 +1,137 @@
+"""Columnar rule store and packed field-subset machinery.
+
+The compile pipeline (I-selection, l-MGR grouping, MRCC, lookup-structure
+construction) repeatedly needs the same two facts about rules: their
+``(N, k)`` interval bounds and, per candidate/member pair, the set of
+fields on which the two rules are disjoint.  This module materializes both
+once per classifier:
+
+* :class:`ColumnarRules` wraps the cached
+  :meth:`~repro.core.classifier.Classifier.bounds_arrays` matrices and
+  answers "can the vectorized pipeline run on this classifier?" (int64
+  bounds, a field count that fits the packed-mask machinery);
+* field subsets are packed into per-subset **uint64 bitmasks** and a
+  precomputed **fail table** mapping a per-pair disjointness mask (bit f
+  set iff the pair is disjoint in field f) to the set of subsets on which
+  the pair is *not* separable — the core of the vectorized greedy
+  admission in :func:`repro.analysis.mgr.l_mgr`.
+
+Everything here is build-path machinery: nothing in the packet hot path
+imports this module.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.classifier import Classifier
+
+__all__ = [
+    "ColumnarRules",
+    "candidate_subsets",
+    "subset_bitmasks",
+    "subset_fail_table",
+    "pack_disjoint_masks",
+    "MAX_PACKED_FIELDS",
+    "MAX_PACKED_SUBSETS",
+]
+
+#: Widest schema the packed-mask pipeline supports: disjointness masks are
+#: packed into uint16 words, and the fail table has ``2**k`` entries.
+MAX_PACKED_FIELDS = 16
+
+#: Most field subsets the packed pipeline tracks: feasibility sets are
+#: uint64 bitmasks (one bit per candidate subset).
+MAX_PACKED_SUBSETS = 64
+
+
+@dataclass(frozen=True)
+class ColumnarRules:
+    """Read-only ``(N, k)`` interval-bound matrices over a classifier body.
+
+    Thin, shareable view: construction reuses the classifier's cached
+    :meth:`~repro.core.classifier.Classifier.bounds_arrays`, so building
+    one per compile stage costs nothing after the first.
+    """
+
+    lows: np.ndarray
+    highs: np.ndarray
+    widths: Tuple[int, ...]
+
+    @classmethod
+    def from_classifier(cls, classifier: Classifier) -> "ColumnarRules":
+        """Columnar view of the classifier body (cached arrays)."""
+        lows, highs = classifier.bounds_arrays()
+        return cls(lows=lows, highs=highs, widths=classifier.schema.widths)
+
+    @property
+    def num_rules(self) -> int:
+        """Body rules in the store."""
+        return self.lows.shape[0]
+
+    @property
+    def num_fields(self) -> int:
+        """Fields per rule."""
+        return self.lows.shape[1] if self.lows.ndim == 2 else 0
+
+    @property
+    def vectorizable(self) -> bool:
+        """True when the bounds are machine integers (int64) — wide
+        fields (e.g. 128-bit IPv6) fall back to object arrays, which the
+        packed pipeline cannot vectorize."""
+        return self.lows.dtype == np.int64
+
+
+def candidate_subsets(num_fields: int, l: int) -> List[Tuple[int, ...]]:
+    """All size-``min(l, num_fields)`` field subsets, in lexicographic
+    order — the candidate lookup-field sets of the l-MGR greedy."""
+    size = min(l, num_fields)
+    return list(itertools.combinations(range(num_fields), size))
+
+
+def subset_bitmasks(subsets: Sequence[Tuple[int, ...]]) -> List[int]:
+    """Per-subset field bitmask: bit f set iff field f is in the subset."""
+    return [sum(1 << f for f in subset) for subset in subsets]
+
+
+def subset_fail_table(
+    subsets: Sequence[Tuple[int, ...]], num_fields: int
+) -> np.ndarray:
+    """``table[v]``: uint64 bitmask over ``subsets`` with bit s set iff a
+    rule pair whose per-field disjointness mask is ``v`` is *not* disjoint
+    on any field of subset s (``v & mask(s) == 0``).
+
+    This turns the per-candidate, per-subset feasibility scan into one
+    fancy-index plus a bitwise-OR reduction over group members.
+    """
+    if num_fields > MAX_PACKED_FIELDS:
+        raise ValueError(
+            f"fail table supports at most {MAX_PACKED_FIELDS} fields, "
+            f"got {num_fields}"
+        )
+    if len(subsets) > MAX_PACKED_SUBSETS:
+        raise ValueError(
+            f"fail table supports at most {MAX_PACKED_SUBSETS} subsets, "
+            f"got {len(subsets)}"
+        )
+    values = np.arange(1 << num_fields, dtype=np.uint64)
+    table = np.zeros(values.shape[0], dtype=np.uint64)
+    for s, mask in enumerate(subset_bitmasks(subsets)):
+        table[(values & np.uint64(mask)) == 0] |= np.uint64(1 << s)
+    return table
+
+
+def pack_disjoint_masks(disjoint: np.ndarray) -> np.ndarray:
+    """Pack a ``(..., k)`` boolean disjointness cube into per-pair integer
+    field masks (bit f set iff disjoint in field f), ``k <= 16``."""
+    k = disjoint.shape[-1]
+    if k > MAX_PACKED_FIELDS:
+        raise ValueError(f"can pack at most {MAX_PACKED_FIELDS} fields")
+    packed = np.packbits(disjoint, axis=-1, bitorder="little")
+    if packed.shape[-1] == 1:
+        return packed[..., 0]
+    return packed.view(np.uint16)[..., 0]

@@ -12,6 +12,18 @@ subset after the addition, opening a new group when none accepts — capped at
 β groups for (β,l)-MRC, in which case the overflow goes to the
 order-dependent part D.
 
+Two implementations produce byte-identical assignments:
+
+* :func:`l_mgr_reference` — the rule-at-a-time greedy scan, kept as the
+  obviously-correct reference (and the fallback for schemas the packed
+  pipeline cannot handle, e.g. >64-bit fields);
+* the **vectorized chunked scan** used by :func:`l_mgr` whenever the
+  columnar store allows: candidates are admitted in chunks, each open
+  group evaluates the whole chunk's per-subset feasibility in a handful of
+  numpy passes (packed uint64 subset bitmasks from
+  :mod:`repro.analysis.columnar`), and in-chunk interactions ride on a
+  precomputed pairwise fail table.
+
 Problem 5 ((β,l)-MRCC) post-processes the split so that a match in I
 preempts the D lookup: no rule of I may intersect a *higher-priority* rule
 of D.
@@ -19,33 +31,37 @@ of D.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..core.classifier import Classifier
+from .columnar import (
+    MAX_PACKED_FIELDS,
+    MAX_PACKED_SUBSETS,
+    ColumnarRules,
+    candidate_subsets,
+    pack_disjoint_masks,
+    subset_bitmasks,
+    subset_fail_table,
+)
 
 __all__ = [
     "Group",
     "MGRResult",
     "l_mgr",
+    "l_mgr_reference",
     "beta_l_mrc",
     "enforce_cache_property",
     "group_statistics",
     "GroupStatistics",
 ]
 
-
-@dataclass
-class _OpenGroup:
-    """Mutable group state during the greedy scan."""
-
-    members: List[int]
-    feasible: Set[Tuple[int, ...]]
-    lo: List[np.ndarray]
-    hi: List[np.ndarray]
+#: Candidates admitted per vectorized batch.  128 keeps the per-chunk
+#: pairwise fail table tiny while amortizing the numpy call overhead that
+#: dominated the rule-at-a-time scan.
+_CHUNK = 128
 
 
 @dataclass(frozen=True)
@@ -90,32 +106,319 @@ class MGRResult:
 
 
 def _candidate_subsets(num_fields: int, l: int) -> List[Tuple[int, ...]]:
-    size = min(l, num_fields)
-    return list(itertools.combinations(range(num_fields), size))
+    return candidate_subsets(num_fields, l)
 
 
-def _disjoint_bits(
-    group: _OpenGroup, lo: np.ndarray, hi: np.ndarray
-) -> np.ndarray:
-    """(members, k) booleans: member m is disjoint from the candidate in
-    field f."""
-    glo = np.asarray(group.lo)
-    ghi = np.asarray(group.hi)
-    return (ghi < lo[None, :]) | (hi[None, :] < glo)
+def _validate(l: int, beta: Optional[int]) -> None:
+    if l < 1:
+        raise ValueError("l must be at least 1")
+    if beta is not None and beta < 1:
+        raise ValueError("beta must be at least 1")
+
+
+def _scan_order(
+    n: int,
+    order: Optional[Sequence[int]],
+    rule_subset: Optional[Sequence[int]],
+) -> List[int]:
+    if order is not None:
+        return list(order)
+    if rule_subset is not None:
+        return list(rule_subset)
+    return list(range(n))
+
+
+def _narrowest(
+    feasible: Sequence[Tuple[int, ...]], widths: Sequence[int]
+) -> Tuple[int, ...]:
+    """Deterministic lookup-field pick: smallest total bit width, ties by
+    lexicographic subset order."""
+    return min(feasible, key=lambda s: (sum(widths[f] for f in s), s))
+
+
+# ---------------------------------------------------------------------------
+# Reference (rule-at-a-time) implementation
+# ---------------------------------------------------------------------------
+
+class _OpenGroup:
+    """Mutable group state during the reference greedy scan.
+
+    Member bounds live in contiguous ``(cap, k)`` arrays grown by doubling
+    — the scan must never rebuild the member matrix per candidate (the old
+    list-of-rows representation made every admission attempt O(members)
+    in *copies*, which dominated build time).
+    """
+
+    __slots__ = ("members", "feasible", "lo", "hi", "count")
+
+    def __init__(
+        self, feasible: Set[Tuple[int, ...]], k: int, dtype
+    ) -> None:
+        self.members: List[int] = []
+        self.feasible = feasible
+        self.lo = np.empty((16, k), dtype=dtype)
+        self.hi = np.empty((16, k), dtype=dtype)
+        self.count = 0
+
+    def append(self, idx: int, lo: np.ndarray, hi: np.ndarray) -> None:
+        if self.count == self.lo.shape[0]:
+            grown_lo = np.empty(
+                (self.count * 2, self.lo.shape[1]), dtype=self.lo.dtype
+            )
+            grown_hi = np.empty_like(grown_lo)
+            grown_lo[: self.count] = self.lo[: self.count]
+            grown_hi[: self.count] = self.hi[: self.count]
+            self.lo, self.hi = grown_lo, grown_hi
+        self.lo[self.count] = lo
+        self.hi[self.count] = hi
+        self.count += 1
+        self.members.append(idx)
 
 
 def _try_place(
     group: _OpenGroup, lo: np.ndarray, hi: np.ndarray
 ) -> Optional[Set[Tuple[int, ...]]]:
     """Return the surviving feasible subsets if the candidate joins
-    ``group``, or None if no subset survives."""
-    disjoint = _disjoint_bits(group, lo, hi)
-    surviving = {
-        subset
-        for subset in group.feasible
-        if bool(disjoint[:, list(subset)].any(axis=1).all())
-    }
+    ``group``, or None if no subset survives.
+
+    The per-field disjointness columns are computed once per candidate and
+    shared across every subset verdict (memoized for the current
+    candidate), instead of re-slicing the member matrix per subset — a
+    rejected candidate costs one (members, k) comparison, not one per
+    subset.
+    """
+    glo = group.lo[: group.count]
+    ghi = group.hi[: group.count]
+    disjoint = (ghi < lo[None, :]) | (hi[None, :] < glo)
+    columns: Dict[int, np.ndarray] = {}
+
+    def column(f: int) -> np.ndarray:
+        cached = columns.get(f)
+        if cached is None:
+            cached = columns[f] = disjoint[:, f]
+        return cached
+
+    surviving: Set[Tuple[int, ...]] = set()
+    for subset in group.feasible:
+        separated = column(subset[0])
+        for f in subset[1:]:
+            separated = separated | column(f)
+        if separated.all():
+            surviving.add(subset)
     return surviving or None
+
+
+def l_mgr_reference(
+    classifier: Classifier,
+    l: int,
+    beta: Optional[int] = None,
+    order: Optional[Sequence[int]] = None,
+    rule_subset: Optional[Sequence[int]] = None,
+) -> MGRResult:
+    """Rule-at-a-time greedy multi-group assignment (Section 6.2.2).
+
+    Byte-identical results to :func:`l_mgr`; kept as the correctness
+    reference (property tests cross-check the vectorized scan against it)
+    and as the fallback for schemas outside the packed pipeline's limits.
+    """
+    _validate(l, beta)
+    lows, highs = classifier.bounds_arrays()
+    n = lows.shape[0]
+    scan = _scan_order(n, order, rule_subset)
+    subsets = _candidate_subsets(classifier.num_fields, l)
+    k = classifier.num_fields
+    open_groups: List[_OpenGroup] = []
+    ungrouped: List[int] = []
+    for idx in scan:
+        lo = lows[idx]
+        hi = highs[idx]
+        placed = False
+        for group in open_groups:
+            surviving = _try_place(group, lo, hi)
+            if surviving is not None:
+                group.feasible = surviving
+                group.append(idx, lo, hi)
+                placed = True
+                break
+        if placed:
+            continue
+        if beta is None or len(open_groups) < beta:
+            group = _OpenGroup(set(subsets), k, lows.dtype)
+            group.append(idx, lo, hi)
+            open_groups.append(group)
+        else:
+            ungrouped.append(idx)
+    widths = classifier.schema.widths
+    finished = tuple(
+        Group(
+            rule_indices=tuple(g.members),
+            fields=_narrowest(g.feasible, widths),
+        )
+        for g in open_groups
+    )
+    return MGRResult(groups=finished, ungrouped=tuple(ungrouped), l=l)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized chunked implementation
+# ---------------------------------------------------------------------------
+
+class _FastGroup:
+    """Open group of the vectorized scan: contiguous member bounds plus
+    the feasible-subset set packed into one integer bitmask."""
+
+    __slots__ = ("members", "feasible", "lo", "hi", "count")
+
+    def __init__(self, feasible: int, k: int) -> None:
+        self.members: List[int] = []
+        self.feasible = feasible
+        self.lo = np.empty((16, k), dtype=np.int64)
+        self.hi = np.empty((16, k), dtype=np.int64)
+        self.count = 0
+
+    def append(self, idx: int, lo: np.ndarray, hi: np.ndarray) -> None:
+        if self.count == self.lo.shape[0]:
+            grown_lo = np.empty(
+                (self.count * 2, self.lo.shape[1]), dtype=np.int64
+            )
+            grown_hi = np.empty_like(grown_lo)
+            grown_lo[: self.count] = self.lo[: self.count]
+            grown_hi[: self.count] = self.hi[: self.count]
+            self.lo, self.hi = grown_lo, grown_hi
+        self.lo[self.count] = lo
+        self.hi[self.count] = hi
+        self.count += 1
+        self.members.append(idx)
+
+    def fail_bits(
+        self,
+        rlo: np.ndarray,
+        rhi: np.ndarray,
+        subsets: Sequence[Tuple[int, ...]],
+    ) -> List[int]:
+        """For each candidate row, the bitmask of *currently feasible*
+        subsets that would stop being feasible if the candidate joined:
+        bit s is set iff some member overlaps the candidate on every field
+        of subset s.
+
+        Evaluated directly on the feasible subsets (groups narrow to a few
+        subsets quickly, so this beats re-deriving full per-pair masks),
+        with per-field overlap matrices shared across subsets.
+        """
+        glo = self.lo[: self.count]
+        ghi = self.hi[: self.count]
+        feasible = self.feasible
+        overlap: Dict[int, np.ndarray] = {}
+
+        def field_overlap(f: int) -> np.ndarray:
+            cached = overlap.get(f)
+            if cached is None:
+                cached = overlap[f] = (
+                    glo[None, :, f] <= rhi[:, None, f]
+                ) & (rlo[:, None, f] <= ghi[None, :, f])
+            return cached
+
+        out = np.zeros(rlo.shape[0], dtype=np.uint64)
+        for s in range(len(subsets)):
+            if not (feasible >> s) & 1:
+                continue
+            subset = subsets[s]
+            conflicting = field_overlap(subset[0])
+            for f in subset[1:]:
+                conflicting = conflicting & field_overlap(f)
+            out[conflicting.any(axis=1)] |= np.uint64(1 << s)
+        return out.tolist()
+
+
+def _l_mgr_vectorized(
+    classifier: Classifier,
+    cols: ColumnarRules,
+    scan: Sequence[int],
+    l: int,
+    beta: Optional[int],
+) -> MGRResult:
+    lows, highs = cols.lows, cols.highs
+    k = cols.num_fields
+    subsets = _candidate_subsets(k, l)
+    full_mask = (1 << len(subsets)) - 1
+    table = subset_fail_table(subsets, k)
+    groups: List[_FastGroup] = []
+    ungrouped: List[int] = []
+    scan_arr = np.asarray(scan, dtype=np.int64)
+    for start in range(0, scan_arr.shape[0], _CHUNK):
+        chunk = scan_arr[start : start + _CHUNK]
+        chunk_list = chunk.tolist()
+        clo = lows[chunk]
+        chi = highs[chunk]
+        # Pairwise in-chunk fail bitmasks (C, C): row i column j is the
+        # subset set on which candidates i and j are NOT separable.  Any
+        # candidate joining a group turns its column into extra fail bits
+        # for every later candidate probing that group.
+        pair_disjoint = (chi[:, None, :] < clo[None, :, :]) | (
+            chi[None, :, :] < clo[:, None, :]
+        )
+        fail_cc = table[pack_disjoint_masks(pair_disjoint)]
+        pending = list(range(chunk.shape[0]))
+        # Phase 1 — waterfall over the groups that existed at chunk
+        # start: each group evaluates only the candidates still unplaced,
+        # in one batched fail-bits pass, then admits in scan order.
+        for group in groups:
+            if not pending:
+                break
+            rows = np.asarray(pending, dtype=np.int64)
+            ext = group.fail_bits(clo[rows], chi[rows], subsets)
+            acc: Optional[np.ndarray] = None
+            rejected: List[int] = []
+            for p, row in enumerate(pending):
+                fail = ext[p]
+                if acc is not None:
+                    fail |= int(acc[row])
+                surviving = group.feasible & ~fail
+                if surviving:
+                    group.feasible = surviving
+                    group.append(chunk_list[row], clo[row], chi[row])
+                    if acc is None:
+                        acc = fail_cc[:, row].copy()
+                    else:
+                        acc |= fail_cc[:, row]
+                else:
+                    rejected.append(row)
+            pending = rejected
+        # Phase 2 — leftovers try the groups opened during this chunk (in
+        # creation order, all of whose members are in-chunk) and open new
+        # groups within the β budget; the rest spill to D.
+        fresh: List[Tuple[_FastGroup, np.ndarray]] = []
+        for row in pending:
+            placed = False
+            for group, acc in fresh:
+                surviving = group.feasible & ~int(acc[row])
+                if surviving:
+                    group.feasible = surviving
+                    group.append(chunk_list[row], clo[row], chi[row])
+                    acc |= fail_cc[:, row]
+                    placed = True
+                    break
+            if placed:
+                continue
+            if beta is None or len(groups) + len(fresh) < beta:
+                group = _FastGroup(full_mask, k)
+                group.append(chunk_list[row], clo[row], chi[row])
+                fresh.append((group, fail_cc[:, row].copy()))
+            else:
+                ungrouped.append(chunk_list[row])
+        groups.extend(group for group, _ in fresh)
+    widths = cols.widths
+    finished = tuple(
+        Group(
+            rule_indices=tuple(g.members),
+            fields=_narrowest(
+                [subsets[s] for s in range(len(subsets)) if (g.feasible >> s) & 1],
+                widths,
+            ),
+        )
+        for g in groups
+    )
+    return MGRResult(groups=finished, ungrouped=tuple(ungrouped), l=l)
 
 
 def l_mgr(
@@ -127,6 +430,12 @@ def l_mgr(
 ) -> MGRResult:
     """Greedy multi-group assignment (Problem 2; Problem 4 when ``beta`` is
     given).
+
+    Runs the vectorized chunked scan whenever the classifier's columnar
+    store allows (int64 bounds, at most :data:`~repro.analysis.columnar.MAX_PACKED_FIELDS`
+    fields and :data:`~repro.analysis.columnar.MAX_PACKED_SUBSETS` candidate
+    subsets); falls back to :func:`l_mgr_reference` otherwise.  Both paths
+    return identical assignments.
 
     Parameters
     ----------
@@ -142,57 +451,20 @@ def l_mgr(
         Restrict the scan to these body-rule indices (e.g. a k-MRC result,
         as in the right half of Table 3).
     """
-    if l < 1:
-        raise ValueError("l must be at least 1")
-    if beta is not None and beta < 1:
-        raise ValueError("beta must be at least 1")
-    lows, highs = classifier.bounds_arrays()
-    n = lows.shape[0]
-    if rule_subset is not None:
-        scan_source: Sequence[int] = list(rule_subset)
-    else:
-        scan_source = range(n)
-    scan = list(order) if order is not None else list(scan_source)
-    subsets = _candidate_subsets(classifier.num_fields, l)
-    open_groups: List[_OpenGroup] = []
-    ungrouped: List[int] = []
-    for idx in scan:
-        lo = lows[idx]
-        hi = highs[idx]
-        placed = False
-        for group in open_groups:
-            surviving = _try_place(group, lo, hi)
-            if surviving is not None:
-                group.feasible = surviving
-                group.members.append(idx)
-                group.lo.append(lo)
-                group.hi.append(hi)
-                placed = True
-                break
-        if placed:
-            continue
-        if beta is None or len(open_groups) < beta:
-            open_groups.append(
-                _OpenGroup(
-                    members=[idx],
-                    feasible=set(subsets),
-                    lo=[lo],
-                    hi=[hi],
-                )
-            )
-        else:
-            ungrouped.append(idx)
-    widths = classifier.schema.widths
-    finished = tuple(
-        Group(
-            rule_indices=tuple(g.members),
-            fields=min(
-                g.feasible, key=lambda s: (sum(widths[f] for f in s), s)
-            ),
-        )
-        for g in open_groups
+    _validate(l, beta)
+    cols = ColumnarRules.from_classifier(classifier)
+    k = classifier.num_fields
+    n = cols.num_rules
+    scan = _scan_order(n, order, rule_subset)
+    if (
+        cols.vectorizable
+        and 0 < k <= MAX_PACKED_FIELDS
+        and len(_candidate_subsets(k, l)) <= MAX_PACKED_SUBSETS
+    ):
+        return _l_mgr_vectorized(classifier, cols, scan, l, beta)
+    return l_mgr_reference(
+        classifier, l, beta=beta, order=order, rule_subset=rule_subset
     )
-    return MGRResult(groups=finished, ungrouped=tuple(ungrouped), l=l)
 
 
 def beta_l_mrc(
@@ -215,35 +487,41 @@ def enforce_cache_property(
     unnecessary (Section 4.3).
 
     Demotion is processed in priority order; each demoted rule joins D and
-    can trigger further demotions of lower-priority I rules.
+    can trigger further demotions of lower-priority I rules.  The D-side
+    bounds live in preallocated columnar arrays appended in place, so a
+    pass over N grouped rules costs N vectorized comparisons, not N array
+    rebuilds.
     """
     lows, highs = classifier.bounds_arrays()
+    n = lows.shape[0]
+    k = classifier.num_fields
     d_indices: List[int] = sorted(result.ungrouped)
-    d_lo = [lows[i] for i in d_indices]
-    d_hi = [highs[i] for i in d_indices]
-    d_prio = list(d_indices)
+    count = len(d_indices)
+    d_lo = np.empty((n, k), dtype=lows.dtype)
+    d_hi = np.empty((n, k), dtype=highs.dtype)
+    d_prio = np.empty(n, dtype=np.int64)
+    if count:
+        taken = np.asarray(d_indices, dtype=np.int64)
+        d_lo[:count] = lows[taken]
+        d_hi[:count] = highs[taken]
+        d_prio[:count] = taken
     demoted: Set[int] = set()
     for idx in sorted(result.grouped_indices()):
-        if not d_prio:
-            keep = True
-        else:
-            dlo = np.asarray(d_lo)
-            dhi = np.asarray(d_hi)
-            prio = np.asarray(d_prio)
-            higher = prio < idx  # lower index = higher priority
+        keep = True
+        if count:
+            higher = d_prio[:count] < idx  # lower index = higher priority
             if higher.any():
                 intersect = (
-                    (dlo[higher] <= highs[idx][None, :])
-                    & (lows[idx][None, :] <= dhi[higher])
+                    (d_lo[:count][higher] <= highs[idx][None, :])
+                    & (lows[idx][None, :] <= d_hi[:count][higher])
                 ).all(axis=1)
                 keep = not bool(intersect.any())
-            else:
-                keep = True
         if not keep:
             demoted.add(idx)
-            d_lo.append(lows[idx])
-            d_hi.append(highs[idx])
-            d_prio.append(idx)
+            d_lo[count] = lows[idx]
+            d_hi[count] = highs[idx]
+            d_prio[count] = idx
+            count += 1
     if not demoted:
         return result
     new_groups = []

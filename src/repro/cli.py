@@ -346,6 +346,14 @@ def _cmd_runtime(args) -> int:
                 f"batch={config.batch_size} shards={config.num_shards} "
                 f"({config.shard_mode})"
             )
+            stage_text = " ".join(
+                f"{name}={seconds:.3f}s" for name, seconds in report.build_stages
+            )
+            print(
+                f"build: {report.build_seconds:.3f}s "
+                f"({'incremental' if report.build_incremental else 'full'}) "
+                f"{stage_text}"
+            )
         batches = list(iter_batches(trace, config.batch_size))
         swap_at = len(batches) // 2 if args.updates else None
         rng = _random.Random(args.seed)
@@ -363,12 +371,23 @@ def _cmd_runtime(args) -> int:
         if args.json:
             import json as _json
 
+            final = service.swap.engine
+            build = (
+                {
+                    "seconds": final.build_seconds,
+                    "incremental": final.build_incremental,
+                    "stages": {n: s for n, s in final.build_stages},
+                }
+                if hasattr(final, "build_stages")
+                else None
+            )
             print(_json.dumps({
                 "packets": len(trace),
                 "seconds": elapsed,
                 "packets_per_second": rate,
                 "generation": service.swap.generation,
                 "degraded": service.swap.degraded,
+                "build": build,
                 "telemetry": snapshot.as_dict(),
             }, indent=2))
         else:

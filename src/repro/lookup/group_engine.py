@@ -20,6 +20,7 @@ collides with, bounded by the line-rate budget C.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -39,9 +40,22 @@ __all__ = ["GroupIndex", "LinearGroupIndex", "MultiGroupEngine", "build_group_in
 
 class GroupIndex:
     """Interface: probe a group with a header, get at most one candidate
-    body-rule index (pre false-positive check)."""
+    body-rule index (pre false-positive check).
+
+    The lookup structures store **slots** (positions within the group's
+    member list); the per-index ``rule_ids`` array translates a slot to
+    its classifier rule index.  That indirection is what makes incremental
+    rebuilds cheap: a priority shift re-labels rules with a new
+    ``rule_ids`` array via :meth:`reindexed` (sharing the interval maps /
+    segment trees untouched), and a removal tombstones its slot with -1
+    without rebuilding the structure — sound because group members are
+    pairwise disjoint on the group fields, so a dead slot's region has no
+    other candidate in this group.
+    """
 
     fields: Tuple[int, ...]
+    #: slot -> classifier rule index; -1 marks a tombstoned (removed) slot.
+    rule_ids: np.ndarray
 
     def probe(self, header: Sequence[int]) -> Optional[int]:
         """Candidate rule index matching on the group fields, or None."""
@@ -62,22 +76,41 @@ class GroupIndex:
                 out[j] = candidate
         return out
 
+    def reindexed(self, rule_ids: Sequence[int]) -> "GroupIndex":
+        """Shallow copy sharing the lookup structure, with slots relabeled
+        by ``rule_ids`` (length = slot count; -1 tombstones a slot)."""
+        clone = copy.copy(self)
+        clone.rule_ids = np.asarray(rule_ids, dtype=np.int64)
+        if clone.rule_ids.shape != self.rule_ids.shape:
+            raise ValueError(
+                f"rule_ids must cover all {self.rule_ids.shape[0]} slots"
+            )
+        return clone
+
     def __len__(self) -> int:
-        raise NotImplementedError
+        """Live (non-tombstoned) rules in the group."""
+        return int((self.rule_ids >= 0).sum())
+
+    def _translate(self, slot: Optional[int]) -> Optional[int]:
+        if slot is None:
+            return None
+        rid = int(self.rule_ids[slot])
+        return rid if rid >= 0 else None
 
 
 class _OneFieldIndex(GroupIndex):
     def __init__(self, classifier: Classifier, group: Group) -> None:
         self.fields = group.fields
+        self.rule_ids = np.asarray(group.rule_indices, dtype=np.int64)
         (f,) = group.fields
         self._field = f
         self._map: DisjointIntervalMap[int] = DisjointIntervalMap(
-            (classifier.rules[idx].intervals[f], idx)
-            for idx in group.rule_indices
+            (classifier.rules[idx].intervals[f], slot)
+            for slot, idx in enumerate(group.rule_indices)
         )
 
     def probe(self, header: Sequence[int]) -> Optional[int]:
-        return self._map.lookup(header[self._field])
+        return self._translate(self._map.lookup(header[self._field]))
 
     def probe_batch(
         self, headers: Sequence[Sequence[int]], harr: np.ndarray
@@ -93,11 +126,8 @@ class _OneFieldIndex(GroupIndex):
         inside = pos >= 0
         clamped = np.where(inside, pos, 0)
         inside &= values <= np.asarray(highs)[clamped]
-        result = np.asarray(payloads, dtype=np.int64)[clamped]
-        return np.where(inside, result, np.int64(-1))
-
-    def __len__(self) -> int:
-        return len(self._map)
+        result = self.rule_ids[np.asarray(payloads, dtype=np.int64)[clamped]]
+        return np.where(inside & (result >= 0), result, np.int64(-1))
 
 
 class _TwoFieldGroupIndex(GroupIndex):
@@ -105,6 +135,7 @@ class _TwoFieldGroupIndex(GroupIndex):
         self, classifier: Classifier, group: Group, cascading: bool = False
     ) -> None:
         self.fields = group.fields
+        self.rule_ids = np.asarray(group.rule_indices, dtype=np.int64)
         a, b = group.fields
         self._a = a
         self._b = b
@@ -113,13 +144,13 @@ class _TwoFieldGroupIndex(GroupIndex):
             (
                 classifier.rules[idx].intervals[a],
                 classifier.rules[idx].intervals[b],
-                idx,
+                slot,
             )
-            for idx in group.rule_indices
+            for slot, idx in enumerate(group.rule_indices)
         )
 
     def probe(self, header: Sequence[int]) -> Optional[int]:
-        return self._index.lookup(header[self._a], header[self._b])
+        return self._translate(self._index.lookup(header[self._a], header[self._b]))
 
     def probe_batch(
         self, headers: Sequence[Sequence[int]], harr: np.ndarray
@@ -128,15 +159,13 @@ class _TwoFieldGroupIndex(GroupIndex):
         loop (the segment-tree path itself is not batch-vectorizable)."""
         out = np.full(len(headers), -1, dtype=np.int64)
         lookup = self._index.lookup
+        rule_ids = self.rule_ids
         a, b = self._a, self._b
         for j, header in enumerate(headers):
-            candidate = lookup(header[a], header[b])
-            if candidate is not None:
-                out[j] = candidate
+            slot = lookup(header[a], header[b])
+            if slot is not None:
+                out[j] = rule_ids[slot]
         return out
-
-    def __len__(self) -> int:
-        return len(self._index)
 
 
 class LinearGroupIndex(GroupIndex):
@@ -146,21 +175,22 @@ class LinearGroupIndex(GroupIndex):
 
     def __init__(self, classifier: Classifier, group: Group) -> None:
         self.fields = group.fields
+        self.rule_ids = np.asarray(group.rule_indices, dtype=np.int64)
         self._members: List[Tuple[int, Tuple[Interval, ...]]] = [
             (
-                idx,
+                slot,
                 tuple(classifier.rules[idx].intervals[f] for f in group.fields),
             )
-            for idx in group.rule_indices
+            for slot, idx in enumerate(group.rule_indices)
         ]
         self._bounds: Optional[Tuple[np.ndarray, ...]] = None
 
     def probe(self, header: Sequence[int]) -> Optional[int]:
         """Linear scan over members, matching only the group fields."""
         values = [header[f] for f in self.fields]
-        for idx, intervals in self._members:
+        for slot, intervals in self._members:
             if all(iv.contains(v) for iv, v in zip(intervals, values)):
-                return idx
+                return self._translate(slot)
         return None
 
     def probe_batch(
@@ -172,23 +202,21 @@ class LinearGroupIndex(GroupIndex):
         if not self._members:
             return np.full(len(headers), -1, dtype=np.int64)
         if self._bounds is None:
-            ids = np.asarray([m for m, _ in self._members], dtype=np.int64)
+            slots = np.asarray([m for m, _ in self._members], dtype=np.int64)
             lo = np.asarray(
                 [[iv.low for iv in ivs] for _, ivs in self._members]
             )
             hi = np.asarray(
                 [[iv.high for iv in ivs] for _, ivs in self._members]
             )
-            self._bounds = (ids, lo, hi)
-        ids, lo, hi = self._bounds
+            self._bounds = (slots, lo, hi)
+        slots, lo, hi = self._bounds
         values = harr[:, list(self.fields)]
         cube = values[:, None, :]
         ok = ((lo[None, :, :] <= cube) & (cube <= hi[None, :, :])).all(axis=2)
         hit = ok.any(axis=1)
-        return np.where(hit, ids[ok.argmax(axis=1)], np.int64(-1))
-
-    def __len__(self) -> int:
-        return len(self._members)
+        result = self.rule_ids[slots[ok.argmax(axis=1)]]
+        return np.where(hit & (result >= 0), result, np.int64(-1))
 
 
 def build_group_index(
@@ -231,11 +259,17 @@ class MultiGroupEngine:
         shadow: Optional[Dict[int, Tuple[int, ...]]] = None,
         cascading: bool = False,
         recorder=None,
+        prebuilt: Optional[Sequence[GroupIndex]] = None,
     ) -> None:
         self.classifier = classifier
-        self.groups = [
-            build_group_index(classifier, g, cascading) for g in groups
-        ]
+        if prebuilt is not None:
+            # Incremental rebuilds hand over already-constructed (possibly
+            # reindexed / tombstoned) group indexes; ``groups`` is ignored.
+            self.groups = list(prebuilt)
+        else:
+            self.groups = [
+                build_group_index(classifier, g, cascading) for g in groups
+            ]
         self.shadow: Dict[int, Tuple[int, ...]] = dict(shadow or {})
         self.stats = EngineStats()
         #: Telemetry sink (``groups.*`` counters, ``engine.group_probe``

@@ -171,13 +171,26 @@ class RuntimeService:
     # ------------------------------------------------------------------
     def gauges(self) -> Dict[str, float]:
         """Point-in-time gauges for ``/metrics`` and ``/snapshot``."""
-        return {
+        gauges = {
             "runtime.generation": float(self.swap.generation),
             "runtime.degraded": 1.0 if self.swap.degraded else 0.0,
             "runtime.rules": float(len(self.swap)),
             "runtime.num_shards": float(self.config.num_shards),
             "runtime.update_log": float(len(self.swap.update_log)),
         }
+        engine = self.swap.engine
+        stages = getattr(engine, "build_stages", None)
+        if stages is not None:
+            # Compile-pipeline visibility: how long the serving engine
+            # took to (re)build, stage by stage, and whether the last
+            # swap was incremental.
+            gauges["build.seconds"] = float(engine.build_seconds)
+            gauges["build.incremental"] = (
+                1.0 if engine.build_incremental else 0.0
+            )
+            for name, seconds in stages:
+                gauges[f"build.stage.{name}"] = float(seconds)
+        return gauges
 
     def health(self) -> tuple:
         """(healthy, payload) for ``/healthz``: healthy while the real

@@ -83,6 +83,9 @@ class HotSwapRuntime:
         self.config = config or EngineConfig()
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.background = background
+        # A custom builder opts out of incremental rebuilds: we cannot
+        # know whether its engines support SaxPacEngine.rebuild.
+        self._incremental = builder is None
         self._builder = builder or self._default_builder
         if isinstance(source, DynamicSaxPac):
             self._dyn = source
@@ -141,11 +144,32 @@ class HotSwapRuntime:
             background=self.background,
         ):
             snapshot = self.snapshot_classifier()
-            try:
-                engine = self._builder(snapshot)
-            except Exception:
-                recorder.incr("swap.rebuild_failures")
-                engine = LinearFallback(snapshot)
+            engine = None
+            previous = self._engine
+            if (
+                self._incremental
+                and isinstance(previous, SaxPacEngine)
+            ):
+                # Incremental path: re-admit only the changed rules,
+                # reusing the serving engine's structures read-only (the
+                # old engine keeps serving until the swap below).
+                try:
+                    engine = previous.rebuild(snapshot)
+                    if engine.build_incremental:
+                        recorder.incr("swap.incremental_rebuilds")
+                    else:
+                        recorder.incr("swap.full_rebuilds")
+                except Exception:
+                    recorder.incr("swap.incremental_failures")
+                    engine = None
+            if engine is None:
+                try:
+                    engine = self._builder(snapshot)
+                    if self._incremental:
+                        recorder.incr("swap.full_rebuilds")
+                except Exception:
+                    recorder.incr("swap.rebuild_failures")
+                    engine = LinearFallback(snapshot)
         # The swap itself: one attribute store, atomic under the GIL.
         # In-flight readers hold the old reference and drain naturally.
         self._engine = engine

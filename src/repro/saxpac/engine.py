@@ -21,7 +21,7 @@ returns the highest-priority survivor — exactly the dataflow of Figure 4.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -53,6 +53,17 @@ class EngineReport:
     group_fields: Tuple[Tuple[int, ...], ...]
     tcam_entries: int
     tcam_entries_full: int
+    #: Wall-clock seconds of the (latest) build or rebuild.  Timing fields
+    #: are measurements, not structure — they stay out of equality so two
+    #: builds of the same classifier compare equal.
+    build_seconds: float = field(default=0.0, compare=False)
+    #: Per-stage build breakdown, in execution order.
+    build_stages: Tuple[Tuple[str, float], ...] = field(
+        default=(), compare=False
+    )
+    #: True when this engine came from :meth:`SaxPacEngine.rebuild` reusing
+    #: prior structures rather than a from-scratch compile.
+    build_incremental: bool = field(default=False, compare=False)
 
     @property
     def software_fraction(self) -> float:
@@ -67,6 +78,38 @@ class EngineReport:
         if self.tcam_entries_full == 0:
             return 0.0
         return 1.0 - self.tcam_entries / self.tcam_entries_full
+
+
+class _BuildStage:
+    """Times one build stage and reports it to telemetry: appends
+    ``(name, seconds)`` to the shared list, emits an
+    ``engine.build.<name>`` observation, and nests an
+    ``engine.build.<name>`` span when tracing is enabled."""
+
+    __slots__ = ("_name", "_stages", "_recorder", "_span", "_start")
+
+    def __init__(self, name, stages, recorder) -> None:
+        self._name = name
+        self._stages = stages
+        self._recorder = recorder
+        self._span = None
+        self._start = 0.0
+
+    def __enter__(self) -> "_BuildStage":
+        if self._recorder.enabled:
+            self._span = self._recorder.span(f"engine.build.{self._name}")
+            self._span.__enter__()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self._start
+        self._stages.append((self._name, elapsed))
+        if self._span is not None:
+            self._span.__exit__(exc_type, exc, tb)
+            self._span = None
+        if self._recorder.enabled and exc_type is None:
+            self._recorder.observe(f"engine.build.{self._name}", elapsed)
 
 
 class SaxPacEngine:
@@ -90,49 +133,256 @@ class SaxPacEngine:
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+    def _stage(self, name: str, stages: List[Tuple[str, float]]):
+        """Context manager timing one build stage: appends ``(name,
+        seconds)`` to ``stages``, mirrors it to the telemetry recorder and
+        opens an ``engine.build.<name>`` span when tracing is on."""
+        return _BuildStage(name, stages, self.recorder)
+
     def _build(self) -> None:
         cfg = self.config
         classifier = self.classifier
-        independent = greedy_independent_set(classifier)
-        grouping = l_mgr(
-            classifier,
-            l=min(cfg.max_group_fields, classifier.num_fields),
-            beta=cfg.max_groups,
-            rule_subset=independent.rule_indices,
-        )
-        # Rules that never made it into I also belong to D.
-        spill = set(grouping.ungrouped)
-        spill.update(independent.complement(len(classifier.body)))
-        # Fold undersized groups into D (Example 5's practical advice).
-        kept_groups: List[Group] = []
-        for group in grouping.groups:
-            if group.size < cfg.min_group_size:
-                spill.update(group.rule_indices)
-            else:
-                kept_groups.append(group)
-        grouping = MGRResult(
-            tuple(kept_groups), tuple(sorted(spill)), grouping.l
-        )
-        if cfg.enforce_cache:
-            grouping = enforce_cache_property(classifier, grouping)
+        stages: List[Tuple[str, float]] = []
+        with self._stage("disjointness", stages):
+            independent = greedy_independent_set(classifier)
+        with self._stage("grouping", stages):
+            grouping = l_mgr(
+                classifier,
+                l=min(cfg.max_group_fields, classifier.num_fields),
+                beta=cfg.max_groups,
+                rule_subset=independent.rule_indices,
+            )
+            # Rules that never made it into I also belong to D.
+            spill = set(grouping.ungrouped)
+            spill.update(independent.complement(len(classifier.body)))
+            # Fold undersized groups into D (Example 5's practical advice).
+            kept_groups: List[Group] = []
+            for group in grouping.groups:
+                if group.size < cfg.min_group_size:
+                    spill.update(group.rule_indices)
+                else:
+                    kept_groups.append(group)
+            grouping = MGRResult(
+                tuple(kept_groups), tuple(sorted(spill)), grouping.l
+            )
+            if cfg.enforce_cache:
+                grouping = enforce_cache_property(classifier, grouping)
         self.grouping = grouping
-        self.software = MultiGroupEngine(
-            classifier,
-            grouping.groups,
-            cascading=cfg.use_cascading,
-            recorder=self.recorder,
-        )
+        with self._stage("lookup", stages):
+            self.software = MultiGroupEngine(
+                classifier,
+                grouping.groups,
+                cascading=cfg.use_cascading,
+                recorder=self.recorder,
+            )
         self._d_indices: Tuple[int, ...] = grouping.ungrouped
-        self._tcam, self._tcam_view = build_tcam(
-            classifier,
-            encoder=self.encoder,
-            rule_indices=self._d_indices,
-            capacity=cfg.d_capacity,
-        )
+        with self._stage("tcam", stages):
+            self._tcam, self._tcam_view = build_tcam(
+                classifier,
+                encoder=self.encoder,
+                rule_indices=self._d_indices,
+                capacity=cfg.d_capacity,
+            )
         self.d_lookups_skipped = 0
         self._d_bounds: Optional[
             Tuple[np.ndarray, np.ndarray, np.ndarray]
         ] = None
+        self.build_stages: Tuple[Tuple[str, float], ...] = tuple(stages)
+        self.build_seconds: float = sum(dt for _, dt in stages)
+        self.build_incremental: bool = False
+
+    # ------------------------------------------------------------------
+    # Incremental rebuild
+    # ------------------------------------------------------------------
+    #: Fraction of (tombstoned + added) rules beyond which an incremental
+    #: rebuild stops paying off and :meth:`rebuild` compiles from scratch.
+    STALENESS_LIMIT = 0.25
+
+    def rebuild(self, new_classifier: Classifier) -> "SaxPacEngine":
+        """A new engine for ``new_classifier``, reusing this engine's
+        structures where the rule set did not change.
+
+        Rules are diffed by **object identity** (snapshot flows such as
+        :class:`~repro.runtime.swap.HotSwapRuntime` and
+        :class:`~repro.saxpac.updates.DynamicSaxPac` reuse ``Rule``
+        instances across versions).  Carried rules keep their group slots —
+        priority shifts only relabel the per-group ``rule_ids`` arrays;
+        removed rules tombstone their slots (sound because members are
+        pairwise disjoint on the group fields); added rules are grouped
+        among themselves with the same l-MGR admission and become new
+        groups (or spill to D).  D re-encodes through a ternary-pattern
+        cache so only rules new to D pay range expansion.
+
+        The serving engine is never mutated — shared structures are reused
+        read-only, so an RCU-style swap can retire it safely.  Falls back
+        to a from-scratch build when the diff cannot be trusted (duplicate
+        rule objects, schema change, MRCC mode) or when accumulated churn
+        exceeds :data:`STALENESS_LIMIT`.  Semantics always match a full
+        build; the grouping *shape* may differ (delta groups).
+        """
+        cfg = self.config
+        stages: List[Tuple[str, float]] = []
+        with self._stage("diff", stages):
+            plan = self._diff(new_classifier)
+        if plan is None:
+            return SaxPacEngine(
+                new_classifier, cfg, self.encoder, self.recorder
+            )
+        old_to_new, added = plan
+        with self._stage("grouping", stages):
+            l = min(cfg.max_group_fields, new_classifier.num_fields)
+            carried_indexes = []
+            for index in self.software.groups:
+                ids = index.rule_ids
+                mapped = np.where(
+                    ids >= 0, old_to_new[np.maximum(ids, 0)], np.int64(-1)
+                )
+                if (mapped >= 0).any():
+                    carried_indexes.append(index.reindexed(mapped))
+            spill: set = set()
+            delta_groups: List[Group] = []
+            if added:
+                if cfg.max_groups is not None:
+                    budget = cfg.max_groups - len(carried_indexes)
+                    delta = (
+                        l_mgr(new_classifier, l, beta=budget, rule_subset=added)
+                        if budget > 0
+                        else MGRResult((), tuple(added), l)
+                    )
+                else:
+                    delta = l_mgr(new_classifier, l, rule_subset=added)
+                spill.update(delta.ungrouped)
+                for group in delta.groups:
+                    if group.size < cfg.min_group_size:
+                        spill.update(group.rule_indices)
+                    else:
+                        delta_groups.append(group)
+        with self._stage("lookup", stages):
+            from ..lookup.group_engine import build_group_index
+
+            indexes = carried_indexes + [
+                build_group_index(new_classifier, g, cfg.use_cascading)
+                for g in delta_groups
+            ]
+            software = MultiGroupEngine(
+                new_classifier,
+                (),
+                cascading=cfg.use_cascading,
+                recorder=self.recorder,
+                prebuilt=indexes,
+            )
+        carried_d = [
+            int(old_to_new[i]) for i in self._d_indices if old_to_new[i] >= 0
+        ]
+        d_indices = tuple(sorted(set(carried_d) | spill))
+        with self._stage("tcam", stages):
+            cache: dict = {}
+            per_index: dict = {}
+            for record in self._tcam.rows:
+                per_index.setdefault(record.rule_index, (record.rule, []))[
+                    1
+                ].append(record.entry)
+            for rule, entries in per_index.values():
+                cache[rule] = tuple(entries)
+            tcam, tcam_view = build_tcam(
+                new_classifier,
+                encoder=self.encoder,
+                rule_indices=d_indices,
+                capacity=cfg.d_capacity,
+                pattern_cache=cache,
+            )
+        groups = tuple(
+            Group(
+                rule_indices=tuple(
+                    int(r) for r in index.rule_ids if r >= 0
+                ),
+                fields=index.fields,
+            )
+            for index in indexes
+        )
+        grouping = MGRResult(groups, d_indices, l)
+        return SaxPacEngine._from_parts(
+            new_classifier,
+            cfg,
+            self.encoder,
+            self.recorder,
+            grouping=grouping,
+            software=software,
+            d_indices=d_indices,
+            tcam=tcam,
+            tcam_view=tcam_view,
+            stages=tuple(stages),
+        )
+
+    def _diff(
+        self, new_classifier: Classifier
+    ) -> Optional[Tuple[np.ndarray, List[int]]]:
+        """Identity diff against ``new_classifier``: the old-index → new-
+        index map (-1 for removed) and the list of new body indices.  None
+        when the incremental path is not applicable."""
+        if self.config.enforce_cache:
+            # MRCC demotions depend on global priorities; localized
+            # re-admission cannot preserve the cache property.
+            return None
+        if new_classifier.schema != self.classifier.schema:
+            return None
+        old_body = self.classifier.body
+        new_body = new_classifier.body
+        old_ids = {id(rule): i for i, rule in enumerate(old_body)}
+        if len(old_ids) != len(old_body):
+            return None
+        if len({id(rule) for rule in new_body}) != len(new_body):
+            return None
+        old_to_new = np.full(max(len(old_body), 1), -1, dtype=np.int64)
+        added: List[int] = []
+        carried = 0
+        for j, rule in enumerate(new_body):
+            i = old_ids.get(id(rule))
+            if i is None:
+                added.append(j)
+            else:
+                old_to_new[i] = j
+                carried += 1
+        removed = len(old_body) - carried
+        tombstones = sum(
+            int((index.rule_ids < 0).sum()) for index in self.software.groups
+        )
+        churn = removed + tombstones + len(added)
+        if churn > self.STALENESS_LIMIT * max(1, len(new_body)):
+            return None
+        return old_to_new, added
+
+    @classmethod
+    def _from_parts(
+        cls,
+        classifier: Classifier,
+        config: EngineConfig,
+        encoder: RangeEncoder,
+        recorder,
+        *,
+        grouping: MGRResult,
+        software: MultiGroupEngine,
+        d_indices: Tuple[int, ...],
+        tcam,
+        tcam_view,
+        stages: Tuple[Tuple[str, float], ...],
+    ) -> "SaxPacEngine":
+        self = cls.__new__(cls)
+        self.classifier = classifier
+        self.config = config
+        self.encoder = encoder
+        self.recorder = recorder
+        self.grouping = grouping
+        self.software = software
+        self._d_indices = d_indices
+        self._tcam = tcam
+        self._tcam_view = tcam_view
+        self.d_lookups_skipped = 0
+        self._d_bounds = None
+        self.build_stages = stages
+        self.build_seconds = sum(dt for _, dt in stages)
+        self.build_incremental = True
+        return self
 
     # ------------------------------------------------------------------
     # Classification
@@ -298,4 +548,7 @@ class SaxPacEngine:
             group_fields=tuple(g.fields for g in self.grouping.groups),
             tcam_entries=len(self._tcam),
             tcam_entries_full=full_entries,
+            build_seconds=self.build_seconds,
+            build_stages=self.build_stages,
+            build_incremental=self.build_incremental,
         )

@@ -91,16 +91,29 @@ class _DynGroup:
         self._index = None
 
     def accepts(self, rule: Rule, rules: Dict[int, Rule]) -> Optional[Set[Tuple[int, ...]]]:
-        """Feasible subsets surviving if ``rule`` joins, else None."""
+        """Feasible subsets surviving if ``rule`` joins, else None.
+
+        Per-member overlap field masks are computed once for the
+        candidate and shared across every subset verdict — one interval
+        test per (member, relevant field) instead of per (member, subset,
+        field)."""
+        if not self.members:
+            return set(self.feasible)
+        relevant = {f for subset in self.feasible for f in subset}
+        intervals = rule.intervals
+        masks: List[int] = []
+        for member_id in self.members:
+            member_intervals = rules[member_id].intervals
+            mask = 0
+            for f in relevant:
+                if intervals[f].overlaps(member_intervals[f]):
+                    mask |= 1 << f
+            masks.append(mask)
         surviving = set()
         for subset in self.feasible:
-            ok = True
-            for member_id in self.members:
-                member = rules[member_id]
-                if rule.intersects_on(member, subset):
-                    ok = False
-                    break
-            if ok:
+            smask = sum(1 << f for f in subset)
+            # A member defeats the subset iff it overlaps on ALL its fields.
+            if all(mask & smask != smask for mask in masks):
                 surviving.add(subset)
         return surviving or None
 
