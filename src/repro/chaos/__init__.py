@@ -1,0 +1,34 @@
+"""repro.chaos — deterministic fault injection for the serving runtime.
+
+The runtime's failure handling (deadlines, retries, worker respawn, the
+health-state ladder, swap quarantine) is only trustworthy if it is
+*exercised*; this package supplies the faults.  A :class:`FaultPlan`
+declares what goes wrong where (worker crashes, hung lookups, failing
+swap builds, corrupted reports), a :class:`FaultInjector` arms the plan,
+and every chaos-aware component consults the injector through a hook
+that defaults to :data:`NULL_INJECTOR` — a no-op whose cost on the hot
+path is a single attribute load.
+
+See ``examples/faultplan.json`` and ``python -m repro runtime --chaos``.
+"""
+
+from .injector import (
+    NULL_INJECTOR,
+    FaultInjector,
+    InjectedCrash,
+    InjectedFault,
+    NullInjector,
+)
+from .plan import KINDS, SITES, FaultPlan, FaultSpec
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrash",
+    "InjectedFault",
+    "KINDS",
+    "NULL_INJECTOR",
+    "NullInjector",
+    "SITES",
+]

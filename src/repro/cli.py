@@ -112,6 +112,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--updates", type=int, default=0,
                      help="hot-insert this many rules mid-replay "
                           "(exercises the RCU swap path)")
+    run.add_argument("--deadline-ms", type=float, default=None,
+                     help="per-batch deadline for sharded classification; "
+                          "a chunk missing it falls back to the linear "
+                          "scan and the worker pool is respawned")
+    run.add_argument("--chaos", default=None, metavar="PLAN.json",
+                     help="arm fault injection from a chaos plan file "
+                          "(see repro.chaos; examples/faultplan.json)")
+    run.add_argument("--verify", action="store_true",
+                     help="differentially check every batch against the "
+                          "linear reference (exit 1 on any mismatch)")
+    run.add_argument("--expect-health", default=None,
+                     choices=("healthy", "degraded", "linear-fallback"),
+                     help="assert the final health state (exit 1 on "
+                          "mismatch; for chaos smoke tests)")
     run.add_argument("--json", action="store_true",
                      help="emit the report as JSON instead of text")
     run.add_argument("--serve-metrics", type=int, default=None,
@@ -324,21 +338,38 @@ def _cmd_runtime(args) -> int:
         batch_size=args.batch_size,
         num_shards=args.shards,
         shard_mode=args.shard_mode,
+        deadline_ms=args.deadline_ms,
         engine=EngineConfig(
             max_groups=args.max_groups, enforce_cache=args.cache
         ),
     )
+    injector = None
+    if args.chaos is not None:
+        from .chaos import SITES, FaultInjector, FaultPlan
+
+        plan = FaultPlan.load(args.chaos)
+        for site in plan.sites():
+            if site not in SITES:
+                print(f"warning: chaos plan names unknown site {site!r}",
+                      file=sys.stderr)
+        injector = FaultInjector(plan)
+        if not args.json:
+            print(f"chaos: armed {len(plan)} fault spec(s) from "
+                  f"{args.chaos} (seed {plan.seed})")
     obs = _build_observability(args)
     trace = generate_trace(classifier, args.trace, seed=args.seed)
     recorder = obs.recorder if obs is not None else None
-    with RuntimeService(classifier, config, recorder=recorder) as service:
+    mismatches = 0
+    with RuntimeService(
+        classifier, config, recorder=recorder, injector=injector
+    ) as service:
         if args.serve_metrics is not None:
             server = service.serve_metrics(port=args.serve_metrics)
             if not args.json:
                 print(f"metrics: {server.url}/metrics "
                       f"(also /healthz, /snapshot)")
-        report = service.swap.engine.report()
-        if not args.json:
+        report = service.engine_report()
+        if not args.json and report is not None:
             print(
                 f"engine: {report.software_rules}/{report.total_rules} rules "
                 f"in software ({report.num_groups} groups), "
@@ -354,6 +385,9 @@ def _cmd_runtime(args) -> int:
                 f"({'incremental' if report.build_incremental else 'full'}) "
                 f"{stage_text}"
             )
+        elif not args.json:
+            print("engine: no sane report (linear fallback or corrupted); "
+                  "serving continues")
         batches = list(iter_batches(trace, config.batch_size))
         swap_at = len(batches) // 2 if args.updates else None
         rng = _random.Random(args.seed)
@@ -364,10 +398,23 @@ def _cmd_runtime(args) -> int:
                 # for the schema, lowest priority) to exercise the swap.
                 for _ in range(args.updates):
                     service.insert(rng.choice(classifier.body))
-            service.match_batch(batch)
+            results = service.match_batch(batch)
+            if args.verify:
+                from .runtime.batch import verify_against_linear
+
+                # The serving snapshot, re-read per batch: under swap
+                # quarantine the old (stale) rules are the right oracle.
+                bad = verify_against_linear(
+                    service.serving_classifier(), batch, results
+                )
+                if bad:
+                    mismatches += len(bad)
+                    print(f"VERIFY: batch {i}: {len(bad)} answers differ "
+                          f"from the linear reference", file=sys.stderr)
         elapsed = time.perf_counter() - start
         rate = len(trace) / elapsed if elapsed else float("inf")
         snapshot = service.snapshot()
+        final_health = service.health.state.label
         if args.json:
             import json as _json
 
@@ -381,15 +428,22 @@ def _cmd_runtime(args) -> int:
                 if hasattr(final, "build_stages")
                 else None
             )
-            print(_json.dumps({
+            payload = {
                 "packets": len(trace),
                 "seconds": elapsed,
                 "packets_per_second": rate,
                 "generation": service.swap.generation,
                 "degraded": service.swap.degraded,
+                "health": final_health,
+                "quarantined": service.swap.quarantined,
                 "build": build,
                 "telemetry": snapshot.as_dict(),
-            }, indent=2))
+            }
+            if args.verify:
+                payload["verify_mismatches"] = mismatches
+            if injector is not None:
+                payload["chaos_injected"] = injector.summary()
+            print(_json.dumps(payload, indent=2))
         else:
             print(f"replayed {len(trace)} packets in {elapsed:.2f}s "
                   f"({rate:,.0f} pkt/s)")
@@ -397,6 +451,15 @@ def _cmd_runtime(args) -> int:
                 print(f"  hot updates: {args.updates} inserts, engine "
                       f"generation {service.swap.generation}, "
                       f"degraded={service.swap.degraded}")
+            print(f"  health: {final_health}"
+                  + (" (quarantined swap)" if service.swap.quarantined
+                     else ""))
+            if injector is not None:
+                injected = ", ".join(injector.summary()) or "none"
+                print(f"  chaos injected: {injected}")
+            if args.verify:
+                print(f"  verify: {mismatches} mismatches vs the linear "
+                      f"reference over {len(trace)} packets")
             from .runtime.telemetry import render_text
 
             print(render_text(snapshot))
@@ -418,6 +481,13 @@ def _cmd_runtime(args) -> int:
                 time.sleep(args.linger)
             except KeyboardInterrupt:
                 pass
+    if args.verify and mismatches:
+        print(f"FAIL: {mismatches} wrong answers", file=sys.stderr)
+        return 1
+    if args.expect_health is not None and final_health != args.expect_health:
+        print(f"FAIL: final health {final_health!r}, expected "
+              f"{args.expect_health!r}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -28,6 +28,25 @@ __all__ = ["parse_exposition", "render_prometheus", "sanitize_metric_name"]
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
 _PREFIX = "saxpac"
 
+#: Curated HELP text for the health/degradation gauges (everything else
+#: gets a generic line); dashboards alert on these, so the exposition
+#: should say what the values mean.
+_GAUGE_HELP = {
+    "runtime.health": (
+        "Degradation ladder state: 0=healthy 1=degraded 2=linear-fallback."
+    ),
+    "runtime.shed": "Batches rejected at the in-flight watermark.",
+    "runtime.retries": "Shard chunk retries after worker errors.",
+    "runtime.worker_respawns": (
+        "Shard pools respawned after a crash or deadline miss."
+    ),
+    "runtime.inflight": "Batches currently in flight.",
+    "runtime.quarantined": (
+        "1 while a failed rebuild is quarantined and the previous engine "
+        "keeps serving."
+    ),
+}
+
 
 def sanitize_metric_name(name: str, suffix: str = "") -> str:
     """Dotted counter/stage name -> legal Prometheus metric name."""
@@ -111,7 +130,8 @@ def render_prometheus(
         )
     for gauge in sorted(extra_gauges or {}):
         name = sanitize_metric_name(gauge)
-        lines.append(f"# HELP {name} Runtime gauge {gauge}.")
+        help_text = _GAUGE_HELP.get(gauge, f"Runtime gauge {gauge}.")
+        lines.append(f"# HELP {name} {help_text}")
         lines.append(f"# TYPE {name} gauge")
         lines.append(
             f"{name}{label_text} {_format_value(extra_gauges[gauge])}"

@@ -188,6 +188,23 @@ class Tracer:
         )
         return _ActiveSpan(self, span)
 
+    def event(
+        self,
+        name: str,
+        parent: Union[Span, SpanContext, None] = None,
+        **tags: object,
+    ) -> Span:
+        """Record a zero-duration span marking a point-in-time occurrence
+        (a health transition, a worker respawn).  Parents like
+        :meth:`span`; lands in the ring buffer immediately."""
+        active = self.span(name, parent=parent, **tags)
+        span = active._span
+        now = time.perf_counter()
+        span.start = self._wall(now)
+        span.duration = 0.0
+        self._append(span)
+        return span
+
     # -- store ---------------------------------------------------------
     def _append(self, span: Span) -> None:
         with self._lock:
@@ -243,6 +260,9 @@ class NullTracer:
 
     def span(self, name: str, parent=None, **tags):
         return self._NULL
+
+    def event(self, name: str, parent=None, **tags) -> None:
+        return None
 
     def ingest(self, spans) -> None:
         pass

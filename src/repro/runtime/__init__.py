@@ -12,6 +12,9 @@ pipeline:
 * :mod:`~repro.runtime.swap` — RCU-style hot swap of a rebuilt engine
   under live traffic, degrading to the linear fallback on rebuild
   failure;
+* :mod:`~repro.runtime.health` — the ``healthy -> degraded ->
+  linear-fallback`` degradation ladder fed by shard/swap failure
+  signals;
 * :mod:`~repro.runtime.service` — the facade gluing all of the above,
   used by ``python -m repro runtime``.
 
@@ -39,21 +42,31 @@ from .telemetry import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .batch import BatchRunner, linear_match_batch, match_batch
-    from .service import RunReport, RuntimeConfig, RuntimeService
-    from .shard import ShardedRuntime
+    from .health import HealthMonitor, HealthState
+    from .service import (
+        LoadShedError,
+        RunReport,
+        RuntimeConfig,
+        RuntimeService,
+    )
+    from .shard import ShardedRuntime, ShardWorkerError
     from .swap import HotSwapRuntime, LinearFallback, UpdateRecord
 
 __all__ = [
     "BatchRunner",
+    "HealthMonitor",
+    "HealthState",
     "HistogramStats",
     "HotSwapRuntime",
     "LatencyHistogram",
     "LinearFallback",
+    "LoadShedError",
     "NULL_RECORDER",
     "NullRecorder",
     "RunReport",
     "RuntimeConfig",
     "RuntimeService",
+    "ShardWorkerError",
     "ShardedRuntime",
     "Telemetry",
     "TelemetryDelta",
@@ -68,10 +81,14 @@ _LAZY = {
     "BatchRunner": ".batch",
     "linear_match_batch": ".batch",
     "match_batch": ".batch",
+    "HealthMonitor": ".health",
+    "HealthState": ".health",
     "ShardedRuntime": ".shard",
+    "ShardWorkerError": ".shard",
     "HotSwapRuntime": ".swap",
     "LinearFallback": ".swap",
     "UpdateRecord": ".swap",
+    "LoadShedError": ".service",
     "RunReport": ".service",
     "RuntimeConfig": ".service",
     "RuntimeService": ".service",

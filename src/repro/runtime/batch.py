@@ -9,6 +9,9 @@ this module supplies the serving-side glue:
   classifier-shaped object can ride the same pipeline;
 * :func:`linear_match_batch` — a vectorized full linear scan, the
   graceful-degradation path used when a hot-swap rebuild fails;
+* :func:`verify_against_linear` — differential check of any engine's
+  batch answers against that linear reference (the degradation
+  invariant: degraded serving must still return the reference answer);
 * :class:`BatchRunner` — replays a trace through an engine in fixed-size
   batches, recording throughput telemetry per batch.
 """
@@ -29,6 +32,7 @@ __all__ = [
     "iter_batches",
     "linear_match_batch",
     "match_batch",
+    "verify_against_linear",
 ]
 
 
@@ -74,6 +78,31 @@ def linear_match_batch(
         hit = ok.any(axis=1)
         out[lo : lo + chunk][hit] = ok.argmax(axis=1)[hit]
     return [MatchResult(int(i), rules[int(i)]) for i in out]
+
+
+def verify_against_linear(
+    classifier: Classifier,
+    headers: Sequence[Sequence[int]],
+    results: Sequence[MatchResult],
+) -> List[int]:
+    """Indices where ``results`` disagree with the linear reference.
+
+    The correctness oracle of the whole runtime (Theorems 1–2 make the
+    fast path *equivalent* to the linear scan, never an approximation):
+    an empty return means every answer — fast path, degraded path, or
+    retried chunk — matches what a full first-match scan of
+    ``classifier`` produces for ``headers``.  Used by the CLI
+    ``--verify`` flag and the chaos suite, which must hold this even
+    while faults are being injected.
+    """
+    if len(results) != len(headers):
+        return list(range(max(len(results), len(headers))))
+    reference = linear_match_batch(classifier, headers)
+    return [
+        i
+        for i, (got, want) in enumerate(zip(results, reference))
+        if got.index != want.index
+    ]
 
 
 def iter_batches(

@@ -1,0 +1,144 @@
+"""The runtime health ladder: ``healthy -> degraded -> linear-fallback``.
+
+One :class:`HealthMonitor` per :class:`~repro.runtime.service
+.RuntimeService` aggregates failure signals from everywhere in the
+pipeline (shard deadline misses, worker crashes, quarantined swap
+builds, corrupted engine reports) into a single coarse state that the
+data path can branch on cheaply:
+
+* ``HEALTHY`` — the fast path serves;
+* ``DEGRADED`` — the fast path still serves, but failures were seen
+  recently; operators should look (``/healthz`` reports it);
+* ``LINEAR_FALLBACK`` — enough consecutive failures that the service
+  stops trusting the fast path and serves every batch through the
+  always-correct vectorized linear scan, probing the fast path
+  periodically to recover.
+
+Transitions are driven by *consecutive* failure/success counts, step up
+as fast as the failures arrive (``healthy -> degraded`` on the first
+failure, ``-> linear-fallback`` after ``fallback_after`` in a row) and
+step back down one rung at a time (``recover_after`` consecutive
+successes per rung), so one good batch never masks a crash loop.  Every
+transition lands in telemetry (``health.to_<state>`` counters, the
+``runtime.health`` gauge) and as a zero-duration tracer event, so
+``/snapshot`` and span dumps show exactly when the service degraded.
+"""
+
+from __future__ import annotations
+
+import threading
+from enum import IntEnum
+from typing import Optional
+
+from .telemetry import NULL_RECORDER
+
+__all__ = ["HealthMonitor", "HealthState"]
+
+
+class HealthState(IntEnum):
+    """The degradation ladder, ordered by severity."""
+
+    HEALTHY = 0
+    DEGRADED = 1
+    LINEAR_FALLBACK = 2
+
+    @property
+    def label(self) -> str:
+        """Kebab-case name used by ``/healthz`` and the CLI."""
+        return self.name.lower().replace("_", "-")
+
+    @classmethod
+    def parse(cls, text: str) -> "HealthState":
+        """Inverse of :attr:`label` (accepts ``_`` or ``-``)."""
+        key = text.strip().upper().replace("-", "_")
+        try:
+            return cls[key]
+        except KeyError:
+            raise ValueError(
+                f"unknown health state {text!r}; expected one of "
+                f"{[s.label for s in cls]}"
+            ) from None
+
+
+class HealthMonitor:
+    """Consecutive-failure state machine feeding telemetry.
+
+    Thread-safe: shard workers, the swap path and the service record
+    into the same monitor concurrently.
+    """
+
+    def __init__(
+        self,
+        recorder=None,
+        fallback_after: int = 3,
+        recover_after: int = 2,
+    ) -> None:
+        if fallback_after < 1:
+            raise ValueError("fallback_after must be >= 1")
+        if recover_after < 1:
+            raise ValueError("recover_after must be >= 1")
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.fallback_after = fallback_after
+        self.recover_after = recover_after
+        self._lock = threading.Lock()
+        self._state = HealthState.HEALTHY
+        self._consecutive_failures = 0
+        self._consecutive_successes = 0
+        self.transitions = 0
+
+    @property
+    def state(self) -> HealthState:
+        return self._state
+
+    def _transition(self, new: HealthState, source: str) -> None:
+        """Caller holds the lock."""
+        old, self._state = self._state, new
+        self.transitions += 1
+        recorder = self.recorder
+        recorder.incr("health.transitions")
+        recorder.incr(f"health.to_{new.name.lower()}")
+        tracer = recorder.tracer
+        if tracer is not None:
+            tracer.event(
+                "health.transition",
+                from_state=old.label,
+                to_state=new.label,
+                source=source,
+            )
+
+    def record_failure(self, source: str = "") -> HealthState:
+        """One failure signal; returns the (possibly new) state."""
+        with self._lock:
+            self._consecutive_failures += 1
+            self._consecutive_successes = 0
+            self.recorder.incr("health.failures")
+            if (
+                self._state is not HealthState.LINEAR_FALLBACK
+                and self._consecutive_failures >= self.fallback_after
+            ):
+                self._transition(HealthState.LINEAR_FALLBACK, source)
+            elif self._state is HealthState.HEALTHY:
+                self._transition(HealthState.DEGRADED, source)
+            return self._state
+
+    def record_success(self, source: str = "") -> HealthState:
+        """One success signal; steps down one rung after
+        ``recover_after`` consecutive successes."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._consecutive_successes += 1
+            if (
+                self._state is not HealthState.HEALTHY
+                and self._consecutive_successes >= self.recover_after
+            ):
+                self._consecutive_successes = 0
+                down = HealthState(self._state - 1)
+                self._transition(down, source)
+            return self._state
+
+    def reset(self) -> None:
+        """Back to healthy with clean counters (tests)."""
+        with self._lock:
+            self._state = HealthState.HEALTHY
+            self._consecutive_failures = 0
+            self._consecutive_successes = 0

@@ -12,34 +12,79 @@ Observability rides on the recorder: hand the service a recorder built by
 profiling, and call :meth:`RuntimeService.serve_metrics` to expose
 ``/metrics`` (Prometheus text), ``/healthz`` and ``/snapshot`` over HTTP
 for the service's lifetime.
+
+**Failure model.**  The service never lets a fast-path failure escape to
+the caller as a wrong answer or a crash:
+
+* a :class:`~repro.runtime.health.HealthMonitor` aggregates failure
+  signals (shard deadline misses, worker crashes, quarantined swap
+  builds, corrupted reports) into the ``healthy -> degraded ->
+  linear-fallback`` ladder; in the ``linear-fallback`` state every batch
+  is served by the always-correct vectorized linear scan while the fast
+  path is probed every ``probe_every`` batches to drive recovery;
+* a batch whose fast path raises is re-served through the linear scan
+  (``runtime.batch_fallbacks``) — same answers, slower;
+* when more than ``shed_watermark`` batches are in flight the service
+  sheds load (:class:`LoadShedError`, counted in ``runtime.shed``)
+  instead of building an unbounded queue;
+* fault injection for all of the above is driven by a
+  :mod:`repro.chaos` plan through the ``injector`` hook, a no-op unless
+  armed.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..chaos.injector import NULL_INJECTOR
 from ..core.classifier import Classifier, MatchResult
 from ..core.rule import Rule
 from ..saxpac.config import EngineConfig
-from .batch import iter_batches
+from .batch import iter_batches, linear_match_batch
+from .health import HealthMonitor, HealthState
 from .shard import ShardedRuntime
 from .swap import HotSwapRuntime
 from .telemetry import Telemetry, TelemetrySnapshot, render_text
 
-__all__ = ["RunReport", "RuntimeConfig", "RuntimeService"]
+__all__ = [
+    "LoadShedError",
+    "RunReport",
+    "RuntimeConfig",
+    "RuntimeService",
+]
+
+
+class LoadShedError(RuntimeError):
+    """The in-flight batch queue passed the watermark; the batch was
+    rejected on purpose (retry later / upstream backpressure)."""
 
 
 @dataclass(frozen=True)
 class RuntimeConfig:
-    """Knobs of the serving pipeline (engine knobs ride in ``engine``)."""
+    """Knobs of the serving pipeline (engine knobs ride in ``engine``).
+
+    Failure-handling knobs: ``deadline_ms`` bounds each sharded batch
+    (None = wait forever), ``max_retries`` bounds per-chunk retries,
+    ``shed_watermark`` caps concurrent in-flight batches (None = never
+    shed), ``fallback_after``/``recover_after`` shape the health ladder
+    and ``probe_every`` sets how often the linear-fallback state retries
+    the fast path.
+    """
 
     batch_size: int = 1024
     num_shards: int = 1
     shard_mode: str = "thread"
     background_rebuild: bool = False
     engine: EngineConfig = field(default_factory=EngineConfig)
+    deadline_ms: Optional[float] = None
+    max_retries: int = 2
+    shed_watermark: Optional[int] = None
+    fallback_after: int = 3
+    recover_after: int = 2
+    probe_every: int = 8
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -48,6 +93,14 @@ class RuntimeConfig:
             raise ValueError("num_shards must be >= 1")
         if self.shard_mode not in ("thread", "process"):
             raise ValueError(f"unknown shard mode {self.shard_mode!r}")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be > 0")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.shed_watermark is not None and self.shed_watermark < 1:
+            raise ValueError("shed_watermark must be >= 1")
+        if self.probe_every < 1:
+            raise ValueError("probe_every must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -83,14 +136,23 @@ class RuntimeService:
         classifier: Classifier,
         config: Optional[RuntimeConfig] = None,
         recorder: Optional[Telemetry] = None,
+        injector=None,
     ) -> None:
         self.config = config or RuntimeConfig()
         self.telemetry = recorder if recorder is not None else Telemetry()
+        self.injector = injector if injector is not None else NULL_INJECTOR
+        self.health = HealthMonitor(
+            self.telemetry,
+            fallback_after=self.config.fallback_after,
+            recover_after=self.config.recover_after,
+        )
         self.swap = HotSwapRuntime(
             classifier,
             config=self.config.engine,
             recorder=self.telemetry,
             background=self.config.background_rebuild,
+            injector=self.injector,
+            health=self.health,
         )
         self.metrics_server = None
         self.shards: Optional[ShardedRuntime] = None
@@ -102,30 +164,119 @@ class RuntimeService:
                     num_shards=self.config.num_shards,
                     mode="process",
                     recorder=self.telemetry,
+                    deadline_ms=self.config.deadline_ms,
+                    max_retries=self.config.max_retries,
+                    on_error="fallback",
+                    injector=self.injector,
+                    health=self.health,
                 )
             else:
                 self.shards = ShardedRuntime(
                     engine_source=lambda: self.swap.engine,
                     num_shards=self.config.num_shards,
                     recorder=self.telemetry,
+                    deadline_ms=self.config.deadline_ms,
+                    max_retries=self.config.max_retries,
+                    on_error="fallback",
+                    injector=self.injector,
+                    health=self.health,
                 )
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._fallback_probe_counter = 0
 
     # ------------------------------------------------------------------
     # Data path
     # ------------------------------------------------------------------
+    def serving_classifier(self) -> Classifier:
+        """The classifier whose linear reference equals what the service
+        answers right now (stale under swap quarantine, by design)."""
+        return self.swap.serving_classifier()
+
+    def _linear_batch(
+        self, headers: Sequence[Sequence[int]]
+    ) -> List[MatchResult]:
+        """Always-correct slow path over the serving snapshot."""
+        return linear_match_batch(self.serving_classifier(), headers)
+
+    def _fast_path(
+        self, headers: Sequence[Sequence[int]]
+    ) -> tuple:
+        """(results, clean) via shards or the swap engine; ``clean`` is
+        False when shard-level faults were absorbed along the way."""
+        if self.shards is not None:
+            results = self.shards.match_batch(headers)
+            return results, self.shards.last_batch_faults == 0
+        return self.swap.match_batch(headers), True
+
     def match_batch(
         self, headers: Sequence[Sequence[int]]
     ) -> List[MatchResult]:
-        """One batch through the pipeline (sharded when configured)."""
+        """One batch through the pipeline (sharded when configured).
+
+        Never crashes on a fast-path failure and never returns a wrong
+        answer: failures degrade onto the vectorized linear scan over the
+        serving snapshot.  Raises :class:`LoadShedError` — and only that
+        — when the in-flight watermark is hit.
+        """
+        watermark = self.config.shed_watermark
+        with self._inflight_lock:
+            if watermark is not None and self._inflight >= watermark:
+                self.telemetry.incr("runtime.shed")
+                raise LoadShedError(
+                    f"{self._inflight} batches in flight >= watermark "
+                    f"{watermark}"
+                )
+            self._inflight += 1
+        try:
+            return self._match_batch_guarded(headers)
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
+
+    def _match_batch_guarded(
+        self, headers: Sequence[Sequence[int]]
+    ) -> List[MatchResult]:
         start = time.perf_counter()
-        with self.telemetry.span("runtime.batch", batch=len(headers)):
-            if self.shards is not None:
-                results = self.shards.match_batch(headers)
-            else:
-                results = self.swap.match_batch(headers)
-        self.telemetry.incr("runtime.batches")
-        self.telemetry.incr("runtime.packets", len(headers))
-        self.telemetry.observe("runtime.batch", time.perf_counter() - start)
+        telemetry = self.telemetry
+        with telemetry.span("runtime.batch", batch=len(headers)):
+            results = None
+            clean = True
+            fast_served = False
+            faulted = False
+            if self.injector.enabled:
+                try:
+                    self.injector.fire("service.batch", batch=len(headers))
+                except Exception:
+                    faulted = True
+            if not faulted and self.health.state is HealthState.LINEAR_FALLBACK:
+                # Deep degradation: serve linearly, but probe the fast
+                # path periodically so recovery is automatic.
+                self._fallback_probe_counter += 1
+                if self._fallback_probe_counter % self.config.probe_every:
+                    telemetry.incr("runtime.fallback_batches")
+                    results = self._linear_batch(headers)
+                else:
+                    telemetry.incr("runtime.fallback_probes")
+            if results is None and not faulted:
+                try:
+                    results, clean = self._fast_path(headers)
+                    fast_served = True
+                except LoadShedError:
+                    raise
+                except Exception:
+                    faulted = True
+            if faulted:
+                self.health.record_failure("service.batch")
+                telemetry.incr("runtime.batch_fallbacks")
+                results = self._linear_batch(headers)
+            elif fast_served and clean:
+                # Only a *proven* fast-path batch counts toward recovery;
+                # linear-fallback serving must not step the ladder down.
+                self.health.record_success("service.batch")
+        telemetry.incr("runtime.batches")
+        telemetry.incr("runtime.packets", len(headers))
+        telemetry.observe("runtime.batch", time.perf_counter() - start)
         return results
 
     def run_trace(self, trace: Sequence[Sequence[int]]) -> RunReport:
@@ -166,14 +317,40 @@ class RuntimeService:
         """Human-readable telemetry report."""
         return render_text(self.snapshot())
 
+    def engine_report(self):
+        """The serving engine's :class:`~repro.saxpac.engine
+        .EngineReport`, validated — None when the engine has no report
+        (linear fallback serving) or the report fails its sanity
+        invariants (counted in ``runtime.report_corruptions`` and fed to
+        the health monitor; a chaos ``engine.report`` spec forces
+        this)."""
+        report_fn = getattr(self.swap.engine, "report", None)
+        if report_fn is None:
+            return None
+        report = report_fn()
+        if not report.is_sane():
+            self.telemetry.incr("runtime.report_corruptions")
+            self.health.record_failure("engine.report")
+            return None
+        return report
+
     # ------------------------------------------------------------------
     # Observability endpoints
     # ------------------------------------------------------------------
     def gauges(self) -> Dict[str, float]:
         """Point-in-time gauges for ``/metrics`` and ``/snapshot``."""
+        telemetry = self.telemetry
         gauges = {
             "runtime.generation": float(self.swap.generation),
             "runtime.degraded": 1.0 if self.swap.degraded else 0.0,
+            "runtime.quarantined": 1.0 if self.swap.quarantined else 0.0,
+            "runtime.health": float(self.health.state),
+            "runtime.inflight": float(self._inflight),
+            "runtime.shed": float(telemetry.counter("runtime.shed")),
+            "runtime.retries": float(telemetry.counter("runtime.retries")),
+            "runtime.worker_respawns": float(
+                telemetry.counter("runtime.worker_respawns")
+            ),
             "runtime.rules": float(len(self.swap)),
             "runtime.num_shards": float(self.config.num_shards),
             "runtime.update_log": float(len(self.swap.update_log)),
@@ -192,15 +369,29 @@ class RuntimeService:
                 gauges[f"build.stage.{name}"] = float(seconds)
         return gauges
 
-    def health(self) -> tuple:
-        """(healthy, payload) for ``/healthz``: healthy while the real
-        engine serves, degraded (503) on the linear fallback."""
+    def health_payload(self) -> tuple:
+        """(healthy, payload) for ``/healthz``: healthy while the health
+        ladder sits at the top and the real engine serves; 503 with the
+        degradation detail otherwise."""
+        state = self.health.state
         degraded = self.swap.degraded
-        return not degraded, {
-            "status": "degraded" if degraded else "ok",
+        healthy = state is HealthState.HEALTHY and not degraded
+        if healthy:
+            status = "ok"
+        elif state is HealthState.HEALTHY:
+            status = "degraded"  # fallback engine serving, ladder clean
+        else:
+            status = state.label
+        return healthy, {
+            "status": status,
+            "health": state.label,
+            "quarantined": self.swap.quarantined,
             "generation": self.swap.generation,
             "rules": len(self.swap),
         }
+
+    # Backwards-compatible alias (pre-health-ladder name).
+    health_check = health_payload
 
     def serve_metrics(self, host: str = "127.0.0.1", port: int = 0):
         """Start the HTTP observability endpoint (``/metrics``,
@@ -216,7 +407,7 @@ class RuntimeService:
             snapshot_source=self.snapshot,
             host=host,
             port=port,
-            health_source=self.health,
+            health_source=self.health_payload,
             gauges_source=self.gauges,
         )
         return self.metrics_server

@@ -12,6 +12,29 @@ Workers return bare rule indices; the parent materializes
 :class:`MatchResult` objects against its own classifier, so results are
 identical (by value) to the unsharded path regardless of mode.
 
+**Failure handling.**  Chunk execution is guarded:
+
+* ``deadline_ms`` bounds each *batch*: a chunk that has not produced a
+  result when the batch deadline expires is abandoned, the worker pool is
+  respawned (``runtime.worker_respawns`` — a hung worker would otherwise
+  occupy its slot forever), and the chunk is served through the
+  always-correct vectorized linear scan (``runtime.chunk_fallbacks``) so
+  the caller still gets exact results on time-ish;
+* a chunk whose worker *raises* is retried up to ``max_retries`` times
+  with linear backoff (``runtime.retries``); persistent errors either
+  raise :class:`ShardWorkerError` — carrying the worker-side traceback,
+  never a bare pool error — or, under ``on_error="fallback"`` (what
+  :class:`~repro.runtime.service.RuntimeService` uses), fall back to the
+  linear scan like timeouts do;
+* every failure signal lands in the attached
+  :class:`~repro.runtime.health.HealthMonitor` (when one is wired) so the
+  service's health ladder reflects shard trouble.
+
+Fault injection rides on the same guard: the runtime consults
+``injector`` (default :data:`~repro.chaos.NULL_INJECTOR`, a no-op) at the
+``shard.worker`` site inside each worker, so a chaos plan can crash,
+hang or slow chunks deterministically — see :mod:`repro.chaos`.
+
 **Telemetry fold-back.**  Replicas record into private recorders (a deep
 copy cannot share the parent's lock, and a process worker cannot share
 its memory); those recordings used to vanish.  Now every replica gets a
@@ -30,20 +53,41 @@ under the caller's batch span across thread and process boundaries.
 from __future__ import annotations
 
 import copy
+import multiprocessing
 import os
+import time
+import traceback
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from ..chaos.injector import NULL_INJECTOR
 from ..core.classifier import Classifier, MatchResult
-from .batch import match_batch
+from .batch import linear_match_batch, match_batch
 from .telemetry import NULL_RECORDER, Telemetry
 
-__all__ = ["ShardedRuntime", "default_num_shards"]
+__all__ = ["ShardedRuntime", "ShardWorkerError", "default_num_shards"]
 
 
 def default_num_shards() -> int:
     """Worker count when unspecified: CPUs, capped at 8."""
     return max(1, min(8, os.cpu_count() or 1))
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker failed persistently; carries the worker-side
+    traceback (thread or process) so the root cause is never hidden
+    behind a bare pool error."""
+
+    def __init__(self, message: str, worker_traceback: str = "") -> None:
+        super().__init__(message)
+        self.worker_traceback = worker_traceback
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.worker_traceback:
+            return f"{base}\n--- worker traceback ---\n{self.worker_traceback}"
+        return base
 
 
 def _rebind_recorder(engine, recorder) -> None:
@@ -60,10 +104,11 @@ def _rebind_recorder(engine, recorder) -> None:
 # -- process-mode plumbing (module level so workers can unpickle it) ----
 _WORKER_ENGINE = None
 _WORKER_RECORDER = NULL_RECORDER
+_WORKER_INJECTOR = NULL_INJECTOR
 
 
-def _init_process_worker(classifier, config, obs_spec=None) -> None:
-    global _WORKER_ENGINE, _WORKER_RECORDER
+def _init_process_worker(classifier, config, obs_spec=None, plan=None) -> None:
+    global _WORKER_ENGINE, _WORKER_RECORDER, _WORKER_INJECTOR
     from ..saxpac.engine import SaxPacEngine
 
     if obs_spec is None:
@@ -83,27 +128,48 @@ def _init_process_worker(classifier, config, obs_spec=None) -> None:
                 sample_period=obs_spec.get("sample_period", 1)
             )
         _WORKER_RECORDER = Telemetry(tracer=tracer, heat=heat)
+    if plan is None:
+        _WORKER_INJECTOR = NULL_INJECTOR
+    else:
+        # Worker-local injector armed from the shared plan: fault
+        # schedules apply per worker process (memory does not cross the
+        # IPC boundary).
+        from ..chaos.injector import FaultInjector
+
+        _WORKER_INJECTOR = FaultInjector(plan)
     _WORKER_ENGINE = SaxPacEngine(
         classifier, config, recorder=_WORKER_RECORDER
     )
 
 
-def _classify_chunk_in_worker(payload) -> Tuple[List[int], object]:
-    """Classify one chunk; returns (indices, drained telemetry delta or
-    None).  ``payload`` is ``(chunk, shard, parent span context)``."""
+def _classify_chunk_in_worker(payload) -> Tuple[str, object, object]:
+    """Classify one chunk; returns ``("ok", indices, drained telemetry
+    delta or None)`` or ``("err", formatted traceback, None)`` — worker
+    failures are *data*, so the parent always gets the real traceback
+    instead of a broken pool.  ``payload`` is ``(chunk, shard, parent
+    span context)``."""
     chunk, shard, parent_ctx = payload
-    recorder = _WORKER_RECORDER
-    if recorder.enabled:
-        with recorder.span(
-            "shard.chunk", parent=parent_ctx, shard=shard,
-            packets=len(chunk), pid=os.getpid(),
-        ):
-            indices = [
-                result.index for result in _WORKER_ENGINE.match_batch(chunk)
-            ]
-        return indices, recorder.drain()
-    indices = [result.index for result in _WORKER_ENGINE.match_batch(chunk)]
-    return indices, None
+    try:
+        injector = _WORKER_INJECTOR
+        if injector.enabled:
+            injector.fire("shard.worker", shard=shard, pid=os.getpid())
+        recorder = _WORKER_RECORDER
+        if recorder.enabled:
+            with recorder.span(
+                "shard.chunk", parent=parent_ctx, shard=shard,
+                packets=len(chunk), pid=os.getpid(),
+            ):
+                indices = [
+                    result.index
+                    for result in _WORKER_ENGINE.match_batch(chunk)
+                ]
+            return "ok", indices, recorder.drain()
+        indices = [
+            result.index for result in _WORKER_ENGINE.match_batch(chunk)
+        ]
+        return "ok", indices, None
+    except Exception:
+        return "err", traceback.format_exc(), None
 
 
 class ShardedRuntime:
@@ -119,6 +185,15 @@ class ShardedRuntime:
       shards observe hot swaps;
     * ``ShardedRuntime(classifier=k, config=cfg, mode="process")`` —
       process workers, each building a private engine at pool start.
+
+    Guard knobs: ``deadline_ms`` (per-batch deadline; also what detects a
+    dead/hung process worker), ``max_retries``/``backoff_s`` (bounded
+    retry of erroring chunks), ``on_error`` (``"raise"`` surfaces a
+    :class:`ShardWorkerError` after retries; ``"fallback"`` serves the
+    chunk via the linear scan instead), ``injector`` (chaos hook,
+    production default is a no-op), ``health`` (an optional
+    :class:`~repro.runtime.health.HealthMonitor` receiving failure
+    signals).
     """
 
     def __init__(
@@ -130,9 +205,21 @@ class ShardedRuntime:
         mode: str = "thread",
         recorder=None,
         engine_source: Optional[Callable[[], object]] = None,
+        deadline_ms: Optional[float] = None,
+        max_retries: int = 2,
+        backoff_s: float = 0.02,
+        on_error: str = "raise",
+        injector=None,
+        health=None,
     ) -> None:
         if mode not in ("thread", "process"):
             raise ValueError(f"unknown shard mode {mode!r}")
+        if on_error not in ("raise", "fallback"):
+            raise ValueError(f"unknown on_error policy {on_error!r}")
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError("deadline_ms must be > 0")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         sources = sum(
             x is not None for x in (engine, engine_source, classifier)
         )
@@ -152,14 +239,27 @@ class ShardedRuntime:
             raise ValueError("num_shards must be >= 1")
         self.mode = mode
         self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.deadline_ms = deadline_ms
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.on_error = on_error
+        self.injector = injector if injector is not None else NULL_INJECTOR
+        self.health = health
+        #: Failure signals (timeouts + worker errors) seen while serving
+        #: the most recent batch; the service reads this to decide
+        #: whether the batch counts as a health success.
+        self.last_batch_faults = 0
+        #: The most recent persistent worker failure (kept even when
+        #: ``on_error="fallback"`` swallowed it), for diagnostics.
+        self.last_worker_error: Optional[ShardWorkerError] = None
         self._pool = None
+        self._executor = None
+        self._pool_args = None
         self._replicas: List[object] = []
         self._replica_recorders: List[Telemetry] = []
         self._restore: List[Tuple[object, object]] = []
         self._source = engine_source
         if mode == "process":
-            import multiprocessing
-
             from ..saxpac.config import EngineConfig
 
             self.classifier = classifier
@@ -173,12 +273,15 @@ class ShardedRuntime:
                         heat.sample_period if heat is not None else 1
                     ),
                 }
-            ctx = multiprocessing.get_context()
-            self._pool = ctx.Pool(
-                processes=self.num_shards,
-                initializer=_init_process_worker,
-                initargs=(classifier, config or EngineConfig(), obs_spec),
+            plan = (
+                copy.deepcopy(self.injector.plan)
+                if getattr(self.injector, "plan", None) is not None
+                else None
             )
+            self._pool_args = (
+                classifier, config or EngineConfig(), obs_spec, plan
+            )
+            self._spawn_pool()
         else:
             if classifier is not None:
                 from ..saxpac.engine import SaxPacEngine
@@ -194,10 +297,39 @@ class ShardedRuntime:
                     self._bind_replica_recorders()
             else:
                 self.classifier = engine_source().classifier
-            self._executor = ThreadPoolExecutor(
-                max_workers=self.num_shards,
-                thread_name_prefix="saxpac-shard",
-            )
+            self._spawn_executor()
+
+    def _spawn_pool(self) -> None:
+        ctx = multiprocessing.get_context()
+        self._pool = ctx.Pool(
+            processes=self.num_shards,
+            initializer=_init_process_worker,
+            initargs=self._pool_args,
+        )
+
+    def _spawn_executor(self) -> None:
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.num_shards,
+            thread_name_prefix="saxpac-shard",
+        )
+
+    def _respawn(self) -> None:
+        """Replace the worker pool: hung/dead workers would otherwise
+        occupy their slots forever.  Abandoned threads finish (or sleep
+        out) on their own; a terminated process pool is reaped."""
+        if self.mode == "process":
+            if self._pool is not None:
+                self._pool.terminate()
+                self._pool.join()
+            self._spawn_pool()
+        else:
+            if self._executor is not None:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+            self._spawn_executor()
+        self.recorder.incr("runtime.worker_respawns")
+        tracer = self.recorder.tracer
+        if tracer is not None:
+            tracer.event("shard.respawn", mode=self.mode)
 
     def _bind_replica_recorders(self) -> None:
         """Give every replica a private recorder whose data folds back
@@ -236,9 +368,19 @@ class ShardedRuntime:
             start += size
         return chunks
 
+    def _serving_classifier(self) -> Classifier:
+        """The classifier whose linear reference equals the serving
+        engines' answers (re-read under hot swaps)."""
+        if self._source is not None:
+            return self._source().classifier
+        return self.classifier
+
     def _classify_on_replica(
         self, shard: int, chunk, parent_ctx=None
     ) -> List[int]:
+        injector = self.injector
+        if injector.enabled:
+            injector.fire("shard.worker", shard=shard)
         if self._replicas:
             engine = self._replicas[shard]
         else:
@@ -256,33 +398,133 @@ class ShardedRuntime:
                 ]
         return [result.index for result in match_batch(engine, chunk)]
 
+    def _linear_chunk(self, chunk) -> List[int]:
+        """Always-correct slow path for one chunk (deadline/crash
+        degradation); answers equal the serving engines' by Theorem 1."""
+        classifier = self._serving_classifier()
+        return [
+            result.index for result in linear_match_batch(classifier, chunk)
+        ]
+
+    # -- guarded chunk execution ---------------------------------------
+    def _submit(self, index: int, chunk, parent_ctx):
+        if self.mode == "process":
+            return self._pool.apply_async(
+                _classify_chunk_in_worker,
+                ((chunk, index % self.num_shards, parent_ctx),),
+            )
+        return self._executor.submit(
+            self._classify_on_replica,
+            index % self.num_shards, chunk, parent_ctx,
+        )
+
+    def _await(self, handle, timeout_s):
+        """Collect one chunk handle: ``("ok", indices)``, ``("err",
+        traceback text)`` or ``("timeout", None)``."""
+        if self.mode == "process":
+            try:
+                status, value, delta = handle.get(timeout=timeout_s)
+            except multiprocessing.TimeoutError:
+                return "timeout", None
+            except Exception as exc:  # pool torn down mid-wait, etc.
+                return "err", "".join(
+                    traceback.format_exception(
+                        type(exc), exc, exc.__traceback__
+                    )
+                )
+            if status == "err":
+                return "err", value
+            if delta is not None and hasattr(self.recorder, "absorb"):
+                self.recorder.absorb(delta)
+            return "ok", value
+        try:
+            return "ok", handle.result(timeout=timeout_s)
+        except FutureTimeoutError:
+            return "timeout", None
+        except Exception as exc:
+            return "err", "".join(
+                traceback.format_exception(type(exc), exc, exc.__traceback__)
+            )
+
+    def _record_failure(self, source: str) -> None:
+        self.last_batch_faults += 1
+        if self.health is not None:
+            self.health.record_failure(source)
+
     def match_indices(self, headers: Sequence[Sequence[int]]) -> List[int]:
-        """Winning rule indices for a batch, in input order."""
+        """Winning rule indices for a batch, in input order.
+
+        Chunks that time out against ``deadline_ms`` or whose workers
+        fail persistently degrade to the linear reference (or raise, see
+        ``on_error``); results are exact either way.
+        """
         if not len(headers):
             return []
         chunks = self._chunks(headers)
         recorder = self.recorder
+        self.last_batch_faults = 0
         parent_ctx = None
         if recorder.enabled and recorder.tracer is not None:
             parent_ctx = recorder.tracer.current_context()
-        if self.mode == "process":
-            results = self._pool.map(
-                _classify_chunk_in_worker,
-                [(chunk, i, parent_ctx) for i, chunk in enumerate(chunks)],
-            )
-            parts = []
-            for indices, delta in results:
-                parts.append(indices)
-                if delta is not None and hasattr(recorder, "absorb"):
-                    recorder.absorb(delta)
-        else:
-            futures = [
-                self._executor.submit(
-                    self._classify_on_replica, i, chunk, parent_ctx
+        deadline_s = (
+            self.deadline_ms / 1000.0 if self.deadline_ms is not None else None
+        )
+        started = time.monotonic()
+        parts: List[Optional[List[int]]] = [None] * len(chunks)
+        pending = list(range(len(chunks)))
+        attempt = 0
+        while pending:
+            handles = {
+                i: self._submit(i, chunks[i], parent_ctx) for i in pending
+            }
+            failed: List[int] = []
+            last_traceback = ""
+            timed_out = False
+            for i, handle in handles.items():
+                remaining = None
+                if deadline_s is not None:
+                    remaining = max(
+                        0.005, deadline_s - (time.monotonic() - started)
+                    )
+                status, value = self._await(handle, remaining)
+                if status == "ok":
+                    parts[i] = value
+                    continue
+                if status == "timeout":
+                    timed_out = True
+                    recorder.incr("runtime.deadline_timeouts")
+                    self._record_failure("shard.deadline")
+                else:
+                    failed.append(i)
+                    last_traceback = value or last_traceback
+                    recorder.incr("runtime.worker_errors")
+                    self._record_failure("shard.worker")
+            if timed_out:
+                # The deadline is a latency promise: no retries, abandon
+                # the hung workers and serve the stragglers linearly.
+                self._respawn()
+                for i in pending:
+                    if parts[i] is None and i not in failed:
+                        parts[i] = self._linear_chunk(chunks[i])
+                        recorder.incr("runtime.chunk_fallbacks")
+            if not failed:
+                break
+            if attempt >= self.max_retries:
+                error = ShardWorkerError(
+                    f"shard worker failed after {attempt + 1} attempt(s)",
+                    worker_traceback=last_traceback,
                 )
-                for i, chunk in enumerate(chunks)
-            ]
-            parts = [future.result() for future in futures]
+                self.last_worker_error = error
+                if self.on_error == "raise":
+                    raise error
+                for i in failed:
+                    parts[i] = self._linear_chunk(chunks[i])
+                    recorder.incr("runtime.chunk_fallbacks")
+                break
+            attempt += 1
+            recorder.incr("runtime.retries", len(failed))
+            time.sleep(self.backoff_s * attempt)
+            pending = failed
         if recorder.enabled:
             recorder.incr("shard.batches")
             recorder.incr("shard.packets", len(headers))
@@ -334,7 +576,8 @@ class ShardedRuntime:
     def close(self) -> None:
         """Shut the worker pool down (idempotent); folds any remaining
         per-replica telemetry back and restores original recorder
-        bindings."""
+        bindings.  Process workers are closed gracefully and ``join()``ed
+        so their exit codes are reaped — no orphaned children."""
         self.collect()
         for engine, original in self._restore:
             if original is not None:
@@ -342,10 +585,10 @@ class ShardedRuntime:
         self._restore = []
         self._replica_recorders = []
         if self._pool is not None:
-            self._pool.terminate()
+            self._pool.close()
             self._pool.join()
             self._pool = None
-        elif getattr(self, "_executor", None) is not None:
+        elif self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
 

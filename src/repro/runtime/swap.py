@@ -12,10 +12,23 @@ writer-side).  Readers grab the engine reference once per lookup or batch
 and finish on whichever engine they started with (the read-side), so
 traffic never blocks on a rebuild.
 
-If a rebuild fails, the runtime swaps in :class:`LinearFallback` — a
-vectorized linear scan over the snapshot — so classification stays
-*correct* while losing the sub-linear lookup, and repairs itself on the
-next successful rebuild.
+**Failure handling.**  A failed rebuild never crashes the serving path;
+it degrades, in two tiers:
+
+* with a good engine already serving, the failed build is *quarantined*:
+  the old engine keeps serving (its answers stay exactly the linear
+  reference of *its* snapshot — stale rules, correct semantics), the
+  failure is counted (``swap.quarantined``) and :attr:`~HotSwapRuntime
+  .quarantined` stays True until a later rebuild succeeds;
+* with no engine to keep (the initial build, or the previous build
+  already failed), :class:`LinearFallback` — a vectorized linear scan
+  over the snapshot — swaps in, so classification stays *correct* while
+  losing the sub-linear lookup, and repairs itself on the next
+  successful rebuild.
+
+Both paths signal an attached :class:`~repro.runtime.health
+.HealthMonitor`; a chaos plan can force them deterministically through
+the ``swap.build`` injection site (see :mod:`repro.chaos`).
 """
 
 from __future__ import annotations
@@ -25,6 +38,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
+from ..chaos.injector import NULL_INJECTOR
 from ..core.classifier import Classifier, MatchResult
 from ..core.rule import Rule
 from ..saxpac.config import EngineConfig
@@ -75,14 +89,25 @@ class HotSwapRuntime:
         recorder=None,
         builder: Optional[Callable[[Classifier], object]] = None,
         background: bool = False,
+        injector=None,
+        health=None,
     ) -> None:
         """``source`` is a :class:`Classifier` (converted to dynamic
         state rule by rule) or an existing :class:`DynamicSaxPac`.
         ``builder`` maps a classifier snapshot to a serving engine —
-        override to inject build policies (or failures, in tests)."""
+        override to inject build policies (or failures, in tests).
+        ``injector`` is the chaos hook (no-op by default) consulted at
+        the ``swap.build`` site; ``health`` an optional
+        :class:`~repro.runtime.health.HealthMonitor` receiving
+        build-failure/-success signals."""
         self.config = config or EngineConfig()
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.background = background
+        self.injector = injector if injector is not None else NULL_INJECTOR
+        self.health = health
+        #: True while the latest rebuild failed and the previous engine
+        #: keeps serving (stale rules, correct semantics).
+        self.quarantined = False
         # A custom builder opts out of incremental rebuilds: we cannot
         # know whether its engines support SaxPacEngine.rebuild.
         self._incremental = builder is None
@@ -116,7 +141,10 @@ class HotSwapRuntime:
     # Engine construction / swapping
     # ------------------------------------------------------------------
     def _default_builder(self, snapshot: Classifier) -> SaxPacEngine:
-        return SaxPacEngine(snapshot, self.config, recorder=self.recorder)
+        return SaxPacEngine(
+            snapshot, self.config, recorder=self.recorder,
+            injector=self.injector,
+        )
 
     @property
     def engine(self):
@@ -133,6 +161,13 @@ class HotSwapRuntime:
         """Priority-ordered static snapshot of the dynamic state."""
         return self._dyn.to_classifier()
 
+    def serving_classifier(self) -> Classifier:
+        """The classifier the *serving* engine answers for.  Equal to
+        :meth:`snapshot_classifier` except under quarantine, where the
+        old engine (and its older snapshot) keeps serving — differential
+        checks must compare against this one."""
+        return self._engine.classifier
+
     def _build_and_swap(self) -> None:
         recorder = self.recorder
         start = time.perf_counter() if recorder.enabled else 0.0
@@ -145,9 +180,19 @@ class HotSwapRuntime:
         ):
             snapshot = self.snapshot_classifier()
             engine = None
+            failed = False
             previous = self._engine
+            injector = self.injector
+            try:
+                if injector.enabled:
+                    injector.fire(
+                        "swap.build", generation=self.generation + 1
+                    )
+            except Exception:
+                failed = True
             if (
-                self._incremental
+                not failed
+                and self._incremental
                 and isinstance(previous, SaxPacEngine)
             ):
                 # Incremental path: re-admit only the changed rules,
@@ -162,21 +207,45 @@ class HotSwapRuntime:
                 except Exception:
                     recorder.incr("swap.incremental_failures")
                     engine = None
-            if engine is None:
+            if engine is None and not failed:
                 try:
                     engine = self._builder(snapshot)
                     if self._incremental:
                         recorder.incr("swap.full_rebuilds")
                 except Exception:
-                    recorder.incr("swap.rebuild_failures")
-                    engine = LinearFallback(snapshot)
+                    failed = True
+            if failed:
+                recorder.incr("swap.rebuild_failures")
+                if self.health is not None:
+                    self.health.record_failure("swap.build")
+                if previous is not None and not isinstance(
+                    previous, LinearFallback
+                ):
+                    # Quarantine the failed build: the old engine keeps
+                    # serving (stale but exactly correct for its own
+                    # snapshot); the serving path never sees the wreck.
+                    self.quarantined = True
+                    recorder.incr("swap.quarantined")
+                    tracer = recorder.tracer
+                    if tracer is not None:
+                        tracer.event(
+                            "swap.quarantine", generation=self.generation
+                        )
+                    return
+                engine = LinearFallback(snapshot)
         # The swap itself: one attribute store, atomic under the GIL.
         # In-flight readers hold the old reference and drain naturally.
         self._engine = engine
         self.generation += 1
+        # Whatever swapped in serves the *current* snapshot — any prior
+        # quarantine (stale engine) is over.
+        self.quarantined = False
         recorder.incr("swap.swaps")
         if isinstance(engine, LinearFallback):
             recorder.incr("swap.fallback_swaps")
+        else:
+            if self.health is not None:
+                self.health.record_success("swap.build")
         if recorder.enabled:
             recorder.observe("swap.rebuild", time.perf_counter() - start)
 

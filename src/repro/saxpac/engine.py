@@ -28,6 +28,7 @@ import numpy as np
 
 from ..analysis.mgr import Group, MGRResult, enforce_cache_property, l_mgr
 from ..analysis.mrc import greedy_independent_set
+from ..chaos.injector import NULL_INJECTOR
 from ..core.actions import Action
 from ..core.classifier import Classifier, MatchResult
 from ..core.packet import headers_array
@@ -79,6 +80,21 @@ class EngineReport:
             return 0.0
         return 1.0 - self.tcam_entries / self.tcam_entries_full
 
+    def is_sane(self) -> bool:
+        """Structural invariants every honest report satisfies; a False
+        here means the report is corrupt (a chaos plan can force this via
+        the ``engine.report`` site) and must not be trusted or exported."""
+        return (
+            self.total_rules >= 0
+            and self.software_rules >= 0
+            and self.tcam_rules >= 0
+            and self.num_groups >= 0
+            and self.tcam_entries >= 0
+            and self.tcam_entries_full >= 0
+            and self.software_rules + self.tcam_rules == self.total_rules
+            and len(self.group_fields) == self.num_groups
+        )
+
 
 class _BuildStage:
     """Times one build stage and reports it to telemetry: appends
@@ -121,6 +137,7 @@ class SaxPacEngine:
         config: Optional[EngineConfig] = None,
         encoder: Optional[RangeEncoder] = None,
         recorder=None,
+        injector=None,
     ) -> None:
         self.classifier = classifier
         self.config = config or EngineConfig()
@@ -128,6 +145,9 @@ class SaxPacEngine:
         #: Telemetry sink (:mod:`repro.runtime.telemetry`); the default
         #: null recorder keeps the hot path free of instrumentation cost.
         self.recorder = recorder if recorder is not None else NULL_RECORDER
+        #: Chaos hook (:mod:`repro.chaos`); the default null injector is
+        #: a no-op, so production lookups pay one attribute load.
+        self.injector = injector if injector is not None else NULL_INJECTOR
         self._build()
 
     # ------------------------------------------------------------------
@@ -226,7 +246,8 @@ class SaxPacEngine:
             plan = self._diff(new_classifier)
         if plan is None:
             return SaxPacEngine(
-                new_classifier, cfg, self.encoder, self.recorder
+                new_classifier, cfg, self.encoder, self.recorder,
+                injector=self.injector,
             )
         old_to_new, added = plan
         with self._stage("grouping", stages):
@@ -312,6 +333,7 @@ class SaxPacEngine:
             tcam=tcam,
             tcam_view=tcam_view,
             stages=tuple(stages),
+            injector=self.injector,
         )
 
     def _diff(
@@ -366,12 +388,14 @@ class SaxPacEngine:
         tcam,
         tcam_view,
         stages: Tuple[Tuple[str, float], ...],
+        injector=None,
     ) -> "SaxPacEngine":
         self = cls.__new__(cls)
         self.classifier = classifier
         self.config = config
         self.encoder = encoder
         self.recorder = recorder
+        self.injector = injector if injector is not None else NULL_INJECTOR
         self.grouping = grouping
         self.software = software
         self._d_indices = d_indices
@@ -390,6 +414,8 @@ class SaxPacEngine:
     def match(self, header: Sequence[int]) -> MatchResult:
         """Highest-priority match across the software part, the TCAM part
         and the catch-all."""
+        if self.injector.enabled:
+            self.injector.fire("engine.lookup", batch=1)
         recorder = self.recorder
         if recorder.enabled:
             start = time.perf_counter()
@@ -440,6 +466,11 @@ class SaxPacEngine:
         n = len(headers)
         if n == 0:
             return []
+        if self.injector.enabled:
+            # The slow-lookup / lookup-crash chaos site: fires before any
+            # state is touched, so an injected exception leaves the
+            # engine consistent for the caller's retry or fallback.
+            self.injector.fire("engine.lookup", batch=n)
         recorder = self.recorder
         span = None
         if recorder.enabled:
@@ -536,9 +567,26 @@ class SaxPacEngine:
     # Reporting
     # ------------------------------------------------------------------
     def report(self) -> EngineReport:
-        """Structural summary: decomposition sizes and TCAM savings."""
+        """Structural summary: decomposition sizes and TCAM savings.
+
+        Under a chaos plan with an ``engine.report`` corrupt spec, the
+        returned report is deliberately nonsensical (negative sizes) —
+        consumers must reject it via :meth:`EngineReport.is_sane`.
+        """
         from ..tcam.cost import classifier_entry_count
 
+        if self.injector.enabled and self.injector.corrupted(
+            "engine.report"
+        ):
+            return EngineReport(
+                total_rules=-1,
+                software_rules=-1,
+                tcam_rules=-1,
+                num_groups=-1,
+                group_fields=(),
+                tcam_entries=-1,
+                tcam_entries_full=-1,
+            )
         full_entries = classifier_entry_count(self.classifier, self.encoder)
         return EngineReport(
             total_rules=len(self.classifier.body),

@@ -52,3 +52,30 @@ def headers_for(draw, classifier: Classifier):
     return tuple(
         draw(st.integers(0, spec.max_value)) for spec in classifier.schema
     )
+
+
+@st.composite
+def corner_headers_for(draw, classifier: Classifier):
+    """An adversarial header sitting on rule-bound corner points.
+
+    Every field value is drawn from the endpoints of some body rule's
+    interval for that field, plus/minus one (clamped to the field
+    domain) — exactly where off-by-one bugs in interval containment,
+    projection or TCAM expansion live.  Falls back to uniform values
+    when the classifier has no body rules.
+    """
+    body = classifier.body
+    header = []
+    for position, spec in enumerate(classifier.schema):
+        candidates = set()
+        for rule in body:
+            iv = rule.intervals[position]
+            for bound in (iv.low, iv.high):
+                for value in (bound - 1, bound, bound + 1):
+                    if 0 <= value <= spec.max_value:
+                        candidates.add(value)
+        if not candidates:
+            header.append(draw(st.integers(0, spec.max_value)))
+        else:
+            header.append(draw(st.sampled_from(sorted(candidates))))
+    return tuple(header)

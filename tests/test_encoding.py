@@ -94,6 +94,7 @@ class TestSrgeExpand:
         entries = srge_expand(Interval(low, high), width)
         assert len(entries) <= 2 * width - 4
 
+    @pytest.mark.slow
     def test_worst_case_bound_exhaustive_small_widths(self):
         # Deterministic version of the bound check: the true maximum over
         # every range at widths 4-9 stays within 2W - 4 (and W = 3 tops

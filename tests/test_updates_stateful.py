@@ -9,6 +9,7 @@ Section 7.2: it explores schedules no hand-written test would.
 
 import random
 
+import pytest
 from hypothesis import settings
 from hypothesis.stateful import (
     RuleBasedStateMachine,
@@ -106,7 +107,7 @@ class DynamicSaxPacMachine(RuleBasedStateMachine):
         assert self.dyn.software_size + self.dyn.d_size == len(self.live)
 
 
-TestDynamicSaxPacStateful = DynamicSaxPacMachine.TestCase
+TestDynamicSaxPacStateful = pytest.mark.slow(DynamicSaxPacMachine.TestCase)
 TestDynamicSaxPacStateful.settings = settings(
     max_examples=25, stateful_step_count=30, deadline=None
 )
