@@ -11,7 +11,7 @@ import random
 
 import pytest
 
-from repro.analysis.mgr import Group, l_mgr
+from repro.analysis.mgr import l_mgr
 from repro.analysis.mrc import greedy_independent_set
 from repro.bench.harness import bench_rules, cached_suite, format_table
 from repro.core import Interval, classbench_schema

@@ -49,7 +49,6 @@ from repro.analysis.mrc import _fields_or_all, _greedy_independent_scan
 from repro.core.classifier import Classifier
 from repro.saxpac.engine import SaxPacEngine
 from repro.workloads.generator import STYLES, generate_classifier
-from repro.workloads.traces import generate_trace
 
 
 def _reference_compile(classifier: Classifier) -> dict:

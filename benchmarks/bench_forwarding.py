@@ -10,7 +10,6 @@ maximal order-independent fractions, bit-level FSM width of the
 order-independent set, and the XBW-l size versus the bit-subset size.
 """
 
-import pytest
 
 from repro.analysis.mrc import edf_single_field
 from repro.bench.harness import format_table

@@ -1,0 +1,210 @@
+"""Wire-serving benchmark: requests/s and latency over loopback TCP.
+
+Standalone script (not a pytest-benchmark module) so CI can smoke it:
+
+    python benchmarks/bench_net.py --quick
+
+Stands a :class:`~repro.net.server.NetServer` up on a background thread,
+drives it over real loopback sockets with a
+:class:`~repro.net.client.NetClient`, and sweeps the request size
+(packets per frame).  Each size is measured twice:
+
+* a **latency** pass — strict request/response (window 1), recording
+  per-request round trips for p50/p99;
+* a **throughput** pass — pipelined (``--window``), which is what lets
+  the server's micro-batcher coalesce frames; the coalescing ratio
+  (requests per vectorized lookup, from the server's own ``net.*``
+  telemetry) is part of the output.
+
+A trace sample is verified against the linear-scan reference before any
+timing, and the results land in ``BENCH_net.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import List, Optional
+
+if __package__ in (None, ""):  # script invocation: put src/ on the path
+    _SRC = os.path.join(os.path.dirname(__file__), "..", "src")
+    if os.path.isdir(_SRC) and _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
+import numpy as np
+
+from repro.net import NetClient, NetConfig, serve_background
+from repro.runtime.batch import linear_match_batch
+from repro.runtime.service import RuntimeService
+from repro.workloads.generator import STYLES, generate_classifier
+from repro.workloads.traces import generate_trace
+
+
+def _blocks(trace, size: int) -> List[np.ndarray]:
+    return [
+        np.asarray(trace[i : i + size], dtype=np.uint32)
+        for i in range(0, len(trace) - size + 1, size)
+    ]
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    return float(np.percentile(np.asarray(samples), q))
+
+
+def _verify_sample(client: NetClient, classifier, trace, sample: int) -> int:
+    sub = list(trace[:sample])
+    got = client.match_batch(sub)
+    want = np.array(
+        [r.index for r in linear_match_batch(classifier, sub)],
+        dtype=got.dtype,
+    )
+    bad = int((got != want).sum())
+    if bad:
+        raise AssertionError(
+            f"wire answers diverge from the linear reference on "
+            f"{bad}/{len(sub)} sampled packets"
+        )
+    return len(sub)
+
+
+def _measure_size(client, telemetry, trace, size, window, latency_requests):
+    blocks = _blocks(trace, size)
+
+    # Latency pass: strict request/response round trips.
+    lat_blocks = blocks[:latency_requests]
+    latencies = []
+    for block in lat_blocks:
+        start = time.perf_counter()
+        client.match_batch(block)
+        latencies.append(time.perf_counter() - start)
+
+    # Throughput pass: pipelined, which is what feeds the coalescer.
+    before_requests = telemetry.counter("net.requests")
+    before_lookups = telemetry.counter("net.lookups")
+    start = time.perf_counter()
+    client.match_many(blocks, window=window)
+    seconds = time.perf_counter() - start
+    requests = telemetry.counter("net.requests") - before_requests
+    lookups = telemetry.counter("net.lookups") - before_lookups
+    packets = sum(len(b) for b in blocks)
+
+    return {
+        "request_size": size,
+        "window": window,
+        "requests": requests,
+        "packets": packets,
+        "seconds": round(seconds, 6),
+        "requests_per_second": round(requests / seconds, 1)
+        if seconds
+        else float("inf"),
+        "packets_per_second": round(packets / seconds, 1)
+        if seconds
+        else float("inf"),
+        "lookups": lookups,
+        "requests_per_lookup": round(requests / lookups, 2)
+        if lookups
+        else float("inf"),
+        "latency_requests": len(lat_blocks),
+        "p50_ms": round(_percentile(latencies, 50) * 1e3, 4),
+        "p99_ms": round(_percentile(latencies, 99) * 1e3, 4),
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="SAX-PAC wire-serving benchmark (loopback TCP)"
+    )
+    parser.add_argument("--style", choices=sorted(STYLES), default="acl")
+    parser.add_argument("--rules", type=int, default=2000)
+    parser.add_argument("--trace", type=int, default=40000,
+                        help="packets per request-size sweep point")
+    parser.add_argument("--sizes", type=int, nargs="+",
+                        default=[1, 16, 128, 1024],
+                        help="request sizes (packets per frame) to sweep")
+    parser.add_argument("--window", type=int, default=32,
+                        help="pipelining depth for the throughput pass")
+    parser.add_argument("--latency-requests", type=int, default=400,
+                        help="round trips sampled for p50/p99 per size")
+    parser.add_argument("--coalesce-wait-ms", type=float, default=0.2)
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument("--quick", action="store_true",
+                        help="small smoke configuration for CI")
+    parser.add_argument("--out", default="BENCH_net.json")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.quick:
+        args.rules = min(args.rules, 400)
+        args.trace = min(args.trace, 6000)
+        args.latency_requests = min(args.latency_requests, 100)
+        args.sizes = [s for s in args.sizes if s <= 256] or [16]
+
+    classifier = generate_classifier(args.style, args.rules, args.seed)
+    service = RuntimeService(classifier)
+    handle = serve_background(
+        service,
+        NetConfig(coalesce_wait_ms=args.coalesce_wait_ms),
+    )
+    trace = generate_trace(classifier, args.trace, seed=args.seed + 1)
+    sweep = []
+    try:
+        with NetClient(port=handle.port, retries=4) as client:
+            rtt_ms = client.ping() * 1e3
+            checked = _verify_sample(
+                client, classifier, trace, min(500, len(trace))
+            )
+            for size in args.sizes:
+                sweep.append(
+                    _measure_size(
+                        client,
+                        service.telemetry,
+                        trace,
+                        size,
+                        args.window,
+                        args.latency_requests,
+                    )
+                )
+    finally:
+        clean = handle.stop()
+
+    result = {
+        "benchmark": "net-serving",
+        "config": {
+            "style": args.style,
+            "rules": len(classifier.body),
+            "trace": len(trace),
+            "sizes": args.sizes,
+            "window": args.window,
+            "coalesce_wait_ms": args.coalesce_wait_ms,
+            "seed": args.seed,
+            "quick": args.quick,
+        },
+        "ping_rtt_ms": round(rtt_ms, 4),
+        "equivalence_checked_packets": checked,
+        "clean_drain": clean,
+        "sweep": sweep,
+    }
+    with open(args.out, "w") as handle_out:
+        json.dump(result, handle_out, indent=2)
+        handle_out.write("\n")
+
+    print(f"rules={len(classifier.body)} trace={len(trace)} "
+          f"ping={rtt_ms:.2f}ms (equivalence checked on {checked}, "
+          f"drain {'clean' if clean else 'dirty'})")
+    for row in sweep:
+        print(f"  size {row['request_size']:>5}: "
+              f"{row['requests_per_second']:>10,.0f} req/s  "
+              f"{row['packets_per_second']:>12,.0f} pkt/s  "
+              f"p50 {row['p50_ms']:.2f}ms  p99 {row['p99_ms']:.2f}ms  "
+              f"{row['requests_per_lookup']:.1f} req/lookup")
+    print(f"wrote {args.out}")
+    return 0 if clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,7 +43,6 @@ from .columnar import (
     ColumnarRules,
     candidate_subsets,
     pack_disjoint_masks,
-    subset_bitmasks,
     subset_fail_table,
 )
 

@@ -40,8 +40,8 @@ Fault kinds
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = ["FaultKind", "FaultSpec", "FaultPlan", "KINDS", "SITES"]
 
@@ -57,6 +57,9 @@ SITES = (
     "engine.lookup",   # inside SaxPacEngine.match_batch, before lookup
     "engine.report",   # corrupt-only: SaxPacEngine.report() output
     "service.batch",   # RuntimeService.match_batch, before dispatch
+    "net.conn",        # NetServer, per received frame: crash/error tear
+                       # the connection down, slow stalls it, corrupt
+                       # garbles the outgoing response frame
 )
 
 FaultKind = str

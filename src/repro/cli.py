@@ -12,6 +12,11 @@ runtime      replay a generated trace through the batched/sharded serving
              --serve-metrics exposes /metrics, /healthz and /snapshot
              over HTTP, --obs/--trace-out/--heat-out add span tracing
              and heat profiling (repro.obs)
+serve        serve classification over TCP with the repro.net wire
+             protocol (adaptive request coalescing, graceful drain on
+             SIGINT/SIGTERM; --serve-metrics exposes /metrics alongside)
+client       drive a running serve endpoint with a generated workload
+             (pipelined requests, optional differential --verify)
 top          replay a trace with heat profiling and render the hottest
              rules, groups and pipeline stages (live on a tty)
 experiments  regenerate a paper table/figure (table1|table2|table3|
@@ -149,6 +154,78 @@ def build_parser() -> argparse.ArgumentParser:
                           "packet)")
     run.add_argument("--span-capacity", type=int, default=4096,
                      help="span ring-buffer capacity")
+
+    srv = sub.add_parser(
+        "serve",
+        help="serve classification over TCP (repro.net wire protocol)",
+    )
+    srv.add_argument("path")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=0,
+                     help="TCP port (0 = ephemeral; the bound port is "
+                          "printed on startup)")
+    srv.add_argument("--shards", type=int, default=1,
+                     help="worker count (1 = unsharded)")
+    srv.add_argument("--shard-mode", choices=("thread", "process"),
+                     default="thread")
+    srv.add_argument("--max-groups", type=int, default=None)
+    srv.add_argument("--cache", action="store_true",
+                     help="enforce the MRCC cache property")
+    srv.add_argument("--max-batch", type=int, default=8192,
+                     help="packet cap of one coalesced lookup")
+    srv.add_argument("--coalesce-wait-ms", type=float, default=0.5,
+                     help="how long a forming batch holds the door for "
+                          "more requests (0 = never wait)")
+    srv.add_argument("--max-inflight", type=int, default=32,
+                     help="outstanding requests per connection before "
+                          "the server stops reading the socket")
+    srv.add_argument("--shed-watermark", type=int, default=64,
+                     help="runtime in-flight batch cap; past it requests "
+                          "get a retryable SHED error")
+    srv.add_argument("--deadline-ms", type=float, default=None,
+                     help="per-batch deadline for sharded classification")
+    srv.add_argument("--chaos", default=None, metavar="PLAN.json",
+                     help="arm fault injection (site net.conn covers "
+                          "the wire layer; see examples/faultplan.json)")
+    srv.add_argument("--serve-metrics", type=int, default=None,
+                     metavar="PORT", nargs="?", const=0,
+                     help="also expose /metrics, /healthz and /snapshot "
+                          "over HTTP")
+    srv.add_argument("--max-seconds", type=float, default=None,
+                     help="drain and exit after this long (default: "
+                          "serve until SIGINT/SIGTERM)")
+
+    cli = sub.add_parser(
+        "client",
+        help="drive a serve endpoint with a generated workload",
+    )
+    cli.add_argument("path",
+                     help="the classifier the server was started with "
+                          "(trace generation and the --verify oracle)")
+    cli.add_argument("--host", default="127.0.0.1")
+    cli.add_argument("--port", type=int, required=True)
+    cli.add_argument("--packets", type=int, default=20000,
+                     help="number of generated packets to send")
+    cli.add_argument("--request-size", type=int, default=16,
+                     help="packets per request frame")
+    cli.add_argument("--window", type=int, default=16,
+                     help="pipelining depth (1 = strict request/response)")
+    cli.add_argument("--seed", type=int, default=1)
+    cli.add_argument("--timeout-s", type=float, default=10.0,
+                     help="per-read socket timeout")
+    cli.add_argument("--retries", type=int, default=4,
+                     help="reconnect-and-resend budget on connection "
+                          "loss or corrupt frames")
+    cli.add_argument("--wait-s", type=float, default=10.0,
+                     help="wait up to this long for the server to accept")
+    cli.add_argument("--verify", action="store_true",
+                     help="differentially check every answer against "
+                          "the local linear reference (exit 1 on any "
+                          "mismatch)")
+    cli.add_argument("--json", action="store_true",
+                     help="emit the report as JSON instead of text")
+    cli.add_argument("--out", default=None, metavar="REPORT.json",
+                     help="also write the JSON report to this file")
 
     top = sub.add_parser(
         "top",
@@ -309,6 +386,24 @@ def _cmd_classify(args) -> int:
     return 0
 
 
+def _build_injector(args, quiet: bool = False):
+    """Armed :class:`~repro.chaos.FaultInjector` from ``--chaos``, or
+    ``None`` when the flag is off."""
+    if getattr(args, "chaos", None) is None:
+        return None
+    from .chaos import SITES, FaultInjector, FaultPlan
+
+    plan = FaultPlan.load(args.chaos)
+    for site in plan.sites():
+        if site not in SITES:
+            print(f"warning: chaos plan names unknown site {site!r}",
+                  file=sys.stderr)
+    if not quiet:
+        print(f"chaos: armed {len(plan)} fault spec(s) from "
+              f"{args.chaos} (seed {plan.seed})")
+    return FaultInjector(plan)
+
+
 def _build_observability(args):
     """Recorder for the runtime commands, or ``None`` when every
     observability flag is off (the NULL_RECORDER fast path)."""
@@ -343,19 +438,7 @@ def _cmd_runtime(args) -> int:
             max_groups=args.max_groups, enforce_cache=args.cache
         ),
     )
-    injector = None
-    if args.chaos is not None:
-        from .chaos import SITES, FaultInjector, FaultPlan
-
-        plan = FaultPlan.load(args.chaos)
-        for site in plan.sites():
-            if site not in SITES:
-                print(f"warning: chaos plan names unknown site {site!r}",
-                      file=sys.stderr)
-        injector = FaultInjector(plan)
-        if not args.json:
-            print(f"chaos: armed {len(plan)} fault spec(s) from "
-                  f"{args.chaos} (seed {plan.seed})")
+    injector = _build_injector(args, quiet=args.json)
     obs = _build_observability(args)
     trace = generate_trace(classifier, args.trace, seed=args.seed)
     recorder = obs.recorder if obs is not None else None
@@ -487,6 +570,157 @@ def _cmd_runtime(args) -> int:
     if args.expect_health is not None and final_health != args.expect_health:
         print(f"FAIL: final health {final_health!r}, expected "
               f"{args.expect_health!r}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from .net.server import NetConfig, NetServer
+    from .runtime.service import RuntimeConfig, RuntimeService
+
+    classifier, _ = _load(args.path)
+    runtime_config = RuntimeConfig(
+        num_shards=args.shards,
+        shard_mode=args.shard_mode,
+        deadline_ms=args.deadline_ms,
+        shed_watermark=args.shed_watermark,
+        engine=EngineConfig(
+            max_groups=args.max_groups, enforce_cache=args.cache
+        ),
+    )
+    net_config = NetConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        coalesce_wait_ms=args.coalesce_wait_ms,
+        max_inflight=args.max_inflight,
+    )
+    injector = _build_injector(args)
+
+    async def _run(service: RuntimeService) -> bool:
+        server = NetServer(service, net_config)
+        await server.start()
+        print(f"serving {args.path} on {args.host}:{server.port} "
+              f"(shards={args.shards}, max-batch={args.max_batch}, "
+              f"coalesce-wait={args.coalesce_wait_ms}ms)", flush=True)
+        if args.serve_metrics is not None:
+            metrics = service.serve_metrics(port=args.serve_metrics)
+            print(f"metrics: {metrics.url}/metrics (also /healthz, "
+                  f"/snapshot)", flush=True)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-posix, or serving off the main thread (tests)
+        if args.max_seconds is not None:
+            loop.call_later(args.max_seconds, stop.set)
+        await stop.wait()
+        print("draining...", flush=True)
+        return await server.drain()
+
+    with RuntimeService(classifier, runtime_config, injector=injector) \
+            as service:
+        try:
+            clean = asyncio.run(_run(service))
+        except KeyboardInterrupt:  # pragma: no cover - signal race
+            clean = False
+        snapshot = service.snapshot()
+        requests = snapshot.counter("net.requests")
+        lookups = snapshot.counter("net.lookups")
+        print(f"served {requests} requests "
+              f"({snapshot.counter('net.request_packets')} packets) in "
+              f"{lookups} coalesced lookups; "
+              f"{snapshot.counter('net.protocol_errors')} protocol "
+              f"errors, {snapshot.counter('net.shed')} shed")
+        if injector is not None:
+            injected = ", ".join(injector.summary()) or "none"
+            print(f"chaos injected: {injected}")
+        print(f"drain: {'clean' if clean else 'dirty'}")
+    return 0 if clean else 1
+
+
+def _cmd_client(args) -> int:
+    import json as _json
+    import time
+
+    from .net.client import NetClient
+    from .runtime.batch import linear_match_batch
+
+    classifier, _ = _load(args.path)
+    trace = generate_trace(classifier, args.packets, seed=args.seed)
+    requests = [
+        trace[start : start + args.request_size]
+        for start in range(0, len(trace), args.request_size)
+    ]
+    client = NetClient(
+        host=args.host,
+        port=args.port,
+        timeout_s=args.timeout_s,
+        retries=args.retries,
+    )
+    deadline = time.perf_counter() + args.wait_s
+    while True:
+        try:
+            client.connect()
+            break
+        except OSError:
+            if time.perf_counter() >= deadline:
+                print(f"could not connect to {args.host}:{args.port} "
+                      f"within {args.wait_s}s", file=sys.stderr)
+                return 2
+            time.sleep(0.1)
+    with client:
+        rtt = client.ping()
+        start = time.perf_counter()
+        answers = client.match_many(requests, window=args.window)
+        elapsed = time.perf_counter() - start
+    rate = len(trace) / elapsed if elapsed else float("inf")
+    mismatches = 0
+    if args.verify:
+        import numpy as np
+
+        got = np.concatenate(answers)
+        want = np.array(
+            [r.index for r in linear_match_batch(classifier, trace)],
+            dtype=got.dtype,
+        )
+        mismatches = int((got != want).sum())
+    if args.json or args.out:
+        payload = {
+            "packets": len(trace),
+            "requests": len(requests),
+            "request_size": args.request_size,
+            "window": args.window,
+            "seconds": elapsed,
+            "packets_per_second": rate,
+            "ping_rtt_s": rtt,
+            "client_stats": dict(client.stats),
+        }
+        if args.verify:
+            payload["verify_mismatches"] = mismatches
+        if args.out:
+            with open(args.out, "w") as handle:
+                _json.dump(payload, handle, indent=2)
+                handle.write("\n")
+        if args.json:
+            print(_json.dumps(payload, indent=2))
+    if not args.json:
+        print(f"sent {len(requests)} requests ({len(trace)} packets, "
+              f"window {args.window}) in {elapsed:.2f}s "
+              f"({rate:,.0f} pkt/s, ping {rtt * 1e3:.2f}ms)")
+        print(f"  transport: {client.stats['reconnects']} reconnects, "
+              f"{client.stats['retried_requests']} retried requests, "
+              f"{client.stats['shed_retries']} shed retries")
+        if args.verify:
+            print(f"  verify: {mismatches} mismatches vs the linear "
+                  f"reference over {len(trace)} packets")
+    if args.verify and mismatches:
+        print(f"FAIL: {mismatches} wrong answers", file=sys.stderr)
         return 1
     return 0
 
@@ -660,6 +894,8 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "classify": _cmd_classify,
     "runtime": _cmd_runtime,
+    "serve": _cmd_serve,
+    "client": _cmd_client,
     "top": _cmd_top,
     "experiments": _cmd_experiments,
     "convert": _cmd_convert,

@@ -1,0 +1,36 @@
+"""repro.net — the wire serving layer.
+
+Turns the in-process :class:`~repro.runtime.service.RuntimeService`
+into a TCP service: a length-prefixed binary protocol
+(:mod:`repro.net.protocol`), an asyncio server with an adaptive
+request coalescer (:mod:`repro.net.server`), and a blocking pipelined
+client (:mod:`repro.net.client`).  ``python -m repro serve`` and
+``python -m repro client`` are the CLI front ends.
+"""
+
+from .client import NetClient, NetError, NetTimeout
+from .protocol import (
+    ErrorCode,
+    Frame,
+    FrameDecoder,
+    FrameType,
+    PayloadError,
+    ProtocolError,
+)
+from .server import NetConfig, NetServer, ServerHandle, serve_background
+
+__all__ = [
+    "ErrorCode",
+    "Frame",
+    "FrameDecoder",
+    "FrameType",
+    "NetClient",
+    "NetConfig",
+    "NetError",
+    "NetServer",
+    "NetTimeout",
+    "PayloadError",
+    "ProtocolError",
+    "ServerHandle",
+    "serve_background",
+]

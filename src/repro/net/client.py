@@ -1,0 +1,271 @@
+"""`NetClient`: a blocking-socket client for the SAX-PAC wire protocol.
+
+Deliberately synchronous — the server is the async party; clients are
+benchmarks, tests and the ``repro client`` CLI, which all want simple
+call-and-return semantics plus:
+
+* **pipelining** — :meth:`NetClient.match_many` keeps up to ``window``
+  requests on the wire before reading the first response, which is what
+  lets the server's coalescer merge them into one vectorized lookup;
+* **timeouts** — every socket operation is bounded by ``timeout_s``;
+  a request that never answers raises :class:`NetTimeout` instead of
+  hanging;
+* **retries** — connection loss (including chaos-injected disconnects
+  and corrupt frames, which surface as :class:`ProtocolError`) triggers
+  a reconnect and a resend of every unanswered request.  Match lookups
+  are read-only, so the retry is safe; ``SHED`` errors back off briefly
+  and retry the same way.
+
+Answers come back as numpy uint32 arrays of matched rule indices — the
+same indices :meth:`Classifier.match_batch` reports, which is what the
+differential tests compare byte for byte.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from collections import deque
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .protocol import (
+    ErrorCode,
+    Frame,
+    FrameDecoder,
+    FrameType,
+    ProtocolError,
+    decode_error,
+    decode_match_response,
+    encode_frame,
+    encode_match_request,
+)
+
+__all__ = ["NetClient", "NetError", "NetTimeout"]
+
+
+class NetError(RuntimeError):
+    """The server answered with a non-retryable ``ERROR`` frame."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(f"server error {code}: {message}")
+        self.code = code
+        self.message = message
+
+
+class NetTimeout(TimeoutError):
+    """No response within the client's timeout."""
+
+
+class NetClient:
+    """Blocking client with pipelining, timeouts and reconnect-retry."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout_s: float = 10.0,
+        retries: int = 2,
+        shed_backoff_s: float = 0.005,
+        max_shed_retries: int = 64,
+    ) -> None:
+        if timeout_s <= 0:
+            raise ValueError("timeout_s must be > 0")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if max_shed_retries < 0:
+            raise ValueError("max_shed_retries must be >= 0")
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.shed_backoff_s = shed_backoff_s
+        self.max_shed_retries = max_shed_retries
+        self._sock: Optional[socket.socket] = None
+        self._decoder = FrameDecoder()
+        self._frames: deque = deque()
+        self._next_id = 1
+        #: Transport-level statistics kept by the client: reconnects,
+        #: retried requests, shed backoffs.
+        self.stats: Dict[str, int] = {
+            "reconnects": 0,
+            "retried_requests": 0,
+            "shed_retries": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Connection plumbing
+    # ------------------------------------------------------------------
+    def connect(self) -> "NetClient":
+        """Open the TCP connection (idempotent)."""
+        if self._sock is None:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_s
+            )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+            self._decoder = FrameDecoder()
+            self._frames.clear()
+        return self
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def _reconnect(self) -> None:
+        self.close()
+        self.stats["reconnects"] += 1
+        self.connect()
+
+    def __enter__(self) -> "NetClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _send(self, data: bytes) -> None:
+        if self._sock is None:
+            self.connect()
+        self._sock.sendall(data)
+
+    def _read_frame(self) -> Frame:
+        """Block until one full frame arrives (FIFO across reads)."""
+        while not self._frames:
+            try:
+                data = self._sock.recv(1 << 16)
+            except socket.timeout:
+                raise NetTimeout(
+                    f"no response within {self.timeout_s}s"
+                ) from None
+            if not data:
+                raise ConnectionError("server closed the connection")
+            self._frames.extend(self._decoder.feed(data))
+        return self._frames.popleft()
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def ping(self) -> float:
+        """Round-trip a ``PING``; returns the RTT in seconds."""
+        self.connect()
+        request_id = self._next_id
+        self._next_id += 1
+        start = time.perf_counter()
+        self._send(encode_frame(FrameType.PING, request_id))
+        frame = self._read_frame()
+        if frame.type != FrameType.PONG or frame.request_id != request_id:
+            raise ProtocolError(
+                f"expected PONG for {request_id}, got frame type "
+                f"{int(frame.type)} for {frame.request_id}"
+            )
+        return time.perf_counter() - start
+
+    def match_batch(self, headers: Sequence[Sequence[int]]) -> np.ndarray:
+        """One request, one response: matched rule indices for
+        ``headers`` (uint32, in input order)."""
+        return self.match_many([headers], window=1)[0]
+
+    def match_many(
+        self,
+        requests: Sequence[Sequence[Sequence[int]]],
+        window: int = 8,
+    ) -> List[np.ndarray]:
+        """Classify many header blocks with up to ``window`` requests
+        pipelined on the wire; results in request order.
+
+        Survives connection loss mid-stream: unanswered requests are
+        resent on a fresh connection, at most ``retries`` times per
+        stall (progress resets the budget).
+        """
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.connect()
+        encoded: List[bytes] = []
+        ids: List[int] = []
+        for headers in requests:
+            request_id = self._next_id
+            self._next_id += 1
+            ids.append(request_id)
+            encoded.append(encode_match_request(request_id, headers))
+        results: Dict[int, np.ndarray] = {}
+        id_to_slot = {rid: i for i, rid in enumerate(ids)}
+        failures = 0
+        sheds = 0
+        sent = 0
+        while len(results) < len(ids):
+            outstanding = sent - len(results)
+            try:
+                while sent < len(ids) and outstanding < window:
+                    self._send(encoded[sent])
+                    sent += 1
+                    outstanding += 1
+                before = len(results)
+                sheds += self._collect_one(
+                    results, id_to_slot, encoded, self.max_shed_retries - sheds
+                )
+                if len(results) > before:
+                    failures = 0
+                    sheds = 0
+            except (ConnectionError, ProtocolError, OSError) as exc:
+                if isinstance(exc, NetTimeout):
+                    raise
+                failures += 1
+                if failures > self.retries:
+                    raise
+                # Resend everything unanswered on a fresh connection.
+                still = [
+                    i
+                    for i, rid in enumerate(ids[:sent])
+                    if rid not in results
+                ]
+                self.stats["retried_requests"] += len(still)
+                try:
+                    self._reconnect()
+                    for i in still:
+                        self._send(encoded[i])
+                except (ConnectionError, OSError):
+                    # The fresh connection died too (e.g. chaos killing
+                    # several in a row): the next read attempt fails and
+                    # comes back here, spending another retry.
+                    pass
+        return [results[rid] for rid in ids]
+
+    def _collect_one(
+        self,
+        results: Dict[int, np.ndarray],
+        id_to_slot: Dict[int, int],
+        encoded: List[bytes],
+        shed_budget: int,
+    ) -> int:
+        """Read frames until one outstanding request resolves; returns
+        how many shed-retries it spent along the way."""
+        sheds = 0
+        while True:
+            frame = self._read_frame()
+            if frame.type == FrameType.MATCH_RESPONSE:
+                if frame.request_id in id_to_slot:
+                    results[frame.request_id] = decode_match_response(frame)
+                    return sheds
+                continue  # stale response from a pre-retry send
+            if frame.type == FrameType.ERROR:
+                code, message = decode_error(frame)
+                if (
+                    code == ErrorCode.SHED
+                    and frame.request_id in id_to_slot
+                    and sheds < shed_budget
+                ):
+                    # Retryable overload: back off, resend that request.
+                    sheds += 1
+                    self.stats["shed_retries"] += 1
+                    time.sleep(self.shed_backoff_s)
+                    self._send(encoded[id_to_slot[frame.request_id]])
+                    continue
+                raise NetError(code, message)
+            raise ProtocolError(
+                f"unexpected frame type {int(frame.type)} mid-stream"
+            )

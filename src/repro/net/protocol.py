@@ -1,0 +1,312 @@
+"""The SAX-PAC wire protocol: length-prefixed binary frames.
+
+Every frame starts with a fixed 20-byte header::
+
+    offset  size  field
+    0       4     magic       b"SXPC"
+    4       1     version     1
+    5       1     frame type  (FrameType)
+    6       2     flags       0 (reserved)
+    8       8     request id  uint64 LE (echoed on the response)
+    16      4     payload len uint32 LE
+    20      ...   payload
+
+All integers are little-endian.  Payloads by frame type:
+
+``MATCH_REQUEST``
+    ``k`` (uint16), ``count`` (uint32), then ``count * k`` uint32 header
+    field values, row major.  The receiver decodes the packet block
+    zero-copy with ``np.frombuffer`` and feeds it straight into
+    ``match_batch`` — this is what makes request coalescing pay: merged
+    requests become one contiguous ``(B, k)`` lookup.
+``MATCH_RESPONSE``
+    ``count`` (uint32), then ``count`` uint32 matched rule indices, in
+    request order.
+``ERROR``
+    ``code`` (uint16, an :class:`ErrorCode`), then a UTF-8 message.
+``PING`` / ``PONG``
+    empty payload; ``PONG`` echoes the ping's request id.
+
+Framing errors (bad magic, unknown version, oversized payload) poison
+the byte stream — after one, the receiver cannot find the next frame
+boundary — so they raise :class:`ProtocolError` and the connection must
+be torn down after an ``ERROR`` frame.  Payload errors (a count that
+disagrees with the payload length, an unknown frame type) are scoped to
+one frame: the server answers with an ``ERROR`` frame carrying the
+request id and keeps the connection.
+
+Wire v1 carries header fields as uint32, which covers every 6-field
+classifier in this repo; schemas with fields wider than 32 bits (IPv6
+prefixes) are rejected at serve time by :func:`check_wire_schema`.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "FRAME_HEADER",
+    "Frame",
+    "FrameDecoder",
+    "FrameType",
+    "ErrorCode",
+    "MAGIC",
+    "MAX_PAYLOAD",
+    "PayloadError",
+    "ProtocolError",
+    "VERSION",
+    "check_wire_schema",
+    "decode_error",
+    "decode_match_request",
+    "decode_match_response",
+    "encode_error",
+    "encode_frame",
+    "encode_match_request",
+    "encode_match_response",
+]
+
+#: First four bytes of every frame.
+MAGIC = b"SXPC"
+
+#: Wire protocol version; bumped on any incompatible layout change.
+VERSION = 1
+
+#: Fixed frame header: magic, version, type, flags, request id,
+#: payload length.
+FRAME_HEADER = struct.Struct("<4sBBHQI")
+
+#: Hard payload cap (refuse absurd length prefixes before allocating).
+MAX_PAYLOAD = 16 * 1024 * 1024
+
+_REQUEST_PREFIX = struct.Struct("<HI")
+_RESPONSE_PREFIX = struct.Struct("<I")
+_ERROR_PREFIX = struct.Struct("<H")
+
+
+class FrameType(enum.IntEnum):
+    """Discriminator byte at offset 5."""
+
+    MATCH_REQUEST = 1
+    MATCH_RESPONSE = 2
+    ERROR = 3
+    PING = 4
+    PONG = 5
+
+
+class ErrorCode(enum.IntEnum):
+    """First two payload bytes of an ``ERROR`` frame."""
+
+    #: Malformed frame or payload; framing errors also close the
+    #: connection.
+    PROTOCOL = 1
+    #: The server shed the request at the in-flight watermark; safe to
+    #: retry after backoff.
+    SHED = 2
+    #: The lookup itself failed server side; the request was not served.
+    INTERNAL = 3
+    #: The server is draining and no longer accepts requests.
+    DRAINING = 4
+
+
+class ProtocolError(RuntimeError):
+    """Unrecoverable framing violation; the stream can no longer be
+    trusted and the connection must be closed."""
+
+
+class PayloadError(ValueError):
+    """A well-framed payload that does not parse; scoped to one frame
+    (the connection survives)."""
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame (payload still raw bytes).
+
+    ``type`` is a plain int when the peer sent a type this version does
+    not know — framing stays intact, so the receiver answers with an
+    ``ERROR`` frame instead of dropping the connection.
+    """
+
+    type: int
+    request_id: int
+    payload: bytes
+
+
+def encode_frame(
+    frame_type: int,
+    request_id: int,
+    payload: bytes = b"",
+) -> bytes:
+    """Serialize one frame (header + payload)."""
+    if len(payload) > MAX_PAYLOAD:
+        raise ProtocolError(
+            f"payload of {len(payload)} bytes exceeds the "
+            f"{MAX_PAYLOAD}-byte cap"
+        )
+    header = FRAME_HEADER.pack(
+        MAGIC,
+        VERSION,
+        int(frame_type),
+        0,
+        request_id,
+        len(payload),
+    )
+    return header + payload
+
+
+def encode_match_request(
+    request_id: int,
+    headers: Sequence[Sequence[int]],
+) -> bytes:
+    """A ``MATCH_REQUEST`` carrying ``headers`` as contiguous uint32."""
+    arr = np.asarray(headers)
+    if arr.ndim != 2:
+        raise PayloadError(
+            f"headers must be a (count, k) block; got shape {arr.shape}"
+        )
+    if arr.size and (arr.min() < 0 or arr.max() > 0xFFFFFFFF):
+        raise PayloadError(
+            "header field values must fit uint32 on wire v1"
+        )
+    block = np.ascontiguousarray(arr, dtype="<u4")
+    count, k = block.shape
+    payload = _REQUEST_PREFIX.pack(k, count) + block.tobytes()
+    return encode_frame(FrameType.MATCH_REQUEST, request_id, payload)
+
+
+def decode_match_request(frame: Frame) -> np.ndarray:
+    """Zero-copy ``(count, k)`` uint32 view of a ``MATCH_REQUEST``."""
+    payload = frame.payload
+    if len(payload) < _REQUEST_PREFIX.size:
+        raise PayloadError("match request payload shorter than its prefix")
+    k, count = _REQUEST_PREFIX.unpack_from(payload)
+    if k == 0:
+        raise PayloadError("match request declares zero fields")
+    expected = _REQUEST_PREFIX.size + 4 * k * count
+    if len(payload) != expected:
+        raise PayloadError(
+            f"match request declares {count}x{k} fields "
+            f"({expected} bytes) but carries {len(payload)}"
+        )
+    block = np.frombuffer(payload, dtype="<u4", offset=_REQUEST_PREFIX.size)
+    return block.reshape(count, k)
+
+
+def encode_match_response(
+    request_id: int,
+    indices: Sequence[int],
+) -> bytes:
+    """A ``MATCH_RESPONSE`` carrying matched rule indices as uint32."""
+    arr = np.ascontiguousarray(indices, dtype="<u4")
+    payload = _RESPONSE_PREFIX.pack(arr.shape[0]) + arr.tobytes()
+    return encode_frame(FrameType.MATCH_RESPONSE, request_id, payload)
+
+
+def decode_match_response(frame: Frame) -> np.ndarray:
+    """The uint32 rule-index array of a ``MATCH_RESPONSE``."""
+    payload = frame.payload
+    if len(payload) < _RESPONSE_PREFIX.size:
+        raise PayloadError("match response payload shorter than its prefix")
+    (count,) = _RESPONSE_PREFIX.unpack_from(payload)
+    expected = _RESPONSE_PREFIX.size + 4 * count
+    if len(payload) != expected:
+        raise PayloadError(
+            f"match response declares {count} indices "
+            f"({expected} bytes) but carries {len(payload)}"
+        )
+    return np.frombuffer(payload, dtype="<u4", offset=_RESPONSE_PREFIX.size)
+
+
+def encode_error(
+    request_id: int,
+    code: int,
+    message: str = "",
+) -> bytes:
+    """An ``ERROR`` frame scoped to ``request_id`` (0 = connection)."""
+    payload = _ERROR_PREFIX.pack(int(code)) + message.encode("utf-8")
+    return encode_frame(FrameType.ERROR, request_id, payload)
+
+
+def decode_error(frame: Frame) -> Tuple[int, str]:
+    """``(code, message)`` of an ``ERROR`` frame."""
+    payload = frame.payload
+    if len(payload) < _ERROR_PREFIX.size:
+        raise PayloadError("error payload shorter than its prefix")
+    (code,) = _ERROR_PREFIX.unpack_from(payload)
+    message = payload[_ERROR_PREFIX.size :].decode("utf-8", "replace")
+    return code, message
+
+
+def check_wire_schema(schema) -> None:
+    """Refuse schemas wire v1 cannot carry (fields wider than 32 bits)."""
+    wide = [spec.name for spec in schema if spec.width > 32]
+    if wide:
+        raise ProtocolError(
+            f"wire protocol v1 carries uint32 fields; schema fields "
+            f"{wide} are wider than 32 bits"
+        )
+
+
+class FrameDecoder:
+    """Incremental frame parser over a byte stream.
+
+    Feed it whatever the socket produced; it returns every complete
+    frame and buffers the rest.  A framing violation (bad magic, wrong
+    version, oversized payload) raises :class:`ProtocolError`: the
+    buffer position can no longer be trusted, so the caller must drop
+    the connection.
+    """
+
+    def __init__(self, max_payload: int = MAX_PAYLOAD) -> None:
+        self.max_payload = max_payload
+        self._buffer = bytearray()
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Frame]:
+        """Consume ``data``; return all frames completed by it."""
+        self._buffer.extend(data)
+        frames: List[Frame] = []
+        while True:
+            frame = self._next_frame()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def _next_frame(self) -> "Frame | None":
+        buffer = self._buffer
+        if len(buffer) < FRAME_HEADER.size:
+            return None
+        magic, version, ftype, _flags, request_id, length = (
+            FRAME_HEADER.unpack_from(buffer)
+        )
+        if magic != MAGIC:
+            raise ProtocolError(
+                f"bad magic {bytes(magic)!r} (expected {MAGIC!r})"
+            )
+        if version != VERSION:
+            raise ProtocolError(
+                f"unsupported protocol version {version} "
+                f"(expected {VERSION})"
+            )
+        if length > self.max_payload:
+            raise ProtocolError(
+                f"declared payload of {length} bytes exceeds the "
+                f"{self.max_payload}-byte cap"
+            )
+        end = FRAME_HEADER.size + length
+        if len(buffer) < end:
+            return None
+        payload = bytes(buffer[FRAME_HEADER.size : end])
+        del buffer[:end]
+        try:
+            ftype = FrameType(ftype)
+        except ValueError:
+            pass  # unknown type: framing is fine, let the caller reject
+        return Frame(ftype, request_id, payload)

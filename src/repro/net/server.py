@@ -1,0 +1,594 @@
+"""`NetServer`: the asyncio TCP serving layer over `RuntimeService`.
+
+The server turns the in-process runtime into a wire service without
+giving up the batched fast path:
+
+* **framing** — every connection speaks the length-prefixed binary
+  protocol of :mod:`repro.net.protocol`; packet blocks decode zero-copy
+  into ``(count, k)`` uint32 arrays;
+* **coalescing** — an adaptive micro-batcher merges small pipelined
+  requests (across connections) into one contiguous lookup: requests
+  queue while a lookup is in flight and are drained greedily when the
+  batcher comes back around, with an optional ``coalesce_wait_ms``
+  window that only arms once a batch is already forming, so an idle
+  server adds no latency.  Merged requests bound by ``max_batch``
+  packets;
+* **backpressure** — each connection holds a ``max_inflight`` semaphore:
+  when a client pipelines past it, the server stops reading that socket
+  (TCP backpressure) instead of buffering unboundedly; the wrapped
+  :class:`~repro.runtime.service.RuntimeService` still sheds at its
+  ``shed_watermark``, which comes back as a retryable ``SHED`` error
+  frame;
+* **degradation, not crashes** — payload errors answer with ``ERROR``
+  frames and keep the connection; framing errors answer then close;
+  lookup failures answer ``INTERNAL``; the ``net.conn`` chaos site can
+  tear down connections, slow responses, or corrupt outgoing frames;
+* **graceful drain** — :meth:`NetServer.drain` stops accepting, answers
+  queued requests, rejects new ones with ``DRAINING``, and closes every
+  connection; in-flight accounting ends at zero.
+
+Everything lands in telemetry under ``net.*`` (counters, the
+``net.request`` / ``net.batch`` latency histograms, spans of the same
+names) and is exported by the usual ``/metrics`` endpoint.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..runtime.service import LoadShedError, RuntimeService
+from .protocol import (
+    MAX_PAYLOAD,
+    ErrorCode,
+    Frame,
+    FrameDecoder,
+    FrameType,
+    PayloadError,
+    ProtocolError,
+    check_wire_schema,
+    decode_match_request,
+    encode_error,
+    encode_frame,
+    encode_match_response,
+)
+
+__all__ = ["NetConfig", "NetServer", "ServerHandle", "serve_background"]
+
+
+@dataclass(frozen=True)
+class NetConfig:
+    """Knobs of the wire layer (the runtime's knobs ride on the
+    service's own :class:`~repro.runtime.service.RuntimeConfig`).
+
+    ``max_batch`` caps how many packets one coalesced lookup may carry;
+    ``coalesce_wait_ms`` bounds how long a forming batch may wait for
+    more requests (0 disables the wait; requests still coalesce while a
+    lookup occupies the executor); ``max_inflight`` bounds outstanding
+    requests per connection before the server stops reading the socket;
+    ``drain_grace_s`` bounds how long :meth:`NetServer.drain` waits for
+    queued requests before tearing connections down.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_batch: int = 8192
+    coalesce_wait_ms: float = 0.5
+    max_inflight: int = 32
+    max_payload: int = MAX_PAYLOAD
+    drain_grace_s: float = 5.0
+    write_timeout_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.coalesce_wait_ms < 0:
+            raise ValueError("coalesce_wait_ms must be >= 0")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.max_payload < 1:
+            raise ValueError("max_payload must be >= 1")
+        if self.drain_grace_s < 0:
+            raise ValueError("drain_grace_s must be >= 0")
+        if self.write_timeout_s <= 0:
+            raise ValueError("write_timeout_s must be > 0")
+
+
+class _Pending:
+    """One accepted match request waiting for (or inside) a lookup."""
+
+    __slots__ = (
+        "conn",
+        "request_id",
+        "headers",
+        "count",
+        "corrupt",
+        "enqueued",
+    )
+
+    def __init__(self, conn, request_id, headers, corrupt, enqueued):
+        self.conn = conn
+        self.request_id = request_id
+        self.headers = headers
+        self.count = int(headers.shape[0])
+        self.corrupt = corrupt
+        self.enqueued = enqueued
+
+
+#: Queue sentinel that stops the batch loop.
+_SHUTDOWN = object()
+
+
+class _Connection:
+    """Per-connection state: decoder, write lock, inflight semaphore."""
+
+    def __init__(self, server: "NetServer", reader, writer) -> None:
+        self.server = server
+        self.reader = reader
+        self.writer = writer
+        self.decoder = FrameDecoder(server.config.max_payload)
+        self.semaphore = asyncio.Semaphore(server.config.max_inflight)
+        self.write_lock = asyncio.Lock()
+        self.open = True
+
+    async def send(self, data: bytes) -> bool:
+        """Write one frame; False when the peer is gone.
+
+        The drain is bounded by ``write_timeout_s`` so one client that
+        stops reading cannot head-of-line-block the batch loop — it gets
+        aborted instead.
+        """
+        if not self.open:
+            return False
+        try:
+            async with self.write_lock:
+                self.writer.write(data)
+                await asyncio.wait_for(
+                    self.writer.drain(),
+                    self.server.config.write_timeout_s,
+                )
+            return True
+        except (OSError, RuntimeError, asyncio.TimeoutError):
+            self.abort()
+            return False
+
+    def abort(self) -> None:
+        """Tear the transport down immediately."""
+        if self.open:
+            self.open = False
+            try:
+                self.writer.transport.abort()
+            except Exception:
+                pass
+
+
+class NetServer:
+    """Asyncio TCP front end over one :class:`RuntimeService`."""
+
+    def __init__(
+        self,
+        service: RuntimeService,
+        config: Optional[NetConfig] = None,
+        injector=None,
+    ) -> None:
+        self.service = service
+        self.config = config or NetConfig()
+        self.telemetry = service.telemetry
+        self.injector = injector if injector is not None else service.injector
+        schema = service.serving_classifier().schema
+        check_wire_schema(schema)
+        self.num_fields = len(schema)
+        service.net = self
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._batch_task: Optional[asyncio.Task] = None
+        self._conn_tasks: set = set()
+        self._connections: set = set()
+        self._inflight = 0
+        self._draining = False
+        self._idle = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """Bound TCP port (after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def inflight(self) -> int:
+        """Requests accepted but not yet answered."""
+        return self._inflight
+
+    async def start(self) -> "NetServer":
+        """Bind and start accepting connections."""
+        self._queue = asyncio.Queue()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._batch_task = asyncio.ensure_future(self._batch_loop())
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            host=self.config.host,
+            port=self.config.port,
+        )
+        return self
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (``start`` must have been awaited)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        await self._server.serve_forever()
+
+    async def drain(self) -> bool:
+        """Graceful shutdown: stop accepting, answer what is queued,
+        close every connection.  True when everything in flight was
+        answered within ``drain_grace_s``."""
+        self._draining = True
+        if self._queue is None:
+            return True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        clean = True
+        try:
+            await asyncio.wait_for(
+                self._idle.wait(), self.config.drain_grace_s
+            )
+        except asyncio.TimeoutError:
+            clean = False
+        await self._queue.put(_SHUTDOWN)
+        if self._batch_task is not None:
+            try:
+                await asyncio.wait_for(
+                    self._batch_task, self.config.drain_grace_s
+                )
+            except asyncio.TimeoutError:
+                self._batch_task.cancel()
+                clean = False
+        for conn in list(self._connections):
+            conn.abort()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self.telemetry.incr("net.drains")
+        if not clean:
+            self.telemetry.incr("net.dirty_drains")
+        return clean
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _on_connection(self, reader, writer) -> None:
+        conn = _Connection(self, reader, writer)
+        self._connections.add(conn)
+        self.telemetry.incr("net.connections")
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        try:
+            await self._read_loop(conn)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            self._connections.discard(conn)
+            self.telemetry.incr("net.disconnects")
+            conn.open = False
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _read_loop(self, conn: _Connection) -> None:
+        while True:
+            try:
+                data = await conn.reader.read(1 << 16)
+            except ConnectionError:
+                return
+            if not data:
+                return
+            try:
+                frames = conn.decoder.feed(data)
+            except ProtocolError as exc:
+                # Framing is gone: apologise once, then hang up.
+                self.telemetry.incr("net.protocol_errors")
+                await conn.send(
+                    encode_error(0, ErrorCode.PROTOCOL, str(exc))
+                )
+                conn.abort()
+                return
+            for frame in frames:
+                if self.injector.enabled and not self._chaos_frame(conn):
+                    return
+                if not await self._dispatch(conn, frame):
+                    return
+
+    def _chaos_frame(self, conn: _Connection) -> bool:
+        """Consult the ``net.conn`` chaos site; False tears the
+        connection down (an injected disconnect)."""
+        try:
+            self.injector.fire("net.conn")
+        except Exception:
+            self.telemetry.incr("net.chaos_disconnects")
+            conn.abort()
+            return False
+        return True
+
+    async def _dispatch(self, conn: _Connection, frame: Frame) -> bool:
+        """Route one frame; False ends the read loop."""
+        if frame.type == FrameType.MATCH_REQUEST:
+            return await self._accept_request(conn, frame)
+        if frame.type == FrameType.PING:
+            self.telemetry.incr("net.pings")
+            return await conn.send(
+                encode_frame(FrameType.PONG, frame.request_id)
+            )
+        self.telemetry.incr("net.protocol_errors")
+        return await conn.send(
+            encode_error(
+                frame.request_id,
+                ErrorCode.PROTOCOL,
+                f"unexpected frame type {int(frame.type)}",
+            )
+        )
+
+    async def _accept_request(self, conn: _Connection, frame: Frame) -> bool:
+        telemetry = self.telemetry
+        try:
+            block = decode_match_request(frame)
+        except PayloadError as exc:
+            telemetry.incr("net.protocol_errors")
+            return await conn.send(
+                encode_error(frame.request_id, ErrorCode.PROTOCOL, str(exc))
+            )
+        if block.shape[1] != self.num_fields:
+            telemetry.incr("net.protocol_errors")
+            return await conn.send(
+                encode_error(
+                    frame.request_id,
+                    ErrorCode.PROTOCOL,
+                    f"request carries {block.shape[1]} fields; "
+                    f"schema has {self.num_fields}",
+                )
+            )
+        if self._draining:
+            telemetry.incr("net.drain_rejects")
+            return await conn.send(
+                encode_error(
+                    frame.request_id,
+                    ErrorCode.DRAINING,
+                    "server is draining",
+                )
+            )
+        corrupt = self.injector.enabled and self.injector.corrupted(
+            "net.conn"
+        )
+        # Backpressure: when this connection has max_inflight requests
+        # outstanding, stop here — which stops the read loop, which
+        # stops reading the socket.
+        await conn.semaphore.acquire()
+        self._inflight += 1
+        self._idle.clear()
+        telemetry.incr("net.requests")
+        telemetry.incr("net.request_packets", block.shape[0])
+        pending = _Pending(
+            conn, frame.request_id, block, corrupt, time.perf_counter()
+        )
+        await self._queue.put(pending)
+        return True
+
+    # ------------------------------------------------------------------
+    # Coalescing batch loop
+    # ------------------------------------------------------------------
+    async def _batch_loop(self) -> None:
+        queue = self._queue
+        max_batch = self.config.max_batch
+        wait_s = self.config.coalesce_wait_ms / 1e3
+        loop = asyncio.get_running_loop()
+        stop = False
+        while not stop:
+            item = await queue.get()
+            if item is _SHUTDOWN:
+                return
+            batch: List[_Pending] = [item]
+            packets = item.count
+            # Greedy merge of everything already queued (requests that
+            # arrived while the previous lookup ran).
+            while packets < max_batch:
+                try:
+                    item = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if item is _SHUTDOWN:
+                    stop = True
+                    break
+                batch.append(item)
+                packets += item.count
+            # Adaptive window: once a batch is forming, briefly hold the
+            # door for stragglers; an idle stream (batch of one) is
+            # served immediately, so light traffic pays no added delay.
+            if not stop and wait_s > 0 and 1 < len(batch):
+                deadline = loop.time() + wait_s
+                while packets < max_batch:
+                    timeout = deadline - loop.time()
+                    if timeout <= 0:
+                        break
+                    try:
+                        item = await asyncio.wait_for(queue.get(), timeout)
+                    except asyncio.TimeoutError:
+                        break
+                    if item is _SHUTDOWN:
+                        stop = True
+                        break
+                    batch.append(item)
+                    packets += item.count
+            await self._serve_batch(batch)
+            if self._inflight == 0:
+                self._idle.set()
+
+    async def _serve_batch(self, batch: List[_Pending]) -> None:
+        telemetry = self.telemetry
+        loop = asyncio.get_running_loop()
+        block = (
+            batch[0].headers
+            if len(batch) == 1
+            else np.concatenate([p.headers for p in batch])
+        )
+        telemetry.incr("net.lookups")
+        telemetry.incr("net.lookup_packets", block.shape[0])
+        if len(batch) > 1:
+            telemetry.incr("net.coalesced_requests", len(batch) - 1)
+        start = time.perf_counter()
+        try:
+            with telemetry.span(
+                "net.batch", requests=len(batch), packets=int(block.shape[0])
+            ):
+                results = await loop.run_in_executor(
+                    None, self.service.match_batch, block
+                )
+        except LoadShedError as exc:
+            telemetry.incr("net.shed", len(batch))
+            await self._fail_batch(batch, ErrorCode.SHED, str(exc))
+            return
+        except Exception as exc:
+            telemetry.incr("net.lookup_errors", len(batch))
+            await self._fail_batch(batch, ErrorCode.INTERNAL, str(exc))
+            return
+        telemetry.observe("net.batch", time.perf_counter() - start)
+        indices = np.fromiter(
+            (r.index for r in results), dtype="<u4", count=len(results)
+        )
+        offset = 0
+        for pending in batch:
+            await self._respond_match(
+                pending, indices[offset : offset + pending.count]
+            )
+            offset += pending.count
+
+    async def _respond_match(self, pending: _Pending, indices) -> None:
+        telemetry = self.telemetry
+        with telemetry.span(
+            "net.request",
+            packets=pending.count,
+            wait_ms=round(
+                (time.perf_counter() - pending.enqueued) * 1e3, 3
+            ),
+        ):
+            data = encode_match_response(pending.request_id, indices)
+            if pending.corrupt:
+                # Chaos corrupt-frame: flip the magic so the client's
+                # decoder rejects the stream and reconnects.
+                telemetry.incr("net.corrupted_frames")
+                data = b"\x00" + data[1:]
+            sent = await pending.conn.send(data)
+        if sent:
+            telemetry.incr("net.responses")
+        telemetry.observe(
+            "net.request", time.perf_counter() - pending.enqueued
+        )
+        self._finish(pending)
+
+    async def _fail_batch(
+        self, batch: List[_Pending], code: ErrorCode, message: str
+    ) -> None:
+        for pending in batch:
+            await pending.conn.send(
+                encode_error(pending.request_id, code, message)
+            )
+            self.telemetry.observe(
+                "net.request", time.perf_counter() - pending.enqueued
+            )
+            self._finish(pending)
+
+    def _finish(self, pending: _Pending) -> None:
+        pending.conn.semaphore.release()
+        self._inflight -= 1
+        if self._inflight == 0:
+            self._idle.set()
+
+
+class ServerHandle:
+    """A `NetServer` running on a background event-loop thread.
+
+    What tests, benchmarks and the CLI client path use to stand a server
+    up without going async themselves: ``handle.port`` to connect,
+    ``handle.stop()`` (or the context manager) to drain and join.
+    """
+
+    def __init__(self, server: NetServer, loop, thread) -> None:
+        self.server = server
+        self.loop = loop
+        self.thread = thread
+        self.drained: Optional[bool] = None
+
+    @property
+    def port(self) -> int:
+        """Bound TCP port."""
+        return self.server.port
+
+    def stop(self, timeout: float = 10.0) -> bool:
+        """Drain the server, stop the loop, join the thread."""
+        if self.drained is None:
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.drain(), self.loop
+            )
+            try:
+                self.drained = future.result(timeout)
+            except Exception:
+                self.drained = False
+            self.loop.call_soon_threadsafe(self.loop.stop)
+            self.thread.join(timeout)
+        return bool(self.drained)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def serve_background(
+    service: RuntimeService,
+    config: Optional[NetConfig] = None,
+    injector=None,
+) -> ServerHandle:
+    """Start a :class:`NetServer` on a fresh daemon thread and return a
+    :class:`ServerHandle` once the port is bound."""
+    server = NetServer(service, config, injector=injector)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    failure: List[BaseException] = []
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+
+        async def _boot() -> None:
+            try:
+                await server.start()
+            except BaseException as exc:
+                failure.append(exc)
+            finally:
+                started.set()
+
+        loop.run_until_complete(_boot())
+        if not failure:
+            loop.run_forever()
+        loop.close()
+
+    thread = threading.Thread(
+        target=_run, name="saxpac-net-server", daemon=True
+    )
+    thread.start()
+    started.wait(10.0)
+    if failure:
+        thread.join(5.0)
+        raise failure[0]
+    return ServerHandle(server, loop, thread)

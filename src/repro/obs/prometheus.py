@@ -45,6 +45,55 @@ _GAUGE_HELP = {
         "1 while a failed rebuild is quarantined and the previous engine "
         "keeps serving."
     ),
+    "net.inflight": "Wire requests accepted but not yet answered.",
+}
+
+#: Curated HELP text for the wire-layer counters (dashboards watch the
+#: coalescing ratio net_lookups_total / net_requests_total and the
+#: error/shed counters, so say exactly what each one counts).
+_COUNTER_HELP = {
+    "net.connections": "TCP connections accepted by the wire server.",
+    "net.disconnects": "TCP connections closed (any reason).",
+    "net.requests": "Match requests accepted off the wire.",
+    "net.request_packets": "Packets carried by accepted match requests.",
+    "net.responses": "Match responses written back to clients.",
+    "net.lookups": (
+        "Coalesced server-side lookups; under pipelining this stays "
+        "below net_requests_total — that gap is the micro-batcher "
+        "working."
+    ),
+    "net.lookup_packets": "Packets classified by coalesced lookups.",
+    "net.coalesced_requests": (
+        "Requests merged into an already-forming batch (beyond the "
+        "first of each lookup)."
+    ),
+    "net.shed": (
+        "Requests answered with a retryable SHED error at the runtime's "
+        "in-flight watermark."
+    ),
+    "net.lookup_errors": "Requests answered with an INTERNAL error.",
+    "net.protocol_errors": (
+        "Malformed frames or payloads answered with a PROTOCOL error."
+    ),
+    "net.chaos_disconnects": (
+        "Connections torn down by the net.conn chaos site."
+    ),
+    "net.corrupted_frames": (
+        "Response frames garbled by the net.conn chaos site."
+    ),
+    "net.drains": "Graceful drains started.",
+    "net.dirty_drains": "Drains that timed out with requests in flight.",
+    "net.drain_rejects": "Requests refused because the server was draining.",
+    "net.pings": "PING frames answered.",
+}
+
+#: Curated HELP for the wire-layer latency histograms.
+_HISTOGRAM_HELP = {
+    "net.request": (
+        "Wire request latency: frame accepted to response written "
+        "(includes coalescer queueing)."
+    ),
+    "net.batch": "Coalesced lookup latency (the vectorized match_batch).",
 }
 
 
@@ -80,8 +129,11 @@ def _histogram_lines(
     stage: str, stats: HistogramStats, labels: Optional[Mapping[str, str]]
 ) -> List[str]:
     name = sanitize_metric_name(stage, "_latency_seconds")
+    help_text = _HISTOGRAM_HELP.get(
+        stage, f"Latency of pipeline stage {stage} (log2 buckets)."
+    )
     lines = [
-        f"# HELP {name} Latency of pipeline stage {stage} (log2 buckets).",
+        f"# HELP {name} {help_text}",
         f"# TYPE {name} histogram",
     ]
     cumulative = 0
@@ -119,7 +171,8 @@ def render_prometheus(
     label_text = _format_labels(labels)
     for counter in sorted(snapshot.counters):
         name = sanitize_metric_name(counter, "_total")
-        lines.append(f"# HELP {name} Pipeline counter {counter}.")
+        help_text = _COUNTER_HELP.get(counter, f"Pipeline counter {counter}.")
+        lines.append(f"# HELP {name} {help_text}")
         lines.append(f"# TYPE {name} counter")
         lines.append(
             f"{name}{label_text} {_format_value(snapshot.counters[counter])}"

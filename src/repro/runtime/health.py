@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import threading
 from enum import IntEnum
-from typing import Optional
 
 from .telemetry import NULL_RECORDER
 

@@ -155,6 +155,9 @@ class RuntimeService:
             health=self.health,
         )
         self.metrics_server = None
+        #: Set by repro.net.NetServer when one fronts this service, so
+        #: wire gauges ride the same /metrics exposition.
+        self.net = None
         self.shards: Optional[ShardedRuntime] = None
         if self.config.num_shards > 1:
             if self.config.shard_mode == "process":
@@ -355,6 +358,8 @@ class RuntimeService:
             "runtime.num_shards": float(self.config.num_shards),
             "runtime.update_log": float(len(self.swap.update_log)),
         }
+        if self.net is not None:
+            gauges["net.inflight"] = float(self.net.inflight)
         engine = self.swap.engine
         stages = getattr(engine, "build_stages", None)
         if stages is not None:

@@ -113,14 +113,20 @@ class ClassificationCache:
         spill = set(grouping.ungrouped)
         budget = capacity
         if heat:
-            group_rank = lambda g: (
-                -sum(heat.get(idx, 0) for idx in g.rule_indices),
-                -g.size,
-            )
-            member_rank = lambda idx: (-heat.get(idx, 0), idx)
+            def group_rank(g):
+                return (
+                    -sum(heat.get(idx, 0) for idx in g.rule_indices),
+                    -g.size,
+                )
+
+            def member_rank(idx):
+                return (-heat.get(idx, 0), idx)
         else:
-            group_rank = lambda g: -g.size
-            member_rank = lambda idx: idx
+            def group_rank(g):
+                return -g.size
+
+            def member_rank(idx):
+                return idx
         for group in sorted(grouping.groups, key=group_rank):
             if budget <= 0:
                 spill.update(group.rule_indices)

@@ -1,6 +1,5 @@
 """Tests for the shared benchmark harness utilities."""
 
-import pytest
 
 from repro.bench.harness import (
     bench_rules,

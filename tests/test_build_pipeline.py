@@ -24,7 +24,7 @@ from repro.analysis.mrc import (
     _greedy_independent_scan,
     greedy_independent_set,
 )
-from repro.core import Classifier, make_rule, uniform_schema
+from repro.core import Classifier
 from repro.saxpac.config import EngineConfig
 from repro.saxpac.engine import SaxPacEngine
 from repro.workloads.generator import generate_classifier

@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.core import Classifier, make_rule, uniform_schema
 from repro.saxpac.cache import ClassificationCache
 from conftest import random_classifier
 

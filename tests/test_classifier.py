@@ -1,6 +1,5 @@
 """Tests for repro.core.classifier."""
 
-import random
 
 import pytest
 

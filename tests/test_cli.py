@@ -1,7 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
-import os
+import re
 
 import pytest
 
@@ -171,9 +171,6 @@ class TestRuntime:
         assert heat["seen_packets"] == 400
 
     def test_runtime_serve_metrics(self, small_txt, capsys):
-        import re
-        import urllib.request
-
         # --linger keeps the endpoint alive just long enough to scrape
         # post-replay state... but scraping happens after main returns,
         # so scrape via the printed URL during a tiny linger would race.
@@ -237,3 +234,54 @@ class TestExperiments:
     def test_bad_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiments", "table9"])
+
+
+class TestServeClient:
+    def test_serve_then_client_verify(self, small_txt, tmp_path, capsys):
+        """End-to-end through the CLI: serve in a thread, drive it with
+        `client --verify`, then let --max-seconds drain it cleanly."""
+        import socket
+        import threading
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+
+        serve_rc = []
+        server = threading.Thread(
+            target=lambda: serve_rc.append(
+                main(["serve", small_txt, "--port", str(port),
+                      "--max-seconds", "4", "--coalesce-wait-ms", "0.2"])
+            )
+        )
+        server.start()
+        out = str(tmp_path / "client.json")
+        rc = main(["client", small_txt, "--port", str(port),
+                   "--packets", "2000", "--request-size", "16",
+                   "--window", "16", "--verify", "--out", out])
+        server.join(30.0)
+        assert rc == 0
+        assert not server.is_alive()
+        assert serve_rc == [0], "serve did not drain cleanly"
+        with open(out) as handle:
+            report = json.load(handle)
+        assert report["packets"] == 2000
+        assert report["verify_mismatches"] == 0
+        text = capsys.readouterr().out
+        assert "drain: clean" in text
+        # The pipelined window gave the coalescer something to merge.
+        served = re.search(
+            r"served (\d+) requests .* in (\d+) coalesced lookups", text
+        )
+        assert served, text
+        assert int(served.group(2)) < int(served.group(1))
+
+    def test_client_connection_refused_exits_2(self, small_txt, capsys):
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        rc = main(["client", small_txt, "--port", str(port),
+                   "--packets", "10", "--wait-s", "0.2"])
+        assert rc == 2

@@ -1,6 +1,5 @@
 """Tests for TCAM space accounting."""
 
-import pytest
 
 from repro.core import Classifier, make_rule, uniform_schema
 from repro.tcam.cost import (

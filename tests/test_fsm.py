@@ -7,7 +7,6 @@ import pytest
 from repro.analysis.fsm import fsm, fsm_exact, fsm_greedy
 from repro.analysis.order_independence import is_order_independent
 from repro.core import Classifier, make_rule, uniform_schema
-from conftest import random_classifier
 
 
 def _independent_classifier(rng, num_rules=15, num_fields=4, width=8):

@@ -5,7 +5,6 @@ run the optimization pipeline, build the runtime structures, and verify
 semantics end to end against the reference linear scan.
 """
 
-import random
 
 import pytest
 

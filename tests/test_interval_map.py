@@ -1,6 +1,5 @@
 """Tests for the disjoint-interval lookup map."""
 
-import random
 
 import pytest
 from hypothesis import given, strategies as st

@@ -1,0 +1,107 @@
+"""Differential check over the wire: whatever the serving stack does —
+framing, zero-copy decode, coalescing, pipelining, hot swaps — the
+answers must stay byte-identical to `Classifier.match_batch`.
+
+Three workload styles, >= 10k packets each, a mix of single and
+pipelined requests, with a hot rule insert landing mid-stream.
+"""
+
+import random
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import make_rule
+from repro.net import NetClient, NetConfig, serve_background
+from repro.runtime import RuntimeService
+from repro.workloads import generate_classifier, generate_trace
+
+PACKETS = 10_000
+STYLES = ("acl", "fw", "ipc")
+
+
+def reference_bytes(classifier, block):
+    """The oracle answer as raw bytes, exactly as the wire carries it."""
+    results = classifier.match_batch(block)
+    return np.fromiter(
+        (r.index for r in results), dtype="<u4", count=len(results)
+    ).tobytes()
+
+
+def as_blocks(trace, sizes, seed):
+    """Cut the trace into blocks with a deterministic size mix."""
+    rng = random.Random(seed)
+    blocks = []
+    i = 0
+    while i < len(trace):
+        size = rng.choice(sizes)
+        blocks.append(
+            np.asarray(trace[i : i + size], dtype=np.uint32)
+        )
+        i += size
+    return [b for b in blocks if len(b)]
+
+
+@pytest.mark.parametrize("style", STYLES)
+def test_wire_answers_match_classifier(style):
+    seed = {"acl": 101, "fw": 102, "ipc": 103}[style]
+    classifier = generate_classifier(style, num_rules=60, seed=seed)
+    service = RuntimeService(classifier)
+    handle = serve_background(service, NetConfig(coalesce_wait_ms=0.2))
+    try:
+        trace = generate_trace(classifier, PACKETS, seed + 1)
+        blocks = as_blocks(trace, sizes=(1, 7, 32, 190), seed=seed + 2)
+        with NetClient(port=handle.port, retries=4) as client:
+            # Half singles, half pipelined, interleaved.
+            half = len(blocks) // 2
+            pre = service.serving_classifier()
+            for block in blocks[:6]:
+                got = client.match_batch(block)
+                assert got.tobytes() == reference_bytes(pre, block)
+            answers = client.match_many(blocks[6:half], window=24)
+            for block, got in zip(blocks[6:half], answers):
+                assert got.tobytes() == reference_bytes(pre, block)
+
+            # Hot-swap mid-stream: insert a high-priority rule while a
+            # pipelined burst is on the wire.  During the race every
+            # packet must match either the pre- or post-swap oracle;
+            # after the flush the post-swap oracle is authoritative.
+            rule = make_rule(
+                [(0, (1 << f.width) // 2) for f in pre.schema],
+                name="hot-insert",
+            )
+            racing = blocks[half : half + 8]
+            swapper = threading.Thread(
+                target=lambda: (
+                    service.insert(rule),
+                    service.swap.flush(),
+                )
+            )
+            swapper.start()
+            race_answers = client.match_many(racing, window=8)
+            swapper.join(30.0)
+            assert not swapper.is_alive()
+            post = service.serving_classifier()
+            assert len(post.rules) == len(pre.rules) + 1
+            for block, got in zip(racing, race_answers):
+                old = reference_bytes(pre, block)
+                new = reference_bytes(post, block)
+                old_idx = np.frombuffer(old, dtype="<u4")
+                new_idx = np.frombuffer(new, dtype="<u4")
+                ok = (got == old_idx) | (got == new_idx)
+                assert ok.all()
+
+            # Steady state after the swap: byte-identical again.
+            rest = blocks[half + 8 :]
+            answers = client.match_many(rest, window=24)
+            for block, got in zip(rest, answers):
+                assert got.tobytes() == reference_bytes(post, block)
+    finally:
+        assert handle.stop(), "drain was not clean"
+
+    telemetry = service.telemetry
+    assert telemetry.counter("net.request_packets") >= PACKETS
+    assert telemetry.counter("net.lookups") <= telemetry.counter(
+        "net.requests"
+    )

@@ -1,0 +1,236 @@
+"""Wire-protocol robustness: round trips, truncation, corruption.
+
+The framing layer must uphold two properties: every encode/decode pair
+is the identity (checked property-style with hypothesis, including
+random stream chunking), and no byte stream — truncated, oversized,
+corrupted or simply garbage — ever makes the decoder crash, hang, or
+silently misparse: it either waits for more bytes, yields frames, or
+raises :class:`ProtocolError`.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import uniform_schema
+from repro.net.protocol import (
+    FRAME_HEADER,
+    MAGIC,
+    ErrorCode,
+    FrameDecoder,
+    FrameType,
+    PayloadError,
+    ProtocolError,
+    check_wire_schema,
+    decode_error,
+    decode_match_request,
+    decode_match_response,
+    encode_error,
+    encode_frame,
+    encode_match_request,
+    encode_match_response,
+)
+
+
+@st.composite
+def header_blocks(draw):
+    """(count, k) uint32 header blocks."""
+    k = draw(st.integers(1, 8))
+    count = draw(st.integers(0, 40))
+    values = draw(
+        st.lists(
+            st.integers(0, 0xFFFFFFFF),
+            min_size=count * k,
+            max_size=count * k,
+        )
+    )
+    return np.array(values, dtype=np.uint32).reshape(count, k)
+
+
+class TestRoundTrips:
+    @given(block=header_blocks(), request_id=st.integers(0, 2**64 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_match_request(self, block, request_id):
+        data = encode_match_request(request_id, block)
+        frames = FrameDecoder().feed(data)
+        assert len(frames) == 1
+        frame = frames[0]
+        assert frame.type == FrameType.MATCH_REQUEST
+        assert frame.request_id == request_id
+        decoded = decode_match_request(frame)
+        assert decoded.shape == block.shape
+        assert (decoded == block).all()
+
+    @given(
+        indices=st.lists(st.integers(0, 0xFFFFFFFF), max_size=100),
+        request_id=st.integers(0, 2**64 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_match_response(self, indices, request_id):
+        data = encode_match_response(request_id, indices)
+        (frame,) = FrameDecoder().feed(data)
+        assert frame.type == FrameType.MATCH_RESPONSE
+        assert list(decode_match_response(frame)) == indices
+
+    @given(
+        code=st.sampled_from(list(ErrorCode)),
+        message=st.text(max_size=200),
+        request_id=st.integers(0, 2**64 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_error(self, code, message, request_id):
+        data = encode_error(request_id, code, message)
+        (frame,) = FrameDecoder().feed(data)
+        assert frame.type == FrameType.ERROR
+        got_code, got_message = decode_error(frame)
+        assert got_code == code
+        assert got_message == message
+
+    @given(
+        blocks=st.lists(header_blocks(), min_size=1, max_size=5),
+        chunk=st.integers(1, 64),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_stream_reassembly_any_chunking(self, blocks, chunk):
+        """Frames survive arbitrary re-chunking of the byte stream."""
+        stream = b"".join(
+            encode_match_request(i, block) for i, block in enumerate(blocks)
+        )
+        decoder = FrameDecoder()
+        frames = []
+        for start in range(0, len(stream), chunk):
+            frames.extend(decoder.feed(stream[start : start + chunk]))
+        assert len(frames) == len(blocks)
+        assert len(decoder) == 0
+        for i, (frame, block) in enumerate(zip(frames, blocks)):
+            assert frame.request_id == i
+            assert (decode_match_request(frame) == block).all()
+
+    def test_ping_pong_empty_payload(self):
+        (frame,) = FrameDecoder().feed(encode_frame(FrameType.PING, 9))
+        assert frame.type == FrameType.PING
+        assert frame.payload == b""
+
+
+class TestTruncation:
+    """A prefix of a valid stream never errors — it waits for bytes."""
+
+    @given(block=header_blocks(), cut=st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_any_prefix_yields_nothing(self, block, cut):
+        data = encode_match_request(3, block)
+        prefix = data[: int(cut * (len(data) - 1))]
+        decoder = FrameDecoder()
+        assert decoder.feed(prefix) == []
+        # The remainder completes the frame.
+        (frame,) = decoder.feed(data[len(prefix) :])
+        assert (decode_match_request(frame) == block).all()
+
+    def test_truncated_payload_prefix(self):
+        frame = encode_match_request(1, np.zeros((4, 3), dtype=np.uint32))
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[: FRAME_HEADER.size + 5]) == []
+        assert len(decoder) == FRAME_HEADER.size + 5
+
+
+class TestCorruption:
+    def test_bad_magic(self):
+        data = b"XXXX" + encode_frame(FrameType.PING, 1)[4:]
+        with pytest.raises(ProtocolError, match="magic"):
+            FrameDecoder().feed(data)
+
+    def test_bad_version(self):
+        good = bytearray(encode_frame(FrameType.PING, 1))
+        good[4] = 99
+        with pytest.raises(ProtocolError, match="version"):
+            FrameDecoder().feed(bytes(good))
+
+    def test_oversized_declared_payload(self):
+        header = FRAME_HEADER.pack(
+            MAGIC, 1, int(FrameType.MATCH_REQUEST), 0, 1, 2**31
+        )
+        with pytest.raises(ProtocolError, match="cap"):
+            FrameDecoder().feed(header)
+
+    def test_oversized_respects_configured_cap(self):
+        data = encode_match_request(
+            1, np.zeros((100, 6), dtype=np.uint32)
+        )
+        with pytest.raises(ProtocolError, match="cap"):
+            FrameDecoder(max_payload=64).feed(data)
+
+    def test_encode_refuses_oversized_payload(self):
+        with pytest.raises(ProtocolError, match="cap"):
+            encode_frame(FrameType.PING, 1, b"x" * (17 * 1024 * 1024))
+
+    def test_unknown_frame_type_keeps_framing(self):
+        """An unknown type is a per-frame problem, not a stream one."""
+        data = encode_frame(77, 5, b"abc") + encode_frame(FrameType.PING, 6)
+        frames = FrameDecoder().feed(data)
+        assert [int(f.type) for f in frames] == [77, int(FrameType.PING)]
+
+    def test_garbage_raises(self):
+        with pytest.raises(ProtocolError):
+            FrameDecoder().feed(b"\x00" * 64)
+
+
+class TestPayloadErrors:
+    """Well-framed nonsense is rejected per frame, recoverably."""
+
+    def test_count_length_mismatch(self):
+        good = encode_match_request(1, np.zeros((4, 3), dtype=np.uint32))
+        bad = good[:-4]  # drop one uint32: length disagrees with count
+        header = bad[: FRAME_HEADER.size - 4]
+        length = len(bad) - FRAME_HEADER.size
+        reframed = (
+            header
+            + length.to_bytes(4, "little")
+            + bad[FRAME_HEADER.size :]
+        )
+        (frame,) = FrameDecoder().feed(reframed)
+        with pytest.raises(PayloadError, match="declares"):
+            decode_match_request(frame)
+
+    def test_zero_fields(self):
+        payload = (0).to_bytes(2, "little") + (0).to_bytes(4, "little")
+        (frame,) = FrameDecoder().feed(
+            encode_frame(FrameType.MATCH_REQUEST, 1, payload)
+        )
+        with pytest.raises(PayloadError, match="zero fields"):
+            decode_match_request(frame)
+
+    def test_short_prefixes(self):
+        for ftype, decoder in [
+            (FrameType.MATCH_REQUEST, decode_match_request),
+            (FrameType.MATCH_RESPONSE, decode_match_response),
+            (FrameType.ERROR, decode_error),
+        ]:
+            (frame,) = FrameDecoder().feed(encode_frame(ftype, 1, b"\x01"))
+            with pytest.raises(PayloadError, match="prefix"):
+                decoder(frame)
+
+    def test_response_count_mismatch(self):
+        payload = (9).to_bytes(4, "little") + b"\x00" * 8
+        (frame,) = FrameDecoder().feed(
+            encode_frame(FrameType.MATCH_RESPONSE, 1, payload)
+        )
+        with pytest.raises(PayloadError, match="declares"):
+            decode_match_response(frame)
+
+    def test_request_rejects_wide_values(self):
+        with pytest.raises(PayloadError, match="uint32"):
+            encode_match_request(1, [[2**33]])
+
+    def test_request_rejects_bad_shape(self):
+        with pytest.raises(PayloadError, match="count, k"):
+            encode_match_request(1, np.zeros(3, dtype=np.uint32))
+
+
+class TestWireSchema:
+    def test_accepts_32bit_fields(self):
+        check_wire_schema(uniform_schema(6, 32))
+
+    def test_rejects_wide_fields(self):
+        with pytest.raises(ProtocolError, match="wider than 32"):
+            check_wire_schema(uniform_schema(2, 128))

@@ -1,0 +1,382 @@
+"""NetServer over real loopback sockets: correctness, coalescing,
+backpressure, shedding, chaos, drain, and telemetry exposition."""
+
+import random
+import socket
+import time
+
+import numpy as np
+import pytest
+from conftest import random_classifier
+
+from repro.chaos import FaultInjector, FaultPlan, FaultSpec
+from repro.net import (
+    ErrorCode,
+    NetClient,
+    NetConfig,
+    NetError,
+    serve_background,
+)
+from repro.net.protocol import (
+    FrameDecoder,
+    FrameType,
+    decode_error,
+    encode_match_request,
+)
+from repro.obs import Tracer, render_prometheus
+from repro.runtime import LoadShedError, RuntimeService, Telemetry
+from repro.workloads import generate_trace
+
+
+@pytest.fixture
+def served():
+    """A RuntimeService behind a loopback NetServer, plus its handle."""
+    classifier = random_classifier(random.Random(7), num_rules=40)
+    service = RuntimeService(classifier)
+    handle = serve_background(service, NetConfig(coalesce_wait_ms=0.2))
+    yield service, handle
+    handle.stop()
+
+
+def settle(predicate, timeout=5.0):
+    """Wait for server-side accounting to catch up with the client.
+
+    The client returns as soon as it has read its response frame, but the
+    event-loop thread bumps counters / decrements inflight *after* writing
+    it — poll briefly instead of asserting the instantaneous value.
+    """
+    deadline = time.time() + timeout
+    while not predicate() and time.time() < deadline:
+        time.sleep(0.01)
+
+
+def expected_indices(service, headers):
+    results = service.serving_classifier().match_batch(headers)
+    return [r.index for r in results]
+
+
+def trace_blocks(service, total, size, seed):
+    trace = generate_trace(service.serving_classifier(), total, seed)
+    return [trace[i : i + size] for i in range(0, total, size)]
+
+
+class TestRequests:
+    def test_single_request_matches_classifier(self, served):
+        service, handle = served
+        headers = generate_trace(service.serving_classifier(), 200, 11)
+        with NetClient(port=handle.port) as client:
+            got = client.match_batch(headers)
+        assert list(got) == expected_indices(service, headers)
+
+    def test_empty_batch(self, served):
+        service, handle = served
+        block = np.zeros((0, 3), dtype=np.uint32)
+        with NetClient(port=handle.port) as client:
+            got = client.match_batch(block)
+        assert got.shape == (0,)
+
+    def test_ping(self, served):
+        _, handle = served
+        with NetClient(port=handle.port) as client:
+            assert client.ping() < 5.0
+
+    def test_pipelined_coalesces(self, served):
+        """Pipelined small requests merge: lookups < requests."""
+        service, handle = served
+        blocks = trace_blocks(service, 1200, 8, seed=3)
+        with NetClient(port=handle.port) as client:
+            answers = client.match_many(blocks, window=32)
+        for block, got in zip(blocks, answers):
+            assert list(got) == expected_indices(service, block)
+        telemetry = service.telemetry
+        settle(lambda: telemetry.counter("net.lookup_packets") == 1200)
+        assert telemetry.counter("net.requests") == len(blocks)
+        assert telemetry.counter("net.lookups") < len(blocks)
+        assert telemetry.counter("net.coalesced_requests") > 0
+        assert telemetry.counter("net.request_packets") == 1200
+        assert telemetry.counter("net.lookup_packets") == 1200
+
+    def test_two_clients_share_batches(self, served):
+        service, handle = served
+        blocks = trace_blocks(service, 400, 10, seed=5)
+        with NetClient(port=handle.port) as a, NetClient(
+            port=handle.port
+        ) as b:
+            for block in blocks:
+                assert list(a.match_batch(block)) == expected_indices(
+                    service, block
+                )
+                assert list(b.match_batch(block)) == expected_indices(
+                    service, block
+                )
+        settle(lambda: service.telemetry.counter("net.connections") == 2)
+        assert service.telemetry.counter("net.connections") == 2
+
+    def test_tight_inflight_window_still_correct(self):
+        """max_inflight=1 throttles the socket but answers everything."""
+        classifier = random_classifier(random.Random(9), num_rules=25)
+        service = RuntimeService(classifier)
+        handle = serve_background(service, NetConfig(max_inflight=1))
+        try:
+            blocks = trace_blocks(service, 300, 6, seed=8)
+            with NetClient(port=handle.port) as client:
+                answers = client.match_many(blocks, window=16)
+            for block, got in zip(blocks, answers):
+                assert list(got) == expected_indices(service, block)
+        finally:
+            assert handle.stop()
+
+    def test_inflight_gauge_settles_to_zero(self, served):
+        service, handle = served
+        blocks = trace_blocks(service, 200, 4, seed=2)
+        with NetClient(port=handle.port) as client:
+            client.match_many(blocks, window=16)
+        settle(lambda: handle.server.inflight == 0)
+        assert handle.server.inflight == 0
+        assert service.gauges()["net.inflight"] == 0.0
+
+
+class TestErrors:
+    def test_wrong_field_count_answers_then_keeps_connection(self, served):
+        service, handle = served
+        with NetClient(port=handle.port) as client:
+            bad = np.zeros((2, 9), dtype=np.uint32)  # schema has 3
+            with pytest.raises(NetError) as excinfo:
+                client.match_batch(bad)
+            assert excinfo.value.code == ErrorCode.PROTOCOL
+            # Same connection still serves good requests.
+            headers = generate_trace(service.serving_classifier(), 50, 4)
+            assert list(client.match_batch(headers)) == expected_indices(
+                service, headers
+            )
+        settle(
+            lambda: service.telemetry.counter("net.protocol_errors") == 1
+            and handle.server.inflight == 0
+        )
+        assert service.telemetry.counter("net.protocol_errors") == 1
+        assert handle.server.inflight == 0
+
+    def test_garbage_bytes_answer_error_then_close(self, served):
+        service, handle = served
+        with socket.create_connection(
+            ("127.0.0.1", handle.port), timeout=5.0
+        ) as sock:
+            # Long enough to cover a full frame header (20 bytes).
+            sock.sendall(b"GET /classify HTTP/1.1\r\nHost: x\r\n\r\n")
+            decoder = FrameDecoder()
+            frames = []
+            while not frames:
+                data = sock.recv(1 << 16)
+                if not data:
+                    break
+                frames.extend(decoder.feed(data))
+            assert frames, "server closed without an error frame"
+            assert frames[0].type == FrameType.ERROR
+            code, _ = decode_error(frames[0])
+            assert code == ErrorCode.PROTOCOL
+            assert sock.recv(1 << 16) == b""  # then it hangs up
+        settle(
+            lambda: service.telemetry.counter("net.protocol_errors") == 1
+        )
+        assert service.telemetry.counter("net.protocol_errors") == 1
+
+    def test_transient_shed_is_retried(self, served):
+        service, handle = served
+        real = service.match_batch
+        state = {"left": 2}
+
+        def flaky(block):
+            if state["left"] > 0:
+                state["left"] -= 1
+                raise LoadShedError("synthetic overload")
+            return real(block)
+
+        service.match_batch = flaky
+        try:
+            headers = generate_trace(service.serving_classifier(), 60, 6)
+            with NetClient(port=handle.port) as client:
+                got = client.match_batch(headers)
+            assert list(got) == expected_indices(service, headers)
+            assert client.stats["shed_retries"] >= 1
+        finally:
+            service.match_batch = real
+        settle(lambda: service.telemetry.counter("net.shed") >= 1)
+        assert service.telemetry.counter("net.shed") >= 1
+
+    def test_permanent_shed_exhausts_budget(self, served):
+        service, handle = served
+
+        def always(block):
+            raise LoadShedError("synthetic overload")
+
+        real = service.match_batch
+        service.match_batch = always
+        try:
+            client = NetClient(
+                port=handle.port, shed_backoff_s=0.0, max_shed_retries=3
+            )
+            with client:
+                with pytest.raises(NetError) as excinfo:
+                    client.match_batch([[1, 2, 3]])
+            assert excinfo.value.code == ErrorCode.SHED
+            assert client.stats["shed_retries"] == 3
+        finally:
+            service.match_batch = real
+
+    def test_lookup_crash_answers_internal(self, served):
+        service, handle = served
+
+        def boom(block):
+            raise RuntimeError("engine exploded")
+
+        real = service.match_batch
+        service.match_batch = boom
+        try:
+            with NetClient(port=handle.port) as client:
+                with pytest.raises(NetError) as excinfo:
+                    client.match_batch([[1, 2, 3]])
+            assert excinfo.value.code == ErrorCode.INTERNAL
+        finally:
+            service.match_batch = real
+        settle(
+            lambda: service.telemetry.counter("net.lookup_errors") == 1
+            and handle.server.inflight == 0
+        )
+        assert service.telemetry.counter("net.lookup_errors") == 1
+        assert handle.server.inflight == 0
+
+
+class TestChaos:
+    def _serve_with_faults(self, *specs):
+        classifier = random_classifier(random.Random(13), num_rules=30)
+        injector = FaultInjector(FaultPlan(specs=specs, seed=3))
+        service = RuntimeService(classifier, injector=injector)
+        handle = serve_background(service, NetConfig())
+        return service, handle
+
+    def test_injected_disconnect_is_survived(self):
+        service, handle = self._serve_with_faults(
+            FaultSpec(site="net.conn", kind="crash", times=2, after=5)
+        )
+        try:
+            blocks = trace_blocks(service, 400, 8, seed=4)
+            client = NetClient(port=handle.port, retries=4)
+            with client:
+                answers = client.match_many(blocks, window=8)
+            for block, got in zip(blocks, answers):
+                assert list(got) == expected_indices(service, block)
+            assert client.stats["reconnects"] >= 1
+            assert client.stats["retried_requests"] >= 1
+        finally:
+            handle.stop()
+        assert service.telemetry.counter("net.chaos_disconnects") == 2
+
+    def test_injected_corrupt_frame_is_survived(self):
+        service, handle = self._serve_with_faults(
+            FaultSpec(site="net.conn", kind="corrupt", times=1, after=3)
+        )
+        try:
+            blocks = trace_blocks(service, 200, 5, seed=6)
+            client = NetClient(port=handle.port, retries=4)
+            with client:
+                answers = client.match_many(blocks, window=4)
+            for block, got in zip(blocks, answers):
+                assert list(got) == expected_indices(service, block)
+            assert client.stats["reconnects"] >= 1
+        finally:
+            handle.stop()
+        assert service.telemetry.counter("net.corrupted_frames") == 1
+
+
+class TestDrain:
+    def test_clean_drain(self, served):
+        service, handle = served
+        headers = generate_trace(service.serving_classifier(), 100, 2)
+        with NetClient(port=handle.port) as client:
+            client.match_batch(headers)
+        assert handle.stop() is True
+        assert service.telemetry.counter("net.drains") == 1
+        assert service.telemetry.counter("net.dirty_drains") == 0
+
+    def test_draining_rejects_new_requests(self, served):
+        service, handle = served
+        server = handle.server
+        server._draining = True
+        with NetClient(port=handle.port) as client:
+            with pytest.raises(NetError) as excinfo:
+                client.match_batch([[1, 2, 3]])
+        assert excinfo.value.code == ErrorCode.DRAINING
+        settle(
+            lambda: service.telemetry.counter("net.drain_rejects") == 1
+        )
+        assert service.telemetry.counter("net.drain_rejects") == 1
+        server._draining = False
+
+    def test_stop_is_idempotent(self, served):
+        _, handle = served
+        assert handle.stop() is True
+        assert handle.stop() is True
+
+
+class TestExposition:
+    def test_net_metrics_have_curated_help(self, served):
+        service, handle = served
+        headers = generate_trace(service.serving_classifier(), 80, 9)
+        with NetClient(port=handle.port) as client:
+            client.match_batch(headers)
+        # The latency observation lands after the response frame is
+        # written; wait for it before rendering the snapshot.
+        settle(
+            lambda: "net.request"
+            in service.telemetry.snapshot().latencies
+        )
+        text = render_prometheus(
+            service.telemetry.snapshot(), extra_gauges=service.gauges()
+        )
+        assert "# HELP saxpac_net_requests_total" in text
+        assert "coalesc" in text  # curated HELP, not the fallback
+        assert "saxpac_net_request_latency_seconds_bucket" in text
+        assert "saxpac_net_inflight" in text
+
+    def test_batch_span_is_traced(self):
+        classifier = random_classifier(random.Random(17), num_rules=20)
+        tracer = Tracer()
+        service = RuntimeService(
+            classifier, recorder=Telemetry(tracer=tracer)
+        )
+        handle = serve_background(service, NetConfig())
+        try:
+            headers = generate_trace(service.serving_classifier(), 40, 10)
+            with NetClient(port=handle.port) as client:
+                client.match_batch(headers)
+        finally:
+            handle.stop()
+        names = {span.name for span in tracer.spans()}
+        assert "net.batch" in names
+        assert "net.request" in names
+
+
+class TestRawWire:
+    def test_oversized_frame_is_rejected_not_buffered(self):
+        classifier = random_classifier(random.Random(21), num_rules=10)
+        service = RuntimeService(classifier)
+        handle = serve_background(
+            service, NetConfig(max_payload=1024)
+        )
+        try:
+            big = np.zeros((2000, 3), dtype=np.uint32)
+            with socket.create_connection(
+                ("127.0.0.1", handle.port), timeout=5.0
+            ) as sock:
+                sock.sendall(encode_match_request(1, big))
+                decoder = FrameDecoder()
+                frames = []
+                while not frames:
+                    data = sock.recv(1 << 16)
+                    if not data:
+                        break
+                    frames.extend(decoder.feed(data))
+                assert frames and frames[0].type == FrameType.ERROR
+        finally:
+            handle.stop()
+        assert service.telemetry.counter("net.protocol_errors") == 1

@@ -5,7 +5,6 @@ import pytest
 from repro.core import (
     Classifier,
     DENY,
-    Interval,
     PERMIT,
     make_rule,
     classbench_schema,

@@ -4,10 +4,9 @@ Each test reproduces the exact rules and packets of Examples 1-3, 5, 6 and
 10 (Figures 2-5 and 7) and checks the behaviour the paper describes.
 """
 
-import pytest
 
 from repro.analysis.fsm import fsm_exact
-from repro.analysis.mgr import beta_l_mrc, l_mgr
+from repro.analysis.mgr import l_mgr
 from repro.analysis.mrc import greedy_independent_set
 from repro.analysis.order_independence import is_order_independent
 from repro.core import Classifier, FieldSpec, Interval, make_rule, uniform_schema

@@ -7,7 +7,6 @@ baseline classifier agrees with the linear scan.
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.core import Interval
 from repro.lookup.decision_tree import DecisionTreeClassifier
 from repro.lookup.tuple_space import TupleSpaceClassifier
 from repro.tcam.encoding import (

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.analysis.redundancy import (
     downward_redundant_rules,

@@ -12,7 +12,6 @@ from repro.runtime.telemetry import (
     LatencyHistogram,
     NullRecorder,
     Telemetry,
-    TelemetryDelta,
     render_text,
 )
 

@@ -1,7 +1,6 @@
 """Tests for greedy set cover / max coverage, both backends."""
 
 import numpy as np
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.analysis.setcover import (

@@ -1,6 +1,5 @@
 """Tests for classifier structural statistics."""
 
-import pytest
 
 from repro.analysis.statistics import classifier_statistics
 from repro.core import Classifier, make_rule, uniform_schema

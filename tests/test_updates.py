@@ -5,13 +5,10 @@ import random
 import pytest
 
 from repro.core import (
-    Classifier,
-    Interval,
     make_rule,
     uniform_schema,
 )
 from repro.saxpac.updates import DynamicSaxPac, InsertOutcome
-from conftest import random_classifier
 
 
 def _random_rule(rng, num_fields=3, width=6, max_span=8):

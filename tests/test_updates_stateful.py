@@ -20,7 +20,7 @@ from hypothesis.stateful import (
 )
 from hypothesis import strategies as st
 
-from repro.core import Classifier, make_rule, uniform_schema
+from repro.core import make_rule, uniform_schema
 from repro.core.actions import DENY, PERMIT
 from repro.saxpac.updates import DynamicSaxPac
 

@@ -1,6 +1,5 @@
 """Tests for width metrics and the virtual-field FSM (Section 4.4)."""
 
-import pytest
 
 from repro.boolean.ternary import word_from_pattern
 from repro.boolean.width import (
