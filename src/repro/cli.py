@@ -58,6 +58,20 @@ def _save(classifier: Classifier, path: str, profile=None) -> None:
         write_classbench(classifier, path)
 
 
+def _add_lookup_backend_flag(verb) -> None:
+    """The shared per-group lookup-backend knob for engine-building
+    verbs.  ``auto`` is the heat-driven selector; the named backends
+    force one structure on every group (falling back per group when a
+    backend cannot serve it — decisions are identical either way)."""
+    verb.add_argument(
+        "--lookup-backend",
+        choices=("auto", "interval", "segment", "linear", "learned"),
+        default="auto",
+        help="per-group lookup structure (default: auto-select from "
+             "group size, field count and traffic heat)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI (exposed for docs/tests)."""
     parser = argparse.ArgumentParser(
@@ -94,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
     cls.add_argument("--trace", type=int, default=10000)
     cls.add_argument("--seed", type=int, default=1)
     cls.add_argument("--max-groups", type=int, default=None)
+    _add_lookup_backend_flag(cls)
     cls.add_argument("--cache", action="store_true",
                      help="enforce the MRCC cache property")
 
@@ -112,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--shard-mode", choices=("thread", "process"),
                      default="thread")
     run.add_argument("--max-groups", type=int, default=None)
+    _add_lookup_backend_flag(run)
     run.add_argument("--cache", action="store_true",
                      help="enforce the MRCC cache property")
     run.add_argument("--updates", type=int, default=0,
@@ -169,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--shard-mode", choices=("thread", "process"),
                      default="thread")
     srv.add_argument("--max-groups", type=int, default=None)
+    _add_lookup_backend_flag(srv)
     srv.add_argument("--cache", action="store_true",
                      help="enforce the MRCC cache property")
     srv.add_argument("--max-batch", type=int, default=8192,
@@ -240,6 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--shard-mode", choices=("thread", "process"),
                      default="thread")
     top.add_argument("--max-groups", type=int, default=None)
+    _add_lookup_backend_flag(top)
     top.add_argument("--cache", action="store_true",
                      help="enforce the MRCC cache property")
     top.add_argument("--top", type=int, default=10, dest="k",
@@ -360,7 +378,8 @@ def _cmd_profile(args) -> int:
 def _cmd_classify(args) -> int:
     classifier, _ = _load(args.path)
     config = EngineConfig(
-        max_groups=args.max_groups, enforce_cache=args.cache
+        max_groups=args.max_groups, enforce_cache=args.cache,
+        lookup_backend=args.lookup_backend,
     )
     engine = SaxPacEngine(classifier, config)
     report = engine.report()
@@ -435,7 +454,8 @@ def _cmd_runtime(args) -> int:
         shard_mode=args.shard_mode,
         deadline_ms=args.deadline_ms,
         engine=EngineConfig(
-            max_groups=args.max_groups, enforce_cache=args.cache
+            max_groups=args.max_groups, enforce_cache=args.cache,
+            lookup_backend=args.lookup_backend,
         ),
     )
     injector = _build_injector(args, quiet=args.json)
@@ -588,7 +608,8 @@ def _cmd_serve(args) -> int:
         deadline_ms=args.deadline_ms,
         shed_watermark=args.shed_watermark,
         engine=EngineConfig(
-            max_groups=args.max_groups, enforce_cache=args.cache
+            max_groups=args.max_groups, enforce_cache=args.cache,
+            lookup_backend=args.lookup_backend,
         ),
     )
     net_config = NetConfig(
@@ -725,6 +746,19 @@ def _cmd_client(args) -> int:
     return 0
 
 
+def _backend_heat_map(service):
+    """Heat key -> serving lookup-backend name, for the ``repro top``
+    group annotations (None while the linear fallback serves)."""
+    summary = service.backend_summary()
+    if not summary:
+        return None
+    return {
+        f"g{i}[{','.join(str(f) for f in entry['fields'])}]":
+        entry["backend"]
+        for i, entry in enumerate(summary)
+    }
+
+
 def _cmd_top(args) -> int:
     import json as _json
     import time
@@ -740,7 +774,8 @@ def _cmd_top(args) -> int:
         num_shards=args.shards,
         shard_mode=args.shard_mode,
         engine=EngineConfig(
-            max_groups=args.max_groups, enforce_cache=args.cache
+            max_groups=args.max_groups, enforce_cache=args.cache,
+            lookup_backend=args.lookup_backend,
         ),
     )
     obs = Observability.create(
@@ -759,6 +794,7 @@ def _cmd_top(args) -> int:
                     latencies=snapshot.latencies,
                     k=args.k,
                     rules=classifier.rules,
+                    backends=_backend_heat_map(service),
                 )
                 # \x1b[H\x1b[J = cursor home + clear: cheap live refresh.
                 sys.stdout.write("\x1b[H\x1b[J" + frame + "\n")
@@ -769,6 +805,9 @@ def _cmd_top(args) -> int:
         if args.heat_out:
             obs.heat.to_json(args.heat_out)
         if args.json:
+            backends = service.backend_summary()
+            if backends is not None:
+                report = dict(report, lookup_backends=backends)
             print(_json.dumps(report, indent=2))
         else:
             if live:
@@ -779,6 +818,7 @@ def _cmd_top(args) -> int:
                 latencies=snapshot.latencies,
                 k=args.k,
                 rules=classifier.rules,
+                backends=_backend_heat_map(service),
             ))
             print(f"\nreplayed {len(trace)} packets in {elapsed:.2f}s "
                   f"({rate:,.0f} pkt/s), heat sample period "

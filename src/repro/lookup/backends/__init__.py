@@ -1,0 +1,77 @@
+"""Pluggable lookup backends for the per-group probe structures.
+
+SAX-PAC reduces classification to one range lookup per order-independent
+group, but *which* data structure should serve that lookup depends on the
+group: its size, its field count, and — following "Self-Adjusting Packet
+Classification" (arXiv 2109.15090) — the live traffic it absorbs.  This
+package turns the previously hard-wired structure choice in
+:func:`~repro.lookup.group_engine.build_group_index` into a registry of
+:class:`LookupBackend` strategies:
+
+``interval``
+    Sorted-array binary search over pairwise-disjoint intervals
+    (:class:`~repro.lookup.interval_map.DisjointIntervalMap`) — the
+    classic single-field structure.
+``segment``
+    The two-field segment-tree index (plain or fractionally cascaded).
+``linear``
+    Vectorized scan over the group members on the group fields — best
+    for tiny groups, and the only option past two fields.
+``learned``
+    A NuevoMatch-style learned range index (arXiv 2002.07584): a small
+    monotone piecewise-linear model, trained at build time on the sorted
+    interval bounds of one provably-disjoint group field, predicts a
+    candidate slot; a guaranteed error window plus fallback to the
+    wrapped exact structure keeps results decision-identical to the
+    classic structures (see :mod:`.learned`).
+``auto``
+    Not a backend but a per-group policy: :func:`~.selector
+    .select_backend` picks one of the above from group size, field
+    count and (when a :class:`~repro.obs.heat.HeatProfiler` report is
+    available) per-group heat.  Incremental rebuilds re-run the policy,
+    so the choice tracks traffic drift.
+
+A backend **builds** :class:`~repro.lookup.group_engine.GroupIndex`
+instances; the built index serves batched lookups through
+``probe_batch`` (the engine-facing ``lookup_batch``) and reports its
+memory footprint and build cost through
+:meth:`~repro.lookup.group_engine.GroupIndex.backend_report`.
+
+The registry (:func:`register_backend`) is the extension seam for later
+work — shared-memory resident structures and per-tenant backends plug in
+without touching the engine.
+"""
+
+from .adapters import (
+    IntervalBackend,
+    LinearBackend,
+    SegmentBackend,
+    structural_backend_name,
+)
+from .learned import LearnedBackend, LearnedGroupIndex, PiecewiseLinearModel
+from .registry import (
+    AUTO_BACKEND,
+    LookupBackend,
+    backend_names,
+    build_with_backend,
+    get_backend,
+    register_backend,
+)
+from .selector import select_backend
+
+__all__ = [
+    "AUTO_BACKEND",
+    "IntervalBackend",
+    "LearnedBackend",
+    "LearnedGroupIndex",
+    "LinearBackend",
+    "LookupBackend",
+    "PiecewiseLinearModel",
+    "SegmentBackend",
+    "backend_names",
+    "build_with_backend",
+    "get_backend",
+    "register_backend",
+    "select_backend",
+    "structural_backend_name",
+]

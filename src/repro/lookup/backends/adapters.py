@@ -1,0 +1,82 @@
+"""Adapters exposing the classic probe structures as lookup backends.
+
+Each adapter wraps one of the pre-registry structures — the disjoint
+interval map, the two-field segment tree (plain or cascaded) and the
+vectorized linear scan — behind the :class:`~.registry.LookupBackend`
+interface, preserving exactly the structures (and therefore the
+decisions and complexities) the engine used before backends existed.
+"""
+
+from __future__ import annotations
+
+from ...analysis.mgr import Group
+from ...core.classifier import Classifier
+from .registry import LookupBackend, register_backend
+
+__all__ = [
+    "IntervalBackend",
+    "LinearBackend",
+    "SegmentBackend",
+    "structural_backend_name",
+]
+
+
+def structural_backend_name(group: Group) -> str:
+    """The pre-registry structural default for a group's field count:
+    interval map (1 field), segment tree (2), linear scan (more)."""
+    if len(group.fields) == 1:
+        return "interval"
+    if len(group.fields) == 2:
+        return "segment"
+    return "linear"
+
+
+class IntervalBackend(LookupBackend):
+    """Binary search over pairwise-disjoint intervals — single-field
+    groups only (O(log N) probes, linear memory)."""
+
+    name = "interval"
+
+    def supports(self, classifier: Classifier, group: Group) -> bool:
+        return len(group.fields) == 1
+
+    def build(self, classifier, group, *, cascading=False):
+        from ..group_engine import _OneFieldIndex
+
+        return _OneFieldIndex(classifier, group)
+
+
+class SegmentBackend(LookupBackend):
+    """Segment tree over field a with per-node disjoint maps on field b
+    — two-field groups only (O(log^2 N), or O(log N) cascaded)."""
+
+    name = "segment"
+
+    def supports(self, classifier: Classifier, group: Group) -> bool:
+        return len(group.fields) == 2
+
+    def build(self, classifier, group, *, cascading=False):
+        from ..group_engine import _TwoFieldGroupIndex
+
+        return _TwoFieldGroupIndex(classifier, group, cascading)
+
+
+class LinearBackend(LookupBackend):
+    """Vectorized containment scan over the group members — any field
+    count; O(N) per probe but with the smallest constants and zero build
+    cost, which wins for tiny groups."""
+
+    name = "linear"
+
+    def supports(self, classifier: Classifier, group: Group) -> bool:
+        return True
+
+    def build(self, classifier, group, *, cascading=False):
+        from ..group_engine import LinearGroupIndex
+
+        return LinearGroupIndex(classifier, group)
+
+
+register_backend(IntervalBackend())
+register_backend(SegmentBackend())
+register_backend(LinearBackend())

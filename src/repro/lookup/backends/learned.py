@@ -1,0 +1,342 @@
+"""The learned range-index backend (NuevoMatch-style, numpy-only).
+
+"A Computational Approach to Packet Classification" (arXiv 2002.07584)
+replaces classic range structures with RQ-RMI models: a learned function
+predicts *where* in a sorted array a query lands, and a bounded
+secondary search makes the answer exact.  Our order-independent groups
+are precisely the setting where that works: a group is pairwise disjoint
+on the combination of its fields, and very often on one field alone —
+the member intervals on that field then sort into a strictly increasing
+sequence, and "which member contains value v" becomes "predict the rank
+of v", the textbook learned-index query.
+
+:class:`PiecewiseLinearModel` is the model: a tiny monotone
+piecewise-linear interpolation (a handful of breakpoints, evaluated with
+one vectorized ``np.interp``) from key to expected slot.  Because both
+the model and the true rank function are monotone, evaluating the error
+at every member's interval endpoints bounds the error *everywhere a
+contained query can land* — so a window of ``ceil(max error)`` slots
+around the prediction provably contains the answer.
+
+:class:`LearnedGroupIndex` wraps the model with the exactness ladder:
+
+1. probe the predicted slot (and its guaranteed window) with a
+   vectorized containment test;
+2. if the window is guaranteed (small max error) a window miss *is* a
+   true miss — no further work;
+3. otherwise fall back to the wrapped exact structure — a binary search
+   over the same sorted bounds, i.e. exactly what the ``interval``
+   backend would have done — and count a **mispredict**.
+
+Decisions are therefore byte-identical to the classic structures by
+construction; the model only ever changes *where the time goes*, which
+is what the mispredict counters and the per-backend benchmark ablation
+measure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ...analysis.mgr import Group
+from ...core.classifier import Classifier
+from ..group_engine import GroupIndex
+from .registry import LookupBackend, register_backend
+
+__all__ = ["LearnedBackend", "LearnedGroupIndex", "PiecewiseLinearModel"]
+
+#: Default number of linear segments in the model.
+MODEL_SEGMENTS = 8
+
+#: Error windows up to this half-width keep the guaranteed vectorized
+#: window probe; beyond it, window misses fall back to binary search.
+MAX_GUARANTEED_WINDOW = 8
+
+
+class PiecewiseLinearModel:
+    """Monotone piecewise-linear map from sorted keys to slot positions.
+
+    Trained on ``keys`` (strictly increasing int array, slot ``i`` holds
+    ``keys[i]``): breakpoints sit at evenly spaced ranks, prediction is
+    one ``np.interp`` — O(log segments) per query, independent of the
+    group size.  ``max_error`` is the *proven* bound: the largest
+    |prediction - true slot| over every interval endpoint, which (both
+    functions being monotone) bounds the error at every query value that
+    any member interval contains.
+    """
+
+    __slots__ = ("xs", "ys", "max_error")
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        highs: np.ndarray,
+        segments: int = MODEL_SEGMENTS,
+    ) -> None:
+        keys = np.asarray(keys, dtype=np.float64)
+        n = keys.shape[0]
+        if n == 0:
+            raise ValueError("cannot train on an empty key set")
+        anchors = np.unique(
+            np.linspace(0, n - 1, min(segments + 1, n)).astype(np.int64)
+        )
+        xs, first = np.unique(keys[anchors], return_index=True)
+        self.xs = xs
+        self.ys = anchors[first].astype(np.float64)
+        positions = np.arange(n, dtype=np.float64)
+        # Contained queries extremize the (monotone) model over each
+        # member's [low, high]; evaluating both endpoints bounds all.
+        endpoint_error = np.maximum(
+            np.abs(self.predict(keys) - positions),
+            np.abs(self.predict(np.asarray(highs, dtype=np.float64))
+                   - positions),
+        )
+        self.max_error = float(endpoint_error.max()) if n else 0.0
+
+    def predict(self, values: np.ndarray) -> np.ndarray:
+        """Predicted (fractional) slot for each value."""
+        return np.interp(values, self.xs, self.ys)
+
+    @property
+    def num_breakpoints(self) -> int:
+        return int(self.xs.shape[0])
+
+
+def _disjoint_field(
+    classifier: Classifier, group: Group
+) -> Optional[int]:
+    """A group field whose member intervals are pairwise disjoint, or
+    None.  Order-independence guarantees disjointness on the field
+    *combination*; single-field groups are disjoint by definition, and
+    real multi-field groups very often have one separating field too."""
+    lows, highs = classifier.bounds_arrays()
+    members = np.asarray(group.rule_indices, dtype=np.int64)
+    for f in group.fields:
+        lo = lows[members, f]
+        hi = highs[members, f]
+        order = np.argsort(lo, kind="stable")
+        if lo[order][1:].size == 0 or np.all(
+            lo[order][1:] > hi[order][:-1]
+        ):
+            return f
+    return None
+
+
+class LearnedGroupIndex(GroupIndex):
+    """Learned range index over one disjoint group field, with the
+    guaranteed-window / exact-fallback ladder described in the module
+    docstring."""
+
+    def __init__(
+        self,
+        classifier: Classifier,
+        group: Group,
+        segments: int = MODEL_SEGMENTS,
+    ) -> None:
+        self.fields = group.fields
+        self.rule_ids = np.asarray(group.rule_indices, dtype=np.int64)
+        field = _disjoint_field(classifier, group)
+        if field is None:
+            raise ValueError(
+                "learned backend needs a pairwise-disjoint group field"
+            )
+        self._field = field
+        lows, highs = classifier.bounds_arrays()
+        members = np.asarray(group.rule_indices, dtype=np.int64)
+        order = np.argsort(lows[members, field], kind="stable")
+        #: slot (sorted position) -> position in ``rule_ids``.
+        self._slots = order.astype(np.int64)
+        cols = list(self.fields)
+        #: Per-sorted-slot bounds on *all* group fields, so the window
+        #: containment test yields a full group-field match directly.
+        self._glo = lows[members[order]][:, cols]
+        self._ghi = highs[members[order]][:, cols]
+        j = cols.index(field)
+        self._key_lo = np.ascontiguousarray(self._glo[:, j])
+        self._key_hi = np.ascontiguousarray(self._ghi[:, j])
+        self.model = PiecewiseLinearModel(
+            self._key_lo, self._key_hi, segments
+        )
+        self.window = int(np.ceil(self.model.max_error))
+        #: True when a window miss proves a true miss (no fallback ever).
+        self.guaranteed = self.window <= MAX_GUARANTEED_WINDOW
+        if not self.guaranteed:
+            self.window = 1
+        self._offsets = np.arange(-self.window, self.window + 1)
+        #: Cumulative counters (survive snapshots; see backend_stats).
+        self.stats: Dict[str, int] = {
+            "model_probes": 0,
+            "center_hits": 0,
+            "window_hits": 0,
+            "fallbacks": 0,
+            "mispredicts": 0,
+        }
+        #: Per-batch deltas drained by the engine into telemetry.
+        self._pending: Dict[str, int] = {}
+
+    # -- bookkeeping ---------------------------------------------------
+    def _count(self, **events: int) -> None:
+        stats = self.stats
+        pending = self._pending
+        for key, value in events.items():
+            if value:
+                stats[key] += value
+                pending[key] = pending.get(key, 0) + value
+
+    def drain_backend_events(self) -> Dict[str, int]:
+        """Event deltas since the last drain (the telemetry feed)."""
+        out, self._pending = self._pending, {}
+        return out
+
+    def backend_stats(self) -> Dict[str, object]:
+        """Cumulative model statistics for reports and ``/snapshot``."""
+        probes = self.stats["model_probes"]
+        mispredicts = self.stats["mispredicts"]
+        return {
+            "model_probes": probes,
+            "mispredicts": mispredicts,
+            "mispredict_rate": mispredicts / probes if probes else 0.0,
+            "fallbacks": self.stats["fallbacks"],
+            "window": self.window,
+            "guaranteed": self.guaranteed,
+            "max_error": self.model.max_error,
+            "learned_field": self._field,
+        }
+
+    def memory_items(self) -> int:
+        """Stored scalars: per-slot bounds + model breakpoints."""
+        return int(self._glo.size + self._ghi.size
+                   + 2 * self.model.num_breakpoints)
+
+    def _on_reindexed(self) -> None:
+        """Tombstone views get their own counters: the serving engine's
+        mispredict history must not leak into (or be mutated by) the
+        rebuilt engine sharing the model arrays."""
+        self.stats = dict(self.stats)
+        self._pending = {}
+
+    # -- lookup --------------------------------------------------------
+    def _verify_slots(
+        self, rows: np.ndarray, slots: np.ndarray, harr_rows: np.ndarray
+    ) -> np.ndarray:
+        """Full group-field containment for (row, slot) pairs."""
+        lo = self._glo[slots]
+        hi = self._ghi[slots]
+        return ((lo <= harr_rows) & (harr_rows <= hi)).all(axis=1)
+
+    def probe(self, header: Sequence[int]) -> Optional[int]:
+        value = int(header[self._field])
+        center = int(np.rint(
+            self.model.predict(np.float64(value))
+        ))
+        n = self._key_lo.shape[0]
+        center = min(max(center, 0), n - 1)
+        slot = -1
+        offset_used = 0
+        for offset in range(-self.window, self.window + 1):
+            pos = center + offset
+            if 0 <= pos < n and (
+                self._key_lo[pos] <= value <= self._key_hi[pos]
+            ):
+                slot = pos
+                offset_used = offset
+                break
+        fallback = 0
+        if slot < 0 and not self.guaranteed:
+            pos = int(np.searchsorted(self._key_lo, value, side="right")) - 1
+            fallback = 1
+            if pos >= 0 and value <= self._key_hi[pos]:
+                slot = pos
+        self._count(
+            model_probes=1,
+            center_hits=1 if slot >= 0 and offset_used == 0 and not fallback
+            else 0,
+            window_hits=1 if slot >= 0 and offset_used != 0 else 0,
+            fallbacks=fallback,
+            mispredicts=1 if (slot >= 0 and offset_used != 0) or fallback
+            else 0,
+        )
+        if slot < 0:
+            return None
+        values = np.asarray(
+            [header[f] for f in self.fields], dtype=np.int64
+        )
+        if not ((self._glo[slot] <= values) & (values <= self._ghi[slot])
+                ).all():
+            return None
+        return self._translate(int(self._slots[slot]))
+
+    def probe_batch(
+        self, headers: Sequence[Sequence[int]], harr: np.ndarray
+    ) -> np.ndarray:
+        n_slots = self._key_lo.shape[0]
+        b = len(headers)
+        out = np.full(b, -1, dtype=np.int64)
+        if b == 0 or n_slots == 0:
+            return out
+        values = harr[:, self._field]
+        pred = self.model.predict(values.astype(np.float64))
+        center = np.clip(
+            np.rint(pred).astype(np.int64), 0, n_slots - 1
+        )
+        # One (B, 2w+1) containment pass over the key field.
+        positions = np.clip(center[:, None] + self._offsets, 0, n_slots - 1)
+        inside = (self._key_lo[positions] <= values[:, None]) & (
+            values[:, None] <= self._key_hi[positions]
+        )
+        found = inside.any(axis=1)
+        # Disjoint key intervals: at most one window column can match.
+        col = inside.argmax(axis=1)
+        slot = positions[np.arange(b), col]
+        center_hits = int(
+            (found & (slot == center)).sum()
+        )
+        window_hits = int(found.sum()) - center_hits
+        fallbacks = 0
+        if not self.guaranteed:
+            missing = np.nonzero(~found)[0]
+            if missing.size:
+                fallbacks = int(missing.size)
+                pos = np.searchsorted(
+                    self._key_lo, values[missing], side="right"
+                ) - 1
+                ok = pos >= 0
+                pos_clip = np.where(ok, pos, 0)
+                ok &= values[missing] <= self._key_hi[pos_clip]
+                slot[missing[ok]] = pos_clip[ok]
+                found[missing[ok]] = True
+        self._count(
+            model_probes=b,
+            center_hits=center_hits,
+            window_hits=window_hits,
+            fallbacks=fallbacks,
+            mispredicts=window_hits + fallbacks,
+        )
+        rows = np.nonzero(found)[0]
+        if rows.size:
+            group_cols = harr[rows][:, list(self.fields)]
+            ok = self._verify_slots(rows, slot[rows], group_cols)
+            hit_rows = rows[ok]
+            result = self.rule_ids[self._slots[slot[hit_rows]]]
+            out[hit_rows] = np.where(result >= 0, result, np.int64(-1))
+        return out
+
+
+class LearnedBackend(LookupBackend):
+    """Registry adapter for :class:`LearnedGroupIndex`."""
+
+    name = "learned"
+
+    def supports(self, classifier: Classifier, group: Group) -> bool:
+        return (
+            group.size >= 1
+            and _disjoint_field(classifier, group) is not None
+        )
+
+    def build(self, classifier, group, *, cascading=False):
+        return LearnedGroupIndex(classifier, group)
+
+
+register_backend(LearnedBackend())

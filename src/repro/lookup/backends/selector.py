@@ -1,0 +1,100 @@
+"""Heat-driven per-group backend selection (the ``auto`` policy).
+
+"Self-Adjusting Packet Classification" (arXiv 2109.15090) shows the
+winning structure depends on live traffic, not just static shape — so
+``auto`` folds three signals into a per-group pick:
+
+* **size** — tiny groups are fastest under the vectorized linear scan
+  (no pointer chasing, no build cost); structures only pay off past
+  :data:`LINEAR_CUTOVER` members;
+* **field count** — one field admits the interval map, two the segment
+  tree, more only the scan; the learned index additionally needs one
+  provably-disjoint field (checked via the learned backend's
+  ``supports``);
+* **heat** — when a :class:`~repro.obs.heat.HeatProfiler` report is
+  available (e.g. at incremental-rebuild time), a group that produced
+  zero candidates over many probes is *cold*: every probe is a miss, a
+  model cannot beat the classic structure there, and the pick demotes
+  to the structural default.  Hot (or unprofiled) groups of at least
+  :data:`LEARNED_MIN_SIZE` members get the learned index.
+
+The policy is deterministic given (classifier, group, heat), so two
+builds of the same state pick the same backends — which keeps engine
+reports and the benchmark baselines reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ...analysis.mgr import Group
+from ...core.classifier import Classifier
+from .adapters import structural_backend_name
+from .registry import get_backend
+
+__all__ = [
+    "LEARNED_MIN_SIZE",
+    "LINEAR_CUTOVER",
+    "group_heat_key",
+    "select_backend",
+]
+
+#: Below this many members, the vectorized linear scan wins.
+LINEAR_CUTOVER = 16
+
+#: Minimum group size before training a learned model pays off.
+LEARNED_MIN_SIZE = 64
+
+#: A profiled group is "cold" past this many probes with no candidate.
+COLD_PROBES = 1000
+
+
+def group_heat_key(position: int, group: Group) -> str:
+    """The :class:`~repro.obs.heat.HeatProfiler` key the engine records
+    this group under (position + field subset)."""
+    fields = ",".join(str(f) for f in group.fields)
+    return f"g{position}[{fields}]"
+
+
+def _is_cold(
+    heat: Optional[Mapping[str, object]],
+    position: Optional[int],
+    group: Group,
+) -> bool:
+    """True when profiling shows the group absorbs no traffic."""
+    if not heat or position is None:
+        return False
+    entry = heat.get(group_heat_key(position, group))
+    if entry is None:
+        return False
+    if isinstance(entry, Mapping):
+        probes = int(entry.get("probes", 0))
+        candidates = int(entry.get("candidates", 0))
+    else:  # a GroupHeat dataclass
+        probes = int(getattr(entry, "probes", 0))
+        candidates = int(getattr(entry, "candidates", 0))
+    return probes >= COLD_PROBES and candidates == 0
+
+
+def select_backend(
+    classifier: Classifier,
+    group: Group,
+    *,
+    heat: Optional[Mapping[str, object]] = None,
+    position: Optional[int] = None,
+) -> str:
+    """Pick a backend name for ``group``.
+
+    ``heat`` is the ``groups`` mapping of a heat report (keyed by
+    :func:`group_heat_key`); ``position`` is the group's slot in the
+    engine.  Both are optional — without them the pick is purely
+    structural (size + field count).
+    """
+    if group.size < LINEAR_CUTOVER:
+        return "linear"
+    if group.size >= LEARNED_MIN_SIZE and not _is_cold(
+        heat, position, group
+    ):
+        if get_backend("learned").supports(classifier, group):
+            return "learned"
+    return structural_backend_name(group)

@@ -7,10 +7,12 @@ candidate is checked on all remaining fields to rule out a false positive
 (Theorem 2).  The highest-priority surviving candidate wins; the catch-all
 backstops everything.
 
-Group probes use the data structure matching the group's field count:
-binary search over disjoint intervals (1 field), the segment-tree two-field
-index (2 fields), or a linear scan fallback (> 2 fields, where the paper
-offers no sub-linear bound either).
+Group probes use a pluggable lookup backend per group
+(:mod:`repro.lookup.backends`): binary search over disjoint intervals,
+the segment-tree two-field index, a vectorized linear scan, or the
+learned range index — picked explicitly or by the heat-driven ``auto``
+policy (:func:`~repro.lookup.backends.select_backend`).  Every backend
+is decision-identical; only the time/memory profile differs.
 
 The ``shadow`` mechanism implements the Section 7.2 insertion trick
 (Example 10): a freshly inserted rule that would need more fields/groups
@@ -56,6 +58,16 @@ class GroupIndex:
     fields: Tuple[int, ...]
     #: slot -> classifier rule index; -1 marks a tombstoned (removed) slot.
     rule_ids: np.ndarray
+    #: Which registered lookup backend built this index (stamped by
+    #: :func:`repro.lookup.backends.build_with_backend`).
+    backend: str = "custom"
+    #: What the caller asked for (``auto`` or a forced name).
+    backend_requested: str = "custom"
+    #: True when the requested backend could not serve this group and
+    #: the structural default was used instead.
+    backend_fallback: bool = False
+    #: Wall-clock seconds spent constructing this index.
+    build_seconds: float = 0.0
 
     def probe(self, header: Sequence[int]) -> Optional[int]:
         """Candidate rule index matching on the group fields, or None."""
@@ -78,18 +90,63 @@ class GroupIndex:
 
     def reindexed(self, rule_ids: Sequence[int]) -> "GroupIndex":
         """Shallow copy sharing the lookup structure, with slots relabeled
-        by ``rule_ids`` (length = slot count; -1 tombstones a slot)."""
+        by ``rule_ids`` (length = slot count; -1 tombstones a slot).
+
+        The clone carries its backend identity but gets *private* mutable
+        backend state (via :meth:`_on_reindexed`) — counters and pending
+        telemetry must not be shared between the serving engine and a
+        tombstone view, or rebuilds would double-count (and a retired
+        engine could mutate its successor's stats).
+        """
         clone = copy.copy(self)
         clone.rule_ids = np.asarray(rule_ids, dtype=np.int64)
         if clone.rule_ids.shape != self.rule_ids.shape:
             raise ValueError(
                 f"rule_ids must cover all {self.rule_ids.shape[0]} slots"
             )
+        clone._on_reindexed()
         return clone
+
+    def _on_reindexed(self) -> None:
+        """Hook for subclasses holding mutable backend state: give the
+        reindexed clone its own copies.  Default: nothing to carry."""
 
     def __len__(self) -> int:
         """Live (non-tombstoned) rules in the group."""
         return int((self.rule_ids >= 0).sum())
+
+    # -- backend accounting (see repro.lookup.backends) ----------------
+    def memory_items(self) -> int:
+        """Stored scalars — the memory half of the backend report."""
+        return int(self.rule_ids.size)
+
+    def backend_stats(self) -> Dict[str, object]:
+        """Backend-specific cumulative statistics (learned mispredict
+        rates etc.); empty for stateless structures."""
+        return {}
+
+    def drain_backend_events(self) -> Dict[str, int]:
+        """Event deltas since the last drain, for telemetry counters;
+        empty for stateless structures."""
+        return {}
+
+    def backend_report(self) -> Dict[str, object]:
+        """Memory + build-cost summary of this index (the report half of
+        the :class:`~repro.lookup.backends.LookupBackend` protocol)."""
+        report: Dict[str, object] = {
+            "backend": self.backend,
+            "requested": self.backend_requested,
+            "fallback": self.backend_fallback,
+            "fields": list(self.fields),
+            "slots": int(self.rule_ids.size),
+            "live": len(self),
+            "memory_items": self.memory_items(),
+            "build_seconds": self.build_seconds,
+        }
+        stats = self.backend_stats()
+        if stats:
+            report["stats"] = stats
+        return report
 
     def _translate(self, slot: Optional[int]) -> Optional[int]:
         if slot is None:
@@ -99,6 +156,8 @@ class GroupIndex:
 
 
 class _OneFieldIndex(GroupIndex):
+    backend = "interval"
+
     def __init__(self, classifier: Classifier, group: Group) -> None:
         self.fields = group.fields
         self.rule_ids = np.asarray(group.rule_indices, dtype=np.int64)
@@ -111,6 +170,9 @@ class _OneFieldIndex(GroupIndex):
 
     def probe(self, header: Sequence[int]) -> Optional[int]:
         return self._translate(self._map.lookup(header[self._field]))
+
+    def memory_items(self) -> int:
+        return 2 * len(self._map) + int(self.rule_ids.size)
 
     def probe_batch(
         self, headers: Sequence[Sequence[int]], harr: np.ndarray
@@ -131,6 +193,8 @@ class _OneFieldIndex(GroupIndex):
 
 
 class _TwoFieldGroupIndex(GroupIndex):
+    backend = "segment"
+
     def __init__(
         self, classifier: Classifier, group: Group, cascading: bool = False
     ) -> None:
@@ -151,6 +215,10 @@ class _TwoFieldGroupIndex(GroupIndex):
 
     def probe(self, header: Sequence[int]) -> Optional[int]:
         return self._translate(self._index.lookup(header[self._a], header[self._b]))
+
+    def memory_items(self) -> int:
+        slots = self._index.memory_slots
+        return int(slots) + int(self.rule_ids.size)
 
     def probe_batch(
         self, headers: Sequence[Sequence[int]], harr: np.ndarray
@@ -173,6 +241,8 @@ class LinearGroupIndex(GroupIndex):
     matching only the group fields.  Order-independence on those fields
     still guarantees at most one hit."""
 
+    backend = "linear"
+
     def __init__(self, classifier: Classifier, group: Group) -> None:
         self.fields = group.fields
         self.rule_ids = np.asarray(group.rule_indices, dtype=np.int64)
@@ -184,6 +254,11 @@ class LinearGroupIndex(GroupIndex):
             for slot, idx in enumerate(group.rule_indices)
         ]
         self._bounds: Optional[Tuple[np.ndarray, ...]] = None
+
+    def memory_items(self) -> int:
+        return 2 * len(self._members) * len(self.fields) + int(
+            self.rule_ids.size
+        )
 
     def probe(self, header: Sequence[int]) -> Optional[int]:
         """Linear scan over members, matching only the group fields."""
@@ -220,16 +295,32 @@ class LinearGroupIndex(GroupIndex):
 
 
 def build_group_index(
-    classifier: Classifier, group: Group, cascading: bool = False
+    classifier: Classifier,
+    group: Group,
+    cascading: bool = False,
+    backend: str = "structural",
+    heat: Optional[Dict[str, object]] = None,
+    position: Optional[int] = None,
 ) -> GroupIndex:
-    """Pick the right structure for a group's field count.  ``cascading``
-    selects the fractionally-cascaded two-field variant (O(log N) instead
-    of O(log^2 N) per probe)."""
-    if len(group.fields) == 1:
-        return _OneFieldIndex(classifier, group)
-    if len(group.fields) == 2:
-        return _TwoFieldGroupIndex(classifier, group, cascading)
-    return LinearGroupIndex(classifier, group)
+    """Build a group's lookup structure through the backend registry.
+
+    ``backend`` is a registered backend name, ``auto`` (the heat-driven
+    selector) or ``structural`` — the historical field-count dispatch:
+    interval map (1 field), segment tree (2, with ``cascading`` picking
+    the fractionally-cascaded variant), linear scan otherwise.
+    """
+    from .backends import build_with_backend, structural_backend_name
+
+    if backend == "structural":
+        backend = structural_backend_name(group)
+    return build_with_backend(
+        classifier,
+        group,
+        backend,
+        cascading=cascading,
+        heat=heat,
+        position=position,
+    )
 
 
 @dataclass
@@ -260,15 +351,24 @@ class MultiGroupEngine:
         cascading: bool = False,
         recorder=None,
         prebuilt: Optional[Sequence[GroupIndex]] = None,
+        backend: str = "auto",
+        heat: Optional[Dict[str, object]] = None,
     ) -> None:
         self.classifier = classifier
+        #: Backend spec the engine was built with (``auto`` or a forced
+        #: name) — rebuilds re-resolve it against fresh group shapes.
+        self.backend_spec = backend
         if prebuilt is not None:
             # Incremental rebuilds hand over already-constructed (possibly
             # reindexed / tombstoned) group indexes; ``groups`` is ignored.
             self.groups = list(prebuilt)
         else:
             self.groups = [
-                build_group_index(classifier, g, cascading) for g in groups
+                build_group_index(
+                    classifier, g, cascading,
+                    backend=backend, heat=heat, position=i,
+                )
+                for i, g in enumerate(groups)
             ]
         self.shadow: Dict[int, Tuple[int, ...]] = dict(shadow or {})
         self.stats = EngineStats()
@@ -285,6 +385,11 @@ class MultiGroupEngine:
     def num_rules(self) -> int:
         """Total rules held across all group indexes."""
         return sum(len(g) for g in self.groups)
+
+    def backend_summary(self) -> List[Dict[str, object]]:
+        """Per-group backend reports (name, fallback, memory, build cost,
+        backend-specific stats), in group order."""
+        return [g.backend_report() for g in self.groups]
 
     @property
     def shadow_load(self) -> int:
@@ -381,6 +486,25 @@ class MultiGroupEngine:
                     recorder.incr("groups.fp_checks", candidates)
                 if fp_failures:
                     recorder.incr("groups.fp_failures", fp_failures)
+                recorder.incr(f"lookup.backend.{group.backend}.probes", n)
+                if candidates:
+                    recorder.incr(
+                        f"lookup.backend.{group.backend}.candidates",
+                        candidates,
+                    )
+                events = group.drain_backend_events()
+                if events:
+                    for name, value in events.items():
+                        recorder.incr(
+                            f"lookup.backend.{group.backend}.{name}",
+                            value,
+                        )
+                    probes = events.get("model_probes", 0)
+                    if probes:
+                        recorder.observe(
+                            "lookup.learned.mispredict_rate",
+                            events.get("mispredicts", 0) / probes,
+                        )
                 if heat is not None:
                     heat.record_group(
                         self._group_keys[gi],

@@ -75,8 +75,10 @@ class MetricsServer:
     :class:`~repro.runtime.telemetry.TelemetrySnapshot` per request;
     ``health_source`` returns ``(healthy, payload_dict)``;
     ``gauges_source`` returns extra point-in-time gauges for ``/metrics``
-    and ``/snapshot``.  All three are called on the serving thread, so
-    they must be thread-safe (telemetry snapshots are).
+    and ``/snapshot``; ``info_source`` returns arbitrary JSON-serializable
+    structure merged into ``/snapshot`` (non-numeric detail such as the
+    per-group lookup-backend reports).  All are called on the serving
+    thread, so they must be thread-safe (telemetry snapshots are).
     """
 
     def __init__(
@@ -86,10 +88,12 @@ class MetricsServer:
         port: int = 0,
         health_source: Optional[Callable[[], tuple]] = None,
         gauges_source: Optional[Callable[[], Mapping[str, float]]] = None,
+        info_source: Optional[Callable[[], Mapping[str, object]]] = None,
     ) -> None:
         self._snapshot_source = snapshot_source
         self._health_source = health_source
         self._gauges_source = gauges_source
+        self._info_source = info_source
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.owner = self  # type: ignore[attr-defined]
@@ -132,6 +136,8 @@ class MetricsServer:
         }
         if self._gauges_source is not None:
             payload["gauges"] = dict(self._gauges_source())
+        if self._info_source is not None:
+            payload.update(dict(self._info_source()))
         return payload
 
     # -- lifecycle -----------------------------------------------------

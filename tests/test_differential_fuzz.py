@@ -12,7 +12,9 @@ Three axes of coverage:
 * random small classifiers with arbitrary overlap (hypothesis-built);
 * ClassBench-style acl/fw/ipc classifiers from the workload generator;
 * engines that have been through :meth:`SaxPacEngine.rebuild` (the
-  incremental path the hot-swap runtime exercises).
+  incremental path the hot-swap runtime exercises);
+* every registered lookup backend, forced engine-wide — including after
+  a rebuild — since backends promise byte-identical decisions.
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.classifier import Classifier
+from repro.saxpac.config import EngineConfig
 from repro.saxpac.engine import SaxPacEngine
 from repro.workloads.generator import generate_classifier
 from strategies import classifiers, corner_headers_for
@@ -34,6 +37,8 @@ _SETTINGS = settings(
 _HEADERS_PER_EXAMPLE = 12
 
 STYLES = ("acl", "fw", "ipc")
+
+BACKENDS = ("auto", "interval", "segment", "linear", "learned")
 
 
 def _assert_agrees(engine, reference: Classifier, headers) -> None:
@@ -81,6 +86,49 @@ class TestClassBenchStyles:
     @_SETTINGS
     def test_corner_points_agree(self, styled_engine, data):
         classifier, engine = styled_engine
+        headers = [
+            data.draw(corner_headers_for(classifier))
+            for _ in range(_HEADERS_PER_EXAMPLE)
+        ]
+        _assert_agrees(engine, classifier, headers)
+
+
+@pytest.fixture(scope="module", params=BACKENDS)
+def backend_engine(request):
+    """An engine with one lookup backend forced on every group."""
+    classifier = generate_classifier("acl", 120, seed=211)
+    config = EngineConfig(lookup_backend=request.param)
+    return classifier, SaxPacEngine(classifier, config)
+
+
+@pytest.fixture(scope="module", params=BACKENDS)
+def backend_rebuilt_engine(request):
+    """Per-backend engine that went through the incremental rebuild
+    path (reindexed/tombstoned group views + delta groups)."""
+    classifier = generate_classifier("fw", 120, seed=223)
+    truncated = Classifier(classifier.schema, classifier.body[:80])
+    config = EngineConfig(lookup_backend=request.param)
+    engine = SaxPacEngine(truncated, config).rebuild(classifier)
+    return classifier, engine
+
+
+class TestPerBackend:
+    @given(st.data())
+    @_SETTINGS
+    def test_corner_points_agree(self, backend_engine, data):
+        classifier, engine = backend_engine
+        headers = [
+            data.draw(corner_headers_for(classifier))
+            for _ in range(_HEADERS_PER_EXAMPLE)
+        ]
+        _assert_agrees(engine, classifier, headers)
+
+    @given(st.data())
+    @_SETTINGS
+    def test_corner_points_agree_after_rebuild(
+        self, backend_rebuilt_engine, data
+    ):
+        classifier, engine = backend_rebuilt_engine
         headers = [
             data.draw(corner_headers_for(classifier))
             for _ in range(_HEADERS_PER_EXAMPLE)

@@ -1,0 +1,438 @@
+"""The pluggable lookup-backend subsystem: registry, selector, learned
+index, and the decision-identity contract.
+
+The load-bearing property: every backend — forced or auto-picked,
+freshly built or carried through an incremental rebuild — returns
+byte-identical decisions to the linear reference scan.  The learned
+backend additionally proves its window bound (a mispredict can cost
+time, never correctness), and reindexed tombstone views must carry
+private backend state so serving engines and rebuilt clones never share
+counters or a stale model silently.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.mgr import Group
+from repro.core import Classifier, make_rule, uniform_schema
+from repro.core.packet import headers_array
+from repro.lookup.backends import (
+    LookupBackend,
+    backend_names,
+    build_with_backend,
+    get_backend,
+    register_backend,
+    select_backend,
+    structural_backend_name,
+)
+from repro.lookup.backends.learned import (
+    LearnedGroupIndex,
+    PiecewiseLinearModel,
+    _disjoint_field,
+)
+from repro.lookup.backends.selector import (
+    COLD_PROBES,
+    LEARNED_MIN_SIZE,
+    LINEAR_CUTOVER,
+    group_heat_key,
+)
+from repro.lookup.group_engine import LinearGroupIndex
+from repro.runtime.batch import linear_match_batch
+from repro.saxpac.config import EngineConfig
+from repro.saxpac.engine import SaxPacEngine
+from strategies import classifiers, corner_headers_for
+
+_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+BACKENDS = ("interval", "segment", "linear", "learned", "auto")
+
+WIDTH = 16
+FULL = (1 << WIDTH) - 1
+
+
+def _disjoint_classifier(n: int) -> Classifier:
+    """Two 16-bit fields; body rules pairwise disjoint on field 0 (rule
+    ``i`` owns ``[4i, 4i+2]``), full-range on field 1 — so any grouping
+    admits the learned backend on field 0."""
+    schema = uniform_schema(2, WIDTH)
+    body = [make_rule([(4 * i, 4 * i + 2), (0, FULL)]) for i in range(n)]
+    return Classifier(schema, body)
+
+
+def _overlapping_group():
+    """A 2-field group disjoint only on the field *combination* — no
+    single field is pairwise disjoint, so learned cannot serve it."""
+    schema = uniform_schema(2, WIDTH)
+    k = Classifier(
+        schema,
+        [
+            make_rule([(0, 1), (0, 1)]),
+            make_rule([(0, 1), (2, 3)]),
+            make_rule([(2, 3), (0, 1)]),
+        ],
+    )
+    return k, Group((0, 1, 2), (0, 1))
+
+
+class TestRegistry:
+    def test_names(self):
+        names = backend_names()
+        assert names == sorted(names)
+        assert {"interval", "segment", "linear", "learned"} <= set(names)
+        assert backend_names(include_auto=True)[0] == "auto"
+
+    def test_unknown_backend_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="linear"):
+            get_backend("btree")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(get_backend("linear"))
+        register_backend(get_backend("linear"), replace=True)  # allowed
+
+    def test_reserved_names_rejected(self):
+        class Bad(LookupBackend):
+            name = "auto"
+
+        with pytest.raises(ValueError):
+            register_backend(Bad())
+
+    def test_engine_config_validates_backend(self):
+        with pytest.raises(ValueError, match="unknown lookup_backend"):
+            EngineConfig(lookup_backend="bogus")
+
+
+class TestBuildWithBackend:
+    def test_stamps_backend_identity(self):
+        k = _disjoint_classifier(8)
+        index = build_with_backend(k, Group(tuple(range(8)), (0,)),
+                                   "interval")
+        assert index.backend == "interval"
+        assert index.backend_requested == "interval"
+        assert not index.backend_fallback
+        assert index.build_seconds >= 0.0
+        report = index.backend_report()
+        assert report["backend"] == "interval"
+        assert report["slots"] == 8
+        assert report["memory_items"] == index.memory_items()
+
+    def test_unsupported_backend_falls_back_structurally(self):
+        k = _disjoint_classifier(8)
+        two_field = Group(tuple(range(8)), (0, 1))
+        index = build_with_backend(k, two_field, "interval")
+        assert index.backend == structural_backend_name(two_field)
+        assert index.backend == "segment"
+        assert index.backend_requested == "interval"
+        assert index.backend_fallback
+
+    def test_learned_needs_a_disjoint_field(self):
+        k, group = _overlapping_group()
+        assert _disjoint_field(k, group) is None
+        assert not get_backend("learned").supports(k, group)
+        index = build_with_backend(k, group, "learned")
+        assert index.backend == "segment"
+        assert index.backend_fallback
+
+
+class TestSelector:
+    def test_tiny_groups_stay_linear(self):
+        k = _disjoint_classifier(LINEAR_CUTOVER - 1)
+        group = Group(tuple(range(LINEAR_CUTOVER - 1)), (0,))
+        assert select_backend(k, group) == "linear"
+
+    def test_mid_size_groups_pick_structural(self):
+        n = LINEAR_CUTOVER + 4
+        assert n < LEARNED_MIN_SIZE
+        k = _disjoint_classifier(n)
+        assert select_backend(k, Group(tuple(range(n)), (0,))) == "interval"
+
+    def test_large_disjoint_groups_pick_learned(self):
+        n = LEARNED_MIN_SIZE
+        k = _disjoint_classifier(n)
+        assert select_backend(k, Group(tuple(range(n)), (0,))) == "learned"
+
+    def test_cold_heat_demotes_to_structural(self):
+        n = LEARNED_MIN_SIZE
+        k = _disjoint_classifier(n)
+        group = Group(tuple(range(n)), (0,))
+        key = group_heat_key(0, group)
+        cold = {key: {"probes": COLD_PROBES, "candidates": 0}}
+        assert (
+            select_backend(k, group, heat=cold, position=0) == "interval"
+        )
+        warm = {key: {"probes": COLD_PROBES, "candidates": 5}}
+        assert (
+            select_backend(k, group, heat=warm, position=0) == "learned"
+        )
+        # Without a position the heat signal cannot apply.
+        assert select_backend(k, group, heat=cold) == "learned"
+
+
+class TestPiecewiseLinearModel:
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 50), st.integers(0, 30)),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @_SETTINGS
+    def test_max_error_bounds_all_contained_queries(self, spec):
+        lows, highs = [], []
+        cursor = 0
+        for gap, length in spec:
+            low = cursor + gap
+            lows.append(low)
+            highs.append(low + length)
+            cursor = low + length + 1
+        model = PiecewiseLinearModel(
+            np.asarray(lows, dtype=np.float64),
+            np.asarray(highs, dtype=np.float64),
+        )
+        for slot, (low, high) in enumerate(zip(lows, highs)):
+            for value in (low, high, (low + high) // 2):
+                error = abs(float(model.predict(np.float64(value))) - slot)
+                assert error <= model.max_error + 1e-9
+
+    def test_monotone(self):
+        lows = np.arange(0, 1000, 10, dtype=np.float64)
+        model = PiecewiseLinearModel(lows, lows + 3)
+        samples = np.linspace(-5, 1005, 400)
+        predictions = model.predict(samples)
+        assert np.all(np.diff(predictions) >= 0)
+
+
+class TestLearnedGroupIndex:
+    def test_matches_linear_scan_on_sweep(self):
+        n = 96
+        k = _disjoint_classifier(n)
+        group = Group(tuple(range(n)), (0,))
+        learned = LearnedGroupIndex(k, group)
+        linear = LinearGroupIndex(k, group)
+        values = list(range(0, 4 * n + 4))
+        headers = [(v, 0) for v in values]
+        harr = headers_array(headers, k.schema)
+        got = learned.probe_batch(headers, harr)
+        want = linear.probe_batch(headers, harr)
+        assert np.array_equal(got, want)
+        for header in headers[:: max(1, len(headers) // 64)]:
+            assert learned.probe(header) == linear.probe(header)
+        stats = learned.backend_stats()
+        assert stats["model_probes"] > 0
+        assert 0.0 <= stats["mispredict_rate"] <= 1.0
+
+    def test_tombstones_mask_hits(self):
+        n = 80
+        k = _disjoint_classifier(n)
+        learned = LearnedGroupIndex(k, Group(tuple(range(n)), (0,)))
+        dead = 5
+        ids = learned.rule_ids.copy()
+        ids[dead] = -1
+        view = learned.reindexed(ids)
+        header = (4 * dead + 1, 0)
+        assert learned.probe(header) == dead
+        assert view.probe(header) is None
+        harr = headers_array([header], k.schema)
+        assert view.probe_batch([header], harr)[0] == -1
+
+    def test_reindexed_view_has_private_backend_state(self):
+        """Satellite fix: reindexed (tombstone) views must not share
+        mutable counters with the serving index — a retired engine must
+        never mutate its successor's stats or double-drain telemetry."""
+        n = 80
+        k = _disjoint_classifier(n)
+        learned = LearnedGroupIndex(k, Group(tuple(range(n)), (0,)))
+        header = (5, 0)
+        learned.probe(header)
+        before = dict(learned.stats)
+        clone = learned.reindexed(list(learned.rule_ids))
+        assert clone.stats == before  # carried snapshot...
+        clone.probe(header)
+        clone.probe(header)
+        assert learned.stats == before  # ...but independent after
+        assert clone.stats["model_probes"] == before["model_probes"] + 2
+        # Pending telemetry deltas drain independently: the original
+        # still holds its pre-clone event, the clone only its own.
+        assert learned.drain_backend_events()["model_probes"] == 1
+        assert clone.drain_backend_events()["model_probes"] == 2
+        assert learned.drain_backend_events() == {}
+
+
+class TestEngineEquivalence:
+    @given(st.data())
+    @_SETTINGS
+    def test_all_backends_byte_identical_to_linear_reference(self, data):
+        k = data.draw(classifiers(max_rules=14))
+        headers = [data.draw(corner_headers_for(k)) for _ in range(10)]
+        want = [m.index for m in linear_match_batch(k, headers)]
+        for backend in BACKENDS:
+            engine = SaxPacEngine(
+                k, EngineConfig(lookup_backend=backend)
+            )
+            got = [m.index for m in engine.match_batch(headers)]
+            assert got == want, f"backend {backend} diverged"
+
+    def test_forced_learned_serves_big_disjoint_group(self):
+        n = 128
+        k = _disjoint_classifier(n)
+        engine = SaxPacEngine(
+            k, EngineConfig(lookup_backend="learned")
+        )
+        assert "learned" in engine.report().group_backends
+        headers = [(4 * i + 1, 7) for i in range(n)] + [(4 * n + 9, 0)]
+        want = [m.index for m in linear_match_batch(k, headers)]
+        got = [m.index for m in engine.match_batch(headers)]
+        assert got == want
+
+
+class TestEngineReporting:
+    def test_report_carries_backends_out_of_equality(self):
+        k = _disjoint_classifier(LEARNED_MIN_SIZE)
+        engine = SaxPacEngine(k, EngineConfig(lookup_backend="auto"))
+        report = engine.report()
+        assert len(report.group_backends) == report.num_groups
+        assert "learned" in report.group_backends
+        # Backend assignment is an implementation detail: two
+        # decision-identical builds must still compare equal.
+        relabeled = dataclasses.replace(
+            report, group_backends=("linear",) * report.num_groups
+        )
+        assert relabeled == report
+
+    def test_backend_summary_shape(self):
+        k = _disjoint_classifier(LEARNED_MIN_SIZE)
+        engine = SaxPacEngine(k, EngineConfig(lookup_backend="auto"))
+        summary = engine.backend_summary()
+        assert len(summary) == len(engine.software.groups)
+        for entry in summary:
+            assert entry["backend"] in BACKENDS
+            assert entry["slots"] >= entry["live"]
+            assert entry["memory_items"] > 0
+
+
+class TestRebuildRepick:
+    def test_shrinking_group_demotes_learned_on_rebuild(self):
+        """Satellite fix: when churn drops a group below the learned
+        threshold, the incremental rebuild must re-pick and build a
+        fresh structure — never keep serving a reindexed view of the
+        demoted model."""
+        n = LEARNED_MIN_SIZE + 2
+        k = _disjoint_classifier(n)
+        engine = SaxPacEngine(k, EngineConfig(lookup_backend="auto"))
+        assert engine.software.groups[0].backend == "learned"
+        survivors = LEARNED_MIN_SIZE - 2  # small churn: stays incremental
+        shrunk = Classifier(k.schema, k.body[:survivors])
+        rebuilt = engine.rebuild(shrunk)
+        assert rebuilt.build_incremental
+        group = rebuilt.software.groups[0]
+        assert group.backend == structural_backend_name(group)
+        assert group.backend in ("interval", "segment")
+        assert not isinstance(group, LearnedGroupIndex)
+        headers = [(4 * i + 1, 3) for i in range(n)]
+        want = [m.index for m in linear_match_batch(shrunk, headers)]
+        got = [m.index for m in rebuilt.match_batch(headers)]
+        assert got == want
+
+    def test_stable_group_keeps_learned_view_on_rebuild(self):
+        n = LEARNED_MIN_SIZE + 16
+        k = _disjoint_classifier(n)
+        engine = SaxPacEngine(k, EngineConfig(lookup_backend="auto"))
+        assert engine.software.groups[0].backend == "learned"
+        shrunk = Classifier(k.schema, k.body[: n - 2])
+        rebuilt = engine.rebuild(shrunk)
+        assert rebuilt.build_incremental
+        group = rebuilt.software.groups[0]
+        assert group.backend == "learned"
+        # The carried view shares the model but owns its counters.
+        assert group.stats is not engine.software.groups[0].stats
+        headers = [(4 * i + 1, 3) for i in range(n)]
+        want = [m.index for m in linear_match_batch(shrunk, headers)]
+        got = [m.index for m in rebuilt.match_batch(headers)]
+        assert got == want
+
+    def test_forced_backend_survives_rebuild(self):
+        n = 48
+        k = _disjoint_classifier(n)
+        engine = SaxPacEngine(
+            k, EngineConfig(lookup_backend="learned")
+        )
+        assert engine.software.groups[0].backend == "learned"
+        shrunk = Classifier(k.schema, k.body[: n - 2])
+        rebuilt = engine.rebuild(shrunk)
+        assert rebuilt.software.groups[0].backend == "learned"
+        headers = [(4 * i + 1, 3) for i in range(n)]
+        want = [m.index for m in linear_match_batch(shrunk, headers)]
+        got = [m.index for m in rebuilt.match_batch(headers)]
+        assert got == want
+
+
+class TestServingSurfaces:
+    def test_service_snapshot_exposes_backends(self):
+        from repro.runtime.service import RuntimeConfig, RuntimeService
+
+        k = _disjoint_classifier(LEARNED_MIN_SIZE)
+        config = RuntimeConfig(
+            engine=EngineConfig(lookup_backend="auto")
+        )
+        with RuntimeService(k, config) as service:
+            summary = service.backend_summary()
+            assert summary is not None
+            assert summary[0]["backend"] == "learned"
+            payload = service.info_payload()
+            assert payload["lookup_backends"] == summary
+            server = service.serve_metrics(port=0)
+            snapshot = server.render_snapshot()
+            assert "lookup_backends" in snapshot
+            assert (
+                snapshot["lookup_backends"][0]["backend"] == "learned"
+            )
+
+    def test_render_top_annotates_backends(self):
+        from repro.obs.heat import render_top
+
+        report = {
+            "sample_period": 1,
+            "seen_packets": 10,
+            "sampled_packets": 10,
+            "rules": [],
+            "groups": {
+                "g0[0]": {"probes": 10, "candidates": 8,
+                          "fp_failures": 0, "fp_rate": 0.0, "hits": 8},
+                "d": {"probes": 10, "candidates": 2,
+                      "fp_failures": 0, "fp_rate": 0.0, "hits": 2},
+            },
+        }
+        text = render_top(report, backends={"g0[0]": "learned"})
+        assert "backend=learned" in text
+        assert "d " in text  # the D pseudo-stage stays unannotated
+
+
+class TestTelemetryCounters:
+    def test_backend_counters_and_mispredict_histogram(self):
+        from repro.runtime.telemetry import Telemetry
+
+        n = LEARNED_MIN_SIZE + 8
+        k = _disjoint_classifier(n)
+        recorder = Telemetry()
+        engine = SaxPacEngine(
+            k,
+            EngineConfig(lookup_backend="learned"),
+            recorder=recorder,
+        )
+        headers = [(4 * i + 1, 3) for i in range(32)]
+        engine.match_batch(headers)
+        snapshot = recorder.snapshot()
+        counters = snapshot.counters
+        assert counters.get("lookup.backend.learned.probes", 0) >= 32
+        assert counters.get("lookup.backend.learned.model_probes", 0) >= 32
+        stats = snapshot.latencies.get("lookup.learned.mispredict_rate")
+        assert stats is not None and stats.count >= 1
