@@ -24,6 +24,12 @@ Each configuration is measured ``--repeats`` times and the best run is
 kept (throughput noise is one-sided: interference only ever slows you
 down).  The full-obs run also exports its Chrome trace and heat report
 (``--trace-out`` / ``--heat-out``) so CI can archive them as artifacts.
+
+A final pass drives the same workload through a traced loopback
+:class:`~repro.net.NetServer` and records the **per-stage waterfall
+breakdown** (decode / queue-wait / coalesce-wait / lookup / encode /
+write) as *shares of total request time* — ratios, not absolute
+seconds, so the numbers are comparable across machines.
 """
 
 from __future__ import annotations
@@ -72,6 +78,48 @@ def _overhead(base: float, rate: float) -> float:
     if base <= 0:
         return 0.0
     return max(0.0, 1.0 - rate / base)
+
+
+def _wire_stage_breakdown(classifier, trace, request_size: int = 16,
+                          window: int = 32) -> dict:
+    """Drive a traced loopback NetServer and return each waterfall
+    stage's share of total request time (ratio-based)."""
+    from repro.net import NetClient, NetConfig, serve_background
+    from repro.obs import Observability, Tracer
+    from repro.runtime.service import RuntimeService
+
+    obs = Observability.create(tracing=True, heat=False)
+    service = RuntimeService(classifier, recorder=obs.recorder)
+    handle = serve_background(service, NetConfig(coalesce_wait_ms=0.2))
+    blocks = [
+        trace[i : i + request_size]
+        for i in range(0, len(trace) - request_size + 1, request_size)
+    ]
+    try:
+        with NetClient(port=handle.port, retries=4, tracer=Tracer()) \
+                as client:
+            client.match_many(blocks, window=window)
+        stats = handle.server.stages.stage_stats()
+    finally:
+        handle.stop()
+    total = sum(entry["sum_s"] for entry in stats.values()) or 1.0
+    return {
+        "requests": len(blocks),
+        "request_size": request_size,
+        "window": window,
+        "stages": {
+            name: {
+                "count": entry["count"],
+                "share_of_total": round(entry["sum_s"] / total, 4),
+                "mean_us": round(
+                    entry["sum_s"] / entry["count"] * 1e6, 2
+                )
+                if entry["count"]
+                else 0.0,
+            }
+            for name, entry in stats.items()
+        },
+    }
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -164,6 +212,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             spans_dropped=obs.tracer.dropped,
         ),
         "artifacts": {"trace": args.trace_out, "heat": args.heat_out},
+        "wire_stages": _wire_stage_breakdown(classifier, trace),
     }
 
     failed = False
@@ -194,6 +243,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"  full obs : {full['packets_per_second']:>12,.0f} pkt/s "
           f"({result['obs']['overhead_vs_disabled']:.1%} overhead, "
           f"{len(obs.tracer)} spans, heat on)")
+    stage_shares = result["wire_stages"]["stages"]
+    breakdown = " ".join(
+        f"{name}={entry['share_of_total']:.0%}"
+        for name, entry in stage_shares.items()
+        if entry["count"]
+    )
+    print(f"  wire     : stage shares {breakdown}")
     if args.baseline:
         gate = result["gate"]
         verdict = "OK" if gate["passed"] else "FAIL"

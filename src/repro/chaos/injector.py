@@ -83,6 +83,10 @@ class FaultInjector:
         }
         #: ``(site, kind)`` -> number of injections so far.
         self.injected: Dict[Tuple[str, str], int] = {}
+        #: Optional repro.obs Tracer; when set, each injection stamps a
+        #: ``chaos.injected`` event onto the active span.  Never travels
+        #: through __deepcopy__/__reduce__ (both rebuild from the plan).
+        self.tracer = None
 
     # -- decision ------------------------------------------------------
     def _decide(
@@ -119,6 +123,8 @@ class FaultInjector:
         spec = self._decide(site, exclude_corrupt=True)
         if spec is None:
             return
+        if self.tracer is not None:
+            self.tracer.event("chaos.injected", site=site, kind=spec.kind)
         if spec.kind in ("hang", "slow"):
             time.sleep(spec.delay)
             return
@@ -135,7 +141,10 @@ class FaultInjector:
     def corrupted(self, site: str) -> bool:
         """True when a ``corrupt`` spec fires on this visit to
         ``site``."""
-        return self._decide(site, exclude_corrupt=False) is not None
+        spec = self._decide(site, exclude_corrupt=False)
+        if spec is not None and self.tracer is not None:
+            self.tracer.event("chaos.injected", site=site, kind=spec.kind)
+        return spec is not None
 
     # -- test/observability helpers ------------------------------------
     def arm(self, spec: FaultSpec) -> None:

@@ -14,11 +14,19 @@ runtime      replay a generated trace through the batched/sharded serving
              and heat profiling (repro.obs)
 serve        serve classification over TCP with the repro.net wire
              protocol (adaptive request coalescing, graceful drain on
-             SIGINT/SIGTERM; --serve-metrics exposes /metrics alongside)
+             SIGINT/SIGTERM; --serve-metrics exposes /metrics alongside;
+             --obs adds request tracing + the flight recorder endpoint,
+             --slo/--slo-spec arm burn-rate monitoring)
 client       drive a running serve endpoint with a generated workload
-             (pipelined requests, optional differential --verify)
+             (pipelined requests, optional differential --verify;
+             --trace-out originates trace contexts and exports the
+             client-side spans as Chrome trace-event JSON)
+flightrec    fetch a serving endpoint's /flightrecorder dump and render
+             the retained anomalous requests (or a saved dump file)
 top          replay a trace with heat profiling and render the hottest
-             rules, groups and pipeline stages (live on a tty)
+             rules, groups and pipeline stages (live on a tty); --watch
+             polls a running serve endpoint's /snapshot instead and
+             renders the wire + SLO burn panels live
 experiments  regenerate a paper table/figure (table1|table2|table3|
              figure1|figure6)
 convert      convert between ClassBench text and the JSON format
@@ -206,11 +214,24 @@ def build_parser() -> argparse.ArgumentParser:
                           "the wire layer; see examples/faultplan.json)")
     srv.add_argument("--serve-metrics", type=int, default=None,
                      metavar="PORT", nargs="?", const=0,
-                     help="also expose /metrics, /healthz and /snapshot "
-                          "over HTTP")
+                     help="also expose /metrics, /healthz, /snapshot and "
+                          "/flightrecorder over HTTP")
     srv.add_argument("--max-seconds", type=float, default=None,
                      help="drain and exit after this long (default: "
                           "serve until SIGINT/SIGTERM)")
+    srv.add_argument("--obs", action="store_true",
+                     help="trace requests end to end: server spans join "
+                          "wire trace contexts and land in the flight "
+                          "recorder (implied by --trace-out)")
+    srv.add_argument("--trace-out", default=None, metavar="FILE",
+                     help="write server spans as Chrome trace-event JSON "
+                          "at drain")
+    srv.add_argument("--slo", action="store_true",
+                     help="arm the default SLO specs: burn-rate gauges "
+                          "on /metrics, fast burn degrades /healthz")
+    srv.add_argument("--slo-spec", default=None, metavar="FILE",
+                     help="arm SLO monitoring from a JSON spec file "
+                          "instead of the defaults")
 
     cli = sub.add_parser(
         "client",
@@ -243,12 +264,38 @@ def build_parser() -> argparse.ArgumentParser:
                      help="emit the report as JSON instead of text")
     cli.add_argument("--out", default=None, metavar="REPORT.json",
                      help="also write the JSON report to this file")
+    cli.add_argument("--trace-out", default=None, metavar="FILE",
+                     help="originate trace contexts (negotiated; no-op "
+                          "against an untraced server) and write the "
+                          "client spans as Chrome trace-event JSON")
+
+    frec = sub.add_parser(
+        "flightrec",
+        help="render a serving endpoint's flight-recorder dump",
+    )
+    frec.add_argument("source",
+                      help="metrics endpoint base URL (e.g. "
+                           "http://127.0.0.1:9109) or a saved dump "
+                           "JSON file")
+    frec.add_argument("--limit", type=int, default=20,
+                      help="entries to render per ring")
+    frec.add_argument("--json", action="store_true",
+                      help="print the raw dump JSON")
 
     top = sub.add_parser(
         "top",
         help="replay a trace and render the hottest rules/groups/stages",
     )
-    top.add_argument("path")
+    top.add_argument("path", nargs="?", default=None)
+    top.add_argument("--watch", default=None, metavar="URL",
+                     help="poll a running serve endpoint's /snapshot "
+                          "instead of replaying locally; renders the "
+                          "wire + SLO burn panels live")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="--watch poll interval in seconds")
+    top.add_argument("--watch-count", type=int, default=None,
+                     help="stop --watch after this many polls "
+                          "(default: until ctrl-c)")
     top.add_argument("--trace", type=int, default=20000,
                      help="number of generated packets to replay")
     top.add_argument("--seed", type=int, default=1)
@@ -620,6 +667,11 @@ def _cmd_serve(args) -> int:
         max_inflight=args.max_inflight,
     )
     injector = _build_injector(args)
+    obs = None
+    if args.obs or args.trace_out is not None:
+        from .obs import Observability
+
+        obs = Observability.create(tracing=True, heat=False)
 
     async def _run(service: RuntimeService) -> bool:
         server = NetServer(service, net_config)
@@ -627,10 +679,16 @@ def _cmd_serve(args) -> int:
         print(f"serving {args.path} on {args.host}:{server.port} "
               f"(shards={args.shards}, max-batch={args.max_batch}, "
               f"coalesce-wait={args.coalesce_wait_ms}ms)", flush=True)
+        if obs is not None:
+            print("obs: tracing wire requests end to end "
+                  "(negotiated per connection)", flush=True)
+        if service.slo is not None:
+            names = ", ".join(s.name for s in service.slo.specs)
+            print(f"slo: monitoring burn rates for {names}", flush=True)
         if args.serve_metrics is not None:
             metrics = service.serve_metrics(port=args.serve_metrics)
             print(f"metrics: {metrics.url}/metrics (also /healthz, "
-                  f"/snapshot)", flush=True)
+                  f"/snapshot, /flightrecorder)", flush=True)
         loop = asyncio.get_running_loop()
         stop = asyncio.Event()
         for sig in (signal.SIGINT, signal.SIGTERM):
@@ -644,12 +702,30 @@ def _cmd_serve(args) -> int:
         print("draining...", flush=True)
         return await server.drain()
 
-    with RuntimeService(classifier, runtime_config, injector=injector) \
-            as service:
+    with RuntimeService(
+        classifier,
+        runtime_config,
+        recorder=obs.recorder if obs is not None else None,
+        injector=injector,
+    ) as service:
+        if args.slo or args.slo_spec is not None:
+            from .obs.slo import SLOEngine, default_slos, load_slo_specs
+
+            specs = (
+                load_slo_specs(args.slo_spec)
+                if args.slo_spec is not None
+                else default_slos()
+            )
+            service.slo = SLOEngine(specs)
         try:
             clean = asyncio.run(_run(service))
         except KeyboardInterrupt:  # pragma: no cover - signal race
             clean = False
+        if obs is not None and args.trace_out:
+            count = len(obs.tracer)
+            obs.tracer.export_chrome(args.trace_out)
+            print(f"wrote {count} spans to {args.trace_out} "
+                  f"({obs.tracer.dropped} dropped)")
         snapshot = service.snapshot()
         requests = snapshot.counter("net.requests")
         lookups = snapshot.counter("net.lookups")
@@ -678,11 +754,17 @@ def _cmd_client(args) -> int:
         trace[start : start + args.request_size]
         for start in range(0, len(trace), args.request_size)
     ]
+    tracer = None
+    if args.trace_out is not None:
+        from .obs import Tracer
+
+        tracer = Tracer(capacity=max(4096, 2 * len(requests)))
     client = NetClient(
         host=args.host,
         port=args.port,
         timeout_s=args.timeout_s,
         retries=args.retries,
+        tracer=tracer,
     )
     deadline = time.perf_counter() + args.wait_s
     while True:
@@ -701,6 +783,14 @@ def _cmd_client(args) -> int:
         answers = client.match_many(requests, window=args.window)
         elapsed = time.perf_counter() - start
     rate = len(trace) / elapsed if elapsed else float("inf")
+    if tracer is not None:
+        count = len(tracer)
+        tracer.export_chrome(args.trace_out)
+        if not args.json:
+            traced = "traced" if client.peer_traces else \
+                "untraced (server did not negotiate the extension)"
+            print(f"wrote {count} client spans to {args.trace_out} "
+                  f"({tracer.dropped} dropped); requests {traced}")
     mismatches = 0
     if args.verify:
         import numpy as np
@@ -721,6 +811,7 @@ def _cmd_client(args) -> int:
             "packets_per_second": rate,
             "ping_rtt_s": rtt,
             "client_stats": dict(client.stats),
+            "peer_traces": client.peer_traces,
         }
         if args.verify:
             payload["verify_mismatches"] = mismatches
@@ -746,6 +837,125 @@ def _cmd_client(args) -> int:
     return 0
 
 
+def _fetch_json(url: str):
+    import json as _json
+    import urllib.request
+
+    with urllib.request.urlopen(url, timeout=10.0) as response:
+        return _json.loads(response.read().decode("utf-8"))
+
+
+def _cmd_flightrec(args) -> int:
+    import json as _json
+    import os
+
+    if os.path.exists(args.source):
+        with open(args.source) as handle:
+            dump = _json.load(handle)
+    else:
+        url = args.source.rstrip("/")
+        try:
+            dump = _fetch_json(f"{url}/flightrecorder")
+        except OSError as exc:
+            print(f"could not fetch {url}/flightrecorder: {exc}",
+                  file=sys.stderr)
+            return 2
+    if args.json:
+        print(_json.dumps(dump, indent=2))
+        return 0
+    threshold = dump.get("slow_threshold_s")
+    threshold_text = (
+        f"{threshold * 1e3:.2f}ms" if threshold is not None else "warming up"
+    )
+    retained = dump.get("retained", {})
+    retained_text = ", ".join(
+        f"{verdict}={count}" for verdict, count in sorted(retained.items())
+    ) or "none"
+    print(f"flight recorder: {dump.get('seen', 0):,} requests seen, "
+          f"retained {retained_text}; slow threshold (p99.9) "
+          f"{threshold_text}")
+    for ring in ("anomalous", "normal"):
+        entries = dump.get(ring, [])
+        if not entries:
+            continue
+        shown = entries[: args.limit]
+        print(f"  {ring} ({len(shown)} of {len(entries)} retained):")
+        for entry in shown:
+            stages = entry.get("stages_s") or {}
+            stage_text = " ".join(
+                f"{name}={seconds * 1e6:.0f}us"
+                for name, seconds in stages.items()
+            )
+            trace_id = entry.get("trace_id", 0)
+            trace_text = f"{trace_id:016x}" if trace_id else "-"
+            print(f"    [{entry.get('verdict', '?'):>8}] "
+                  f"req={entry.get('request_id')} trace={trace_text} "
+                  f"total={entry.get('total_s', 0.0) * 1e3:.2f}ms "
+                  f"spans={len(entry.get('spans') or [])}")
+            if stage_text:
+                print(f"      stages: {stage_text}")
+            state = entry.get("state") or {}
+            if state:
+                state_text = " ".join(
+                    f"{key}={value}" for key, value in sorted(state.items())
+                )
+                print(f"      state:  {state_text}")
+            error = (entry.get("tags") or {}).get("error")
+            if error:
+                print(f"      error:  {error}")
+    return 0
+
+
+def _cmd_top_watch(args) -> int:
+    import time
+
+    from .obs.heat import render_net_panel, render_slo_panel
+
+    url = args.watch.rstrip("/")
+    live = args.live or sys.stdout.isatty()
+    polls = 0
+    previous = None  # (monotonic, net.requests) for the req/s delta
+    while args.watch_count is None or polls < args.watch_count:
+        try:
+            payload = _fetch_json(f"{url}/snapshot")
+        except OSError as exc:
+            print(f"could not fetch {url}/snapshot: {exc}", file=sys.stderr)
+            return 2
+        now = time.monotonic()
+        counters = (payload.get("telemetry") or {}).get("counters", {})
+        gauges = payload.get("gauges", {})
+        requests = counters.get("net.requests", 0)
+        elapsed = None
+        if previous is not None and now > previous[0]:
+            # Rate over the poll window, rendered via a synthetic
+            # counter delta (render_net_panel divides count by elapsed);
+            # an idle window keeps the cumulative panel instead.
+            delta = requests - previous[1]
+            if delta > 0:
+                counters = dict(counters, **{"net.requests": delta})
+                elapsed = now - previous[0]
+        previous = (now, requests)
+        lines = [f"watching {url} (poll {polls + 1})"]
+        net_panel = render_net_panel(counters, gauges, elapsed_s=elapsed)
+        lines.append(net_panel or "  wire: no traffic yet")
+        slo_panel = render_slo_panel(gauges)
+        if slo_panel:
+            lines.append(slo_panel)
+        frame = "\n".join(lines)
+        if live:
+            sys.stdout.write("\x1b[H\x1b[J" + frame + "\n")
+        else:
+            print(frame)
+        sys.stdout.flush()
+        polls += 1
+        if args.watch_count is None or polls < args.watch_count:
+            try:
+                time.sleep(args.interval)
+            except KeyboardInterrupt:
+                break
+    return 0
+
+
 def _backend_heat_map(service):
     """Heat key -> serving lookup-backend name, for the ``repro top``
     group annotations (None while the linear fallback serves)."""
@@ -768,6 +978,12 @@ def _cmd_top(args) -> int:
     from .runtime.batch import iter_batches
     from .runtime.service import RuntimeConfig, RuntimeService
 
+    if args.watch is not None:
+        return _cmd_top_watch(args)
+    if args.path is None:
+        print("top: a classifier path is required unless --watch is given",
+              file=sys.stderr)
+        return 2
     classifier, _ = _load(args.path)
     config = RuntimeConfig(
         batch_size=args.batch_size,
@@ -936,6 +1152,7 @@ _COMMANDS = {
     "runtime": _cmd_runtime,
     "serve": _cmd_serve,
     "client": _cmd_client,
+    "flightrec": _cmd_flightrec,
     "top": _cmd_top,
     "experiments": _cmd_experiments,
     "convert": _cmd_convert,

@@ -454,7 +454,7 @@ class MultiGroupEngine:
             span = (
                 recorder.span(
                     "engine.group_probe", group=self._group_keys[gi],
-                    batch=n,
+                    batch=n, backend=group.backend,
                 )
                 if instrumented
                 else None

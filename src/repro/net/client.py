@@ -14,7 +14,16 @@ call-and-return semantics plus:
   and corrupt frames, which surface as :class:`ProtocolError`) triggers
   a reconnect and a resend of every unanswered request.  Match lookups
   are read-only, so the retry is safe; ``SHED`` errors back off briefly
-  and retry the same way.
+  and retry the same way;
+* **trace origination** — hand the client a
+  :class:`~repro.obs.tracing.Tracer` and every request opens a
+  ``client.request`` span whose context rides the wire as the SXPC
+  trace extension, making the server's whole span tree
+  (``net.request`` → ``net.batch`` → ``runtime.batch`` → backend
+  probes) a child of it.  The extension is negotiated: the connect-time
+  ``PING`` carries ``FLAG_TRACE``, and contexts are only sent once the
+  ``PONG`` echoes it — against a pre-extension server the byte stream
+  stays identical to an untraced client.
 
 Answers come back as numpy uint32 arrays of matched rule indices — the
 same indices :meth:`Classifier.match_batch` reports, which is what the
@@ -31,11 +40,13 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from .protocol import (
+    FLAG_TRACE,
     ErrorCode,
     Frame,
     FrameDecoder,
     FrameType,
     ProtocolError,
+    TraceContext,
     decode_error,
     decode_match_response,
     encode_frame,
@@ -69,6 +80,7 @@ class NetClient:
         retries: int = 2,
         shed_backoff_s: float = 0.005,
         max_shed_retries: int = 64,
+        tracer=None,
     ) -> None:
         if timeout_s <= 0:
             raise ValueError("timeout_s must be > 0")
@@ -86,6 +98,11 @@ class NetClient:
         self._decoder = FrameDecoder()
         self._frames: deque = deque()
         self._next_id = 1
+        #: Trace origination: a repro.obs Tracer (None = untraced).
+        self.tracer = tracer
+        #: Whether the connected peer echoed FLAG_TRACE (negotiated on
+        #: every connect; False against pre-extension servers).
+        self.peer_traces = False
         #: Transport-level statistics kept by the client: reconnects,
         #: retried requests, shed backoffs.
         self.stats: Dict[str, int] = {
@@ -98,7 +115,15 @@ class NetClient:
     # Connection plumbing
     # ------------------------------------------------------------------
     def connect(self) -> "NetClient":
-        """Open the TCP connection (idempotent)."""
+        """Open the TCP connection (idempotent).
+
+        When a tracer is attached, the connection is established with a
+        trace-capability handshake: a ``PING`` carrying ``FLAG_TRACE``.
+        A server that understands the extension echoes the flag on its
+        ``PONG``; one that predates it echoes zero flags (it never looks
+        at them), and the client falls back to untraced frames — the
+        byte stream is then identical to a tracer-less client's.
+        """
         if self._sock is None:
             sock = socket.create_connection(
                 (self.host, self.port), timeout=self.timeout_s
@@ -107,7 +132,22 @@ class NetClient:
             self._sock = sock
             self._decoder = FrameDecoder()
             self._frames.clear()
+            self.peer_traces = False
+            if self.tracer is not None:
+                self._negotiate_trace()
         return self
+
+    def _negotiate_trace(self) -> None:
+        request_id = self._next_id
+        self._next_id += 1
+        self._send(encode_frame(FrameType.PING, request_id, flags=FLAG_TRACE))
+        frame = self._read_frame()
+        if frame.type != FrameType.PONG or frame.request_id != request_id:
+            raise ProtocolError(
+                f"expected PONG for trace negotiation {request_id}, got "
+                f"frame type {int(frame.type)} for {frame.request_id}"
+            )
+        self.peer_traces = bool(frame.flags & FLAG_TRACE)
 
     def close(self) -> None:
         """Close the connection (idempotent)."""
@@ -185,13 +225,26 @@ class NetClient:
         if window < 1:
             raise ValueError("window must be >= 1")
         self.connect()
+        tracing = self.tracer is not None and self.peer_traces
         encoded: List[bytes] = []
         ids: List[int] = []
+        spans: Dict[int, object] = {}
         for headers in requests:
             request_id = self._next_id
             self._next_id += 1
             ids.append(request_id)
-            encoded.append(encode_match_request(request_id, headers))
+            trace = None
+            if tracing:
+                span = self.tracer.start_span(
+                    "client.request",
+                    request_id=request_id,
+                    packets=len(headers),
+                )
+                spans[request_id] = span
+                trace = TraceContext(span.trace_id, span.span_id)
+            encoded.append(
+                encode_match_request(request_id, headers, trace=trace)
+            )
         results: Dict[int, np.ndarray] = {}
         id_to_slot = {rid: i for i, rid in enumerate(ids)}
         failures = 0
@@ -206,7 +259,11 @@ class NetClient:
                     outstanding += 1
                 before = len(results)
                 sheds += self._collect_one(
-                    results, id_to_slot, encoded, self.max_shed_retries - sheds
+                    results,
+                    id_to_slot,
+                    encoded,
+                    self.max_shed_retries - sheds,
+                    spans,
                 )
                 if len(results) > before:
                     failures = 0
@@ -241,6 +298,7 @@ class NetClient:
         id_to_slot: Dict[int, int],
         encoded: List[bytes],
         shed_budget: int,
+        spans: Optional[Dict[int, object]] = None,
     ) -> int:
         """Read frames until one outstanding request resolves; returns
         how many shed-retries it spent along the way."""
@@ -250,6 +308,10 @@ class NetClient:
             if frame.type == FrameType.MATCH_RESPONSE:
                 if frame.request_id in id_to_slot:
                     results[frame.request_id] = decode_match_response(frame)
+                    if spans:
+                        span = spans.pop(frame.request_id, None)
+                        if span is not None:
+                            self.tracer.finish(span)
                     return sheds
                 continue  # stale response from a pre-retry send
             if frame.type == FrameType.ERROR:

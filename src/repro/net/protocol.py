@@ -6,7 +6,7 @@ Every frame starts with a fixed 20-byte header::
     0       4     magic       b"SXPC"
     4       1     version     1
     5       1     frame type  (FrameType)
-    6       2     flags       0 (reserved)
+    6       2     flags       bit 0 = FLAG_TRACE, rest reserved (0)
     8       8     request id  uint64 LE (echoed on the response)
     16      4     payload len uint32 LE
     20      ...   payload
@@ -27,6 +27,18 @@ All integers are little-endian.  Payloads by frame type:
 ``PING`` / ``PONG``
     empty payload; ``PONG`` echoes the ping's request id.
 
+**Trace-context extension.**  A frame whose header flags carry
+:data:`FLAG_TRACE` prefixes its payload with a fixed 17-byte trace
+block — ``trace_id`` (uint64), ``parent_span_id`` (uint64), ``sampled``
+(uint8) — before the regular payload.  The extension is negotiated, not
+assumed: a client that wants tracing sends its ``PING`` with
+``FLAG_TRACE`` set, and only starts prefixing requests once the ``PONG``
+echoes the flag back.  Peers that predate the extension pack flags as 0
+everywhere (the field was reserved-zero in the original v1 layout), so
+the handshake degrades silently and the byte stream stays identical to
+an untraced session.  :func:`split_trace_context` strips the block so
+the per-type decoders above never see it.
+
 Framing errors (bad magic, unknown version, oversized payload) poison
 the byte stream — after one, the receiver cannot find the next frame
 boundary — so they raise :class:`ProtocolError` and the connection must
@@ -44,12 +56,12 @@ from __future__ import annotations
 
 import enum
 import struct
-from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, NamedTuple, Sequence, Tuple
 
 import numpy as np
 
 __all__ = [
+    "FLAG_TRACE",
     "FRAME_HEADER",
     "Frame",
     "FrameDecoder",
@@ -59,6 +71,8 @@ __all__ = [
     "MAX_PAYLOAD",
     "PayloadError",
     "ProtocolError",
+    "TRACE_BLOCK",
+    "TraceContext",
     "VERSION",
     "check_wire_schema",
     "decode_error",
@@ -68,6 +82,7 @@ __all__ = [
     "encode_frame",
     "encode_match_request",
     "encode_match_response",
+    "split_trace_context",
 ]
 
 #: First four bytes of every frame.
@@ -82,6 +97,13 @@ FRAME_HEADER = struct.Struct("<4sBBHQI")
 
 #: Hard payload cap (refuse absurd length prefixes before allocating).
 MAX_PAYLOAD = 16 * 1024 * 1024
+
+#: Header flag: the payload starts with a :data:`TRACE_BLOCK` trace
+#: context.  Must be negotiated (PING/PONG flag echo) before use.
+FLAG_TRACE = 0x0001
+
+#: Trace-context extension block: trace id, parent span id, sampled.
+TRACE_BLOCK = struct.Struct("<QQB")
 
 _REQUEST_PREFIX = struct.Struct("<HI")
 _RESPONSE_PREFIX = struct.Struct("<I")
@@ -123,24 +145,48 @@ class PayloadError(ValueError):
     (the connection survives)."""
 
 
-@dataclass(frozen=True)
-class Frame:
+class TraceContext(NamedTuple):
+    """The wire form of a trace context: enough for the server to parent
+    its spans under the client's request span.
+
+    A NamedTuple, not a frozen dataclass: one is built per traced
+    request on both ends, and frozen-dataclass construction (which goes
+    through ``object.__setattr__``) costs microseconds on that path.
+    """
+
+    trace_id: int
+    parent_span_id: int
+    sampled: bool = True
+
+    def pack(self) -> bytes:
+        return TRACE_BLOCK.pack(
+            self.trace_id & 0xFFFFFFFFFFFFFFFF,
+            self.parent_span_id & 0xFFFFFFFFFFFFFFFF,
+            1 if self.sampled else 0,
+        )
+
+
+class Frame(NamedTuple):
     """One decoded frame (payload still raw bytes).
 
     ``type`` is a plain int when the peer sent a type this version does
     not know — framing stays intact, so the receiver answers with an
-    ``ERROR`` frame instead of dropping the connection.
+    ``ERROR`` frame instead of dropping the connection.  NamedTuple for
+    the same construction-cost reason as :class:`TraceContext` — one is
+    built per decoded frame.
     """
 
     type: int
     request_id: int
     payload: bytes
+    flags: int = 0
 
 
 def encode_frame(
     frame_type: int,
     request_id: int,
     payload: bytes = b"",
+    flags: int = 0,
 ) -> bytes:
     """Serialize one frame (header + payload)."""
     if len(payload) > MAX_PAYLOAD:
@@ -152,7 +198,7 @@ def encode_frame(
         MAGIC,
         VERSION,
         int(frame_type),
-        0,
+        flags,
         request_id,
         len(payload),
     )
@@ -162,8 +208,14 @@ def encode_frame(
 def encode_match_request(
     request_id: int,
     headers: Sequence[Sequence[int]],
+    trace: "TraceContext | None" = None,
 ) -> bytes:
-    """A ``MATCH_REQUEST`` carrying ``headers`` as contiguous uint32."""
+    """A ``MATCH_REQUEST`` carrying ``headers`` as contiguous uint32.
+
+    With ``trace``, the payload is prefixed with the 17-byte trace block
+    and the frame carries :data:`FLAG_TRACE` — only do this after the
+    peer echoed the flag on PONG (see module docstring).
+    """
     arr = np.asarray(headers)
     if arr.ndim != 2:
         raise PayloadError(
@@ -176,7 +228,40 @@ def encode_match_request(
     block = np.ascontiguousarray(arr, dtype="<u4")
     count, k = block.shape
     payload = _REQUEST_PREFIX.pack(k, count) + block.tobytes()
-    return encode_frame(FrameType.MATCH_REQUEST, request_id, payload)
+    if trace is None:
+        return encode_frame(FrameType.MATCH_REQUEST, request_id, payload)
+    return encode_frame(
+        FrameType.MATCH_REQUEST,
+        request_id,
+        trace.pack() + payload,
+        flags=FLAG_TRACE,
+    )
+
+
+def split_trace_context(frame: Frame) -> "Tuple[TraceContext | None, Frame]":
+    """Strip a frame's trace block, if flagged.
+
+    Returns ``(trace, frame)`` where ``frame`` is safe to hand to the
+    per-type decoders (trace prefix removed, flag cleared).  Frames
+    without :data:`FLAG_TRACE` pass through untouched.
+    """
+    if not frame.flags & FLAG_TRACE:
+        return None, frame
+    payload = frame.payload
+    if len(payload) < TRACE_BLOCK.size:
+        raise PayloadError(
+            "frame flags declare a trace context but the payload is "
+            f"{len(payload)} bytes (need {TRACE_BLOCK.size})"
+        )
+    trace_id, parent_span_id, sampled = TRACE_BLOCK.unpack_from(payload)
+    trace = TraceContext(trace_id, parent_span_id, bool(sampled))
+    stripped = Frame(
+        frame.type,
+        frame.request_id,
+        payload[TRACE_BLOCK.size :],
+        frame.flags & ~FLAG_TRACE,
+    )
+    return trace, stripped
 
 
 def decode_match_request(frame: Frame) -> np.ndarray:
@@ -283,7 +368,7 @@ class FrameDecoder:
         buffer = self._buffer
         if len(buffer) < FRAME_HEADER.size:
             return None
-        magic, version, ftype, _flags, request_id, length = (
+        magic, version, ftype, flags, request_id, length = (
             FRAME_HEADER.unpack_from(buffer)
         )
         if magic != MAGIC:
@@ -309,4 +394,4 @@ class FrameDecoder:
             ftype = FrameType(ftype)
         except ValueError:
             pass  # unknown type: framing is fine, let the caller reject
-        return Frame(ftype, request_id, payload)
+        return Frame(ftype, request_id, payload, flags)

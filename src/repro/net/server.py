@@ -42,8 +42,12 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..obs.flightrec import FlightRecorder
+from ..obs.stages import STAGES, StageWaterfall
+from ..obs.tracing import SpanContext
 from ..runtime.service import LoadShedError, RuntimeService
 from .protocol import (
+    FLAG_TRACE,
     MAX_PAYLOAD,
     ErrorCode,
     Frame,
@@ -56,6 +60,7 @@ from .protocol import (
     encode_error,
     encode_frame,
     encode_match_response,
+    split_trace_context,
 )
 
 __all__ = ["NetConfig", "NetServer", "ServerHandle", "serve_background"]
@@ -73,6 +78,10 @@ class NetConfig:
     requests per connection before the server stops reading the socket;
     ``drain_grace_s`` bounds how long :meth:`NetServer.drain` waits for
     queued requests before tearing connections down.
+
+    ``stage_waterfall`` / ``flight_recorder`` toggle the per-request
+    observability layers (on by default; the overhead benchmark gate
+    runs with them off as its baseline).
     """
 
     host: str = "127.0.0.1"
@@ -83,6 +92,8 @@ class NetConfig:
     max_payload: int = MAX_PAYLOAD
     drain_grace_s: float = 5.0
     write_timeout_s: float = 10.0
+    stage_waterfall: bool = True
+    flight_recorder: bool = True
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -100,7 +111,18 @@ class NetConfig:
 
 
 class _Pending:
-    """One accepted match request waiting for (or inside) a lookup."""
+    """One accepted match request waiting for (or inside) a lookup.
+
+    ``span`` is the server-side request span (manual lifetime — it is
+    born in the connection task and finished by the batch task, so it
+    cannot be a contextvar-scoped ``with`` block); ``stage_s`` is the
+    request's stage durations in :data:`~repro.obs.stages.STAGES` order
+    (plain floats accumulated here and handed to the waterfall in one
+    ``commit_row`` call at finalize — per-stage ring writes on the hot
+    path cost too much); ``picked`` is when the batch loop dequeued it;
+    ``hint`` upgrades the flight-recorder verdict
+    (``deadline``/``chaos``) based on what the lookup absorbed.
+    """
 
     __slots__ = (
         "conn",
@@ -109,6 +131,10 @@ class _Pending:
         "count",
         "corrupt",
         "enqueued",
+        "span",
+        "stage_s",
+        "picked",
+        "hint",
     )
 
     def __init__(self, conn, request_id, headers, corrupt, enqueued):
@@ -118,6 +144,10 @@ class _Pending:
         self.count = int(headers.shape[0])
         self.corrupt = corrupt
         self.enqueued = enqueued
+        self.span = None
+        self.stage_s = None
+        self.picked = enqueued
+        self.hint = None
 
 
 #: Queue sentinel that stops the batch loop.
@@ -183,6 +213,14 @@ class NetServer:
         schema = service.serving_classifier().schema
         check_wire_schema(schema)
         self.num_fields = len(schema)
+        #: Per-request stage waterfall + anomaly flight recorder (both
+        #: bounded, both optional via NetConfig).
+        self.stages = (
+            StageWaterfall() if self.config.stage_waterfall else None
+        )
+        self.flightrec = (
+            FlightRecorder() if self.config.flight_recorder else None
+        )
         service.net = self
         self._server: Optional[asyncio.base_events.Server] = None
         self._queue: Optional[asyncio.Queue] = None
@@ -328,8 +366,17 @@ class NetServer:
             return await self._accept_request(conn, frame)
         if frame.type == FrameType.PING:
             self.telemetry.incr("net.pings")
+            # Trace negotiation: echo FLAG_TRACE back iff this server
+            # can join trace contexts; a pre-extension server would pack
+            # flags as 0, which tells the client not to send them.
+            flags = (
+                FLAG_TRACE
+                if (frame.flags & FLAG_TRACE)
+                and self.telemetry.tracer is not None
+                else 0
+            )
             return await conn.send(
-                encode_frame(FrameType.PONG, frame.request_id)
+                encode_frame(FrameType.PONG, frame.request_id, flags=flags)
             )
         self.telemetry.incr("net.protocol_errors")
         return await conn.send(
@@ -342,13 +389,18 @@ class NetServer:
 
     async def _accept_request(self, conn: _Connection, frame: Frame) -> bool:
         telemetry = self.telemetry
+        decode_t0 = time.perf_counter()
+        trace = None
         try:
+            if frame.flags & FLAG_TRACE:
+                trace, frame = split_trace_context(frame)
             block = decode_match_request(frame)
         except PayloadError as exc:
             telemetry.incr("net.protocol_errors")
             return await conn.send(
                 encode_error(frame.request_id, ErrorCode.PROTOCOL, str(exc))
             )
+        decode_s = time.perf_counter() - decode_t0
         if block.shape[1] != self.num_fields:
             telemetry.incr("net.protocol_errors")
             return await conn.send(
@@ -361,6 +413,13 @@ class NetServer:
             )
         if self._draining:
             telemetry.incr("net.drain_rejects")
+            if self.flightrec is not None:
+                self.flightrec.note(
+                    frame.request_id,
+                    trace.trace_id if trace is not None else 0,
+                    "drain",
+                    state=self._state_snapshot(),
+                )
             return await conn.send(
                 encode_error(
                     frame.request_id,
@@ -382,6 +441,27 @@ class NetServer:
         pending = _Pending(
             conn, frame.request_id, block, corrupt, time.perf_counter()
         )
+        tracer = telemetry.tracer
+        if tracer is not None:
+            # Joined server span: parented under the client's request
+            # span when the frame carried a trace context, a fresh local
+            # root otherwise.  Manual lifetime — finished by the batch
+            # task in _finalize, which a contextvar token cannot cross.
+            parent = (
+                SpanContext(trace.trace_id, trace.parent_span_id)
+                if trace is not None
+                else None
+            )
+            pending.span = tracer.start_span(
+                "net.request",
+                parent=parent,
+                request_id=frame.request_id,
+                packets=pending.count,
+            )
+        if self.stages is not None:
+            # STAGES order: decode, queue_wait, coalesce_wait, lookup,
+            # encode, write.
+            pending.stage_s = [decode_s, 0.0, 0.0, 0.0, 0.0, 0.0]
         await self._queue.put(pending)
         return True
 
@@ -398,6 +478,7 @@ class NetServer:
             item = await queue.get()
             if item is _SHUTDOWN:
                 return
+            item.picked = time.perf_counter()
             batch: List[_Pending] = [item]
             packets = item.count
             # Greedy merge of everything already queued (requests that
@@ -410,6 +491,7 @@ class NetServer:
                 if item is _SHUTDOWN:
                     stop = True
                     break
+                item.picked = time.perf_counter()
                 batch.append(item)
                 packets += item.count
             # Adaptive window: once a batch is forming, briefly hold the
@@ -428,11 +510,26 @@ class NetServer:
                     if item is _SHUTDOWN:
                         stop = True
                         break
+                    item.picked = time.perf_counter()
                     batch.append(item)
                     packets += item.count
             await self._serve_batch(batch)
             if self._inflight == 0:
                 self._idle.set()
+
+    def _run_lookup(self, block, parent_ctx):
+        """Executor-thread body of one coalesced lookup.  The default
+        executor does not propagate contextvars, so the batch span is
+        re-activated explicitly: runtime.batch / shard.chunk /
+        engine.group_probe spans nest under it."""
+        tracer = self.telemetry.tracer
+        if tracer is None or parent_ctx is None:
+            return self.service.match_batch(block)
+        token = tracer.activate(parent_ctx)
+        try:
+            return self.service.match_batch(block)
+        finally:
+            tracer.deactivate(token)
 
     async def _serve_batch(self, batch: List[_Pending]) -> None:
         telemetry = self.telemetry
@@ -446,13 +543,40 @@ class NetServer:
         telemetry.incr("net.lookup_packets", block.shape[0])
         if len(batch) > 1:
             telemetry.incr("net.coalesced_requests", len(batch) - 1)
+        if self.stages is not None:
+            now = time.perf_counter()
+            for pending in batch:
+                stage_s = pending.stage_s
+                if stage_s is not None:
+                    stage_s[1] = pending.picked - pending.enqueued
+                    stage_s[2] = now - pending.picked
+        # Span-tree policy: a coalesced lookup serves many requests but
+        # a span has exactly one parent, so the batch/lookup subtree
+        # parents under the *first* traced request of the batch (the one
+        # that opened it); siblings keep their own net.request spans.
+        lead = next((p.span for p in batch if p.span is not None), None)
+        watch = self.flightrec is not None
+        deadline_before = (
+            telemetry.counter("runtime.deadline_timeouts") if watch else 0
+        )
+        chaos_before = (
+            self.injector.total_injected()
+            if watch and self.injector.enabled
+            else 0
+        )
         start = time.perf_counter()
         try:
             with telemetry.span(
-                "net.batch", requests=len(batch), packets=int(block.shape[0])
-            ):
+                "net.batch",
+                parent=lead.context if lead is not None else None,
+                requests=len(batch),
+                packets=int(block.shape[0]),
+            ) as batch_span:
                 results = await loop.run_in_executor(
-                    None, self.service.match_batch, block
+                    None,
+                    self._run_lookup,
+                    block,
+                    batch_span.context if batch_span is not None else None,
                 )
         except LoadShedError as exc:
             telemetry.incr("net.shed", len(batch))
@@ -462,7 +586,24 @@ class NetServer:
             telemetry.incr("net.lookup_errors", len(batch))
             await self._fail_batch(batch, ErrorCode.INTERNAL, str(exc))
             return
-        telemetry.observe("net.batch", time.perf_counter() - start)
+        lookup_s = time.perf_counter() - start
+        telemetry.observe("net.batch", lookup_s)
+        hint = None
+        if watch:
+            if (
+                telemetry.counter("runtime.deadline_timeouts")
+                > deadline_before
+            ):
+                hint = "deadline"
+            elif (
+                self.injector.enabled
+                and self.injector.total_injected() > chaos_before
+            ):
+                hint = "chaos"
+        for pending in batch:
+            pending.hint = hint
+            if pending.stage_s is not None:
+                pending.stage_s[3] = lookup_s
         indices = np.fromiter(
             (r.index for r in results), dtype="<u4", count=len(results)
         )
@@ -475,38 +616,121 @@ class NetServer:
 
     async def _respond_match(self, pending: _Pending, indices) -> None:
         telemetry = self.telemetry
-        with telemetry.span(
-            "net.request",
-            packets=pending.count,
-            wait_ms=round(
-                (time.perf_counter() - pending.enqueued) * 1e3, 3
-            ),
-        ):
-            data = encode_match_response(pending.request_id, indices)
-            if pending.corrupt:
-                # Chaos corrupt-frame: flip the magic so the client's
-                # decoder rejects the stream and reconnects.
-                telemetry.incr("net.corrupted_frames")
-                data = b"\x00" + data[1:]
-            sent = await pending.conn.send(data)
+        encode_t0 = time.perf_counter()
+        data = encode_match_response(pending.request_id, indices)
+        if pending.corrupt:
+            # Chaos corrupt-frame: flip the magic so the client's
+            # decoder rejects the stream and reconnects.
+            telemetry.incr("net.corrupted_frames")
+            data = b"\x00" + data[1:]
+        write_t0 = time.perf_counter()
+        sent = await pending.conn.send(data)
+        done = time.perf_counter()
         if sent:
             telemetry.incr("net.responses")
-        telemetry.observe(
-            "net.request", time.perf_counter() - pending.enqueued
-        )
+        stage_s = pending.stage_s
+        if stage_s is not None:
+            stage_s[4] = write_t0 - encode_t0
+            stage_s[5] = done - write_t0
+        total_s = done - pending.enqueued
+        telemetry.observe("net.request", total_s)
+        verdict = pending.hint or ("chaos" if pending.corrupt else "ok")
+        self._finalize(pending, verdict, total_s)
         self._finish(pending)
+
+    #: ERROR-frame code -> flight-recorder verdict.
+    _VERDICTS = {
+        ErrorCode.SHED: "shed",
+        ErrorCode.INTERNAL: "error",
+        ErrorCode.DRAINING: "drain",
+    }
 
     async def _fail_batch(
         self, batch: List[_Pending], code: ErrorCode, message: str
     ) -> None:
+        verdict = self._VERDICTS.get(code, "error")
         for pending in batch:
             await pending.conn.send(
                 encode_error(pending.request_id, code, message)
             )
-            self.telemetry.observe(
-                "net.request", time.perf_counter() - pending.enqueued
-            )
+            total_s = time.perf_counter() - pending.enqueued
+            self.telemetry.observe("net.request", total_s)
+            self._finalize(pending, verdict, total_s, error=message)
             self._finish(pending)
+
+    def _state_snapshot(self) -> dict:
+        """Health/backend state frozen into a flight-recorder entry."""
+        service = self.service
+        return {
+            "health": service.health.state.label,
+            "net_inflight": self._inflight,
+            "generation": service.swap.generation,
+            "draining": self._draining,
+        }
+
+    def _finalize(
+        self,
+        pending: _Pending,
+        verdict: str,
+        total_s: float,
+        error: Optional[str] = None,
+    ) -> None:
+        """Close out one answered request: finish its server span,
+        commit its waterfall row, offer it to the flight recorder."""
+        tracer = self.telemetry.tracer
+        span = pending.span
+        if span is not None:
+            span.tags["verdict"] = verdict
+            if error:
+                span.tags["error"] = error
+            tracer.finish(span)
+        stage_s = pending.stage_s
+        if stage_s is not None:
+            self.stages.commit_row(
+                pending.request_id,
+                span.trace_id if span is not None else 0,
+                stage_s,
+            )
+        recorder = self.flightrec
+        if recorder is None:
+            return
+        # Harvests are lazy closures: the recorder only invokes them for
+        # requests it actually retains, so the sampled-out happy path
+        # pays one note() call and nothing else.
+        spans_fn = None
+        if span is not None:
+            trace_id = span.trace_id
+
+            def spans_fn():
+                return [
+                    s.as_dict()
+                    for s in tracer.spans()
+                    if s.trace_id == trace_id
+                ]
+
+        stages_fn = None
+        if stage_s is not None:
+
+            def stages_fn():
+                return {
+                    name: stage_s[i]
+                    for i, name in enumerate(STAGES)
+                    if stage_s[i] > 0.0
+                }
+
+        tags = {"packets": pending.count}
+        if error:
+            tags["error"] = error
+        recorder.note(
+            pending.request_id,
+            span.trace_id if span is not None else 0,
+            verdict,
+            total_s=total_s,
+            stages=stages_fn,
+            spans=spans_fn,
+            state=self._state_snapshot,
+            **tags,
+        )
 
     def _finish(self, pending: _Pending) -> None:
         pending.conn.semaphore.release()

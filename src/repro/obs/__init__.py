@@ -12,7 +12,16 @@ Layers on :mod:`repro.runtime.telemetry`'s recorder:
   ``/metrics``, ``/healthz`` and ``/snapshot``;
 * :mod:`~repro.obs.heat` — sampled per-rule / per-group hit profiling
   with FP-check tallies, the ``repro top`` renderer, and heat reports
-  that feed :class:`~repro.saxpac.cache.ClassificationCache` tuning.
+  that feed :class:`~repro.saxpac.cache.ClassificationCache` tuning;
+* :mod:`~repro.obs.stages` — the per-request stage waterfall (decode /
+  queue-wait / coalesce-wait / lookup / encode / write) in preallocated
+  numpy rings, exported as exemplar-bearing Prometheus histograms;
+* :mod:`~repro.obs.flightrec` — the bounded always-on flight recorder
+  retaining span tree + waterfall + server state for every anomalous
+  request, served at ``/flightrecorder``;
+* :mod:`~repro.obs.slo` — declarative SLO specs and the multi-window
+  burn-rate engine behind the ``slo.*`` gauges and ``/healthz``
+  fast-burn degradation.
 
 The disabled pipeline stays on :data:`~repro.runtime.telemetry.
 NULL_RECORDER` and never touches any of this;
@@ -40,24 +49,43 @@ from .heat import (
     render_top,
     rule_weights,
 )
-from .prometheus import parse_exposition, render_prometheus, sanitize_metric_name
+from .flightrec import ANOMALOUS_VERDICTS, FlightEntry, FlightRecorder
+from .prometheus import (
+    parse_exposition,
+    render_prometheus,
+    render_stage_histograms,
+    sanitize_metric_name,
+)
 from .server import MetricsServer
+from .slo import SLOEngine, SLOSpec, default_slos, load_slo_specs
+from .stages import STAGES, StageRecord, StageWaterfall
 from .tracing import NULL_TRACER, NullTracer, Span, SpanContext, Tracer, chrome_trace
 
 __all__ = [
+    "ANOMALOUS_VERDICTS",
+    "FlightEntry",
+    "FlightRecorder",
     "GroupHeat",
     "HeatProfiler",
     "MetricsServer",
     "NULL_TRACER",
     "NullTracer",
     "Observability",
+    "SLOEngine",
+    "SLOSpec",
+    "STAGES",
     "Span",
     "SpanContext",
+    "StageRecord",
+    "StageWaterfall",
     "Tracer",
     "chrome_trace",
+    "default_slos",
     "load_heat_report",
+    "load_slo_specs",
     "parse_exposition",
     "render_prometheus",
+    "render_stage_histograms",
     "render_top",
     "rule_weights",
     "sanitize_metric_name",

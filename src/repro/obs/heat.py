@@ -38,6 +38,8 @@ __all__ = [
     "GroupHeat",
     "HeatProfiler",
     "load_heat_report",
+    "render_net_panel",
+    "render_slo_panel",
     "render_top",
     "rule_weights",
 ]
@@ -271,6 +273,9 @@ def render_top(
     k: int = 10,
     rules: Optional[Sequence[object]] = None,
     backends: Optional[Mapping[str, str]] = None,
+    counters: Optional[Mapping[str, float]] = None,
+    gauges: Optional[Mapping[str, float]] = None,
+    elapsed_s: Optional[float] = None,
 ) -> str:
     """Text dashboard of the hottest rules, groups and stages.
 
@@ -279,7 +284,10 @@ def render_top(
     as the "hottest stages" section; ``rules`` (the classifier's rule
     list) adds a short repr per hot rule when given; ``backends`` maps a
     group's heat key to its serving lookup-backend name, annotating each
-    group row.
+    group row.  ``counters`` (telemetry counter mapping) adds the wire
+    panel when ``net.*`` counters are present — req/s needs
+    ``elapsed_s`` — and ``gauges`` adds the SLO burn panel when
+    ``slo.*`` gauges are present.
     """
     lines: List[str] = []
     period = report.get("sample_period", 1)
@@ -332,4 +340,75 @@ def render_top(
                 f"n={stats.count:<9,} mean={mean * 1e6:9.1f}us "
                 f"p99={stats.p99 * 1e6:9.1f}us"
             )
+    net_panel = render_net_panel(counters, gauges, elapsed_s=elapsed_s)
+    if net_panel:
+        lines.append(net_panel)
+    slo_panel = render_slo_panel(gauges)
+    if slo_panel:
+        lines.append(slo_panel)
+    return "\n".join(lines)
+
+
+def render_net_panel(
+    counters: Optional[Mapping[str, float]],
+    gauges: Optional[Mapping[str, float]] = None,
+    elapsed_s: Optional[float] = None,
+) -> str:
+    """The ``repro top`` wire panel: req/s, inflight, coalesce ratio,
+    sheds, drains.  Empty string when no wire traffic has been seen."""
+    if not counters or not counters.get("net.requests"):
+        return ""
+    requests = counters.get("net.requests", 0)
+    lookups = counters.get("net.lookups", 0)
+    coalesce = requests / lookups if lookups else 0.0
+    rate = (
+        f"{requests / elapsed_s:>10,.0f} req/s"
+        if elapsed_s
+        else f"{requests:>10,} reqs"
+    )
+    inflight = int((gauges or {}).get("net.inflight", 0))
+    lines = [
+        "  wire:",
+        f"    {rate}  inflight={inflight}  "
+        f"coalesce={coalesce:.2f}x ({lookups:,} lookups)",
+        f"    shed={int(counters.get('net.shed', 0)):,}  "
+        f"errors={int(counters.get('net.lookup_errors', 0)):,}  "
+        f"protocol_errors={int(counters.get('net.protocol_errors', 0)):,}  "
+        f"drains={int(counters.get('net.drains', 0)):,}"
+        f"/{int(counters.get('net.dirty_drains', 0)):,} dirty",
+    ]
+    return "\n".join(lines)
+
+
+def render_slo_panel(gauges: Optional[Mapping[str, float]]) -> str:
+    """The ``repro top`` SLO burn panel: per-SLO multi-window burn rates
+    with a FAST-BURN marker.  Empty string when no ``slo.*`` gauges."""
+    if not gauges:
+        return ""
+    names = sorted(
+        {
+            key.split(".")[1]
+            for key in gauges
+            if key.startswith("slo.") and key.count(".") >= 2
+        }
+    )
+    if not names:
+        return ""
+    lines = ["  slo burn (x budget):"]
+    for name in names:
+        parts = []
+        for objective in ("availability", "latency"):
+            rates = [
+                f"{window}={gauges.get(f'slo.{name}.{objective}_burn_{window}', 0.0):.2f}"
+                for window in ("5m", "1h")
+                if f"slo.{name}.{objective}_burn_{window}" in gauges
+            ]
+            if rates:
+                parts.append(f"{objective} " + " ".join(rates))
+        marker = (
+            "  << FAST BURN"
+            if gauges.get(f"slo.{name}.fast_burn", 0.0)
+            else ""
+        )
+        lines.append(f"    {name:<12} " + "   ".join(parts) + marker)
     return "\n".join(lines)

@@ -14,6 +14,12 @@ text format (version 0.0.4):
 
 Only the stdlib is used — no Prometheus client dependency — which is why
 the histogram exposition is derived rather than recorded natively.
+
+Stage-waterfall histograms (see :mod:`repro.obs.stages`) render with
+OpenMetrics-style *exemplars*: a bucket that recently absorbed an
+observation carries ``# {trace_id="..."} <bound>`` after its value, so a
+fat bucket links straight to the flight-recorder trace that landed
+there.  :func:`parse_exposition` strips exemplars before parsing.
 """
 
 from __future__ import annotations
@@ -23,7 +29,12 @@ from typing import Dict, List, Mapping, Optional
 
 from ..runtime.telemetry import HistogramStats, TelemetrySnapshot
 
-__all__ = ["parse_exposition", "render_prometheus", "sanitize_metric_name"]
+__all__ = [
+    "parse_exposition",
+    "render_prometheus",
+    "render_stage_histograms",
+    "sanitize_metric_name",
+]
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
 _PREFIX = "saxpac"
@@ -47,6 +58,25 @@ _GAUGE_HELP = {
     ),
     "net.inflight": "Wire requests accepted but not yet answered.",
 }
+
+#: Regex-curated HELP for dynamically-named gauge families (SLO burn
+#: rates carry the spec name inside the metric name).
+_GAUGE_PATTERN_HELP = (
+    (
+        re.compile(r"^slo\.[\w-]+\.availability_burn_\w+$"),
+        "Availability error-budget burn rate over the named window "
+        "(1.0 spends the budget exactly at the objective's rate).",
+    ),
+    (
+        re.compile(r"^slo\.[\w-]+\.latency_burn_\w+$"),
+        "Latency error-budget burn rate over the named window.",
+    ),
+    (
+        re.compile(r"^slo\.[\w-]+\.fast_burn$"),
+        "1 while this SLO burns past the fast-burn threshold on every "
+        "window (the page-now condition; also degrades /healthz).",
+    ),
+)
 
 #: Curated HELP text for the wire-layer counters (dashboards watch the
 #: coalescing ratio net_lookups_total / net_requests_total and the
@@ -87,6 +117,65 @@ _COUNTER_HELP = {
     "net.pings": "PING frames answered.",
 }
 
+#: Regex-curated HELP for per-backend counter families: the backend name
+#: rides inside the metric name (lookup.backend.<backend>.<event>), so
+#: exact-name curation cannot cover them.
+_COUNTER_PATTERN_HELP = (
+    (
+        re.compile(r"^lookup\.backend\.\w+\.probes$"),
+        "Group probes served by this lookup backend (one per header per "
+        "group using it).",
+    ),
+    (
+        re.compile(r"^lookup\.backend\.\w+\.candidates$"),
+        "Candidate rules this backend's probes produced for full-field "
+        "verification.",
+    ),
+    (
+        re.compile(r"^lookup\.backend\.\w+\.model_probes$"),
+        "Probes answered by the learned range model.",
+    ),
+    (
+        re.compile(r"^lookup\.backend\.\w+\.center_hits$"),
+        "Learned-model probes whose predicted slot was exactly right.",
+    ),
+    (
+        re.compile(r"^lookup\.backend\.\w+\.window_hits$"),
+        "Learned-model probes resolved inside the guaranteed error "
+        "window around the prediction.",
+    ),
+    (
+        re.compile(r"^lookup\.backend\.\w+\.fallbacks$"),
+        "Learned-model probes that fell back to the exact searchsorted "
+        "path (window exceeded).",
+    ),
+    (
+        re.compile(r"^lookup\.backend\.\w+\.mispredicts$"),
+        "Learned-model probes not answered by the predicted slot "
+        "(window hits + fallbacks).",
+    ),
+)
+
+
+def _counter_help(counter: str) -> str:
+    help_text = _COUNTER_HELP.get(counter)
+    if help_text is not None:
+        return help_text
+    for pattern, text in _COUNTER_PATTERN_HELP:
+        if pattern.match(counter):
+            return text
+    return f"Pipeline counter {counter}."
+
+
+def _gauge_help(gauge: str) -> str:
+    help_text = _GAUGE_HELP.get(gauge)
+    if help_text is not None:
+        return help_text
+    for pattern, text in _GAUGE_PATTERN_HELP:
+        if pattern.match(gauge):
+            return text
+    return f"Runtime gauge {gauge}."
+
 #: Curated HELP for the wire-layer latency histograms.
 _HISTOGRAM_HELP = {
     "net.request": (
@@ -94,6 +183,27 @@ _HISTOGRAM_HELP = {
         "(includes coalescer queueing)."
     ),
     "net.batch": "Coalesced lookup latency (the vectorized match_batch).",
+    "lookup.learned.mispredict_rate": (
+        "Per-lookup mispredict fraction of the learned range model "
+        "(rate histogram, not seconds)."
+    ),
+}
+
+#: Curated HELP for the per-stage waterfall histograms (suffix keyed;
+#: the family name is saxpac_stage_<stage>_seconds).
+_STAGE_HELP = {
+    "decode": "Wire frame decode time per request.",
+    "queue_wait": (
+        "Time a request sat in the coalescer queue before being picked "
+        "up (a lookup was occupying the executor)."
+    ),
+    "coalesce_wait": (
+        "Time between pickup and lookup start (the batch held the door "
+        "for stragglers)."
+    ),
+    "lookup": "Coalesced classification time attributed to the request.",
+    "encode": "Response frame encode time per request.",
+    "write": "Socket write + drain time per request.",
 }
 
 
@@ -156,23 +266,73 @@ def _histogram_lines(
     return lines
 
 
+def render_stage_histograms(
+    stage_stats: Mapping[str, Mapping[str, object]],
+    labels: Optional[Mapping[str, str]] = None,
+) -> List[str]:
+    """Exposition lines for a stage-waterfall snapshot
+    (:meth:`~repro.obs.stages.StageWaterfall.stage_stats`): one
+    ``saxpac_stage_<name>_seconds`` histogram per stage, with exemplar
+    trace ids on buckets that recently absorbed an observation.
+    """
+    lines: List[str] = []
+    for stage in sorted(stage_stats):
+        stats = stage_stats[stage]
+        name = sanitize_metric_name(f"stage.{stage}", "_seconds")
+        help_text = _STAGE_HELP.get(
+            stage, f"Per-request waterfall stage {stage}."
+        )
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} histogram")
+        exemplars = stats.get("exemplars") or {}
+        cumulative = 0
+        buckets = stats["buckets"]
+        last = len(buckets)
+        while last > 0 and buckets[last - 1] == 0:
+            last -= 1
+        for index in range(last):
+            cumulative += buckets[index]
+            bound = (1 << index) / 1e6
+            bucket_labels = dict(labels or {})
+            bucket_labels["le"] = repr(bound)
+            line = (
+                f"{name}_bucket{_format_labels(bucket_labels)} {cumulative}"
+            )
+            trace_id = exemplars.get(index)
+            if trace_id:
+                line += f' # {{trace_id="{trace_id:x}"}} {repr(bound)}'
+            lines.append(line)
+        inf_labels = dict(labels or {})
+        inf_labels["le"] = "+Inf"
+        count = stats["count"]
+        lines.append(f"{name}_bucket{_format_labels(inf_labels)} {count}")
+        label_text = _format_labels(labels)
+        lines.append(f"{name}_count{label_text} {count}")
+        lines.append(
+            f"{name}_sum{label_text} {repr(float(stats['sum_s']))}"
+        )
+    return lines
+
+
 def render_prometheus(
     snapshot: TelemetrySnapshot,
     labels: Optional[Mapping[str, str]] = None,
     extra_gauges: Optional[Mapping[str, float]] = None,
+    stage_stats: Optional[Mapping[str, Mapping[str, object]]] = None,
 ) -> str:
     """Render a snapshot as Prometheus text exposition.
 
     ``labels`` (e.g. ``{"instance": "shard0"}``) ride on every sample;
     ``extra_gauges`` lets the caller add point-in-time gauges (engine
-    generation, degraded flag, ...) that are not telemetry counters.
+    generation, degraded flag, ...) that are not telemetry counters;
+    ``stage_stats`` adds the per-request stage-waterfall histograms
+    (with exemplar trace ids) when a wire server records them.
     """
     lines: List[str] = []
     label_text = _format_labels(labels)
     for counter in sorted(snapshot.counters):
         name = sanitize_metric_name(counter, "_total")
-        help_text = _COUNTER_HELP.get(counter, f"Pipeline counter {counter}.")
-        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# HELP {name} {_counter_help(counter)}")
         lines.append(f"# TYPE {name} counter")
         lines.append(
             f"{name}{label_text} {_format_value(snapshot.counters[counter])}"
@@ -181,10 +341,11 @@ def render_prometheus(
         lines.extend(
             _histogram_lines(stage, snapshot.latencies[stage], labels)
         )
+    if stage_stats:
+        lines.extend(render_stage_histograms(stage_stats, labels))
     for gauge in sorted(extra_gauges or {}):
         name = sanitize_metric_name(gauge)
-        help_text = _GAUGE_HELP.get(gauge, f"Runtime gauge {gauge}.")
-        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# HELP {name} {_gauge_help(gauge)}")
         lines.append(f"# TYPE {name} gauge")
         lines.append(
             f"{name}{label_text} {_format_value(extra_gauges[gauge])}"
@@ -194,12 +355,14 @@ def render_prometheus(
 
 def parse_exposition(text: str) -> Dict[str, Dict[str, float]]:
     """Minimal exposition parser (tests/round-trips, not a full client):
-    metric name -> {label-string or "": value}."""
+    metric name -> {label-string or "": value}.  Exemplar suffixes
+    (``... # {trace_id="..."} v``) are stripped before parsing."""
     out: Dict[str, Dict[str, float]] = {}
     for line in text.splitlines():
         line = line.strip()
         if not line or line.startswith("#"):
             continue
+        line = line.split(" # ", 1)[0].rstrip()
         head, _, value = line.rpartition(" ")
         if "{" in head:
             name, _, rest = head.partition("{")

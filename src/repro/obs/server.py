@@ -9,7 +9,10 @@ daemon thread and serves three read-only endpoints:
   503 ``{"status": "degraded"}`` while the linear fallback is serving;
 * ``/snapshot`` — the full JSON telemetry snapshot
   (:meth:`~repro.runtime.telemetry.TelemetrySnapshot.as_dict`), plus any
-  gauges the owner injects (engine generation, heat summary, ...).
+  gauges the owner injects (engine generation, heat summary, ...);
+* ``/flightrecorder`` — the wire server's flight-recorder dump (span
+  trees + stage waterfalls of retained anomalous requests); 404 when no
+  flight recorder is attached.
 
 The server pulls state through callables supplied by its owner (the
 :class:`~repro.runtime.service.RuntimeService`), so a scrape always sees
@@ -50,11 +53,21 @@ class _Handler(BaseHTTPRequestHandler):
         elif path == "/snapshot":
             body = json.dumps(owner.render_snapshot()).encode("utf-8")
             self._reply(200, "application/json", body)
+        elif path == "/flightrecorder":
+            dump = owner.render_flightrec()
+            if dump is None:
+                self._reply(
+                    404, "application/json",
+                    b'{"error": "no flight recorder attached"}',
+                )
+            else:
+                body = json.dumps(dump).encode("utf-8")
+                self._reply(200, "application/json", body)
         else:
             self._reply(
                 404, "application/json",
-                b'{"error": "unknown path", '
-                b'"endpoints": ["/metrics", "/healthz", "/snapshot"]}',
+                b'{"error": "unknown path", "endpoints": ["/metrics", '
+                b'"/healthz", "/snapshot", "/flightrecorder"]}',
             )
 
     def _reply(self, status: int, content_type: str, body: bytes) -> None:
@@ -77,8 +90,12 @@ class MetricsServer:
     ``gauges_source`` returns extra point-in-time gauges for ``/metrics``
     and ``/snapshot``; ``info_source`` returns arbitrary JSON-serializable
     structure merged into ``/snapshot`` (non-numeric detail such as the
-    per-group lookup-backend reports).  All are called on the serving
-    thread, so they must be thread-safe (telemetry snapshots are).
+    per-group lookup-backend reports); ``stages_source`` returns the
+    stage-waterfall aggregate dict (or None) rendered as exemplar-bearing
+    histograms on ``/metrics``; ``flight_source`` returns the flight
+    recorder's dump (or None) for ``/flightrecorder``.  All are called on
+    the serving thread, so they must be thread-safe (telemetry snapshots
+    are).
     """
 
     def __init__(
@@ -89,11 +106,15 @@ class MetricsServer:
         health_source: Optional[Callable[[], tuple]] = None,
         gauges_source: Optional[Callable[[], Mapping[str, float]]] = None,
         info_source: Optional[Callable[[], Mapping[str, object]]] = None,
+        stages_source: Optional[Callable[[], Optional[Mapping]]] = None,
+        flight_source: Optional[Callable[[], Optional[Dict]]] = None,
     ) -> None:
         self._snapshot_source = snapshot_source
         self._health_source = health_source
         self._gauges_source = gauges_source
         self._info_source = info_source
+        self._stages_source = stages_source
+        self._flight_source = flight_source
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.owner = self  # type: ignore[attr-defined]
@@ -121,9 +142,15 @@ class MetricsServer:
     # -- endpoint bodies (exposed for tests and the CLI) ---------------
     def render_metrics(self) -> str:
         gauges = dict(self._gauges_source()) if self._gauges_source else {}
+        stages = self._stages_source() if self._stages_source else None
         return render_prometheus(
-            self._snapshot_source(), extra_gauges=gauges
+            self._snapshot_source(), extra_gauges=gauges, stage_stats=stages
         )
+
+    def render_flightrec(self) -> Optional[Dict[str, object]]:
+        if self._flight_source is None:
+            return None
+        return self._flight_source()
 
     def render_health(self) -> tuple:
         if self._health_source is not None:

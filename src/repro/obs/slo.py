@@ -1,0 +1,294 @@
+"""SLO burn-rate engine: declarative objectives over the telemetry stream.
+
+An :class:`SLOSpec` declares what "good" means for one operation —
+an availability objective over counters (which totals, which of them are
+bad) and optionally a latency objective over one of the log2 latency
+histograms ("99% of requests under 100ms").  The :class:`SLOEngine`
+samples cumulative telemetry snapshots and turns them into **multi-window
+burn rates**, the SRE-workbook currency for paging:
+
+    ``burn = (bad fraction over the window) / (1 - objective)``
+
+Burn 1.0 spends the error budget exactly at the rate the SLO allows;
+burn 14.4 over both a short (5m) and long (1h) window is the classic
+fast-burn page condition (2% of a 30-day budget gone in an hour).  The
+short window makes the signal reset quickly once the bleeding stops; the
+long window keeps a brief blip from paging.
+
+Mechanics:
+
+* :meth:`SLOEngine.ingest` appends one cumulative sample per spec
+  (total, bad, latency total, latency violations) taken from a
+  :class:`~repro.runtime.telemetry.TelemetrySnapshot`; the clock is
+  injectable so tests can replay hours in microseconds.  Ingest is
+  self-throttling (``min_interval_s``), so wiring it into every
+  ``/metrics`` scrape is safe.
+* Latency violations are counted from the histogram's raw log2 buckets:
+  ``latency_s`` rounds down to the nearest bucket edge (a factor-of-two
+  granularity, fine for burn-rate purposes and free at record time).
+* Burn rates difference the newest sample against the oldest one inside
+  each window (falling back to the oldest sample overall while history
+  is shorter than the window).
+* :meth:`SLOEngine.gauges` exports ``slo.*`` gauges;
+  :meth:`SLOEngine.fast_burning` names the specs currently in fast burn,
+  which :meth:`RuntimeService.health_payload` folds into ``/healthz``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SLOEngine",
+    "SLOSpec",
+    "default_slos",
+    "load_slo_specs",
+]
+
+#: (label, seconds) evaluation windows, short first.
+WINDOWS: Tuple[Tuple[str, float], ...] = (("5m", 300.0), ("1h", 3600.0))
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One operation's objectives.
+
+    ``total_counters``/``bad_counters`` name cumulative telemetry
+    counters; availability is good = total - bad.  With ``latency_s``
+    set, ``latency_histogram`` names a telemetry latency histogram and
+    the objective is "``latency_objective`` of observations at most
+    ``latency_s``".
+    """
+
+    name: str
+    total_counters: Tuple[str, ...]
+    bad_counters: Tuple[str, ...] = ()
+    availability: float = 0.999
+    latency_histogram: Optional[str] = None
+    latency_s: Optional[float] = None
+    latency_objective: float = 0.99
+
+    def __post_init__(self) -> None:
+        if not self.total_counters:
+            raise ValueError(f"SLO {self.name!r} names no total counters")
+        if not 0.0 < self.availability < 1.0:
+            raise ValueError("availability objective must be in (0, 1)")
+        if not 0.0 < self.latency_objective < 1.0:
+            raise ValueError("latency objective must be in (0, 1)")
+        if (self.latency_s is None) != (self.latency_histogram is None):
+            raise ValueError(
+                "latency_s and latency_histogram must be set together"
+            )
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "SLOSpec":
+        return SLOSpec(
+            name=str(data["name"]),
+            total_counters=tuple(data["total_counters"]),
+            bad_counters=tuple(data.get("bad_counters", ())),
+            availability=float(data.get("availability", 0.999)),
+            latency_histogram=data.get("latency_histogram"),
+            latency_s=(
+                float(data["latency_s"])
+                if data.get("latency_s") is not None
+                else None
+            ),
+            latency_objective=float(data.get("latency_objective", 0.99)),
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "total_counters": list(self.total_counters),
+            "bad_counters": list(self.bad_counters),
+            "availability": self.availability,
+            "latency_histogram": self.latency_histogram,
+            "latency_s": self.latency_s,
+            "latency_objective": self.latency_objective,
+        }
+
+
+def default_slos() -> Tuple[SLOSpec, ...]:
+    """The built-in objectives for the serve path and the runtime."""
+    return (
+        SLOSpec(
+            name="serve",
+            total_counters=("net.requests",),
+            bad_counters=("net.shed", "net.lookup_errors"),
+            availability=0.999,
+            latency_histogram="net.request",
+            latency_s=0.1,
+            latency_objective=0.99,
+        ),
+        SLOSpec(
+            name="runtime",
+            total_counters=("runtime.batches",),
+            bad_counters=("runtime.shed",),
+            availability=0.999,
+            latency_histogram="runtime.batch",
+            latency_s=0.25,
+            latency_objective=0.99,
+        ),
+    )
+
+
+def load_slo_specs(path: str) -> Tuple[SLOSpec, ...]:
+    """Load SLO specs from a JSON file: ``{"slos": [{...}, ...]}`` or a
+    bare list."""
+    with open(path) as handle:
+        data = json.load(handle)
+    if isinstance(data, dict):
+        data = data.get("slos", [])
+    return tuple(SLOSpec.from_dict(item) for item in data)
+
+
+class _Sample:
+    __slots__ = ("t", "total", "bad", "lat_total", "lat_slow")
+
+    def __init__(self, t, total, bad, lat_total, lat_slow):
+        self.t = t
+        self.total = total
+        self.bad = bad
+        self.lat_total = lat_total
+        self.lat_slow = lat_slow
+
+
+def _latency_violations(stats, latency_s: float) -> Tuple[int, int]:
+    """(total, over-threshold) observations of one histogram summary,
+    with ``latency_s`` rounded down to the nearest log2 bucket edge."""
+    buckets = getattr(stats, "buckets", ()) or ()
+    within = 0
+    for index, count in enumerate(buckets):
+        if stats.bucket_upper_bound(index) <= latency_s:
+            within += count
+    return stats.count, stats.count - within
+
+
+class SLOEngine:
+    """Evaluates burn rates from cumulative telemetry samples."""
+
+    def __init__(
+        self,
+        specs: Optional[Sequence[SLOSpec]] = None,
+        fast_burn: float = 14.4,
+        min_interval_s: float = 1.0,
+        clock=time.monotonic,
+    ) -> None:
+        self.specs: Tuple[SLOSpec, ...] = tuple(
+            specs if specs is not None else default_slos()
+        )
+        if fast_burn <= 0:
+            raise ValueError("fast_burn must be > 0")
+        self.fast_burn = fast_burn
+        self.min_interval_s = min_interval_s
+        self.clock = clock
+        self._samples: Dict[str, deque] = {s.name: deque() for s in self.specs}
+        self._last_ingest: Optional[float] = None
+        # History horizon: keep a little more than the longest window so
+        # the window base sample survives eviction.
+        self._horizon = max(w for _, w in WINDOWS) * 1.25
+
+    # -- sampling ------------------------------------------------------
+    def ingest(self, snapshot, now: Optional[float] = None) -> bool:
+        """Append one sample per spec from ``snapshot`` (a
+        :class:`TelemetrySnapshot`); returns False when throttled."""
+        if now is None:
+            now = self.clock()
+        if (
+            self._last_ingest is not None
+            and now - self._last_ingest < self.min_interval_s
+        ):
+            return False
+        self._last_ingest = now
+        for spec in self.specs:
+            total = sum(snapshot.counter(c) for c in spec.total_counters)
+            bad = sum(snapshot.counter(c) for c in spec.bad_counters)
+            lat_total = lat_slow = 0
+            if spec.latency_s is not None:
+                stats = snapshot.latencies.get(spec.latency_histogram)
+                if stats is not None:
+                    lat_total, lat_slow = _latency_violations(
+                        stats, spec.latency_s
+                    )
+            ring = self._samples[spec.name]
+            ring.append(_Sample(now, total, bad, lat_total, lat_slow))
+            while ring and now - ring[0].t > self._horizon:
+                ring.popleft()
+        return True
+
+    # -- evaluation ----------------------------------------------------
+    def _window_burns(
+        self, spec: SLOSpec, window_s: float
+    ) -> Dict[str, float]:
+        ring = self._samples[spec.name]
+        if len(ring) < 2:
+            return {"availability": 0.0, "latency": 0.0}
+        latest = ring[-1]
+        base = ring[0]
+        for sample in ring:
+            if latest.t - sample.t <= window_s:
+                base = sample
+                break
+        out = {"availability": 0.0, "latency": 0.0}
+        d_total = latest.total - base.total
+        if d_total > 0:
+            bad_fraction = (latest.bad - base.bad) / d_total
+            out["availability"] = bad_fraction / (1.0 - spec.availability)
+        d_lat = latest.lat_total - base.lat_total
+        if spec.latency_s is not None and d_lat > 0:
+            slow_fraction = (latest.lat_slow - base.lat_slow) / d_lat
+            out["latency"] = slow_fraction / (1.0 - spec.latency_objective)
+        return out
+
+    def burn_rates(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """``{spec: {window: {availability: burn, latency: burn}}}``."""
+        return {
+            spec.name: {
+                label: self._window_burns(spec, seconds)
+                for label, seconds in WINDOWS
+            }
+            for spec in self.specs
+        }
+
+    def fast_burning(self) -> List[str]:
+        """Specs burning faster than ``fast_burn`` on *every* window
+        (either objective) — the page-now condition."""
+        burning = []
+        for spec in self.specs:
+            burns = [self._window_burns(spec, s) for _, s in WINDOWS]
+            for objective in ("availability", "latency"):
+                if all(b[objective] >= self.fast_burn for b in burns):
+                    burning.append(spec.name)
+                    break
+        return burning
+
+    def gauges(self) -> Dict[str, float]:
+        """Flat ``slo.*`` gauges for ``/metrics``."""
+        out: Dict[str, float] = {}
+        burning = set(self.fast_burning())
+        for spec_name, windows in self.burn_rates().items():
+            for label, burns in windows.items():
+                out[f"slo.{spec_name}.availability_burn_{label}"] = burns[
+                    "availability"
+                ]
+                out[f"slo.{spec_name}.latency_burn_{label}"] = burns[
+                    "latency"
+                ]
+            out[f"slo.{spec_name}.fast_burn"] = (
+                1.0 if spec_name in burning else 0.0
+            )
+        return out
+
+    def status(self) -> Dict[str, object]:
+        """JSON-ready evaluation (for ``/healthz`` payloads and the CLI
+        dashboard)."""
+        return {
+            "fast_burn_threshold": self.fast_burn,
+            "fast_burning": self.fast_burning(),
+            "burn_rates": self.burn_rates(),
+            "specs": [spec.as_dict() for spec in self.specs],
+        }

@@ -35,7 +35,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, NamedTuple, Optional, Sequence, Union
 
 __all__ = [
     "NULL_TRACER",
@@ -47,16 +47,17 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class SpanContext:
+class SpanContext(NamedTuple):
     """The picklable identity of a span: enough to parent a child under
-    it from another thread or process."""
+    it from another thread or process.  A NamedTuple — one is built per
+    traced server request, where frozen-dataclass construction is too
+    slow."""
 
     trace_id: int
     span_id: int
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One finished (or in-flight) span.
 
@@ -154,6 +155,18 @@ class Tracer:
         worker-side span's ``parent``."""
         return self._current.get()
 
+    def activate(self, context: Optional[SpanContext]):
+        """Make ``context`` the ambient parent in the *current* execution
+        context, without opening a span.  Returns a token for
+        :meth:`deactivate`.  This is how an executor thread (which does
+        not inherit the event loop's contextvars) adopts the request
+        span before running nested ``with tracer.span(...)`` blocks."""
+        return self._current.set(context)
+
+    def deactivate(self, token) -> None:
+        """Undo a matching :meth:`activate` (same thread/task only)."""
+        self._current.reset(token)
+
     # -- span creation -------------------------------------------------
     def span(
         self,
@@ -187,6 +200,55 @@ class Tracer:
             tags=dict(tags) if tags else {},
         )
         return _ActiveSpan(self, span)
+
+    def start_span(
+        self,
+        name: str,
+        parent: Union[Span, SpanContext, None] = None,
+        **tags: object,
+    ) -> Span:
+        """Open a span *without* touching the context variable.
+
+        For lifetimes that cross asyncio tasks (a server request span is
+        born in the connection task and finished after the batch task
+        responds): a contextvar token cannot be reset from another task,
+        so the caller keeps the :class:`Span`, passes its ``.context``
+        explicitly where nesting is needed, and calls :meth:`finish`.
+
+        This pair runs once per served request, so it builds the Span
+        directly instead of going through :meth:`span`'s context-manager
+        machinery.
+        """
+        if parent is None:
+            parent = self._current.get()
+        if parent is None:
+            trace_id = self._rng.getrandbits(63)
+            parent_id = None
+        else:  # Span and SpanContext both expose trace_id/span_id
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        return Span(
+            trace_id,
+            next(self._ids),
+            parent_id,
+            name,
+            self._epoch_wall + (time.perf_counter() - self._epoch_mono),
+            0.0,
+            os.getpid(),
+            threading.get_ident(),
+            tags,
+        )
+
+    def finish(self, span: Span) -> None:
+        """Close a :meth:`start_span` span: compute its duration from the
+        recorded start and land it in the ring buffer."""
+        now = self._epoch_wall + (time.perf_counter() - self._epoch_mono)
+        duration = now - span.start
+        span.duration = duration if duration > 0.0 else 0.0
+        with self._lock:
+            if len(self._store) == self.capacity:
+                self.dropped += 1
+            self._store.append(span)
 
     def event(
         self,
@@ -258,8 +320,20 @@ class NullTracer:
     def current_context(self) -> None:
         return None
 
+    def activate(self, context) -> None:
+        return None
+
+    def deactivate(self, token) -> None:
+        pass
+
     def span(self, name: str, parent=None, **tags):
         return self._NULL
+
+    def start_span(self, name: str, parent=None, **tags) -> None:
+        return None
+
+    def finish(self, span) -> None:
+        pass
 
     def event(self, name: str, parent=None, **tags) -> None:
         return None

@@ -158,6 +158,16 @@ class RuntimeService:
         #: Set by repro.net.NetServer when one fronts this service, so
         #: wire gauges ride the same /metrics exposition.
         self.net = None
+        #: Optional repro.obs.slo.SLOEngine; when set, burn-rate gauges
+        #: ride /metrics and a fast burn degrades /healthz.
+        self.slo = None
+        if self.injector.enabled and self.telemetry.tracer is not None:
+            # Chaos injections become trace events on the active span, so
+            # a flight-recorder entry shows *which* fault fired inside it.
+            # The tracer rides only this in-process reference — the
+            # injector's __reduce__/__deepcopy__ paths never carry it to
+            # shard workers.
+            self.injector.tracer = self.telemetry.tracer
         self.shards: Optional[ShardedRuntime] = None
         if self.config.num_shards > 1:
             if self.config.shard_mode == "process":
@@ -389,12 +399,15 @@ class RuntimeService:
             )
             for name, seconds in stages:
                 gauges[f"build.stage.{name}"] = float(seconds)
+        if self.slo is not None:
+            self.slo.ingest(self.telemetry.snapshot())
+            gauges.update(self.slo.gauges())
         return gauges
 
     def health_payload(self) -> tuple:
         """(healthy, payload) for ``/healthz``: healthy while the health
-        ladder sits at the top and the real engine serves; 503 with the
-        degradation detail otherwise."""
+        ladder sits at the top, the real engine serves, and no SLO is
+        fast-burning; 503 with the degradation detail otherwise."""
         state = self.health.state
         degraded = self.swap.degraded
         healthy = state is HealthState.HEALTHY and not degraded
@@ -404,13 +417,22 @@ class RuntimeService:
             status = "degraded"  # fallback engine serving, ladder clean
         else:
             status = state.label
-        return healthy, {
+        payload = {
             "status": status,
             "health": state.label,
             "quarantined": self.swap.quarantined,
             "generation": self.swap.generation,
             "rules": len(self.swap),
         }
+        if self.slo is not None:
+            self.slo.ingest(self.telemetry.snapshot())
+            burning = self.slo.fast_burning()
+            if burning:
+                payload["slo_fast_burn"] = burning
+                if healthy:
+                    healthy = False
+                    payload["status"] = "slo-burn"
+        return healthy, payload
 
     # Backwards-compatible alias (pre-health-ladder name).
     health_check = health_payload
@@ -432,6 +454,19 @@ class RuntimeService:
             health_source=self.health_payload,
             gauges_source=self.gauges,
             info_source=self.info_payload,
+            # Late-bound through self.net: a NetServer attached after
+            # serve_metrics() still gets its waterfall + flight recorder
+            # exposed.
+            stages_source=lambda: (
+                self.net.stages.stage_stats()
+                if self.net is not None and self.net.stages is not None
+                else None
+            ),
+            flight_source=lambda: (
+                self.net.flightrec.dump()
+                if self.net is not None and self.net.flightrec is not None
+                else None
+            ),
         )
         return self.metrics_server
 

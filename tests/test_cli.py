@@ -285,3 +285,41 @@ class TestServeClient:
         rc = main(["client", small_txt, "--port", str(port),
                    "--packets", "10", "--wait-s", "0.2"])
         assert rc == 2
+
+
+class TestFlightrec:
+    @pytest.fixture
+    def dump_file(self, tmp_path):
+        from repro.obs import FlightRecorder
+
+        recorder = FlightRecorder()
+        recorder.note(
+            7,
+            0xFACE,
+            "shed",
+            total_s=2e-3,
+            stages=lambda: {"queue_wait": 1.5e-3},
+            state=lambda: {"health": "healthy"},
+            error="watermark",
+        )
+        path = tmp_path / "dump.json"
+        path.write_text(json.dumps(recorder.dump()))
+        return str(path)
+
+    def test_renders_dump_file(self, dump_file, capsys):
+        assert main(["flightrec", dump_file]) == 0
+        out = capsys.readouterr().out
+        assert "retained shed=1" in out
+        assert f"{0xFACE:016x}" in out
+        assert "queue_wait=1500us" in out
+        assert "health=healthy" in out
+        assert "error:  watermark" in out
+
+    def test_json_passthrough(self, dump_file, capsys):
+        assert main(["flightrec", dump_file, "--json"]) == 0
+        dump = json.loads(capsys.readouterr().out)
+        assert dump["retained"] == {"shed": 1}
+
+    def test_unreachable_endpoint_fails_cleanly(self, capsys):
+        assert main(["flightrec", "http://127.0.0.1:1", "--json"]) == 2
+        assert "could not fetch" in capsys.readouterr().err

@@ -1,0 +1,174 @@
+"""FlightRecorder retention policy: anomalies always kept, normals
+sampled, slow upgrades self-calibrating, lazy harvest on the happy
+path."""
+
+import pytest
+
+from repro.obs.flightrec import ANOMALOUS_VERDICTS, FlightRecorder
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)
+    with pytest.raises(ValueError):
+        FlightRecorder(normal_capacity=0)
+    with pytest.raises(ValueError):
+        FlightRecorder(normal_sample=0)
+    with pytest.raises(ValueError):
+        FlightRecorder(slow_quantile=1.0)
+
+
+def test_unknown_verdict_rejected():
+    with pytest.raises(ValueError, match="unknown verdict"):
+        FlightRecorder().note(1, 0, "weird")
+
+
+class TestRetention:
+    def test_every_anomalous_verdict_always_retained(self):
+        recorder = FlightRecorder()
+        for i, verdict in enumerate(sorted(ANOMALOUS_VERDICTS)):
+            assert recorder.note(i, 0, verdict) == verdict
+        verdicts = {e.verdict for e in recorder.entries()}
+        assert verdicts == ANOMALOUS_VERDICTS
+        assert len(recorder) == len(ANOMALOUS_VERDICTS)
+
+    def test_normals_trickle_at_sample_rate(self):
+        recorder = FlightRecorder(normal_sample=4)
+        retained = [
+            recorder.note(i, 0, "ok", total_s=1e-3) for i in range(12)
+        ]
+        # 1-in-4: requests 0, 4, 8.
+        assert [v is not None for v in retained] == [
+            i % 4 == 0 for i in range(12)
+        ]
+        assert all(e.verdict == "ok" for e in recorder.entries())
+
+    def test_normal_flood_cannot_evict_anomalies(self):
+        """The rings are separate: any volume of healthy traffic leaves
+        the anomaly you are hunting in place."""
+        recorder = FlightRecorder(
+            capacity=4, normal_capacity=2, normal_sample=1
+        )
+        recorder.note(1, 0, "shed")
+        recorder.note(2, 0, "error")
+        for i in range(100):
+            recorder.note(100 + i, 0, "ok", total_s=1e-3)
+        verdicts = [e.verdict for e in recorder.entries()]
+        assert verdicts.count("shed") == 1
+        assert verdicts.count("error") == 1
+        assert verdicts.count("ok") == 2  # bounded by normal_capacity
+
+    def test_anomalous_ring_bounded_newest_kept(self):
+        recorder = FlightRecorder(capacity=3)
+        for i in range(5):
+            recorder.note(i, 0, "shed")
+        anomalous = [
+            e.request_id for e in recorder.entries() if e.verdict == "shed"
+        ]
+        assert anomalous == [4, 3, 2]  # newest first, oldest evicted
+
+
+class TestSlowUpgrade:
+    def test_ok_upgrades_to_slow_after_warmup(self):
+        recorder = FlightRecorder(warmup=50, normal_sample=1000)
+        for i in range(60):
+            recorder.note(i, 0, "ok", total_s=1e-3)
+        threshold = recorder.slow_threshold_s()
+        assert threshold is not None and threshold < 0.1
+        # 100x the steady-state latency: retained as "slow" even though
+        # the caller said "ok".
+        assert recorder.note(999, 0, "ok", total_s=0.1) == "slow"
+        assert any(
+            e.verdict == "slow" and e.request_id == 999
+            for e in recorder.entries()
+        )
+
+    def test_no_slow_verdicts_during_warmup(self):
+        recorder = FlightRecorder(warmup=100, normal_sample=1000)
+        assert recorder.slow_threshold_s() is None
+        # Far slower than anything else, but the threshold is not armed.
+        assert recorder.note(1, 0, "ok", total_s=10.0) == "ok"
+
+
+class TestLazyHarvest:
+    def test_callables_invoked_only_on_retention(self):
+        recorder = FlightRecorder(normal_sample=2)
+        calls = []
+
+        def harvest(name):
+            def inner():
+                calls.append(name)
+                return {name: True}
+
+            return inner
+
+        # Sampled in (tick 1) then sampled out (tick 2).
+        assert (
+            recorder.note(
+                1,
+                0,
+                "ok",
+                stages=harvest("stages"),
+                spans=harvest("spans"),
+                state=harvest("state"),
+            )
+            == "ok"
+        )
+        assert calls == ["stages", "spans", "state"]
+        calls.clear()
+        assert (
+            recorder.note(
+                2,
+                0,
+                "ok",
+                stages=harvest("stages"),
+                spans=harvest("spans"),
+                state=harvest("state"),
+            )
+            is None
+        )
+        assert calls == []  # unretained happy path harvests nothing
+
+    def test_harvested_values_land_on_the_entry(self):
+        recorder = FlightRecorder()
+        recorder.note(
+            7,
+            0xFACE,
+            "error",
+            total_s=2e-3,
+            stages=lambda: {"lookup": 1e-3},
+            spans=lambda: [{"name": "net.request"}],
+            state=lambda: {"health": "degraded"},
+            reason="boom",
+        )
+        entry = recorder.entries()[0]
+        assert entry.trace_id == 0xFACE
+        assert entry.stages == {"lookup": 1e-3}
+        assert entry.spans == [{"name": "net.request"}]
+        assert entry.state == {"health": "degraded"}
+        assert entry.tags == {"reason": "boom"}
+
+
+class TestDump:
+    def test_dump_shape(self):
+        recorder = FlightRecorder(normal_sample=1)
+        recorder.note(1, 0, "shed")
+        recorder.note(2, 0, "ok", total_s=1e-3)
+        dump = recorder.dump()
+        assert dump["seen"] == 2
+        assert dump["retained"] == {"shed": 1, "ok": 1}
+        assert dump["capacity"] == recorder.capacity
+        assert [e["verdict"] for e in dump["anomalous"]] == ["shed"]
+        assert [e["verdict"] for e in dump["normal"]] == ["ok"]
+        entry = dump["anomalous"][0]
+        assert set(entry) == {
+            "request_id",
+            "trace_id",
+            "verdict",
+            "wall_time",
+            "total_s",
+            "stages_s",
+            "spans",
+            "state",
+            "tags",
+        }

@@ -12,6 +12,8 @@ from repro.obs.heat import (
     HEAT_REPORT_VERSION,
     HeatProfiler,
     load_heat_report,
+    render_net_panel,
+    render_slo_panel,
     render_top,
     rule_weights,
 )
@@ -215,3 +217,47 @@ class TestCacheIntegration:
         hot_kept = sum(1 for idx in dropped if idx in kept_hot)
         cold_kept = sum(1 for idx in dropped if idx in kept_cold)
         assert hot_kept > cold_kept
+
+
+class TestNetPanel:
+    def test_empty_without_wire_traffic(self):
+        assert render_net_panel({}) == ""
+        assert render_net_panel({"engine.lookups": 5}) == ""
+
+    def test_renders_rate_coalesce_and_sheds(self):
+        text = render_net_panel(
+            {
+                "net.requests": 1000,
+                "net.lookups": 250,
+                "net.shed": 3,
+                "net.drains": 1,
+            },
+            gauges={"net.inflight": 7},
+            elapsed_s=2.0,
+        )
+        assert "500 req/s" in text
+        assert "inflight=7" in text
+        assert "coalesce=4.00x" in text
+        assert "shed=3" in text
+
+
+class TestSloPanel:
+    def test_empty_without_slo_gauges(self):
+        assert render_slo_panel(None) == ""
+        assert render_slo_panel({"net.inflight": 1.0}) == ""
+
+    def test_renders_burns_and_fast_burn_marker(self):
+        gauges = {
+            "slo.serve.availability_burn_5m": 60.0,
+            "slo.serve.availability_burn_1h": 60.0,
+            "slo.serve.latency_burn_5m": 0.25,
+            "slo.serve.latency_burn_1h": 0.25,
+            "slo.serve.fast_burn": 1.0,
+        }
+        text = render_slo_panel(gauges)
+        assert "serve" in text
+        assert "5m=60.00" in text
+        assert "FAST BURN" in text
+        calm = dict(gauges)
+        calm["slo.serve.fast_burn"] = 0.0
+        assert "FAST BURN" not in render_slo_panel(calm)

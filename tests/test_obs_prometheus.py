@@ -126,3 +126,107 @@ class TestRoundTrip:
     def test_empty_snapshot_renders(self):
         text = render_prometheus(Telemetry().snapshot())
         assert isinstance(text, str)
+
+
+class TestHelpCoverage:
+    """Every exported family must carry HELP/TYPE, and the serving-path
+    families must carry *curated* (non-generic) HELP — dashboards alert
+    on them, so the exposition has to say what each one means."""
+
+    @staticmethod
+    def _families(text):
+        """{family: help_text} from HELP lines, plus the set of sample
+        family names (histogram suffixes folded onto their family)."""
+        helped = {}
+        typed = set()
+        samples = set()
+        for line in text.splitlines():
+            if line.startswith("# HELP "):
+                _, _, rest = line.partition("# HELP ")
+                name, _, help_text = rest.partition(" ")
+                helped[name] = help_text
+            elif line.startswith("# TYPE "):
+                typed.add(line.split()[2])
+            elif line and not line.startswith("#"):
+                name = line.split("{", 1)[0].split(" ", 1)[0]
+                for suffix in ("_bucket", "_count", "_sum"):
+                    if name.endswith(suffix):
+                        name = name[: -len(suffix)]
+                        break
+                samples.add(name)
+        return helped, typed, samples
+
+    def _full_exposition(self):
+        tel = Telemetry()
+        for counter in (
+            "net.requests",
+            "net.lookups",
+            "net.shed",
+            "net.coalesced_requests",
+            "lookup.backend.interval.probes",
+            "lookup.backend.learned.candidates",
+            "engine.group_probes",
+        ):
+            tel.incr(counter, 3)
+        tel.observe("net.request", 0.002)
+        stage_stats = {
+            "lookup": {
+                "count": 1,
+                "sum_s": 1e-3,
+                "buckets": tuple(
+                    1 if i == 10 else 0 for i in range(40)
+                ),
+                "exemplars": {10: 0xBEEF},
+            }
+        }
+        gauges = {
+            "net.inflight": 2.0,
+            "slo.serve.availability_burn_5m": 0.5,
+            "slo.serve.fast_burn": 0.0,
+        }
+        return render_prometheus(
+            tel.snapshot(), extra_gauges=gauges, stage_stats=stage_stats
+        )
+
+    def test_every_family_has_help_and_type(self):
+        helped, typed, samples = self._families(self._full_exposition())
+        assert samples  # the exposition is not empty
+        missing_help = samples - set(helped)
+        missing_type = samples - typed
+        assert not missing_help, f"families without HELP: {missing_help}"
+        assert not missing_type, f"families without TYPE: {missing_type}"
+
+    def test_serving_families_have_curated_help(self):
+        helped, _, _ = self._families(self._full_exposition())
+        curated = {
+            "saxpac_net_requests_total",
+            "saxpac_net_lookups_total",
+            "saxpac_net_shed_total",
+            "saxpac_net_coalesced_requests_total",
+            "saxpac_lookup_backend_interval_probes_total",
+            "saxpac_lookup_backend_learned_candidates_total",
+            "saxpac_net_request_latency_seconds",
+            "saxpac_stage_lookup_seconds",
+            "saxpac_net_inflight",
+            "saxpac_slo_serve_availability_burn_5m",
+            "saxpac_slo_serve_fast_burn",
+        }
+        for family in curated:
+            help_text = helped[family]
+            assert not help_text.startswith(
+                ("Pipeline counter", "Runtime gauge", "Latency of pipeline")
+            ), f"{family} fell back to generic HELP: {help_text!r}"
+
+    def test_stage_histogram_carries_exemplar_trace_id(self):
+        text = self._full_exposition()
+        exemplar_lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("saxpac_stage_lookup_seconds_bucket")
+            and "# {trace_id=" in line
+        ]
+        assert len(exemplar_lines) == 1
+        assert f'trace_id="{0xBEEF:x}"' in exemplar_lines[0]
+        # Exemplars must not confuse the parser.
+        parsed = parse_exposition(text)
+        assert parsed["saxpac_stage_lookup_seconds_count"][""] == 1.0

@@ -143,3 +143,67 @@ class TestServiceIntegration:
             assert json.loads(health)["status"] == "ok"
         # close() stopped the server.
         assert service.metrics_server is None
+
+
+class TestFlightRecorderEndpoint:
+    def test_404_without_recorder(self, telemetry):
+        with MetricsServer(telemetry.snapshot) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"{server.url}/flightrecorder")
+            assert excinfo.value.code == 404
+            assert "flight recorder" in json.loads(excinfo.value.read()).get(
+                "error", ""
+            )
+
+    def test_dump_served_when_attached(self, telemetry):
+        from repro.obs.flightrec import FlightRecorder
+
+        recorder = FlightRecorder()
+        recorder.note(
+            7,
+            0xFACE,
+            "shed",
+            total_s=2e-3,
+            stages=lambda: {"queue_wait": 1.5e-3},
+        )
+        with MetricsServer(
+            telemetry.snapshot, flight_source=recorder.dump
+        ) as server:
+            status, headers, body = _get(f"{server.url}/flightrecorder")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        dump = json.loads(body)
+        assert dump["retained"] == {"shed": 1}
+        assert dump["anomalous"][0]["request_id"] == 7
+        assert dump["anomalous"][0]["stages_s"] == {"queue_wait": 1.5e-3}
+
+    def test_wire_server_anomalies_reach_the_endpoint(self):
+        """End to end: a request shed by the wire server must surface in
+        the /flightrecorder dump that the service's metrics endpoint
+        serves — the CI soak artifact depends on this path."""
+        import random
+
+        from conftest import random_classifier
+        from repro.net import NetClient, NetConfig, serve_background
+        from repro.runtime.service import RuntimeService
+        from repro.workloads.traces import generate_trace
+
+        classifier = random_classifier(random.Random(5), num_rules=30)
+        service = RuntimeService(classifier)
+        handle = serve_background(service, NetConfig(coalesce_wait_ms=0.0))
+        try:
+            metrics = service.serve_metrics()
+            headers = generate_trace(classifier, 20, seed=3)
+            with NetClient(port=handle.port) as client:
+                client.match_batch(headers)
+            # The normal ring samples the first request deterministically
+            # (tick 1 of 1-in-128), so one served request is retained.
+            status, _, body = _get(f"{metrics.url}/flightrecorder")
+            assert status == 200
+            dump = json.loads(body)
+            assert dump["seen"] >= 1
+            assert dump["retained"].get("ok", 0) >= 1
+            entry = dump["normal"][0]
+            assert entry["stages_s"]  # waterfall rode along
+        finally:
+            handle.stop()

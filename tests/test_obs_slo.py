@@ -1,0 +1,233 @@
+"""SLO engine: spec validation, multi-window burn math on an injected
+clock, fast-burn detection, gauge export, and /healthz degradation."""
+
+import json
+import random
+
+import pytest
+
+from conftest import random_classifier
+from repro.obs.slo import (
+    WINDOWS,
+    SLOEngine,
+    SLOSpec,
+    default_slos,
+    load_slo_specs,
+)
+from repro.runtime.service import RuntimeService
+from repro.runtime.telemetry import Telemetry
+
+
+class FakeSnapshot:
+    """Just enough TelemetrySnapshot surface for SLOEngine.ingest."""
+
+    def __init__(self, counters, latencies=None):
+        self._counters = dict(counters)
+        self.latencies = dict(latencies or {})
+
+    def counter(self, name):
+        return self._counters.get(name, 0)
+
+
+class FakeHistogram:
+    def __init__(self, buckets, count, total=0.0):
+        self.buckets = tuple(buckets)
+        self.count = count
+        self.total = total
+
+    @staticmethod
+    def bucket_upper_bound(index):
+        return float(1 << index) / 1e6
+
+
+def spec(**overrides):
+    base = dict(
+        name="serve",
+        total_counters=("net.requests",),
+        bad_counters=("net.shed",),
+        availability=0.99,
+    )
+    base.update(overrides)
+    return SLOSpec(**base)
+
+
+class FakeClock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+
+def engine(*specs_, **kwargs):
+    clock = FakeClock()
+    kwargs.setdefault("min_interval_s", 0.0)
+    return SLOEngine(specs=specs_ or None, clock=clock, **kwargs), clock
+
+
+class TestSpec:
+    def test_requires_total_counters(self):
+        with pytest.raises(ValueError, match="total counters"):
+            SLOSpec(name="x", total_counters=())
+
+    def test_objectives_must_be_fractions(self):
+        with pytest.raises(ValueError):
+            spec(availability=1.0)
+        with pytest.raises(ValueError):
+            spec(
+                latency_histogram="net.request",
+                latency_s=0.1,
+                latency_objective=0.0,
+            )
+
+    def test_latency_fields_set_together(self):
+        with pytest.raises(ValueError, match="together"):
+            spec(latency_s=0.1)
+
+    def test_dict_round_trip(self):
+        original = spec(latency_histogram="net.request", latency_s=0.1)
+        assert SLOSpec.from_dict(original.as_dict()) == original
+
+    def test_default_slos_cover_serve_and_runtime(self):
+        names = [s.name for s in default_slos()]
+        assert names == ["serve", "runtime"]
+
+    def test_load_specs_wrapped_and_bare(self, tmp_path):
+        items = [spec().as_dict()]
+        wrapped = tmp_path / "wrapped.json"
+        wrapped.write_text(json.dumps({"slos": items}))
+        bare = tmp_path / "bare.json"
+        bare.write_text(json.dumps(items))
+        assert load_slo_specs(str(wrapped)) == (spec(),)
+        assert load_slo_specs(str(bare)) == (spec(),)
+
+
+class TestBurnRates:
+    def test_single_sample_burns_nothing(self):
+        eng, _ = engine(spec())
+        eng.ingest(FakeSnapshot({"net.requests": 100, "net.shed": 100}))
+        burns = eng.burn_rates()["serve"]
+        assert all(
+            burns[label]["availability"] == 0.0 for label, _ in WINDOWS
+        )
+        assert eng.fast_burning() == []
+
+    def test_availability_burn_math(self):
+        """60% errors against a 1% budget is a burn of 60 on every
+        window — the textbook fast-burn page."""
+        eng, clock = engine(spec())
+        eng.ingest(FakeSnapshot({"net.requests": 0, "net.shed": 0}))
+        clock.now += 60
+        eng.ingest(FakeSnapshot({"net.requests": 100, "net.shed": 60}))
+        burns = eng.burn_rates()["serve"]
+        for label, _ in WINDOWS:
+            assert burns[label]["availability"] == pytest.approx(60.0)
+        assert eng.fast_burning() == ["serve"]
+
+    def test_short_window_resets_once_bleeding_stops(self):
+        """After the incident, the 5m window's base sample moves past the
+        bad period and its burn collapses — so fast-burn (which needs
+        every window hot) clears quickly."""
+        eng, clock = engine(spec())
+        eng.ingest(FakeSnapshot({"net.requests": 0, "net.shed": 0}))
+        clock.now += 60
+        eng.ingest(FakeSnapshot({"net.requests": 100, "net.shed": 60}))
+        assert eng.fast_burning() == ["serve"]
+        # Ten clean minutes: plenty of healthy traffic, no new errors.
+        clock.now += 600
+        eng.ingest(FakeSnapshot({"net.requests": 2000, "net.shed": 60}))
+        burns = eng.burn_rates()["serve"]
+        assert burns["5m"]["availability"] == 0.0
+        assert burns["1h"]["availability"] > 0.0  # still remembers
+        assert eng.fast_burning() == []
+
+    def test_latency_burn_from_histogram_buckets(self):
+        slo = spec(
+            bad_counters=(),
+            latency_histogram="net.request",
+            # Bucket upper bounds are 2^i us; 1024us keeps buckets <= 10
+            # inside the objective.
+            latency_s=1024e-6,
+        )
+        eng, clock = engine(slo)
+        eng.ingest(FakeSnapshot({"net.requests": 0}))
+        clock.now += 60
+        buckets = [0] * 40
+        buckets[5] = 800  # fast: 32us
+        buckets[20] = 200  # slow: ~1s
+        eng.ingest(
+            FakeSnapshot(
+                {"net.requests": 1000},
+                latencies={"net.request": FakeHistogram(buckets, 1000)},
+            )
+        )
+        burns = eng.burn_rates()["serve"]
+        # 20% over threshold against a 1% latency budget.
+        for label, _ in WINDOWS:
+            assert burns[label]["latency"] == pytest.approx(20.0)
+        assert eng.fast_burning() == ["serve"]
+
+    def test_ingest_throttles_below_min_interval(self):
+        eng, clock = engine(spec(), min_interval_s=5.0)
+        assert eng.ingest(FakeSnapshot({"net.requests": 1})) is True
+        clock.now += 1.0
+        assert eng.ingest(FakeSnapshot({"net.requests": 2})) is False
+        clock.now += 5.0
+        assert eng.ingest(FakeSnapshot({"net.requests": 3})) is True
+
+    def test_history_bounded_by_horizon(self):
+        eng, clock = engine(spec())
+        for _ in range(200):
+            clock.now += 60
+            eng.ingest(FakeSnapshot({"net.requests": 1}))
+        ring = eng._samples["serve"]
+        assert ring[-1].t - ring[0].t <= 3600 * 1.25
+
+
+class TestExport:
+    def test_gauges_per_spec_window_and_objective(self):
+        eng, clock = engine(spec())
+        eng.ingest(FakeSnapshot({"net.requests": 0, "net.shed": 0}))
+        clock.now += 60
+        eng.ingest(FakeSnapshot({"net.requests": 100, "net.shed": 60}))
+        gauges = eng.gauges()
+        assert set(gauges) == {
+            "slo.serve.availability_burn_5m",
+            "slo.serve.availability_burn_1h",
+            "slo.serve.latency_burn_5m",
+            "slo.serve.latency_burn_1h",
+            "slo.serve.fast_burn",
+        }
+        assert gauges["slo.serve.availability_burn_5m"] == pytest.approx(60.0)
+        assert gauges["slo.serve.fast_burn"] == 1.0
+
+    def test_status_is_json_ready(self):
+        eng, _ = engine(spec())
+        status = eng.status()
+        assert status["fast_burn_threshold"] == 14.4
+        assert status["fast_burning"] == []
+        assert status["specs"] == [spec().as_dict()]
+        json.dumps(status)  # must serialize as-is
+
+
+class TestHealthzIntegration:
+    def test_fast_burn_degrades_health_payload(self):
+        """An injected fast burn must flip /healthz to 503/slo-burn even
+        while the health ladder itself is green."""
+        classifier = random_classifier(random.Random(3), num_rules=10)
+        service = RuntimeService(classifier, recorder=Telemetry())
+        try:
+            service.slo = SLOEngine(specs=[spec()], min_interval_s=0.0)
+            healthy, payload = service.health_payload()
+            assert healthy and payload["status"] == "ok"
+            # 60% of requests shed since the baseline sample.
+            service.telemetry.incr("net.requests", 100)
+            service.telemetry.incr("net.shed", 60)
+            healthy, payload = service.health_payload()
+            assert healthy is False
+            assert payload["status"] == "slo-burn"
+            assert payload["slo_fast_burn"] == ["serve"]
+            gauges = service.gauges()
+            assert gauges["slo.serve.fast_burn"] == 1.0
+        finally:
+            service.close()

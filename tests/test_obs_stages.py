@@ -1,0 +1,143 @@
+"""StageWaterfall: ticket recording, the commit_row fast path, ring
+reuse, and the per-stage log2 aggregates with exemplar trace ids."""
+
+import pytest
+
+from repro.obs.stages import STAGES, StageWaterfall
+
+
+def test_capacity_validated():
+    with pytest.raises(ValueError):
+        StageWaterfall(capacity=0)
+
+
+class TestTicketFlow:
+    def test_open_record_commit_roundtrip(self):
+        wf = StageWaterfall(capacity=8)
+        ticket = wf.open(request_id=7, trace_id=0xBEEF)
+        wf.record(ticket, "decode", 1e-6)
+        wf.record(ticket, "lookup", 5e-6)
+        wf.record(ticket, "lookup", 4e-6)  # last write wins
+        wf.add(ticket, "write", 1e-6)
+        wf.add(ticket, "write", 2e-6)  # add accumulates
+        wf.commit(ticket)
+        record = wf.lookup(7)
+        assert record is not None
+        assert record.trace_id == 0xBEEF
+        assert record.stages == {
+            "decode": 1e-6,
+            "lookup": 4e-6,
+            "write": pytest.approx(3e-6),
+        }
+        assert record.total_s == pytest.approx(8e-6)
+        assert wf.committed_total == 1
+
+    def test_open_row_visible_to_peek_but_not_lookup(self):
+        wf = StageWaterfall(capacity=8)
+        ticket = wf.open(request_id=9, trace_id=1)
+        wf.record(ticket, "queue_wait", 2e-6)
+        # The flight recorder peeks in-flight rows...
+        assert wf.peek(ticket).stages == {"queue_wait": 2e-6}
+        # ...but lookup only serves committed ones.
+        assert wf.lookup(9) is None
+        assert wf.committed_total == 0
+
+    def test_reopened_row_starts_clean(self):
+        wf = StageWaterfall(capacity=1)
+        ticket = wf.open(request_id=1)
+        wf.record(ticket, "decode", 9e-6)
+        wf.commit(ticket)
+        ticket = wf.open(request_id=2)  # same row, recycled
+        wf.record(ticket, "encode", 1e-6)
+        wf.commit(ticket)
+        record = wf.lookup(2)
+        assert record.stages == {"encode": 1e-6}  # no stale decode
+        assert wf.lookup(1) is None  # overwritten
+
+    def test_lookup_returns_most_recent_commit_for_id(self):
+        wf = StageWaterfall(capacity=8)
+        for seconds in (1e-6, 2e-6):
+            ticket = wf.open(request_id=5)
+            wf.record(ticket, "lookup", seconds)
+            wf.commit(ticket)
+        assert wf.lookup(5).stages == {"lookup": 2e-6}
+
+
+class TestCommitRow:
+    def test_single_call_matches_ticket_dance(self):
+        """commit_row (the serving fast path) publishes exactly what the
+        equivalent open/record/commit sequence would."""
+        row = [1e-6, 2e-6, 0.0, 4e-6, 0.0, 6e-6]
+        fast = StageWaterfall(capacity=8)
+        fast.commit_row(11, 0xCAFE, list(row))
+        slow = StageWaterfall(capacity=8)
+        ticket = slow.open(11, 0xCAFE)
+        for name, seconds in zip(STAGES, row):
+            slow.record(ticket, name, seconds)
+        slow.commit(ticket)
+        assert fast.lookup(11).stages == slow.lookup(11).stages
+        assert fast.stage_stats() == slow.stage_stats()
+
+    def test_rejects_wrong_arity(self):
+        wf = StageWaterfall(capacity=4)
+        with pytest.raises(ValueError, match="stages"):
+            wf.commit_row(1, 0, [1e-6, 2e-6])
+
+    def test_rows_interleave_with_tickets(self):
+        wf = StageWaterfall(capacity=4)
+        ticket = wf.open(1)
+        wf.commit_row(2, 0, [0.0, 0.0, 0.0, 3e-6, 0.0, 0.0])
+        wf.record(ticket, "decode", 1e-6)
+        wf.commit(ticket)
+        assert wf.lookup(1).stages == {"decode": 1e-6}
+        assert wf.lookup(2).stages == {"lookup": 3e-6}
+
+
+class TestAggregates:
+    def test_stage_stats_buckets_and_exemplars(self):
+        wf = StageWaterfall(capacity=8)
+        # 3us lands in bucket index 2 ((2, 4] microseconds).
+        wf.commit_row(1, 0x77, [0.0, 0.0, 0.0, 3e-6, 0.0, 0.0])
+        stats = wf.stage_stats()
+        assert set(stats) == set(STAGES)
+        lookup = stats["lookup"]
+        assert lookup["count"] == 1
+        assert lookup["sum_s"] == pytest.approx(3e-6)
+        assert lookup["buckets"][2] == 1
+        assert sum(lookup["buckets"]) == 1
+        assert lookup["exemplars"] == {2: 0x77}
+        assert wf.bucket_upper_bound(2) == pytest.approx(4e-6)
+        # Untouched stages stay empty.
+        assert stats["decode"]["count"] == 0
+        assert stats["decode"]["exemplars"] == {}
+
+    def test_zero_trace_id_leaves_no_exemplar(self):
+        wf = StageWaterfall(capacity=8)
+        wf.commit_row(1, 0, [1e-6, 0.0, 0.0, 0.0, 0.0, 0.0])
+        assert wf.stage_stats()["decode"]["exemplars"] == {}
+
+    def test_aggregates_survive_ring_wraparound(self):
+        """The ring bounds per-request rows, not the histograms: commits
+        beyond capacity keep accumulating."""
+        wf = StageWaterfall(capacity=4)
+        for i in range(10):
+            wf.commit_row(i, 0, [1e-6, 0.0, 0.0, 0.0, 0.0, 0.0])
+        assert wf.committed_total == 10
+        assert wf.stage_stats()["decode"]["count"] == 10
+        assert len(wf.recent(limit=50)) == 4
+
+    def test_recent_newest_first(self):
+        wf = StageWaterfall(capacity=8)
+        for i in range(3):
+            wf.commit_row(i, 0, [float(i + 1) * 1e-6, 0.0, 0.0, 0.0, 0.0, 0.0])
+        recent = wf.recent(limit=2)
+        assert [r.request_id for r in recent] == [2, 1]
+
+    def test_as_dict_shape(self):
+        wf = StageWaterfall(capacity=4)
+        wf.commit_row(3, 0x9, [0.0, 0.0, 0.0, 2e-6, 0.0, 0.0])
+        payload = wf.lookup(3).as_dict()
+        assert payload["request_id"] == 3
+        assert payload["trace_id"] == 0x9
+        assert payload["stages_s"] == {"lookup": 2e-6}
+        assert payload["total_s"] == pytest.approx(2e-6)
