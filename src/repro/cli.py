@@ -132,7 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--batch-size", type=int, default=1024)
     run.add_argument("--shards", type=int, default=1,
                      help="worker count (1 = unsharded)")
-    run.add_argument("--shard-mode", choices=("thread", "process"),
+    run.add_argument("--shard-mode", choices=("thread", "process", "shm"),
                      default="thread")
     run.add_argument("--max-groups", type=int, default=None)
     _add_lookup_backend_flag(run)
@@ -190,7 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "printed on startup)")
     srv.add_argument("--shards", type=int, default=1,
                      help="worker count (1 = unsharded)")
-    srv.add_argument("--shard-mode", choices=("thread", "process"),
+    srv.add_argument("--shard-mode", choices=("thread", "process", "shm"),
                      default="thread")
     srv.add_argument("--max-groups", type=int, default=None)
     _add_lookup_backend_flag(srv)
@@ -301,7 +301,7 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--seed", type=int, default=1)
     top.add_argument("--batch-size", type=int, default=1024)
     top.add_argument("--shards", type=int, default=1)
-    top.add_argument("--shard-mode", choices=("thread", "process"),
+    top.add_argument("--shard-mode", choices=("thread", "process", "shm"),
                      default="thread")
     top.add_argument("--max-groups", type=int, default=None)
     _add_lookup_backend_flag(top)

@@ -35,6 +35,7 @@ names) and is exported by the usual ``/metrics`` endpoint.
 from __future__ import annotations
 
 import asyncio
+import socket
 import threading
 import time
 from dataclasses import dataclass
@@ -188,9 +189,23 @@ class _Connection:
             return False
 
     def abort(self) -> None:
-        """Tear the transport down immediately."""
+        """Tear the transport down immediately.
+
+        ``shutdown(SHUT_RDWR)`` first: process shard workers forked
+        after this connection was accepted hold duplicates of its fd,
+        and closing only our copy would leave the TCP connection alive
+        with the peer blocked on a socket that will never speak again.
+        Shutdown acts on the connection itself, so the peer sees EOF no
+        matter how many forked children still hold the fd.
+        """
         if self.open:
             self.open = False
+            try:
+                sock = self.writer.get_extra_info("socket")
+                if sock is not None:
+                    sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 self.writer.transport.abort()
             except Exception:
@@ -521,13 +536,20 @@ class NetServer:
         """Executor-thread body of one coalesced lookup.  The default
         executor does not propagate contextvars, so the batch span is
         re-activated explicitly: runtime.batch / shard.chunk /
-        engine.group_probe spans nest under it."""
+        engine.group_probe spans nest under it.
+
+        Index-only path: the wire encodes bare rule indices, so this asks
+        the service for indices and never materializes MatchResult
+        objects — with ``--shard-mode shm`` the coalesced block goes
+        straight from the decoder's uint32 view into the shared ring and
+        the answers come back as one index array, zero intermediate
+        copies."""
         tracer = self.telemetry.tracer
         if tracer is None or parent_ctx is None:
-            return self.service.match_batch(block)
+            return self.service.match_indices(block)
         token = tracer.activate(parent_ctx)
         try:
-            return self.service.match_batch(block)
+            return self.service.match_indices(block)
         finally:
             tracer.deactivate(token)
 
@@ -604,9 +626,7 @@ class NetServer:
             pending.hint = hint
             if pending.stage_s is not None:
                 pending.stage_s[3] = lookup_s
-        indices = np.fromiter(
-            (r.index for r in results), dtype="<u4", count=len(results)
-        )
+        indices = np.asarray(results, dtype="<u4")
         offset = 0
         for pending in batch:
             await self._respond_match(

@@ -31,6 +31,7 @@ __all__ = [
     "BatchRunner",
     "iter_batches",
     "linear_match_batch",
+    "linear_match_indices",
     "match_batch",
     "verify_against_linear",
 ]
@@ -58,16 +59,29 @@ def linear_match_batch(
     one (chunked) containment test over all body rules at once — the
     fallback data path when no built engine is available.
     """
+    rules = classifier.rules
+    return [
+        MatchResult(int(i), rules[int(i)])
+        for i in linear_match_indices(classifier, headers)
+    ]
+
+
+def linear_match_indices(
+    classifier: Classifier, headers: Sequence[Sequence[int]]
+) -> np.ndarray:
+    """The index core of :func:`linear_match_batch`: winning rule index
+    per header as an int64 ndarray — the form the index-only serving path
+    (:meth:`RuntimeService.match_indices`, shm shard fallbacks) consumes
+    without materializing rule objects."""
     n = len(headers)
     if n == 0:
-        return []
-    rules = classifier.rules
-    catch_all = len(rules) - 1
+        return np.empty(0, dtype=np.int64)
+    catch_all = len(classifier.rules) - 1
     lows, highs = classifier.bounds_arrays()
-    if lows.shape[0] == 0:
-        return [MatchResult(catch_all, rules[catch_all])] * n
-    harr = headers_array(headers, classifier.schema)
     out = np.full(n, catch_all, dtype=np.int64)
+    if lows.shape[0] == 0:
+        return out
+    harr = headers_array(headers, classifier.schema)
     chunk = max(1, 4_000_000 // max(1, lows.shape[0] * lows.shape[1]))
     for lo in range(0, n, chunk):
         h = harr[lo : lo + chunk]
@@ -77,7 +91,7 @@ def linear_match_batch(
         )
         hit = ok.any(axis=1)
         out[lo : lo + chunk][hit] = ok.argmax(axis=1)[hit]
-    return [MatchResult(int(i), rules[int(i)]) for i in out]
+    return out
 
 
 def verify_against_linear(

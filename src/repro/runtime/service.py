@@ -43,7 +43,7 @@ from ..chaos.injector import NULL_INJECTOR
 from ..core.classifier import Classifier, MatchResult
 from ..core.rule import Rule
 from ..saxpac.config import EngineConfig
-from .batch import iter_batches, linear_match_batch
+from .batch import iter_batches, linear_match_batch, linear_match_indices
 from .health import HealthMonitor, HealthState
 from .shard import ShardedRuntime
 from .swap import HotSwapRuntime
@@ -91,7 +91,7 @@ class RuntimeConfig:
             raise ValueError("batch_size must be >= 1")
         if self.num_shards < 1:
             raise ValueError("num_shards must be >= 1")
-        if self.shard_mode not in ("thread", "process"):
+        if self.shard_mode not in ("thread", "process", "shm"):
             raise ValueError(f"unknown shard mode {self.shard_mode!r}")
         if self.deadline_ms is not None and self.deadline_ms <= 0:
             raise ValueError("deadline_ms must be > 0")
@@ -170,7 +170,22 @@ class RuntimeService:
             self.injector.tracer = self.telemetry.tracer
         self.shards: Optional[ShardedRuntime] = None
         if self.config.num_shards > 1:
-            if self.config.shard_mode == "process":
+            if self.config.shard_mode == "shm":
+                # Shared-memory workers read the swap engine per batch
+                # (like thread mode) so hot swaps ship as one columnar
+                # snapshot instead of a pool rebuild.
+                self.shards = ShardedRuntime(
+                    engine_source=lambda: self.swap.engine,
+                    num_shards=self.config.num_shards,
+                    mode="shm",
+                    recorder=self.telemetry,
+                    deadline_ms=self.config.deadline_ms,
+                    max_retries=self.config.max_retries,
+                    on_error="fallback",
+                    injector=self.injector,
+                    health=self.health,
+                )
+            elif self.config.shard_mode == "process":
                 self.shards = ShardedRuntime(
                     classifier=classifier,
                     config=self.config.engine,
@@ -212,6 +227,10 @@ class RuntimeService:
         """Always-correct slow path over the serving snapshot."""
         return linear_match_batch(self.serving_classifier(), headers)
 
+    def _linear_indices(self, headers: Sequence[Sequence[int]]):
+        """Index form of :meth:`_linear_batch`."""
+        return linear_match_indices(self.serving_classifier(), headers)
+
     def _fast_path(
         self, headers: Sequence[Sequence[int]]
     ) -> tuple:
@@ -221,6 +240,22 @@ class RuntimeService:
             results = self.shards.match_batch(headers)
             return results, self.shards.last_batch_faults == 0
         return self.swap.match_batch(headers), True
+
+    def _fast_indices(self, headers: Sequence[Sequence[int]]) -> tuple:
+        """(indices, clean): the index-only fast path — what the wire
+        layer serves from.  Shards return bare indices natively (the shm
+        ring never materializes rule objects); an unsharded engine uses
+        its index kernel when it has one."""
+        if self.shards is not None:
+            indices = self.shards.match_indices(headers)
+            return indices, self.shards.last_batch_faults == 0
+        engine = self.swap.engine
+        native = getattr(engine, "match_batch_indices", None)
+        if native is not None:
+            return native(headers), True
+        return [
+            result.index for result in self.swap.match_batch(headers)
+        ], True
 
     def match_batch(
         self, headers: Sequence[Sequence[int]]
@@ -232,6 +267,17 @@ class RuntimeService:
         serving snapshot.  Raises :class:`LoadShedError` — and only that
         — when the in-flight watermark is hit.
         """
+        return self._serve(headers, self._fast_path, self._linear_batch)
+
+    def match_indices(self, headers: Sequence[Sequence[int]]):
+        """Winning rule indices for one batch — :meth:`match_batch`
+        without the :class:`MatchResult` materialization, same guard
+        ladder, same shed behavior.  Returns an int64 ndarray (or list)
+        in input order; this is what :class:`~repro.net.NetServer`
+        encodes straight onto the wire."""
+        return self._serve(headers, self._fast_indices, self._linear_indices)
+
+    def _serve(self, headers, fast, linear):
         watermark = self.config.shed_watermark
         with self._inflight_lock:
             if watermark is not None and self._inflight >= watermark:
@@ -242,14 +288,17 @@ class RuntimeService:
                 )
             self._inflight += 1
         try:
-            return self._match_batch_guarded(headers)
+            return self._serve_guarded(headers, fast, linear)
         finally:
             with self._inflight_lock:
                 self._inflight -= 1
 
-    def _match_batch_guarded(
-        self, headers: Sequence[Sequence[int]]
-    ) -> List[MatchResult]:
+    def _serve_guarded(self, headers, fast, linear):
+        """The guard ladder around one batch, parameterized over the
+        result form: ``fast(headers) -> (results, clean)`` and
+        ``linear(headers) -> results`` produce either
+        :class:`MatchResult` lists or bare index arrays; the
+        health/fallback/telemetry behavior is identical either way."""
         start = time.perf_counter()
         telemetry = self.telemetry
         with telemetry.span("runtime.batch", batch=len(headers)):
@@ -268,12 +317,12 @@ class RuntimeService:
                 self._fallback_probe_counter += 1
                 if self._fallback_probe_counter % self.config.probe_every:
                     telemetry.incr("runtime.fallback_batches")
-                    results = self._linear_batch(headers)
+                    results = linear(headers)
                 else:
                     telemetry.incr("runtime.fallback_probes")
             if results is None and not faulted:
                 try:
-                    results, clean = self._fast_path(headers)
+                    results, clean = fast(headers)
                     fast_served = True
                 except LoadShedError:
                     raise
@@ -282,7 +331,7 @@ class RuntimeService:
             if faulted:
                 self.health.record_failure("service.batch")
                 telemetry.incr("runtime.batch_fallbacks")
-                results = self._linear_batch(headers)
+                results = linear(headers)
             elif fast_served and clean:
                 # Only a *proven* fast-path batch counts toward recovery;
                 # linear-fallback serving must not step the ladder down.

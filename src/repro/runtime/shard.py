@@ -6,7 +6,11 @@ order.  Threads are the default (replicas are deep copies, so per-replica
 counters stay exact and lock-free); ``mode="process"`` opts into
 ``multiprocessing`` workers that each build their own engine from the
 pickled classifier — useful when the per-chunk work is heavy enough to
-amortize the IPC.
+amortize the IPC; ``mode="shm"`` runs persistent process workers over a
+shared-memory packet/result ring (:mod:`repro.runtime.shm`) with no
+per-chunk pickling at all — headers are written once into shared numpy
+slabs, workers classify in place, and completion is a slot sequence
+counter.
 
 Workers return bare rule indices; the parent materializes
 :class:`MatchResult` objects against its own classifier, so results are
@@ -60,6 +64,8 @@ import traceback
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..chaos.injector import NULL_INJECTOR
 from ..core.classifier import Classifier, MatchResult
@@ -163,7 +169,10 @@ def _classify_chunk_in_worker(payload) -> Tuple[str, object, object]:
                     result.index
                     for result in _WORKER_ENGINE.match_batch(chunk)
                 ]
-            return "ok", indices, recorder.drain()
+            delta = recorder.drain()
+            # An empty delta still pickles as a full TelemetryDelta; send
+            # the None sentinel instead so quiet chunks return cheap.
+            return "ok", indices, (None if delta.is_empty() else delta)
         indices = [
             result.index for result in _WORKER_ENGINE.match_batch(chunk)
         ]
@@ -185,6 +194,14 @@ class ShardedRuntime:
       shards observe hot swaps;
     * ``ShardedRuntime(classifier=k, config=cfg, mode="process")`` —
       process workers, each building a private engine at pool start.
+
+    ``mode="shm"`` composes with the first and third styles: process
+    workers like ``"process"``, but chunks travel through a shared-memory
+    ring (:mod:`repro.runtime.shm`) instead of the pickle channel, and an
+    ``engine_source`` is allowed — the runtime detects classifier changes
+    per batch and ships one columnar snapshot to the workers
+    (:meth:`~repro.runtime.shm.ShmWorkerPool.ship_swap`), so hot swaps
+    work without rebuilding the pool.
 
     Guard knobs: ``deadline_ms`` (per-batch deadline; also what detects a
     dead/hung process worker), ``max_retries``/``backoff_s`` (bounded
@@ -211,8 +228,10 @@ class ShardedRuntime:
         on_error: str = "raise",
         injector=None,
         health=None,
+        shm_capacity: int = 16384,
+        shm_depth: int = 4,
     ) -> None:
-        if mode not in ("thread", "process"):
+        if mode not in ("thread", "process", "shm"):
             raise ValueError(f"unknown shard mode {mode!r}")
         if on_error not in ("raise", "fallback"):
             raise ValueError(f"unknown on_error policy {on_error!r}")
@@ -231,6 +250,11 @@ class ShardedRuntime:
             raise ValueError(
                 "process mode needs a classifier (engines do not cross "
                 "process boundaries)"
+            )
+        if mode == "shm" and engine is not None:
+            raise ValueError(
+                "shm mode needs a classifier or engine_source (engines "
+                "do not cross process boundaries)"
             )
         self.num_shards = (
             default_num_shards() if num_shards is None else num_shards
@@ -255,14 +279,15 @@ class ShardedRuntime:
         self._pool = None
         self._executor = None
         self._pool_args = None
+        self._shm_pool = None
+        self._shipped_classifier: Optional[Classifier] = None
         self._replicas: List[object] = []
         self._replica_recorders: List[Telemetry] = []
         self._restore: List[Tuple[object, object]] = []
         self._source = engine_source
-        if mode == "process":
+        if mode in ("process", "shm"):
             from ..saxpac.config import EngineConfig
 
-            self.classifier = classifier
             obs_spec = None
             if self.recorder.enabled:
                 heat = self.recorder.heat
@@ -278,6 +303,28 @@ class ShardedRuntime:
                 if getattr(self.injector, "plan", None) is not None
                 else None
             )
+            if mode == "shm":
+                from .shm import ShmWorkerPool
+
+                if classifier is None:
+                    source_engine = engine_source()
+                    classifier = source_engine.classifier
+                    if config is None:
+                        config = getattr(source_engine, "config", None)
+                self.classifier = classifier
+                self._shm_config = config or EngineConfig()
+                self._shipped_classifier = classifier
+                self._shm_pool = ShmWorkerPool(
+                    classifier,
+                    self._shm_config,
+                    num_workers=self.num_shards,
+                    capacity=shm_capacity,
+                    depth=shm_depth,
+                    obs_spec=obs_spec,
+                    plan=plan,
+                )
+                return
+            self.classifier = classifier
             self._pool_args = (
                 classifier, config or EngineConfig(), obs_spec, plan
             )
@@ -316,8 +363,14 @@ class ShardedRuntime:
     def _respawn(self) -> None:
         """Replace the worker pool: hung/dead workers would otherwise
         occupy their slots forever.  Abandoned threads finish (or sleep
-        out) on their own; a terminated process pool is reaped."""
-        if self.mode == "process":
+        out) on their own; a terminated process pool is reaped.  In shm
+        mode the ring survives — workers are replaced in place and their
+        in-flight slots reclaimed (``runtime.slots_reclaimed``)."""
+        if self.mode == "shm":
+            reclaimed = self._shm_pool.respawn_all()
+            if reclaimed:
+                self.recorder.incr("runtime.slots_reclaimed", reclaimed)
+        elif self.mode == "process":
             if self._pool is not None:
                 self._pool.terminate()
                 self._pool.join()
@@ -358,11 +411,16 @@ class ShardedRuntime:
         self, headers: Sequence[Sequence[int]]
     ) -> List[Sequence[Sequence[int]]]:
         n = len(headers)
-        shards = min(self.num_shards, n)
-        base, extra = divmod(n, shards)
+        pieces = min(self.num_shards, n)
+        if self._shm_pool is not None:
+            # A chunk must fit one ring slot; oversize batches split into
+            # more pieces (round-robined over the workers by index).
+            capacity = self._shm_pool.capacity
+            pieces = max(pieces, -(-n // capacity))
+        base, extra = divmod(n, pieces)
         chunks = []
         start = 0
-        for i in range(shards):
+        for i in range(pieces):
             size = base + (1 if i < extra else 0)
             chunks.append(headers[start : start + size])
             start += size
@@ -408,6 +466,10 @@ class ShardedRuntime:
 
     # -- guarded chunk execution ---------------------------------------
     def _submit(self, index: int, chunk, parent_ctx):
+        if self.mode == "shm":
+            return self._shm_pool.submit(
+                index % self.num_shards, chunk, parent_ctx
+            )
         if self.mode == "process":
             return self._pool.apply_async(
                 _classify_chunk_in_worker,
@@ -421,6 +483,12 @@ class ShardedRuntime:
     def _await(self, handle, timeout_s):
         """Collect one chunk handle: ``("ok", indices)``, ``("err",
         traceback text)`` or ``("timeout", None)``."""
+        if self.mode == "shm":
+            status, value = self._shm_pool.wait(handle, timeout_s)
+            if self.recorder.enabled and hasattr(self.recorder, "absorb"):
+                for delta in self._shm_pool.take_deltas():
+                    self.recorder.absorb(delta)
+            return status, value
         if self.mode == "process":
             try:
                 status, value, delta = handle.get(timeout=timeout_s)
@@ -460,6 +528,15 @@ class ShardedRuntime:
         """
         if not len(headers):
             return []
+        if self._shm_pool is not None and self._source is not None:
+            # Hot-swap detection: ship one columnar snapshot when the
+            # source engine's rule set changed since the last batch.
+            current = self._source().classifier
+            if current is not self._shipped_classifier:
+                self._shm_pool.ship_swap(current, self._shm_config)
+                self._shipped_classifier = current
+                self.classifier = current
+                self.recorder.incr("runtime.snapshot_ships")
         chunks = self._chunks(headers)
         recorder = self.recorder
         self.last_batch_faults = 0
@@ -529,9 +606,15 @@ class ShardedRuntime:
             recorder.incr("shard.batches")
             recorder.incr("shard.packets", len(headers))
             recorder.incr("shard.chunks", len(chunks))
+        if len(parts) == 1:
+            return parts[0]
+        if all(isinstance(part, np.ndarray) for part in parts):
+            return np.concatenate(parts)  # shm fast path: no boxing
         merged: List[int] = []
         for part in parts:  # chunk order == input order
-            merged.extend(part)
+            merged.extend(
+                part.tolist() if isinstance(part, np.ndarray) else part
+            )
         return merged
 
     def match_batch(
@@ -563,8 +646,11 @@ class ShardedRuntime:
         service calls it before every snapshot.
         """
         recorder = self.recorder
-        if not self._replica_recorders or not hasattr(recorder, "absorb"):
+        if not hasattr(recorder, "absorb"):
             return
+        if self._shm_pool is not None and recorder.enabled:
+            for delta in self._shm_pool.take_deltas():
+                recorder.absorb(delta)
         for local in self._replica_recorders:
             delta = local.drain(sinks=False)
             if not delta.is_empty():
@@ -584,7 +670,10 @@ class ShardedRuntime:
                 _rebind_recorder(engine, original)
         self._restore = []
         self._replica_recorders = []
-        if self._pool is not None:
+        if self._shm_pool is not None:
+            self._shm_pool.close()
+            self._shm_pool = None
+        elif self._pool is not None:
             self._pool.close()
             self._pool.join()
             self._pool = None

@@ -526,9 +526,23 @@ class SaxPacEngine:
         row-at-a-time TCAM walk.  TCAM lookup/activation counters advance
         in aggregate so power-proxy experiments stay comparable.
         """
+        rules = self.classifier.rules
+        return [
+            MatchResult(int(i), rules[int(i)])
+            for i in self.match_batch_indices(headers)
+        ]
+
+    def match_batch_indices(
+        self, headers: Sequence[Sequence[int]]
+    ) -> np.ndarray:
+        """The index core of :meth:`match_batch`: winning rule index per
+        header as an int64 ndarray, no :class:`MatchResult`
+        materialization.  This is the form shared-memory shard workers
+        write straight into result slabs (:mod:`repro.runtime.shm`) and
+        the wire path encodes without touching rule objects."""
         n = len(headers)
         if n == 0:
-            return []
+            return np.empty(0, dtype=np.int64)
         if self.injector.enabled:
             # The slow-lookup / lookup-crash chaos site: fires before any
             # state is touched, so an injected exception leaves the
@@ -590,7 +604,7 @@ class SaxPacEngine:
             recorder.observe(
                 "engine.match_batch", time.perf_counter() - start
             )
-        return [MatchResult(int(i), rules[int(i)]) for i in best]
+        return best
 
     def _d_match_batch(self, harr: np.ndarray) -> np.ndarray:
         """Vectorized first match over the order-dependent part D: body

@@ -14,7 +14,9 @@ Three axes of coverage:
 * engines that have been through :meth:`SaxPacEngine.rebuild` (the
   incremental path the hot-swap runtime exercises);
 * every registered lookup backend, forced engine-wide — including after
-  a rebuild — since backends promise byte-identical decisions.
+  a rebuild — since backends promise byte-identical decisions;
+* the shared-memory shard transport (``shard_mode=shm``), whose workers
+  classify slab views in other processes yet must answer identically.
 """
 
 from __future__ import annotations
@@ -23,6 +25,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.classifier import Classifier
+from repro.runtime.shard import ShardedRuntime
 from repro.saxpac.config import EngineConfig
 from repro.saxpac.engine import SaxPacEngine
 from repro.workloads.generator import generate_classifier
@@ -134,6 +137,33 @@ class TestPerBackend:
             for _ in range(_HEADERS_PER_EXAMPLE)
         ]
         _assert_agrees(engine, classifier, headers)
+
+
+@pytest.fixture(scope="module")
+def shm_runtime():
+    """The shared-memory shard transport over a ClassBench-style
+    classifier; worker processes classify slab views in place, so any
+    disagreement with the linear scan is a transport bug, not float
+    noise."""
+    classifier = generate_classifier("acl", 90, seed=97)
+    runtime = ShardedRuntime(
+        classifier=classifier, num_shards=2, mode="shm"
+    )
+    yield classifier, runtime
+    runtime.close()
+
+
+class TestShmShards:
+    @given(st.data())
+    @_SETTINGS
+    def test_corner_points_agree(self, shm_runtime, data):
+        classifier, runtime = shm_runtime
+        headers = [
+            data.draw(corner_headers_for(classifier))
+            for _ in range(_HEADERS_PER_EXAMPLE)
+        ]
+        want = [classifier.match(h).index for h in headers]
+        assert list(runtime.match_indices(headers)) == want
 
 
 class TestPostRebuild:

@@ -182,7 +182,7 @@ class TestErrors:
 
     def test_transient_shed_is_retried(self, served):
         service, handle = served
-        real = service.match_batch
+        real = service.match_indices
         state = {"left": 2}
 
         def flaky(block):
@@ -191,7 +191,7 @@ class TestErrors:
                 raise LoadShedError("synthetic overload")
             return real(block)
 
-        service.match_batch = flaky
+        service.match_indices = flaky
         try:
             headers = generate_trace(service.serving_classifier(), 60, 6)
             with NetClient(port=handle.port) as client:
@@ -199,7 +199,7 @@ class TestErrors:
             assert list(got) == expected_indices(service, headers)
             assert client.stats["shed_retries"] >= 1
         finally:
-            service.match_batch = real
+            service.match_indices = real
         settle(lambda: service.telemetry.counter("net.shed") >= 1)
         assert service.telemetry.counter("net.shed") >= 1
 
@@ -209,8 +209,8 @@ class TestErrors:
         def always(block):
             raise LoadShedError("synthetic overload")
 
-        real = service.match_batch
-        service.match_batch = always
+        real = service.match_indices
+        service.match_indices = always
         try:
             client = NetClient(
                 port=handle.port, shed_backoff_s=0.0, max_shed_retries=3
@@ -221,7 +221,7 @@ class TestErrors:
             assert excinfo.value.code == ErrorCode.SHED
             assert client.stats["shed_retries"] == 3
         finally:
-            service.match_batch = real
+            service.match_indices = real
 
     def test_lookup_crash_answers_internal(self, served):
         service, handle = served
@@ -229,15 +229,15 @@ class TestErrors:
         def boom(block):
             raise RuntimeError("engine exploded")
 
-        real = service.match_batch
-        service.match_batch = boom
+        real = service.match_indices
+        service.match_indices = boom
         try:
             with NetClient(port=handle.port) as client:
                 with pytest.raises(NetError) as excinfo:
                     client.match_batch([[1, 2, 3]])
             assert excinfo.value.code == ErrorCode.INTERNAL
         finally:
-            service.match_batch = real
+            service.match_indices = real
         settle(
             lambda: service.telemetry.counter("net.lookup_errors") == 1
             and handle.server.inflight == 0
