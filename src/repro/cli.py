@@ -21,6 +21,12 @@ client       drive a running serve endpoint with a generated workload
              (pipelined requests, optional differential --verify;
              --trace-out originates trace contexts and exports the
              client-side spans as Chrome trace-event JSON)
+cluster      replicated-serving drills over an in-process LocalCluster;
+             ``cluster swap`` drives client load through a ReplicaSet
+             while a zero-downtime rolling swap walks the replicas
+             (quiesce -> insert updates -> resume, one at a time),
+             then checks convergence and (optionally) verifies every
+             answer against the linear reference
 flightrec    fetch a serving endpoint's /flightrecorder dump and render
              the retained anomalous requests (or a saved dump file)
 top          replay a trace with heat profiling and render the hottest
@@ -268,6 +274,42 @@ def build_parser() -> argparse.ArgumentParser:
                      help="originate trace contexts (negotiated; no-op "
                           "against an untraced server) and write the "
                           "client spans as Chrome trace-event JSON")
+
+    clu = sub.add_parser(
+        "cluster",
+        help="replicated-serving drills over an in-process cluster",
+    )
+    clu_sub = clu.add_subparsers(dest="cluster_command", required=True)
+    cswap = clu_sub.add_parser(
+        "swap",
+        help="rolling swap under load: quiesce/update/resume each "
+             "replica while a ReplicaSet keeps serving",
+    )
+    cswap.add_argument("path",
+                       help="classifier file to replicate and serve")
+    cswap.add_argument("--replicas", type=int, default=3)
+    cswap.add_argument("--packets", type=int, default=50000,
+                       help="generated packets to push through the set")
+    cswap.add_argument("--request-size", type=int, default=16,
+                       help="packets per request frame")
+    cswap.add_argument("--window", type=int, default=8,
+                       help="pipelining depth per replica")
+    cswap.add_argument("--updates", type=int, default=4,
+                       help="decision-identical inserts per rolling "
+                            "swap (clones of existing rules: the "
+                            "generation moves, the answers do not)")
+    cswap.add_argument("--policy",
+                       choices=("rendezvous", "least_inflight"),
+                       default="rendezvous")
+    cswap.add_argument("--seed", type=int, default=1)
+    cswap.add_argument("--verify", action="store_true",
+                       help="differentially check every answer against "
+                            "the local linear reference (exit 1 on any "
+                            "mismatch)")
+    cswap.add_argument("--json", action="store_true",
+                       help="emit the report as JSON instead of text")
+    cswap.add_argument("--out", default=None, metavar="REPORT.json",
+                       help="also write the JSON report to this file")
 
     frec = sub.add_parser(
         "flightrec",
@@ -837,6 +879,161 @@ def _cmd_client(args) -> int:
     return 0
 
 
+def _cmd_cluster(args) -> int:
+    if args.cluster_command == "swap":
+        return _cmd_cluster_swap(args)
+    print(f"unknown cluster command {args.cluster_command!r}",
+          file=sys.stderr)
+    return 2
+
+
+def _cmd_cluster_swap(args) -> int:
+    import json as _json
+    import threading
+    import time
+
+    from .net.cluster import LocalCluster, decision_identical_updates
+    from .obs.heat import render_cluster_panel
+    from .runtime.batch import linear_match_indices
+
+    classifier, _ = _load(args.path)
+    trace = generate_trace(classifier, args.packets, seed=args.seed)
+    blocks = [
+        trace[start : start + args.request_size]
+        for start in range(0, len(trace), args.request_size)
+    ]
+    updates = decision_identical_updates(
+        classifier, args.updates, seed=args.seed
+    )
+    probes: List[float] = []
+    swap_report = {}
+    start = time.perf_counter()
+    with LocalCluster(classifier, replicas=args.replicas) as cluster:
+        replica_set = cluster.replica_set(
+            policy=args.policy, retries=4
+        )
+
+        # The swap walks the replicas while the main thread keeps the
+        # set under load — that concurrency is the whole point.
+        def run_swap() -> None:
+            t0 = time.perf_counter()
+            swap_report.update(cluster.rolling_swap(updates))
+            swap_report["seconds"] = time.perf_counter() - t0
+
+        swapper = threading.Thread(target=run_swap, daemon=True)
+        swap_started = False
+        answers: List[object] = []
+        slice_size = max(1, len(blocks) // 20)
+        for i in range(0, len(blocks), slice_size):
+            if not swap_started and i >= len(blocks) // 4:
+                swapper.start()
+                swap_started = True
+            # One window=1 probe per slice: an honest request latency
+            # sample even while the swap quiesces replicas under us.
+            t0 = time.perf_counter()
+            probe = replica_set.match_many(
+                [blocks[i]], keys=[i]
+            )
+            probes.append(time.perf_counter() - t0)
+            answers.extend(probe)
+            rest = blocks[i + 1 : i + slice_size]
+            if rest:
+                answers.extend(
+                    replica_set.match_many(
+                        rest,
+                        window=args.window,
+                        keys=list(range(i + 1, i + 1 + len(rest))),
+                    )
+                )
+        elapsed = time.perf_counter() - start
+        if not swap_started:
+            swapper.start()  # tiny workloads: swap after the load
+        swapper.join()
+        # Server-side truth: every replica applied the same updates
+        # deterministically, so the max is the cluster's target.
+        target = max(cluster.generations().values())
+        generations = replica_set.wait_converged(
+            target=target, timeout_s=30.0
+        )
+        stats = dict(replica_set.stats)
+        replica_state = {
+            name: {
+                "alive": replica.alive,
+                "generation": replica.generation,
+            }
+            for name, replica in replica_set.replicas.items()
+        }
+        replica_set.close()
+    mismatches = 0
+    if args.verify:
+        import numpy as np
+
+        from .net.cluster import fold_catch_all
+
+        # Decision-identical swaps keep every body winner's index but
+        # slide the catch-all as clones append; fold it back before
+        # comparing (see fold_catch_all).
+        n_body = len(classifier.body)
+        got = fold_catch_all(
+            np.concatenate([np.asarray(a) for a in answers]), n_body
+        )
+        want = fold_catch_all(
+            linear_match_indices(classifier, trace), n_body
+        )
+        mismatches = int((got != want).sum())
+    probes.sort()
+    p50 = probes[len(probes) // 2] if probes else 0.0
+    p99 = probes[min(len(probes) - 1, int(len(probes) * 0.99))] \
+        if probes else 0.0
+    payload = {
+        "replicas": args.replicas,
+        "packets": len(trace),
+        "requests": len(blocks),
+        "policy": args.policy,
+        "seconds": elapsed,
+        "packets_per_second": len(trace) / elapsed if elapsed else 0.0,
+        "updates": len(updates),
+        "swap": swap_report,
+        "generations": generations,
+        "target_generation": target,
+        "probe_p50_s": p50,
+        "probe_p99_s": p99,
+        "cluster_stats": stats,
+    }
+    if args.verify:
+        payload["verify_mismatches"] = mismatches
+    if args.out:
+        with open(args.out, "w") as handle:
+            _json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    if args.json:
+        print(_json.dumps(payload, indent=2))
+    else:
+        print(f"rolling swap over {args.replicas} replicas under load: "
+              f"{len(trace)} packets in {elapsed:.2f}s "
+              f"({payload['packets_per_second']:,.0f} pkt/s)")
+        print(f"  swap: {len(updates)} updates x "
+              f"{len(swap_report.get('swapped', []))} replicas in "
+              f"{swap_report.get('seconds', 0.0):.2f}s "
+              f"(dirty quiesces: {swap_report.get('dirty', [])})")
+        print(f"  converged: all replicas at generation >= {target} "
+              f"({generations})")
+        print(f"  probe latency: p50 {p50 * 1e3:.2f}ms / "
+              f"p99 {p99 * 1e3:.2f}ms")
+        panel = render_cluster_panel(
+            stats, replica_state, elapsed_s=elapsed
+        )
+        if panel:
+            print(panel)
+        if args.verify:
+            print(f"  verify: {mismatches} mismatches vs the linear "
+                  f"reference over {len(trace)} packets")
+    if args.verify and mismatches:
+        print(f"FAIL: {mismatches} wrong answers", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _fetch_json(url: str):
     import json as _json
     import urllib.request
@@ -1152,6 +1349,7 @@ _COMMANDS = {
     "runtime": _cmd_runtime,
     "serve": _cmd_serve,
     "client": _cmd_client,
+    "cluster": _cmd_cluster,
     "flightrec": _cmd_flightrec,
     "top": _cmd_top,
     "experiments": _cmd_experiments,

@@ -6,9 +6,24 @@ into a TCP service: a length-prefixed binary protocol
 request coalescer (:mod:`repro.net.server`), and a blocking pipelined
 client (:mod:`repro.net.client`).  ``python -m repro serve`` and
 ``python -m repro client`` are the CLI front ends.
+
+On top of single-server serving, :mod:`repro.net.cluster` adds the
+replicated tier: :class:`ReplicaSet` routes pipelined requests across
+N replicas (rendezvous or least-inflight) with failover and
+read-your-writes generation routing; :class:`LocalCluster` stands N
+in-process replicas up for the chaos soak, kill/restart drills and the
+``repro cluster swap`` rolling-update orchestration.
 """
 
 from .client import NetClient, NetError, NetTimeout
+from .cluster import (
+    ClusterError,
+    LocalCluster,
+    ReplicaSet,
+    decision_identical_updates,
+    fold_catch_all,
+    replica_for,
+)
 from .protocol import (
     ErrorCode,
     Frame,
@@ -20,10 +35,12 @@ from .protocol import (
 from .server import NetConfig, NetServer, ServerHandle, serve_background
 
 __all__ = [
+    "ClusterError",
     "ErrorCode",
     "Frame",
     "FrameDecoder",
     "FrameType",
+    "LocalCluster",
     "NetClient",
     "NetConfig",
     "NetError",
@@ -31,6 +48,10 @@ __all__ = [
     "NetTimeout",
     "PayloadError",
     "ProtocolError",
+    "ReplicaSet",
     "ServerHandle",
+    "decision_identical_updates",
+    "fold_catch_all",
+    "replica_for",
     "serve_background",
 ]

@@ -24,6 +24,13 @@ call-and-return semantics plus:
   ``PING`` carries ``FLAG_TRACE``, and contexts are only sent once the
   ``PONG`` echoes it — against a pre-extension server the byte stream
   stays identical to an untraced client.
+* **generation tracking** — with ``track_generation=True`` the client
+  negotiates the generation-stamp extension: the server prefixes every
+  response with its engine generation, tracked in
+  :attr:`NetClient.peer_generation`.  :meth:`NetClient.generation`
+  polls it explicitly with one stamped ``PING`` (no negotiation
+  needed).  This is how :class:`~repro.net.cluster.ReplicaSet` watches
+  replicas converge on a snapshot version after a hot swap.
 
 Answers come back as numpy uint32 arrays of matched rule indices — the
 same indices :meth:`Classifier.match_batch` reports, which is what the
@@ -40,6 +47,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from .protocol import (
+    FLAG_GENERATION,
     FLAG_TRACE,
     ErrorCode,
     Frame,
@@ -51,6 +59,7 @@ from .protocol import (
     decode_match_response,
     encode_frame,
     encode_match_request,
+    split_generation,
 )
 
 __all__ = ["NetClient", "NetError", "NetTimeout"]
@@ -81,6 +90,7 @@ class NetClient:
         shed_backoff_s: float = 0.005,
         max_shed_retries: int = 64,
         tracer=None,
+        track_generation: bool = False,
     ) -> None:
         if timeout_s <= 0:
             raise ValueError("timeout_s must be > 0")
@@ -103,6 +113,14 @@ class NetClient:
         #: Whether the connected peer echoed FLAG_TRACE (negotiated on
         #: every connect; False against pre-extension servers).
         self.peer_traces = False
+        #: Ask the server to stamp responses with its engine generation
+        #: (negotiated like tracing; repro.net.cluster turns this on).
+        self.track_generation = track_generation
+        #: Whether the connected peer echoed FLAG_GENERATION.
+        self.peer_stamps = False
+        #: Latest engine generation seen from the peer (PONG or stamped
+        #: response); None until one arrives.
+        self.peer_generation: Optional[int] = None
         #: Transport-level statistics kept by the client: reconnects,
         #: retried requests, shed backoffs.
         self.stats: Dict[str, int] = {
@@ -133,21 +151,28 @@ class NetClient:
             self._decoder = FrameDecoder()
             self._frames.clear()
             self.peer_traces = False
-            if self.tracer is not None:
-                self._negotiate_trace()
+            self.peer_stamps = False
+            if self.tracer is not None or self.track_generation:
+                self._negotiate_extensions()
         return self
 
-    def _negotiate_trace(self) -> None:
+    def _negotiate_extensions(self) -> None:
         request_id = self._next_id
         self._next_id += 1
-        self._send(encode_frame(FrameType.PING, request_id, flags=FLAG_TRACE))
+        flags = 0
+        if self.tracer is not None:
+            flags |= FLAG_TRACE
+        if self.track_generation:
+            flags |= FLAG_GENERATION
+        self._send(encode_frame(FrameType.PING, request_id, flags=flags))
         frame = self._read_frame()
         if frame.type != FrameType.PONG or frame.request_id != request_id:
             raise ProtocolError(
-                f"expected PONG for trace negotiation {request_id}, got "
-                f"frame type {int(frame.type)} for {frame.request_id}"
+                f"expected PONG for extension negotiation {request_id}, "
+                f"got frame type {int(frame.type)} for {frame.request_id}"
             )
         self.peer_traces = bool(frame.flags & FLAG_TRACE)
+        self.peer_stamps = bool(frame.flags & FLAG_GENERATION)
 
     def close(self) -> None:
         """Close the connection (idempotent)."""
@@ -174,8 +199,20 @@ class NetClient:
         self._sock.sendall(data)
 
     def _read_frame(self) -> Frame:
-        """Block until one full frame arrives (FIFO across reads)."""
+        """Block until one full frame arrives (FIFO across reads).
+
+        Generation stamps are absorbed here: the 8-byte block is
+        stripped from the payload (so the per-type decoders never see
+        it) and recorded in :attr:`peer_generation`; the flag bit stays
+        visible on the returned frame for the negotiation handshake.
+        """
         while not self._frames:
+            if self._sock is None:
+                # A failed reconnect left us unconnected (e.g. the
+                # server is gone and the fresh connect was refused);
+                # surface it as connection loss so the retry ladder —
+                # or a replica-set failover — takes it from here.
+                raise ConnectionError("not connected")
             try:
                 data = self._sock.recv(1 << 16)
             except socket.timeout:
@@ -185,7 +222,17 @@ class NetClient:
             if not data:
                 raise ConnectionError("server closed the connection")
             self._frames.extend(self._decoder.feed(data))
-        return self._frames.popleft()
+        frame = self._frames.popleft()
+        if frame.flags & FLAG_GENERATION:
+            generation, stripped = split_generation(frame)
+            self.peer_generation = generation
+            frame = Frame(
+                stripped.type,
+                stripped.request_id,
+                stripped.payload,
+                frame.flags,
+            )
+        return frame
 
     # ------------------------------------------------------------------
     # Requests
@@ -204,6 +251,30 @@ class NetClient:
                 f"{int(frame.type)} for {frame.request_id}"
             )
         return time.perf_counter() - start
+
+    def generation(self) -> Optional[int]:
+        """Poll the server's engine generation with one stamped PING.
+
+        Stateless on the server side — no prior negotiation needed —
+        which makes it the cluster tier's convergence probe.  Returns
+        None against a pre-extension server (the PONG comes back with
+        zero flags).
+        """
+        self.connect()
+        request_id = self._next_id
+        self._next_id += 1
+        self._send(
+            encode_frame(FrameType.PING, request_id, flags=FLAG_GENERATION)
+        )
+        frame = self._read_frame()
+        if frame.type != FrameType.PONG or frame.request_id != request_id:
+            raise ProtocolError(
+                f"expected PONG for generation poll {request_id}, got "
+                f"frame type {int(frame.type)} for {frame.request_id}"
+            )
+        if not frame.flags & FLAG_GENERATION:
+            return None
+        return self.peer_generation
 
     def match_batch(self, headers: Sequence[Sequence[int]]) -> np.ndarray:
         """One request, one response: matched rule indices for

@@ -1,0 +1,719 @@
+"""The replicated serving tier: replica-set routing, snapshot-version
+convergence, and zero-downtime rolling swaps.
+
+SAX-PAC's scalability case ends at "heavy traffic from millions of
+users", which means more than one server.  This module adds the
+cluster layer over :mod:`repro.net` without touching the data plane's
+correctness story:
+
+* :func:`replica_for` — pure rendezvous (highest-random-weight)
+  routing.  Deterministic integer mixing (no Python ``hash()``, which
+  ``PYTHONHASHSEED`` randomizes), so placement is reproducible across
+  processes and machines, and membership changes remap only the keys
+  that lived on the departed replica — the property the Hypothesis
+  suite checks;
+* :class:`ReplicaSet` — a client-side router that fans pipelined
+  requests over N replicas (``rendezvous`` or ``least_inflight``
+  policy), detects dead replicas through :class:`~repro.net.NetClient`'s
+  reconnect path, and re-sends unanswered requests to survivors.
+  Lookups are read-only, so wholesale resends are safe: the set
+  delivers *zero wrong answers*, never at-most-once semantics;
+* snapshot-version convergence — every replica stamps its responses
+  with the engine generation (the :data:`~repro.net.protocol
+  .FLAG_GENERATION` extension), so the set tracks convergence in-band
+  for free; :meth:`ReplicaSet.generations` polls explicitly with one
+  stamped ``PING`` per replica, and ``min_generation`` routing gives
+  read-your-writes after a swap: requests only go to replicas that
+  have converged past the writer's generation;
+* :class:`LocalCluster` — N in-process replicas (one
+  :class:`~repro.runtime.service.RuntimeService` + background
+  :class:`~repro.net.server.NetServer` each) with ``kill`` /
+  ``restart`` / :meth:`LocalCluster.rolling_swap`: quiesce one replica
+  (its ``DRAINING`` rejects bounce traffic to the others), apply the
+  update batch, resume, move on — p99 stays bounded because N-1
+  replicas always serve.  A restarted replica replays the recorded
+  update log, so it lands on the same generation as everybody else.
+
+Failure matrix (who handles what):
+
+=====================  ==========================================
+failure                 handled by
+=====================  ==========================================
+connection loss         NetClient reconnect + resend (in-replica)
+replica crash           ReplicaSet marks dead, reroutes to survivors
+SHED / INTERNAL         ReplicaSet reroutes the chunk, brief cooldown
+DRAINING (quiesce)      ReplicaSet reroutes, cooldown until resume
+stale replica           ``min_generation`` filters it from routing
+all replicas dead       :class:`ClusterError` (nothing to hide it)
+=====================  ==========================================
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..runtime.service import RuntimeService
+from .client import NetClient, NetError, NetTimeout
+from .protocol import ErrorCode, ProtocolError
+from .server import NetConfig, ServerHandle, serve_background
+
+__all__ = [
+    "ClusterError",
+    "LocalCluster",
+    "ReplicaSet",
+    "decision_identical_updates",
+    "fold_catch_all",
+    "replica_for",
+    "replica_score",
+]
+
+_MASK64 = (1 << 64) - 1
+
+
+class ClusterError(RuntimeError):
+    """The replica set cannot make progress (no eligible replica, or a
+    request kept failing past the stall budget)."""
+
+
+# ----------------------------------------------------------------------
+# Rendezvous hashing (pure functions — the Hypothesis surface)
+# ----------------------------------------------------------------------
+def _mix64(x: int) -> int:
+    """SplitMix64 finalizer: a bijective avalanche over 64 bits."""
+    x &= _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def _name_seed(name: str) -> int:
+    """FNV-1a over the replica name: a stable per-replica salt."""
+    h = 0xCBF29CE484222325
+    for byte in name.encode("utf-8"):
+        h = ((h ^ byte) * 0x100000001B3) & _MASK64
+    return h
+
+
+def replica_score(key: int, name: str) -> int:
+    """Rendezvous weight of ``name`` for ``key`` (deterministic:
+    no ``PYTHONHASHSEED`` dependence, no process state)."""
+    return _mix64(_mix64(key) ^ _name_seed(name))
+
+
+def replica_for(key: int, names: Sequence[str]) -> str:
+    """Route ``key`` to one of ``names`` by highest rendezvous weight.
+
+    The HRW property this buys: removing a name remaps *only* the keys
+    that scored highest on it, and adding a name steals only the keys
+    that now score highest on the newcomer — no full reshuffle on
+    membership change, which is exactly what a failover wants.
+    """
+    if not names:
+        raise ClusterError("replica_for: no replicas")
+    return max(names, key=lambda name: (replica_score(key, name), name))
+
+
+# ----------------------------------------------------------------------
+# Client-side replica set
+# ----------------------------------------------------------------------
+class _Replica:
+    """Router-side state for one endpoint."""
+
+    __slots__ = (
+        "name",
+        "host",
+        "port",
+        "client",
+        "alive",
+        "generation",
+        "inflight",
+        "cooldown",
+    )
+
+    def __init__(self, name: str, host: str, port: int) -> None:
+        self.name = name
+        self.host = host
+        self.port = port
+        self.client: Optional[NetClient] = None
+        self.alive = True
+        #: Last engine generation seen from this replica (in-band stamp
+        #: or explicit poll); None until one arrives.
+        self.generation: Optional[int] = None
+        self.inflight = 0
+        #: Routing rounds to skip after a SHED/DRAINING/INTERNAL answer
+        #: (the replica is alive but currently a bad place for traffic).
+        self.cooldown = 0
+
+
+#: Sentinel distinguishing "unanswered" from a legitimately empty result.
+_UNSET = object()
+
+#: NetError codes that mean "alive replica, bad moment" — reroute the
+#: chunk and cool the replica down instead of declaring it dead.
+_REROUTE_CODES = (ErrorCode.SHED, ErrorCode.DRAINING, ErrorCode.INTERNAL)
+
+
+class ReplicaSet:
+    """Client-side router over N replica NetServers.
+
+    ``endpoints`` maps replica name -> ``(host, port)`` (or bare port,
+    loopback implied).  ``policy`` is ``"rendezvous"`` (sticky,
+    deterministic placement by request key) or ``"least_inflight"``
+    (greedy load balancing).  Remaining ``client_kwargs`` construct each
+    replica's :class:`~repro.net.NetClient` (timeouts, retry budgets);
+    ``track_generation`` is forced on — generation stamps are how the
+    set watches convergence.
+
+    Not thread-safe for concurrent :meth:`match_many` calls; one driver
+    thread fans work out to per-replica pump threads internally.
+    """
+
+    def __init__(
+        self,
+        endpoints: Dict[str, object],
+        policy: str = "rendezvous",
+        recorder=None,
+        chunk: int = 32,
+        max_stalled_rounds: int = 150,
+        **client_kwargs,
+    ) -> None:
+        if policy not in ("rendezvous", "least_inflight"):
+            raise ValueError(f"unknown routing policy {policy!r}")
+        if not endpoints:
+            raise ValueError("a replica set needs at least one endpoint")
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        self.policy = policy
+        self.recorder = recorder
+        self.chunk = chunk
+        self.max_stalled_rounds = max_stalled_rounds
+        self.client_kwargs = dict(client_kwargs)
+        self.client_kwargs["track_generation"] = True
+        self.replicas: Dict[str, _Replica] = {}
+        for name, where in endpoints.items():
+            host, port = (
+                ("127.0.0.1", where) if isinstance(where, int) else where
+            )
+            self.replicas[name] = _Replica(name, host, port)
+        #: Router statistics (plain ints; mirrored into ``recorder``
+        #: under the same ``cluster.*`` names when one is attached).
+        self.stats: Dict[str, int] = {
+            "cluster.requests": 0,
+            "cluster.rerouted": 0,
+            "cluster.shed_reroutes": 0,
+            "cluster.drain_reroutes": 0,
+            "cluster.internal_reroutes": 0,
+            "cluster.replica_deaths": 0,
+            "cluster.rejoins": 0,
+            "cluster.generation_polls": 0,
+            "cluster.stalled_rounds": 0,
+        }
+
+    # -- bookkeeping ----------------------------------------------------
+    def _count(self, name: str, n: int = 1) -> None:
+        self.stats[name] += n
+        if self.recorder is not None:
+            self.recorder.incr(name, n)
+
+    def alive(self) -> List[str]:
+        """Names of replicas currently believed alive (sorted)."""
+        return sorted(
+            name for name, r in self.replicas.items() if r.alive
+        )
+
+    def mark_dead(self, name: str) -> None:
+        """Take a replica out of routing (idempotent)."""
+        replica = self.replicas[name]
+        if replica.alive:
+            replica.alive = False
+            self._count("cluster.replica_deaths")
+        if replica.client is not None:
+            replica.client.close()
+            replica.client = None
+
+    def rejoin(
+        self,
+        name: str,
+        port: Optional[int] = None,
+        host: Optional[str] = None,
+    ) -> None:
+        """Bring a replica back into routing, optionally at a new
+        address (a restarted :class:`LocalCluster` replica binds a fresh
+        port)."""
+        replica = self.replicas[name]
+        if port is not None:
+            replica.port = port
+        if host is not None:
+            replica.host = host
+        if replica.client is not None:
+            replica.client.close()
+            replica.client = None
+        replica.generation = None
+        replica.cooldown = 0
+        if not replica.alive:
+            replica.alive = True
+            self._count("cluster.rejoins")
+
+    def close(self) -> None:
+        """Close every replica connection."""
+        for replica in self.replicas.values():
+            if replica.client is not None:
+                replica.client.close()
+                replica.client = None
+
+    def __enter__(self) -> "ReplicaSet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _client(self, replica: _Replica) -> NetClient:
+        if replica.client is None:
+            replica.client = NetClient(
+                host=replica.host,
+                port=replica.port,
+                **self.client_kwargs,
+            )
+        return replica.client
+
+    # -- convergence ----------------------------------------------------
+    def generations(self) -> Dict[str, Optional[int]]:
+        """Poll every alive replica's engine generation with one
+        stamped ``PING`` each (fresh short-lived connections — the pump
+        clients are not shared across threads).  A replica that cannot
+        answer the poll is marked dead."""
+        out: Dict[str, Optional[int]] = {}
+        for name in self.alive():
+            replica = self.replicas[name]
+            self._count("cluster.generation_polls")
+            try:
+                with NetClient(
+                    host=replica.host,
+                    port=replica.port,
+                    timeout_s=5.0,
+                    retries=0,
+                ) as probe:
+                    replica.generation = probe.generation()
+            except (NetError, ProtocolError, OSError):
+                self.mark_dead(name)
+                continue
+            replica.cooldown = 0
+            out[name] = replica.generation
+        return out
+
+    def converged(self) -> bool:
+        """True when every alive replica last reported the same
+        generation (uses cached values; :meth:`generations` refreshes)."""
+        gens = {
+            r.generation for r in self.replicas.values() if r.alive
+        }
+        return len(gens) == 1 and None not in gens
+
+    def wait_converged(
+        self,
+        target: Optional[int] = None,
+        timeout_s: float = 30.0,
+        poll_s: float = 0.05,
+    ) -> Dict[str, Optional[int]]:
+        """Block until every alive replica reports generation >=
+        ``target`` (or, with ``target=None``, until they all agree).
+        Returns the final generation map; raises :class:`ClusterError`
+        on timeout or when nobody is left alive."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            gens = self.generations()
+            if gens:
+                values = list(gens.values())
+                if target is None:
+                    if len(set(values)) == 1 and values[0] is not None:
+                        return gens
+                elif all(g is not None and g >= target for g in values):
+                    return gens
+            elif not self.alive():
+                raise ClusterError(
+                    "wait_converged: no replicas left alive"
+                )
+            if time.monotonic() >= deadline:
+                raise ClusterError(
+                    f"replicas did not converge within {timeout_s}s: "
+                    f"{gens} (target {target})"
+                )
+            time.sleep(poll_s)
+
+    # -- routing --------------------------------------------------------
+    def _eligible(
+        self, min_generation: Optional[int]
+    ) -> List[_Replica]:
+        """Replicas traffic may route to right now: alive, past the
+        read-your-writes floor, preferring ones not cooling down."""
+        live = [r for r in self.replicas.values() if r.alive]
+        if min_generation is not None:
+            fresh = [
+                r
+                for r in live
+                if r.generation is not None
+                and r.generation >= min_generation
+            ]
+            if not fresh and live:
+                # Cached views may be stale (a swap just landed): one
+                # explicit poll before giving up on the round.
+                self.generations()
+                live = [r for r in self.replicas.values() if r.alive]
+                fresh = [
+                    r
+                    for r in live
+                    if r.generation is not None
+                    and r.generation >= min_generation
+                ]
+            live = fresh
+        warm = [r for r in live if r.cooldown == 0]
+        return warm or live
+
+    def _assign(
+        self,
+        eligible: List[_Replica],
+        pending: List[int],
+        keys: Optional[Sequence[int]],
+    ) -> Dict[str, List[int]]:
+        plan: Dict[str, List[int]] = {r.name: [] for r in eligible}
+        if self.policy == "rendezvous":
+            names = sorted(plan)
+            for i in pending:
+                key = keys[i] if keys is not None else i
+                plan[replica_for(key, names)].append(i)
+        else:
+            for i in pending:
+                target = min(
+                    eligible,
+                    key=lambda r: (r.inflight + len(plan[r.name]), r.name),
+                )
+                plan[target.name].append(i)
+        return plan
+
+    def match_many(
+        self,
+        blocks: Sequence,
+        window: int = 8,
+        keys: Optional[Sequence[int]] = None,
+        min_generation: Optional[int] = None,
+    ) -> List:
+        """Classify ``blocks`` across the replica set; results in input
+        order, exactly one answer per block.
+
+        Each round routes the unanswered blocks over the currently
+        eligible replicas (``keys`` feeds the rendezvous hash; defaults
+        to block position) and pumps every replica's share on its own
+        thread, ``chunk`` blocks per wire call.  A replica whose
+        transport dies — after :class:`~repro.net.NetClient` already
+        spent its own reconnect budget — is marked dead and its
+        unanswered blocks reroute to survivors; ``SHED`` / ``DRAINING``
+        / ``INTERNAL`` answers reroute without the death sentence.
+        Lookups are read-only, so the resends cannot produce wrong or
+        duplicate-effect answers.  ``min_generation`` restricts routing
+        to replicas that have converged past that engine generation
+        (read-your-writes after a swap).
+
+        Raises :class:`ClusterError` when no eligible replica remains
+        or nothing makes progress for ``max_stalled_rounds`` rounds.
+        """
+        results: List[object] = [_UNSET] * len(blocks)
+        pending = list(range(len(blocks)))
+        lock = threading.Lock()
+        stalls = 0
+        while pending:
+            eligible = self._eligible(min_generation)
+            if not eligible:
+                raise ClusterError(
+                    f"no eligible replica for {len(pending)} requests "
+                    f"(alive: {self.alive()}, "
+                    f"min_generation={min_generation})"
+                )
+            plan = self._assign(eligible, pending, keys)
+            requeued: List[int] = []
+            fatal: List[BaseException] = []
+            answered = 0
+
+            def pump(replica: _Replica, share: List[int]) -> None:
+                nonlocal answered
+                client = self._client(replica)
+                for start in range(0, len(share), self.chunk):
+                    part = share[start : start + self.chunk]
+                    replica.inflight += len(part)
+                    try:
+                        answers = client.match_many(
+                            [blocks[i] for i in part], window=window
+                        )
+                    except NetError as exc:
+                        rest = share[start:]
+                        if exc.code not in _REROUTE_CODES:
+                            with lock:
+                                fatal.append(exc)
+                            return
+                        replica.cooldown = 2
+                        counter = {
+                            int(ErrorCode.SHED): "cluster.shed_reroutes",
+                            int(
+                                ErrorCode.DRAINING
+                            ): "cluster.drain_reroutes",
+                        }.get(int(exc.code), "cluster.internal_reroutes")
+                        with lock:
+                            requeued.extend(rest)
+                            self._count(counter)
+                            self._count("cluster.rerouted", len(rest))
+                        return
+                    except (
+                        ProtocolError,
+                        NetTimeout,
+                        OSError,
+                    ):
+                        # Transport is gone past the client's own retry
+                        # budget: the replica is dead to us.
+                        rest = share[start:]
+                        with lock:
+                            self.mark_dead(replica.name)
+                            requeued.extend(rest)
+                            self._count("cluster.rerouted", len(rest))
+                        return
+                    finally:
+                        replica.inflight -= len(part)
+                    if client.peer_generation is not None:
+                        replica.generation = client.peer_generation
+                    with lock:
+                        for i, answer in zip(part, answers):
+                            results[i] = answer
+                        answered += len(part)
+                        self._count("cluster.requests", len(part))
+
+            threads = []
+            for replica in eligible:
+                share = plan[replica.name]
+                if not share:
+                    continue
+                thread = threading.Thread(
+                    target=pump,
+                    args=(replica, share),
+                    name=f"saxpac-replicaset-{replica.name}",
+                    daemon=True,
+                )
+                threads.append(thread)
+                thread.start()
+            for thread in threads:
+                thread.join()
+            if fatal:
+                raise fatal[0]
+            for replica in self.replicas.values():
+                if replica.cooldown > 0:
+                    replica.cooldown -= 1
+            pending = requeued
+            if pending and answered == 0:
+                stalls += 1
+                self._count("cluster.stalled_rounds")
+                if stalls > self.max_stalled_rounds:
+                    raise ClusterError(
+                        f"{len(pending)} requests made no progress for "
+                        f"{stalls} rounds (alive: {self.alive()})"
+                    )
+                # Back off briefly — the usual cause is a quiescing
+                # replica mid-swap; it resumes within the grace window.
+                time.sleep(min(0.02 * stalls, 0.2))
+            elif answered:
+                stalls = 0
+        return results
+
+    def match_batch(self, headers, key: Optional[int] = None):
+        """One block through the set (convenience over
+        :meth:`match_many`)."""
+        return self.match_many(
+            [headers], keys=None if key is None else [key]
+        )[0]
+
+
+# ----------------------------------------------------------------------
+# In-process cluster harness
+# ----------------------------------------------------------------------
+def fold_catch_all(indices, num_body_rules: int):
+    """Normalize matched-rule indices across decision-identical swaps.
+
+    :func:`decision_identical_updates` appends clones of existing body
+    rules, so every *body* winner keeps its index (the original always
+    outranks its clone) — but the catch-all slides from
+    ``num_body_rules`` to ``num_body_rules + inserted``.  Folding every
+    index >= ``num_body_rules`` back down makes answers comparable
+    against the pre-swap linear oracle: the clone indices themselves can
+    never appear (their originals always match first), so everything up
+    there *is* the catch-all."""
+    import numpy as np
+
+    return np.minimum(
+        np.asarray(indices, dtype=np.int64), num_body_rules
+    )
+
+
+def decision_identical_updates(classifier, count: int, seed: int = 0):
+    """``count`` insert-updates that bump the engine generation without
+    changing any answer: clones of existing body rules, which land at
+    lower priority and therefore never win a match.  This is what lets
+    the chaos soak run a rolling swap under load while still comparing
+    every response against one fixed linear oracle."""
+    import random as _random
+
+    rng = _random.Random(seed)
+    if not classifier.body:
+        raise ValueError("classifier has no body rules to clone")
+    return [rng.choice(classifier.body) for _ in range(count)]
+
+
+class LocalCluster:
+    """N in-process replicas of one classifier, each a full
+    :class:`~repro.runtime.service.RuntimeService` behind its own
+    background :class:`~repro.net.server.NetServer`.
+
+    The harness under ``repro cluster swap``, ``tests/test_cluster.py``
+    and ``benchmarks/soak_cluster.py``: it can :meth:`kill` a replica
+    (hard crash — connections abort mid-request), :meth:`restart` it
+    (fresh service, update log replayed so it converges to the same
+    generation), and run a :meth:`rolling_swap` that never takes more
+    than one replica out of service at a time.
+
+    ``service_factory(name)`` builds each replica's service (defaults
+    to a plain ``RuntimeService(classifier)``); ``net_config`` is
+    shared; ``injector_factory(name)`` arms per-replica chaos.
+    """
+
+    def __init__(
+        self,
+        classifier,
+        replicas: int = 3,
+        net_config: Optional[NetConfig] = None,
+        service_factory=None,
+        injector_factory=None,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError("a cluster needs at least one replica")
+        self.classifier = classifier
+        self.net_config = net_config
+        self.service_factory = service_factory
+        self.injector_factory = injector_factory
+        self.names = [f"replica-{i}" for i in range(replicas)]
+        self.services: Dict[str, RuntimeService] = {}
+        self.handles: Dict[str, Optional[ServerHandle]] = {}
+        #: Every update batch ever applied, in order — replayed into
+        #: restarted replicas so they reach the cluster's generation.
+        self.updates: List[object] = []
+        for name in self.names:
+            self._start(name)
+
+    def _start(self, name: str) -> None:
+        injector = (
+            self.injector_factory(name)
+            if self.injector_factory is not None
+            else None
+        )
+        if self.service_factory is not None:
+            service = self.service_factory(name)
+        else:
+            service = RuntimeService(self.classifier, injector=injector)
+        for rule in self.updates:
+            service.insert(rule)
+        self.services[name] = service
+        self.handles[name] = serve_background(
+            service, self.net_config, injector=injector
+        )
+
+    # -- topology -------------------------------------------------------
+    def endpoints(self) -> Dict[str, Tuple[str, int]]:
+        """name -> (host, port) for every live replica."""
+        return {
+            name: ("127.0.0.1", handle.port)
+            for name, handle in self.handles.items()
+            if handle is not None
+        }
+
+    def replica_set(self, **kwargs) -> ReplicaSet:
+        """A :class:`ReplicaSet` over the current live replicas."""
+        return ReplicaSet(self.endpoints(), **kwargs)
+
+    def generations(self) -> Dict[str, int]:
+        """Server-side truth: each live replica's engine generation."""
+        return {
+            name: self.services[name].swap.generation
+            for name, handle in self.handles.items()
+            if handle is not None
+        }
+
+    # -- chaos ----------------------------------------------------------
+    def kill(self, name: str) -> None:
+        """Hard-crash one replica: abort its connections mid-request,
+        close its listener, stop its loop.  No drain, no goodbye."""
+        handle = self.handles.get(name)
+        if handle is None:
+            return
+        handle.kill()
+        self.handles[name] = None
+        self.services[name].close()
+
+    def restart(self, name: str) -> int:
+        """Bring a killed replica back on a *fresh port* with the full
+        update log replayed (same rules, same generation as a replica
+        that lived through every swap).  Returns the new port."""
+        if self.handles.get(name) is not None:
+            raise ClusterError(f"{name} is still running")
+        self._start(name)
+        return self.handles[name].port
+
+    # -- control plane --------------------------------------------------
+    def rolling_swap(
+        self,
+        updates: Sequence,
+        grace_s: float = 10.0,
+    ) -> Dict[str, List[str]]:
+        """Apply ``updates`` to every live replica, one replica at a
+        time, with zero downtime: quiesce (new requests bounce with
+        ``DRAINING`` and the replica set routes them to the other N-1),
+        insert the batch (each accepted insert rebuilds and bumps the
+        generation), resume, move to the next.  Dead replicas are
+        skipped — the log replay in :meth:`restart` catches them up.
+
+        Returns ``{"swapped": [...], "skipped": [...],
+        "dirty": [...]}`` (``dirty`` = quiesce grace expired before
+        in-flight hit zero; the swap still proceeds — generation
+        monotonicity keeps the stamps truthful).
+        """
+        self.updates.extend(updates)
+        swapped: List[str] = []
+        skipped: List[str] = []
+        dirty: List[str] = []
+        for name in self.names:
+            handle = self.handles.get(name)
+            if handle is None:
+                skipped.append(name)
+                continue
+            if not handle.quiesce(grace_s):
+                dirty.append(name)
+            try:
+                for rule in updates:
+                    self.services[name].insert(rule)
+            finally:
+                handle.resume()
+            swapped.append(name)
+        return {"swapped": swapped, "skipped": skipped, "dirty": dirty}
+
+    # -- lifecycle ------------------------------------------------------
+    def stop(self) -> Dict[str, bool]:
+        """Drain and stop every live replica; name -> clean-drain."""
+        out: Dict[str, bool] = {}
+        for name, handle in self.handles.items():
+            if handle is None:
+                continue
+            out[name] = handle.stop()
+            self.handles[name] = None
+            self.services[name].close()
+        return out
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

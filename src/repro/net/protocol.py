@@ -39,6 +39,20 @@ the handshake degrades silently and the byte stream stays identical to
 an untraced session.  :func:`split_trace_context` strips the block so
 the per-type decoders above never see it.
 
+**Generation-stamp extension.**  A frame whose flags carry
+:data:`FLAG_GENERATION` prefixes its payload with a fixed 8-byte
+``generation`` (uint64) block — the sender's serving-engine generation
+(:attr:`~repro.runtime.swap.HotSwapRuntime.generation`).  Servers stamp
+``PONG`` and ``MATCH_RESPONSE`` frames with it so a replica-set client
+(:mod:`repro.net.cluster`) can track snapshot-version convergence
+across replicas without extra round trips.  Like tracing it is
+negotiated per connection: a ``PING`` carrying ``FLAG_GENERATION``
+asks; the ``PONG`` echoes the flag (with the generation as payload
+prefix) and only then are responses stamped.  When a frame carries
+*both* extensions the trace block comes first, then the generation
+block, then the regular payload — strip with
+:func:`split_trace_context` before :func:`split_generation`.
+
 Framing errors (bad magic, unknown version, oversized payload) poison
 the byte stream — after one, the receiver cannot find the next frame
 boundary — so they raise :class:`ProtocolError` and the connection must
@@ -61,12 +75,14 @@ from typing import List, NamedTuple, Sequence, Tuple
 import numpy as np
 
 __all__ = [
+    "FLAG_GENERATION",
     "FLAG_TRACE",
     "FRAME_HEADER",
     "Frame",
     "FrameDecoder",
     "FrameType",
     "ErrorCode",
+    "GEN_BLOCK",
     "MAGIC",
     "MAX_PAYLOAD",
     "PayloadError",
@@ -82,6 +98,7 @@ __all__ = [
     "encode_frame",
     "encode_match_request",
     "encode_match_response",
+    "split_generation",
     "split_trace_context",
 ]
 
@@ -104,6 +121,14 @@ FLAG_TRACE = 0x0001
 
 #: Trace-context extension block: trace id, parent span id, sampled.
 TRACE_BLOCK = struct.Struct("<QQB")
+
+#: Header flag: the payload starts with a :data:`GEN_BLOCK` engine
+#: generation (after the trace block when both flags are set).  Must be
+#: negotiated (PING/PONG flag echo) before use.
+FLAG_GENERATION = 0x0002
+
+#: Generation-stamp extension block: the sender's engine generation.
+GEN_BLOCK = struct.Struct("<Q")
 
 _REQUEST_PREFIX = struct.Struct("<HI")
 _RESPONSE_PREFIX = struct.Struct("<I")
@@ -264,6 +289,33 @@ def split_trace_context(frame: Frame) -> "Tuple[TraceContext | None, Frame]":
     return trace, stripped
 
 
+def split_generation(frame: Frame) -> "Tuple[int | None, Frame]":
+    """Strip a frame's generation stamp, if flagged.
+
+    Returns ``(generation, frame)`` where ``frame`` is safe to hand to
+    the per-type decoders (stamp removed, flag cleared).  Frames without
+    :data:`FLAG_GENERATION` pass through untouched.  When a frame also
+    carries :data:`FLAG_TRACE`, call :func:`split_trace_context` first —
+    the trace block precedes the generation block.
+    """
+    if not frame.flags & FLAG_GENERATION:
+        return None, frame
+    payload = frame.payload
+    if len(payload) < GEN_BLOCK.size:
+        raise PayloadError(
+            "frame flags declare a generation stamp but the payload is "
+            f"{len(payload)} bytes (need {GEN_BLOCK.size})"
+        )
+    (generation,) = GEN_BLOCK.unpack_from(payload)
+    stripped = Frame(
+        frame.type,
+        frame.request_id,
+        payload[GEN_BLOCK.size :],
+        frame.flags & ~FLAG_GENERATION,
+    )
+    return generation, stripped
+
+
 def decode_match_request(frame: Frame) -> np.ndarray:
     """Zero-copy ``(count, k)`` uint32 view of a ``MATCH_REQUEST``."""
     payload = frame.payload
@@ -285,11 +337,24 @@ def decode_match_request(frame: Frame) -> np.ndarray:
 def encode_match_response(
     request_id: int,
     indices: Sequence[int],
+    generation: "int | None" = None,
 ) -> bytes:
-    """A ``MATCH_RESPONSE`` carrying matched rule indices as uint32."""
+    """A ``MATCH_RESPONSE`` carrying matched rule indices as uint32.
+
+    With ``generation``, the payload is prefixed with the 8-byte
+    generation stamp and the frame carries :data:`FLAG_GENERATION` —
+    only do this after the peer asked for stamps on its PING.
+    """
     arr = np.ascontiguousarray(indices, dtype="<u4")
     payload = _RESPONSE_PREFIX.pack(arr.shape[0]) + arr.tobytes()
-    return encode_frame(FrameType.MATCH_RESPONSE, request_id, payload)
+    if generation is None:
+        return encode_frame(FrameType.MATCH_RESPONSE, request_id, payload)
+    return encode_frame(
+        FrameType.MATCH_RESPONSE,
+        request_id,
+        GEN_BLOCK.pack(generation) + payload,
+        flags=FLAG_GENERATION,
+    )
 
 
 def decode_match_response(frame: Frame) -> np.ndarray:

@@ -48,7 +48,9 @@ from ..obs.stages import STAGES, StageWaterfall
 from ..obs.tracing import SpanContext
 from ..runtime.service import LoadShedError, RuntimeService
 from .protocol import (
+    FLAG_GENERATION,
     FLAG_TRACE,
+    GEN_BLOCK,
     MAX_PAYLOAD,
     ErrorCode,
     Frame,
@@ -166,6 +168,9 @@ class _Connection:
         self.semaphore = asyncio.Semaphore(server.config.max_inflight)
         self.write_lock = asyncio.Lock()
         self.open = True
+        #: Negotiated per connection: stamp responses with the serving
+        #: engine generation (the cluster tier's convergence signal).
+        self.stamp_generation = False
 
     async def send(self, data: bytes) -> bool:
         """Write one frame; False when the peer is gone.
@@ -280,6 +285,31 @@ class NetServer:
             raise RuntimeError("server not started")
         await self._server.serve_forever()
 
+    async def quiesce(self, grace_s: Optional[float] = None) -> bool:
+        """Temporarily stop serving: reject new requests with
+        ``DRAINING`` (a replica-set client reroutes them) and wait for
+        everything in flight to be answered.  Unlike :meth:`drain` the
+        listener and connections stay up, so :meth:`resume` brings the
+        replica straight back — this is one leg of a zero-downtime
+        rolling swap.  True when in-flight hit zero within the grace."""
+        self._draining = True
+        self.telemetry.incr("net.quiesces")
+        if self._idle is None:
+            return True
+        try:
+            await asyncio.wait_for(
+                self._idle.wait(),
+                self.config.drain_grace_s if grace_s is None else grace_s,
+            )
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    def resume(self) -> None:
+        """Accept requests again after :meth:`quiesce`."""
+        self._draining = False
+        self.telemetry.incr("net.resumes")
+
     async def drain(self) -> bool:
         """Graceful shutdown: stop accepting, answer what is queued,
         close every connection.  True when everything in flight was
@@ -390,8 +420,18 @@ class NetServer:
                 and self.telemetry.tracer is not None
                 else 0
             )
+            payload = b""
+            if frame.flags & FLAG_GENERATION:
+                # Generation negotiation: echo the flag with the current
+                # engine generation as payload, and stamp every response
+                # on this connection from here on.
+                flags |= FLAG_GENERATION
+                payload = GEN_BLOCK.pack(self.service.swap.generation)
+                conn.stamp_generation = True
             return await conn.send(
-                encode_frame(FrameType.PONG, frame.request_id, flags=flags)
+                encode_frame(
+                    FrameType.PONG, frame.request_id, payload, flags=flags
+                )
             )
         self.telemetry.incr("net.protocol_errors")
         return await conn.send(
@@ -637,7 +677,19 @@ class NetServer:
     async def _respond_match(self, pending: _Pending, indices) -> None:
         telemetry = self.telemetry
         encode_t0 = time.perf_counter()
-        data = encode_match_response(pending.request_id, indices)
+        # The stamp reads the generation at response time, which may
+        # already exceed the generation that served the lookup — safe,
+        # because generations are monotonic and read-your-writes only
+        # needs a lower bound on what this replica has converged to.
+        data = encode_match_response(
+            pending.request_id,
+            indices,
+            generation=(
+                self.service.swap.generation
+                if pending.conn.stamp_generation
+                else None
+            ),
+        )
         if pending.corrupt:
             # Chaos corrupt-frame: flip the magic so the client's
             # decoder rejects the stream and reconnects.
@@ -791,6 +843,41 @@ class ServerHandle:
             self.loop.call_soon_threadsafe(self.loop.stop)
             self.thread.join(timeout)
         return bool(self.drained)
+
+    def kill(self, timeout: float = 10.0) -> None:
+        """Tear the server down *without* draining: abort every
+        connection mid-request, close the listener, stop the loop.
+        What a crashing replica looks like to its clients — the chaos
+        soak uses this; production shutdown wants :meth:`stop`."""
+        if self.drained is not None:
+            return
+        self.drained = False
+        server = self.server
+
+        def _slam() -> None:
+            if server._server is not None:
+                server._server.close()
+            for conn in list(server._connections):
+                conn.abort()
+            # Cancel everything, then stop on the *next* cycle so the
+            # cancellations are delivered before the loop closes.
+            for task in asyncio.all_tasks(self.loop):
+                task.cancel()
+            self.loop.call_soon(self.loop.stop)
+
+        self.loop.call_soon_threadsafe(_slam)
+        self.thread.join(timeout)
+
+    def quiesce(self, timeout: float = 10.0) -> bool:
+        """Thread-safe :meth:`NetServer.quiesce` (see there)."""
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.quiesce(timeout), self.loop
+        )
+        return future.result(timeout + 5.0)
+
+    def resume(self) -> None:
+        """Thread-safe :meth:`NetServer.resume`."""
+        self.loop.call_soon_threadsafe(self.server.resume)
 
     def __enter__(self) -> "ServerHandle":
         return self

@@ -38,6 +38,7 @@ __all__ = [
     "GroupHeat",
     "HeatProfiler",
     "load_heat_report",
+    "render_cluster_panel",
     "render_net_panel",
     "render_slo_panel",
     "render_top",
@@ -377,6 +378,43 @@ def render_net_panel(
         f"drains={int(counters.get('net.drains', 0)):,}"
         f"/{int(counters.get('net.dirty_drains', 0)):,} dirty",
     ]
+    return "\n".join(lines)
+
+
+def render_cluster_panel(
+    stats: Optional[Mapping[str, float]],
+    replicas: Optional[Mapping[str, Mapping[str, object]]] = None,
+    elapsed_s: Optional[float] = None,
+) -> str:
+    """The ``repro cluster`` panel: replica-set throughput, reroute and
+    failover tallies, plus one line per replica (alive flag + engine
+    generation).  Empty string when the set has served nothing."""
+    if not stats or not stats.get("cluster.requests"):
+        return ""
+    requests = stats.get("cluster.requests", 0)
+    rate = (
+        f"{requests / elapsed_s:>10,.0f} req/s"
+        if elapsed_s
+        else f"{requests:>10,} reqs"
+    )
+    lines = [
+        "  cluster:",
+        f"    {rate}  rerouted={int(stats.get('cluster.rerouted', 0)):,}  "
+        f"deaths={int(stats.get('cluster.replica_deaths', 0)):,}  "
+        f"rejoins={int(stats.get('cluster.rejoins', 0)):,}",
+        f"    shed_reroutes={int(stats.get('cluster.shed_reroutes', 0)):,}  "
+        f"drain_reroutes={int(stats.get('cluster.drain_reroutes', 0)):,}  "
+        f"stalled_rounds={int(stats.get('cluster.stalled_rounds', 0)):,}",
+    ]
+    for name in sorted(replicas or {}):
+        info = replicas[name]
+        alive = info.get("alive", True)
+        generation = info.get("generation")
+        lines.append(
+            f"    {name:<12} "
+            f"{'up  ' if alive else 'DOWN'}  "
+            f"gen={'?' if generation is None else generation}"
+        )
     return "\n".join(lines)
 
 

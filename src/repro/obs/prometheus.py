@@ -115,6 +115,38 @@ _COUNTER_HELP = {
     "net.dirty_drains": "Drains that timed out with requests in flight.",
     "net.drain_rejects": "Requests refused because the server was draining.",
     "net.pings": "PING frames answered.",
+    "net.quiesces": (
+        "Temporary drains (rolling-swap leg): reject new requests, keep "
+        "the listener up, resume afterwards."
+    ),
+    "net.resumes": "Replicas returned to service after a quiesce.",
+    "cluster.requests": "Requests answered through the replica set.",
+    "cluster.rerouted": (
+        "Requests re-sent to a surviving replica after their first "
+        "replica failed, shed, or was draining."
+    ),
+    "cluster.shed_reroutes": (
+        "Replica-set chunks rerouted because a replica answered SHED "
+        "past the client's own retry budget."
+    ),
+    "cluster.drain_reroutes": (
+        "Replica-set chunks rerouted off a quiescing (DRAINING) replica."
+    ),
+    "cluster.internal_reroutes": (
+        "Replica-set chunks rerouted after an INTERNAL error answer."
+    ),
+    "cluster.replica_deaths": (
+        "Replicas removed from routing after transport failure."
+    ),
+    "cluster.rejoins": "Replicas brought back into routing.",
+    "cluster.generation_polls": (
+        "Explicit engine-generation probes (stamped PINGs) sent to "
+        "replicas."
+    ),
+    "cluster.stalled_rounds": (
+        "Routing rounds that made no progress (all eligible replicas "
+        "rejected their share)."
+    ),
 }
 
 #: Regex-curated HELP for per-backend counter families: the backend name

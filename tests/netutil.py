@@ -1,0 +1,33 @@
+"""Shared timing helpers for the net-layer test suites.
+
+The wire tests race the server's event-loop thread: a client returns as
+soon as it has read its response frame, but the loop bumps counters,
+releases semaphores and decrements inflight *after* writing it.  Fixed
+``sleep`` waits for that accounting are either too short (flaky) or too
+long (slow suite) — these helpers poll a condition with a bounded
+deadline instead, so tests wait exactly as long as they must.
+"""
+
+import time
+
+
+def wait_until(predicate, timeout=5.0, interval=0.01):
+    """Poll ``predicate`` until truthy or ``timeout`` elapses; returns
+    the predicate's final value either way (so callers can still assert
+    on it for a readable failure)."""
+    deadline = time.monotonic() + timeout
+    while True:
+        value = predicate()
+        if value or time.monotonic() >= deadline:
+            return value
+        time.sleep(interval)
+
+
+def settle(predicate, timeout=5.0):
+    """Wait for server-side accounting to catch up with the client.
+
+    Same contract as :func:`wait_until`; the name states the intent at
+    call sites that wait for counters/inflight to settle after the
+    client already has its answers.
+    """
+    return wait_until(predicate, timeout=timeout)

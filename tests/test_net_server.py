@@ -3,11 +3,11 @@ backpressure, shedding, chaos, drain, and telemetry exposition."""
 
 import random
 import socket
-import time
 
 import numpy as np
 import pytest
 from conftest import random_classifier
+from netutil import settle
 
 from repro.chaos import FaultInjector, FaultPlan, FaultSpec
 from repro.net import (
@@ -36,18 +36,6 @@ def served():
     handle = serve_background(service, NetConfig(coalesce_wait_ms=0.2))
     yield service, handle
     handle.stop()
-
-
-def settle(predicate, timeout=5.0):
-    """Wait for server-side accounting to catch up with the client.
-
-    The client returns as soon as it has read its response frame, but the
-    event-loop thread bumps counters / decrements inflight *after* writing
-    it — poll briefly instead of asserting the instantaneous value.
-    """
-    deadline = time.time() + timeout
-    while not predicate() and time.time() < deadline:
-        time.sleep(0.01)
 
 
 def expected_indices(service, headers):

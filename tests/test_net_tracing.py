@@ -9,11 +9,11 @@ asyncio task boundaries and pickled process workers.
 import asyncio
 import os
 import random
-import time
 
 import pytest
 
 from conftest import random_classifier
+from netutil import settle
 from repro.net import NetClient, NetConfig, serve_background
 from repro.net.protocol import (
     FLAG_TRACE,
@@ -28,13 +28,6 @@ from repro.runtime.service import RuntimeService
 from repro.runtime.shard import ShardedRuntime
 from repro.runtime.telemetry import Telemetry
 from repro.workloads.traces import generate_trace
-
-
-def settle(predicate, timeout=5.0):
-    """Poll until server-side accounting catches up with the client."""
-    deadline = time.time() + timeout
-    while not predicate() and time.time() < deadline:
-        time.sleep(0.01)
 
 
 @pytest.fixture
